@@ -1,0 +1,210 @@
+//! Electronic funds transfer / credit authorization (§5 of the paper).
+//!
+//! "The important transactions … depend very loosely on the state of the
+//! database in that the important effect (distribution of funds or goods)
+//! depends only on the fact that the relevant accounts contain enough funds,
+//! not on exactly how much."
+
+use pv_core::{Entry, Expr, ItemId, TransactionSpec, Value};
+use pv_engine::{Cluster, ClusterBuilder, Directory};
+
+/// A bank of `accounts` accounts, account `a` stored as item `a`.
+#[derive(Debug, Clone, Copy)]
+pub struct FundsApp {
+    /// Number of accounts.
+    pub accounts: u64,
+    /// Initial balance of every account (cents).
+    pub initial: i64,
+}
+
+impl FundsApp {
+    /// Creates the application descriptor.
+    pub fn new(accounts: u64, initial: i64) -> Self {
+        assert!(accounts >= 1 && initial >= 0);
+        FundsApp { accounts, initial }
+    }
+
+    /// The item holding account `a`.
+    pub fn account(&self, a: u64) -> ItemId {
+        assert!(a < self.accounts, "no such account");
+        ItemId(a)
+    }
+
+    /// Seeds a cluster builder with every account.
+    pub fn seed(&self, builder: ClusterBuilder) -> ClusterBuilder {
+        builder.uniform_items(self.accounts, self.initial)
+    }
+
+    /// A directory spreading accounts round-robin over `sites` sites.
+    pub fn directory(sites: u32) -> Directory {
+        Directory::Mod(sites)
+    }
+
+    /// Transfer `amount` from `from` to `to`, guarded by sufficient funds.
+    pub fn transfer(&self, from: u64, to: u64, amount: i64) -> TransactionSpec {
+        assert!(from != to, "transfer needs distinct accounts");
+        assert!(amount > 0);
+        let (f, t) = (self.account(from), self.account(to));
+        TransactionSpec::new()
+            .guard(Expr::read(f).ge(Expr::int(amount)))
+            .update(f, Expr::read(f).sub(Expr::int(amount)))
+            .update(t, Expr::read(t).add(Expr::int(amount)))
+            .output("granted", Expr::read(f).ge(Expr::int(amount)))
+    }
+
+    /// Deposit `amount` into `into` (always granted).
+    pub fn deposit(&self, into: u64, amount: i64) -> TransactionSpec {
+        assert!(amount > 0);
+        let t = self.account(into);
+        TransactionSpec::new().update(t, Expr::read(t).add(Expr::int(amount)))
+    }
+
+    /// Withdraw `amount` from `from`, guarded by sufficient funds.
+    pub fn withdraw(&self, from: u64, amount: i64) -> TransactionSpec {
+        assert!(amount > 0);
+        let f = self.account(from);
+        TransactionSpec::new()
+            .guard(Expr::read(f).ge(Expr::int(amount)))
+            .update(f, Expr::read(f).sub(Expr::int(amount)))
+            .output("granted", Expr::read(f).ge(Expr::int(amount)))
+    }
+
+    /// Credit authorization: *read-only* check that the account covers
+    /// `amount`. On a polyvalued balance this still answers with a simple
+    /// yes whenever every possible balance suffices — the paper's flagship
+    /// use case.
+    pub fn authorize(&self, account: u64, amount: i64) -> TransactionSpec {
+        let a = self.account(account);
+        TransactionSpec::new().output("authorized", Expr::read(a).ge(Expr::int(amount)))
+    }
+
+    /// Balance inquiry (may return an uncertain balance, per §3.4).
+    pub fn balance(&self, account: u64) -> TransactionSpec {
+        TransactionSpec::new().output("balance", Expr::read(self.account(account)))
+    }
+
+    /// Total funds currently in the bank; panics if any balance is missing
+    /// or still uncertain (call after the cluster settles).
+    pub fn total(&self, cluster: &Cluster) -> i64 {
+        cluster.sum_items((0..self.accounts).map(ItemId))
+    }
+
+    /// The invariant the mechanism must preserve across any run made purely
+    /// of transfers: conservation of money.
+    pub fn expected_total(&self) -> i64 {
+        self.accounts as i64 * self.initial
+    }
+
+    /// Interprets an `authorized`/`granted` output entry conservatively:
+    /// approve only when *every* alternative approves.
+    pub fn conservative_approval(entry: &Entry<Value>) -> bool {
+        entry == &Entry::Simple(Value::Bool(true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_core::TxnId;
+    use pv_engine::{ClientConfig, CommitProtocol, EngineConfig, Script};
+    use pv_simnet::{NetConfig, SimDuration, SimTime};
+
+    #[test]
+    fn spec_constructors_shape() {
+        let app = FundsApp::new(4, 100);
+        let t = app.transfer(0, 1, 10);
+        assert_eq!(t.write_set().len(), 2);
+        assert!(t.guard.is_some());
+        let d = app.deposit(2, 5);
+        assert_eq!(d.write_set().len(), 1);
+        assert!(d.guard.is_none());
+        let w = app.withdraw(3, 5);
+        assert_eq!(w.write_set().len(), 1);
+        let a = app.authorize(0, 50);
+        assert!(a.is_read_only());
+        assert!(app.balance(0).is_read_only());
+        assert_eq!(app.expected_total(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct accounts")]
+    fn self_transfer_rejected() {
+        FundsApp::new(2, 100).transfer(1, 1, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such account")]
+    fn out_of_range_account_rejected() {
+        FundsApp::new(2, 100).account(2);
+    }
+
+    #[test]
+    fn conservative_approval_requires_certainty() {
+        assert!(FundsApp::conservative_approval(&Entry::Simple(
+            Value::Bool(true)
+        )));
+        assert!(!FundsApp::conservative_approval(&Entry::Simple(
+            Value::Bool(false)
+        )));
+        let uncertain = Entry::in_doubt(
+            Entry::Simple(Value::Bool(true)),
+            Entry::Simple(Value::Bool(false)),
+            TxnId(1),
+        );
+        assert!(!FundsApp::conservative_approval(&uncertain));
+    }
+
+    #[test]
+    fn end_to_end_banking_day() {
+        let app = FundsApp::new(6, 100);
+        let specs = vec![
+            app.transfer(0, 1, 30),
+            app.deposit(2, 50),
+            app.withdraw(3, 40),
+            app.authorize(1, 100),
+            app.transfer(4, 5, 200), // denied: insufficient funds
+            app.balance(0),
+        ];
+        let builder = ClusterBuilder::new(3, FundsApp::directory(3))
+            .seed(5)
+            .net(NetConfig::instant())
+            .engine(EngineConfig::with_protocol(CommitProtocol::Polyvalue));
+        let mut cluster = app
+            .seed(builder)
+            .client(
+                ClientConfig::default(),
+                Box::new(Script::new(specs, SimDuration::from_millis(5))),
+            )
+            .build();
+        cluster.run_until(SimTime::from_secs(3));
+        assert_eq!(
+            cluster.item_entry(ItemId(0)),
+            Some(Entry::Simple(Value::Int(70)))
+        );
+        assert_eq!(
+            cluster.item_entry(ItemId(1)),
+            Some(Entry::Simple(Value::Int(130)))
+        );
+        assert_eq!(
+            cluster.item_entry(ItemId(2)),
+            Some(Entry::Simple(Value::Int(150)))
+        );
+        assert_eq!(
+            cluster.item_entry(ItemId(3)),
+            Some(Entry::Simple(Value::Int(60)))
+        );
+        // Denied transfer left 4 and 5 untouched.
+        assert_eq!(
+            cluster.item_entry(ItemId(4)),
+            Some(Entry::Simple(Value::Int(100)))
+        );
+        assert_eq!(app.total(&cluster), app.expected_total() + 50 - 40);
+        let results = cluster.client(0).results();
+        assert_eq!(results.len(), 6);
+        // The authorization for exactly 100 against account 1 (130 by then,
+        // or 100 if it ran first — either way it covers 100).
+        let auth = &results[3].1;
+        assert!(auth.is_committed());
+        assert!(cluster.all_quiescent());
+    }
+}

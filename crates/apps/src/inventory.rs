@@ -1,0 +1,237 @@
+//! Inventory / process control (§5 of the paper).
+//!
+//! "Such applications as inventory or process control also seem ideal
+//! candidates for the polyvalue mechanism. Again, real time operation is
+//! important; however, the exact values of the items in the database are
+//! frequently not needed for the important real time effects."
+//!
+//! Item `p` holds the stock level of part `p`. Consumption and restocking
+//! update it; the real-time decision is the *reorder alert*, which only asks
+//! whether stock is below a threshold — loosely dependent on the exact level.
+
+use pv_core::{Entry, Expr, ItemId, TransactionSpec, Value};
+use pv_engine::{Cluster, ClusterBuilder, Directory, Workload};
+use pv_simnet::{SimDuration, SimRng};
+
+/// An inventory of `parts` parts.
+#[derive(Debug, Clone, Copy)]
+pub struct InventoryApp {
+    /// Number of part kinds.
+    pub parts: u64,
+    /// Initial stock per part.
+    pub initial: i64,
+    /// Reorder threshold: alert when stock drops below this.
+    pub reorder_below: i64,
+}
+
+impl InventoryApp {
+    /// Creates the application descriptor.
+    pub fn new(parts: u64, initial: i64, reorder_below: i64) -> Self {
+        assert!(parts >= 1 && initial >= 0 && reorder_below >= 0);
+        InventoryApp {
+            parts,
+            initial,
+            reorder_below,
+        }
+    }
+
+    /// The item holding part `p`'s stock level.
+    pub fn part(&self, p: u64) -> ItemId {
+        assert!(p < self.parts, "no such part");
+        ItemId(p)
+    }
+
+    /// Seeds a cluster builder with every part at the initial stock.
+    pub fn seed(&self, builder: ClusterBuilder) -> ClusterBuilder {
+        builder.uniform_items(self.parts, self.initial)
+    }
+
+    /// A directory spreading parts round-robin over `sites` sites.
+    pub fn directory(sites: u32) -> Directory {
+        Directory::Mod(sites)
+    }
+
+    /// Consume `qty` units of part `p` (a production step), guarded by
+    /// availability, and report whether a reorder is now due — the
+    /// real-time output that usually stays certain even over uncertain
+    /// stock levels.
+    pub fn consume(&self, p: u64, qty: i64) -> TransactionSpec {
+        assert!(qty > 0);
+        let item = self.part(p);
+        TransactionSpec::new()
+            .guard(Expr::read(item).ge(Expr::int(qty)))
+            .update(item, Expr::read(item).sub(Expr::int(qty)))
+            .output(
+                "reorder",
+                Expr::ite(
+                    Expr::read(item).ge(Expr::int(qty)),
+                    Expr::read(item)
+                        .sub(Expr::int(qty))
+                        .lt(Expr::int(self.reorder_below)),
+                    Expr::read(item).lt(Expr::int(self.reorder_below)),
+                ),
+            )
+    }
+
+    /// Restock `qty` units of part `p`.
+    pub fn restock(&self, p: u64, qty: i64) -> TransactionSpec {
+        assert!(qty > 0);
+        let item = self.part(p);
+        TransactionSpec::new().update(item, Expr::read(item).add(Expr::int(qty)))
+    }
+
+    /// Read-only reorder check.
+    pub fn reorder_due(&self, p: u64) -> TransactionSpec {
+        let item = self.part(p);
+        TransactionSpec::new().output(
+            "reorder",
+            Expr::read(item).lt(Expr::int(self.reorder_below)),
+        )
+    }
+
+    /// Checks stock never went negative; panics on violation or residual
+    /// uncertainty.
+    pub fn assert_stock_sane(&self, cluster: &Cluster) {
+        for p in 0..self.parts {
+            let entry = cluster
+                .item_entry(self.part(p))
+                .unwrap_or_else(|| panic!("part {p} missing"));
+            match entry {
+                Entry::Simple(Value::Int(n)) => {
+                    assert!(n >= 0, "part {p} stock went negative: {n}");
+                }
+                other => panic!("part {p} unsettled: {other}"),
+            }
+        }
+    }
+}
+
+/// Mixed consume/restock traffic (a production line with deliveries).
+#[derive(Debug, Clone)]
+pub struct ProductionTraffic {
+    app: InventoryApp,
+    rate_per_sec: f64,
+    restock_prob: f64,
+    max_qty: i64,
+    remaining: u64,
+}
+
+impl ProductionTraffic {
+    /// `limit` operations at `rate_per_sec`; each is a restock with
+    /// probability `restock_prob`, else a consume, of `1..=max_qty` units.
+    pub fn new(
+        app: InventoryApp,
+        rate_per_sec: f64,
+        restock_prob: f64,
+        max_qty: i64,
+        limit: u64,
+    ) -> Self {
+        assert!(rate_per_sec > 0.0 && (0.0..=1.0).contains(&restock_prob) && max_qty >= 1);
+        ProductionTraffic {
+            app,
+            rate_per_sec,
+            restock_prob,
+            max_qty,
+            remaining: limit,
+        }
+    }
+}
+
+impl Workload for ProductionTraffic {
+    fn next(&mut self, rng: &mut SimRng) -> Option<(TransactionSpec, SimDuration)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let p = rng.below(self.app.parts);
+        let qty = 1 + rng.below(self.max_qty as u64) as i64;
+        let spec = if rng.chance(self.restock_prob) {
+            self.app.restock(p, qty)
+        } else {
+            self.app.consume(p, qty)
+        };
+        let gap = SimDuration::from_secs_f64(rng.exponential(1.0 / self.rate_per_sec));
+        Some((spec, gap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_engine::{ClientConfig, CommitProtocol, EngineConfig, Script, TxnResult};
+    use pv_simnet::{NetConfig, SimTime};
+
+    #[test]
+    fn spec_shapes() {
+        let app = InventoryApp::new(4, 100, 20);
+        let c = app.consume(0, 5);
+        assert!(c.guard.is_some());
+        assert_eq!(c.write_set().len(), 1);
+        let r = app.restock(1, 5);
+        assert!(r.guard.is_none());
+        assert!(app.reorder_due(2).is_read_only());
+    }
+
+    #[test]
+    #[should_panic(expected = "no such part")]
+    fn out_of_range_part_rejected() {
+        InventoryApp::new(2, 10, 1).part(3);
+    }
+
+    #[test]
+    fn production_day_keeps_stock_sane_and_alerts() {
+        let app = InventoryApp::new(2, 30, 25);
+        let specs = vec![
+            app.consume(0, 10), // 20 left → reorder alert (20 < 25)
+            app.restock(0, 50), // 70
+            app.consume(0, 10), // 60, no alert
+            app.consume(1, 40), // denied: only 30 in stock
+            app.reorder_due(1),
+        ];
+        let builder = ClusterBuilder::new(2, InventoryApp::directory(2))
+            .seed(9)
+            .net(NetConfig::instant())
+            .engine(EngineConfig::with_protocol(CommitProtocol::Polyvalue));
+        let mut cluster = app
+            .seed(builder)
+            .client(
+                ClientConfig::default(),
+                Box::new(Script::new(specs, SimDuration::from_millis(5))),
+            )
+            .build();
+        cluster.run_until(SimTime::from_secs(3));
+        assert_eq!(
+            cluster.item_entry(ItemId(0)),
+            Some(Entry::Simple(Value::Int(60)))
+        );
+        assert_eq!(
+            cluster.item_entry(ItemId(1)),
+            Some(Entry::Simple(Value::Int(30)))
+        );
+        app.assert_stock_sane(&cluster);
+        let results = cluster.client(0).results();
+        let reorder_of = |idx: usize| match &results[idx].1 {
+            TxnResult::Committed { outputs, .. } => outputs[0].1.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(reorder_of(0), Entry::Simple(Value::Bool(true)));
+        assert_eq!(reorder_of(2), Entry::Simple(Value::Bool(false)));
+        assert!(
+            !results[3].1.fully_granted(),
+            "over-consumption must be denied"
+        );
+    }
+
+    #[test]
+    fn traffic_generator_is_well_formed() {
+        let app = InventoryApp::new(3, 100, 10);
+        let mut w = ProductionTraffic::new(app, 5.0, 0.4, 8, 30);
+        let mut rng = SimRng::new(2);
+        let mut n = 0;
+        while let Some((spec, _)) = w.next(&mut rng) {
+            assert_eq!(spec.write_set().len(), 1);
+            n += 1;
+        }
+        assert_eq!(n, 30);
+    }
+}

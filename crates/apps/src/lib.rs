@@ -1,0 +1,22 @@
+//! # pv-apps — the §5 application studies
+//!
+//! The paper motivates polyvalues with applications whose "important results
+//! depend only loosely on the values of the data items": electronic funds
+//! transfer / credit authorization ([`FundsApp`]), reservations
+//! ([`ReservationsApp`]), and inventory / process control
+//! ([`InventoryApp`]). Each module provides the item layout, transaction
+//! spec constructors, a workload generator, and the safety invariants the
+//! engine must preserve.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod funds;
+mod inventory;
+mod replication;
+mod reservations;
+
+pub use funds::FundsApp;
+pub use inventory::{InventoryApp, ProductionTraffic};
+pub use replication::Replicated;
+pub use reservations::{Decision, ReservationTraffic, ReservationsApp};

@@ -1,0 +1,253 @@
+//! Replicated items (§3 of the paper).
+//!
+//! "An item that is replicated at several sites can be viewed as a set of
+//! individual items, one for each site." A write-all transaction updates
+//! every copy atomically (the engine's atomicity makes the copies
+//! indistinguishable from one logical item), while reads go to any single
+//! copy — so the failure of one copy's site leaves readers at the others
+//! untouched, and an in-doubt write leaves each copy with the *same*
+//! polyvalue, which collapses identically everywhere on recovery.
+
+use pv_core::{Entry, Expr, ItemId, TransactionSpec, Value};
+use pv_engine::Cluster;
+
+/// A logical item stored as one physical copy per site.
+#[derive(Debug, Clone)]
+pub struct Replicated {
+    copies: Vec<ItemId>,
+}
+
+impl Replicated {
+    /// Declares a replicated item over the given physical copies. The first
+    /// copy is the *primary*: read-modify-write transactions compute the new
+    /// value from it (under 2PL all copies are equal anyway).
+    pub fn new(copies: Vec<ItemId>) -> Self {
+        assert!(
+            !copies.is_empty(),
+            "a replicated item needs at least one copy"
+        );
+        Replicated { copies }
+    }
+
+    /// The physical copies.
+    pub fn copies(&self) -> &[ItemId] {
+        &self.copies
+    }
+
+    /// The primary copy.
+    pub fn primary(&self) -> ItemId {
+        self.copies[0]
+    }
+
+    /// Replication factor.
+    pub fn factor(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// A write-all transaction: every copy takes the value `f(read(primary))`.
+    ///
+    /// The closure builds the update expression from the primary's current
+    /// value, e.g. `|v| v.add(Expr::int(1))` for a replicated counter.
+    pub fn update_all(&self, f: impl FnOnce(Expr) -> Expr) -> TransactionSpec {
+        let new_value = f(Expr::read(self.primary()));
+        let mut spec = TransactionSpec::new();
+        for &copy in &self.copies {
+            spec = spec.update(copy, new_value.clone());
+        }
+        spec
+    }
+
+    /// A guarded write-all: updates apply only if `guard(read(primary))`.
+    pub fn update_all_if(
+        &self,
+        guard: impl FnOnce(Expr) -> Expr,
+        f: impl FnOnce(Expr) -> Expr,
+    ) -> TransactionSpec {
+        self.update_all(f)
+            .guard(guard(Expr::read(self.primary())))
+            .output("granted", Expr::bool(true))
+    }
+
+    /// A read of one specific copy (by index), as a read-only transaction.
+    /// Readers pick the copy whose site is reachable — that choice is the
+    /// whole point of replication.
+    pub fn read_copy(&self, idx: usize) -> TransactionSpec {
+        TransactionSpec::new().output("value", Expr::read(self.copies[idx]))
+    }
+
+    /// An audit transaction reading every copy and reporting whether they
+    /// agree (they always do under the engine's atomicity — polyvalues
+    /// included, since in-doubt write-alls leave the *same* uncertainty on
+    /// every copy).
+    pub fn audit(&self) -> TransactionSpec {
+        let mut agree = Expr::bool(true);
+        for &copy in &self.copies[1..] {
+            agree = agree.and(Expr::read(copy).eq_v(Expr::read(self.primary())));
+        }
+        TransactionSpec::new()
+            .output("consistent", agree)
+            .output("value", Expr::read(self.primary()))
+    }
+
+    /// Fetches every copy's current entry from a settled cluster.
+    pub fn entries(&self, cluster: &Cluster) -> Vec<Entry<Value>> {
+        self.copies
+            .iter()
+            .map(|&c| {
+                cluster
+                    .item_entry(c)
+                    .unwrap_or_else(|| panic!("missing copy {c}"))
+            })
+            .collect()
+    }
+
+    /// Asserts that all copies hold identical entries (valid at any time:
+    /// uncertainty from an in-doubt write-all is itself identical).
+    pub fn assert_copies_agree(&self, cluster: &Cluster) {
+        let entries = self.entries(cluster);
+        for (i, e) in entries.iter().enumerate().skip(1) {
+            assert_eq!(e, &entries[0], "copy {i} diverged: {} vs {}", e, entries[0]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_engine::{
+        ClientConfig, ClusterBuilder, CommitProtocol, Directory, EngineConfig, Msg, Script,
+    };
+    use pv_simnet::{NetConfig, NodeId, SimDuration, SimTime};
+
+    /// Item `i` lives at site `i` (3 sites, one copy each).
+    fn replicated_cluster() -> (Replicated, pv_engine::Cluster) {
+        let rep = Replicated::new(vec![ItemId(0), ItemId(1), ItemId(2)]);
+        let cluster = ClusterBuilder::new(3, Directory::Mod(3))
+            .seed(13)
+            .net(NetConfig::instant())
+            .engine(EngineConfig::with_protocol(CommitProtocol::Polyvalue))
+            .uniform_items(3, 100)
+            .client(
+                ClientConfig {
+                    max_retries: 0,
+                    ..ClientConfig::default()
+                },
+                Box::new(Script::new(vec![], SimDuration::from_millis(1))),
+            )
+            .build();
+        (rep, cluster)
+    }
+
+    #[test]
+    fn constructor_and_accessors() {
+        let rep = Replicated::new(vec![ItemId(5), ItemId(9)]);
+        assert_eq!(rep.primary(), ItemId(5));
+        assert_eq!(rep.factor(), 2);
+        assert_eq!(rep.copies(), &[ItemId(5), ItemId(9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn empty_replication_rejected() {
+        let _ = Replicated::new(vec![]);
+    }
+
+    #[test]
+    fn spec_shapes() {
+        let rep = Replicated::new(vec![ItemId(0), ItemId(1)]);
+        let w = rep.update_all(|v| v.add(Expr::int(1)));
+        assert_eq!(w.write_set().len(), 2);
+        let g = rep.update_all_if(|v| v.gt(Expr::int(0)), |v| v.sub(Expr::int(1)));
+        assert!(g.guard.is_some());
+        assert!(rep.read_copy(1).is_read_only());
+        assert!(rep.audit().is_read_only());
+    }
+
+    #[test]
+    fn write_all_keeps_copies_identical() {
+        let (rep, mut cluster) = replicated_cluster();
+        let spec = rep.update_all(|v| v.add(Expr::int(5)));
+        cluster
+            .world
+            .send_from_env(NodeId(0), Msg::Submit { req_id: 1, spec });
+        cluster.run_until(SimTime::from_secs(1));
+        rep.assert_copies_agree(&cluster);
+        assert_eq!(rep.entries(&cluster)[0], Entry::Simple(Value::Int(105)));
+    }
+
+    #[test]
+    fn in_doubt_write_all_leaves_identical_uncertainty_then_converges() {
+        let (rep, mut cluster) = replicated_cluster();
+        // Write-all coordinated at site 0; cut 0↔1 and 0↔2 right after the
+        // decision so copies 1 and 2 are left in doubt.
+        let spec = rep.update_all(|v| v.add(Expr::int(7)));
+        cluster
+            .world
+            .send_from_env(NodeId(0), Msg::Submit { req_id: 1, spec });
+        let mut guard = 0;
+        while cluster.world.metrics().counter("txn.committed") < 1 {
+            let t = SimTime(cluster.world.now().as_micros() + 1);
+            cluster.run_until(t);
+            guard += 1;
+            assert!(guard < 1_000_000);
+        }
+        let now = cluster.world.now();
+        cluster.world.schedule_partition(now, NodeId(0), NodeId(1));
+        cluster.world.schedule_partition(now, NodeId(0), NodeId(2));
+        cluster.run_until(now + SimDuration::from_secs(1));
+        // Copies 1 and 2 hold the *same* polyvalue; copy 0 already settled.
+        let entries = rep.entries(&cluster);
+        assert_eq!(entries[0], Entry::Simple(Value::Int(107)));
+        assert!(entries[1].is_poly());
+        assert_eq!(entries[1], entries[2], "uncertainty must be identical");
+        // A reader at site 1 can still read its copy (polyvalued), and a
+        // reader needing certainty reads copy 0 at the healthy site.
+        // After healing, everything converges to 107 everywhere.
+        let now = cluster.world.now();
+        cluster.world.schedule_heal(now, NodeId(0), NodeId(1));
+        cluster.world.schedule_heal(now, NodeId(0), NodeId(2));
+        cluster.run_until(now + SimDuration::from_secs(5));
+        rep.assert_copies_agree(&cluster);
+        assert_eq!(rep.entries(&cluster)[0], Entry::Simple(Value::Int(107)));
+        assert_eq!(cluster.total_poly_count(), 0);
+    }
+
+    #[test]
+    fn audit_reports_consistency() {
+        let (rep, mut cluster) = replicated_cluster();
+        cluster.world.send_from_env(
+            NodeId(0),
+            Msg::Submit {
+                req_id: 1,
+                spec: rep.audit(),
+            },
+        );
+        cluster.run_until(SimTime::from_secs(1));
+        // The reply went to the environment, but the commit implies the
+        // audit evaluated; verify directly instead via the evaluator.
+        use pv_core::expr::{evaluate, SplitMode};
+        let mut db = std::collections::BTreeMap::new();
+        for (idx, e) in rep.entries(&cluster).into_iter().enumerate() {
+            db.insert(ItemId(idx as u64), e);
+        }
+        let out = evaluate(&rep.audit(), &db, SplitMode::Lazy).unwrap();
+        let outputs = out.collate_outputs().unwrap();
+        assert_eq!(outputs[0].1, Entry::Simple(Value::Bool(true)));
+    }
+
+    #[test]
+    fn guarded_replicated_counter_never_goes_negative() {
+        let (rep, mut cluster) = replicated_cluster();
+        // 100 initial; 12 guarded decrements of 10 → exactly 10 succeed.
+        for k in 0..12u64 {
+            let spec = rep.update_all_if(|v| v.ge(Expr::int(10)), |v| v.sub(Expr::int(10)));
+            cluster
+                .world
+                .send_from_env(NodeId(0), Msg::Submit { req_id: k, spec });
+            cluster.run_until(cluster.world.now() + SimDuration::from_millis(100));
+        }
+        cluster.run_until(cluster.world.now() + SimDuration::from_secs(1));
+        rep.assert_copies_agree(&cluster);
+        assert_eq!(rep.entries(&cluster)[0], Entry::Simple(Value::Int(0)));
+    }
+}

@@ -1,0 +1,245 @@
+//! A reservations system (§5 of the paper).
+//!
+//! "If the number of reservations granted is a polyvalue, then a new
+//! reservation can be granted so long as the largest value in that polyvalue
+//! is less than the number of available rooms or seats. … All alternative
+//! transactions of such a polytransaction will decide to grant the
+//! reservation."
+//!
+//! Item `f` holds the number of seats already booked on flight `f`; the
+//! reserve transaction's guard `booked < capacity` encodes exactly the
+//! largest-value rule: it is certainly true iff the largest possible booked
+//! count is below capacity.
+
+use pv_core::{Entry, Expr, ItemId, TransactionSpec, Value};
+use pv_engine::{Cluster, ClusterBuilder, Directory, Workload};
+use pv_simnet::{SimDuration, SimRng};
+
+/// How a reservation request was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Granted in every alternative: the customer gets the seat.
+    Granted,
+    /// Denied in every alternative: the flight is certainly full.
+    Denied,
+    /// The answer depends on an in-doubt transaction. Policy decides whether
+    /// to present this to the agent (§3.4) or treat it as a denial.
+    Uncertain,
+}
+
+impl Decision {
+    /// Classifies a collated `granted` output entry.
+    pub fn from_entry(entry: &Entry<Value>) -> Decision {
+        match entry {
+            Entry::Simple(Value::Bool(true)) => Decision::Granted,
+            Entry::Simple(Value::Bool(false)) => Decision::Denied,
+            _ => Decision::Uncertain,
+        }
+    }
+}
+
+/// A reservation system over `flights` flights with uniform seat capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct ReservationsApp {
+    /// Number of flights.
+    pub flights: u64,
+    /// Seats per flight.
+    pub capacity: i64,
+}
+
+impl ReservationsApp {
+    /// Creates the application descriptor.
+    pub fn new(flights: u64, capacity: i64) -> Self {
+        assert!(flights >= 1 && capacity >= 1);
+        ReservationsApp { flights, capacity }
+    }
+
+    /// The item holding flight `f`'s booked count.
+    pub fn flight(&self, f: u64) -> ItemId {
+        assert!(f < self.flights, "no such flight");
+        ItemId(f)
+    }
+
+    /// Seeds a cluster builder with every flight at zero bookings.
+    pub fn seed(&self, builder: ClusterBuilder) -> ClusterBuilder {
+        builder.uniform_items(self.flights, 0)
+    }
+
+    /// A directory spreading flights round-robin over `sites` sites.
+    pub fn directory(sites: u32) -> Directory {
+        Directory::Mod(sites)
+    }
+
+    /// Reserve one seat on flight `f` if any remain.
+    pub fn reserve(&self, f: u64) -> TransactionSpec {
+        let item = self.flight(f);
+        TransactionSpec::new()
+            .guard(Expr::read(item).lt(Expr::int(self.capacity)))
+            .update(item, Expr::read(item).add(Expr::int(1)))
+            .output("granted", Expr::read(item).lt(Expr::int(self.capacity)))
+    }
+
+    /// Cancel one reservation on flight `f` if any exist.
+    pub fn cancel(&self, f: u64) -> TransactionSpec {
+        let item = self.flight(f);
+        TransactionSpec::new()
+            .guard(Expr::read(item).gt(Expr::int(0)))
+            .update(item, Expr::read(item).sub(Expr::int(1)))
+            .output("granted", Expr::read(item).gt(Expr::int(0)))
+    }
+
+    /// Seats remaining on flight `f` (may be uncertain, which "would not
+    /// bother a ticket agent" per §3.4).
+    pub fn seats_left(&self, f: u64) -> TransactionSpec {
+        let item = self.flight(f);
+        TransactionSpec::new().output("left", Expr::int(self.capacity).sub(Expr::read(item)))
+    }
+
+    /// Checks the safety invariant `0 ≤ booked ≤ capacity` on every settled
+    /// flight; panics on violation or residual uncertainty.
+    pub fn assert_no_overbooking(&self, cluster: &Cluster) {
+        for f in 0..self.flights {
+            let entry = cluster
+                .item_entry(self.flight(f))
+                .unwrap_or_else(|| panic!("flight {f} missing"));
+            match entry {
+                Entry::Simple(Value::Int(n)) => {
+                    assert!(
+                        (0..=self.capacity).contains(&n),
+                        "flight {f} booked {n} outside [0, {}]",
+                        self.capacity
+                    );
+                }
+                other => panic!("flight {f} unsettled: {other}"),
+            }
+        }
+    }
+}
+
+/// Random reserve/cancel traffic over the flights.
+#[derive(Debug, Clone)]
+pub struct ReservationTraffic {
+    app: ReservationsApp,
+    rate_per_sec: f64,
+    cancel_prob: f64,
+    remaining: u64,
+}
+
+impl ReservationTraffic {
+    /// `limit` requests at `rate_per_sec`, cancelling with `cancel_prob`.
+    pub fn new(app: ReservationsApp, rate_per_sec: f64, cancel_prob: f64, limit: u64) -> Self {
+        assert!(rate_per_sec > 0.0 && (0.0..=1.0).contains(&cancel_prob));
+        ReservationTraffic {
+            app,
+            rate_per_sec,
+            cancel_prob,
+            remaining: limit,
+        }
+    }
+}
+
+impl Workload for ReservationTraffic {
+    fn next(&mut self, rng: &mut SimRng) -> Option<(TransactionSpec, SimDuration)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let f = rng.below(self.app.flights);
+        let spec = if rng.chance(self.cancel_prob) {
+            self.app.cancel(f)
+        } else {
+            self.app.reserve(f)
+        };
+        let gap = SimDuration::from_secs_f64(rng.exponential(1.0 / self.rate_per_sec));
+        Some((spec, gap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_core::TxnId;
+    use pv_engine::{ClientConfig, CommitProtocol, EngineConfig, Script};
+    use pv_simnet::{NetConfig, SimTime};
+
+    #[test]
+    fn decision_classification() {
+        assert_eq!(
+            Decision::from_entry(&Entry::Simple(Value::Bool(true))),
+            Decision::Granted
+        );
+        assert_eq!(
+            Decision::from_entry(&Entry::Simple(Value::Bool(false))),
+            Decision::Denied
+        );
+        let uncertain = Entry::in_doubt(
+            Entry::Simple(Value::Bool(true)),
+            Entry::Simple(Value::Bool(false)),
+            TxnId(3),
+        );
+        assert_eq!(Decision::from_entry(&uncertain), Decision::Uncertain);
+    }
+
+    #[test]
+    fn reserve_cancel_specs() {
+        let app = ReservationsApp::new(3, 10);
+        let r = app.reserve(1);
+        assert_eq!(r.write_set().len(), 1);
+        assert!(r.guard.is_some());
+        let c = app.cancel(1);
+        assert!(c.guard.is_some());
+        assert!(app.seats_left(2).is_read_only());
+    }
+
+    #[test]
+    #[should_panic(expected = "no such flight")]
+    fn out_of_range_flight_rejected() {
+        ReservationsApp::new(2, 10).flight(5);
+    }
+
+    #[test]
+    fn overbooking_is_impossible_serially() {
+        let app = ReservationsApp::new(1, 3);
+        // Five reservations against three seats: exactly three grants.
+        let specs = vec![app.reserve(0); 5];
+        let builder = ClusterBuilder::new(2, ReservationsApp::directory(2))
+            .seed(3)
+            .net(NetConfig::instant())
+            .engine(EngineConfig::with_protocol(CommitProtocol::Polyvalue));
+        let mut cluster = app
+            .seed(builder)
+            .client(
+                ClientConfig::default(),
+                Box::new(Script::new(specs, SimDuration::from_millis(5))),
+            )
+            .build();
+        cluster.run_until(SimTime::from_secs(3));
+        assert_eq!(
+            cluster.item_entry(ItemId(0)),
+            Some(Entry::Simple(Value::Int(3)))
+        );
+        app.assert_no_overbooking(&cluster);
+        let granted = cluster
+            .client(0)
+            .results()
+            .iter()
+            .filter(|(_, r)| r.fully_granted())
+            .count();
+        assert_eq!(granted, 3);
+        assert_eq!(cluster.world.metrics().counter("txn.denied"), 2);
+    }
+
+    #[test]
+    fn traffic_generator_is_well_formed() {
+        let app = ReservationsApp::new(5, 10);
+        let mut w = ReservationTraffic::new(app, 10.0, 0.3, 50);
+        let mut rng = SimRng::new(1);
+        let mut n = 0;
+        while let Some((spec, gap)) = w.next(&mut rng) {
+            assert_eq!(spec.write_set().len(), 1);
+            assert!(gap > SimDuration::ZERO);
+            n += 1;
+        }
+        assert_eq!(n, 50);
+    }
+}

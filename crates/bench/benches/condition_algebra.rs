@@ -1,0 +1,57 @@
+//! Criterion bench: cost of the condition algebra (Blake canonical form).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_core::{Condition, TxnId};
+
+/// A condition shaped like real polyvalue conditions: a conjunction of `n`
+/// literals with alternating polarity.
+fn chain(n: u64) -> Condition {
+    let mut c = Condition::tru();
+    for v in 0..n {
+        let lit = if v % 2 == 0 {
+            Condition::var(TxnId(v))
+        } else {
+            Condition::not_var(TxnId(v))
+        };
+        c = c.and(&lit);
+    }
+    c
+}
+
+/// A disjunction of `n` single-literal products — the worst common case for
+/// consensus closure.
+fn fan(n: u64) -> Condition {
+    let mut c = Condition::fls();
+    for v in 0..n {
+        c = c.or(&Condition::var(TxnId(v)));
+    }
+    c
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("condition");
+    for n in [2u64, 4, 8] {
+        let a = chain(n);
+        let b = fan(n);
+        group.bench_with_input(BenchmarkId::new("and_chain_fan", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.and(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("or_chain_fan", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.or(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("not_fan", n), &n, |bench, _| {
+            bench.iter(|| black_box(b.not()))
+        });
+        group.bench_with_input(BenchmarkId::new("assign_chain", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.assign(TxnId(0), true)))
+        });
+        group.bench_with_input(BenchmarkId::new("tautology_check", n), &n, |bench, _| {
+            let taut = b.or(&b.not());
+            bench.iter(|| black_box(taut.is_true()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

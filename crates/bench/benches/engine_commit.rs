@@ -1,0 +1,48 @@
+//! Criterion bench: end-to-end engine throughput (simulated cluster, no
+//! failures) — how expensive a distributed commit is per protocol.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_engine::{
+    ClientConfig, ClusterBuilder, CommitProtocol, Directory, EngineConfig, RandomTransfers,
+};
+use pv_simnet::{NetConfig, SimTime};
+
+/// Builds and runs a cluster through `txns` transfers; returns commits (so
+/// the optimiser cannot elide the run).
+fn run_batch(protocol: CommitProtocol, txns: u64, seed: u64) -> u64 {
+    let mut builder = ClusterBuilder::new(4, Directory::Mod(4))
+        .seed(seed)
+        .net(NetConfig::instant())
+        .engine(EngineConfig::with_protocol(protocol))
+        .uniform_items(64, 1_000);
+    builder = builder.client(
+        ClientConfig {
+            record_results: false,
+            ..ClientConfig::default()
+        },
+        Box::new(RandomTransfers::new(64, 10_000.0, 50).with_limit(txns)),
+    );
+    let mut cluster = builder.build();
+    cluster.run_until(SimTime::from_secs(30));
+    cluster.world.metrics().counter("txn.committed")
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_commit");
+    group.sample_size(10);
+    for protocol in [
+        CommitProtocol::Polyvalue,
+        CommitProtocol::Blocking2pc,
+        CommitProtocol::Relaxed { complete_prob: 1.0 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("500_transfers", protocol.label()),
+            &protocol,
+            |b, &p| b.iter(|| black_box(run_batch(p, 500, 42))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

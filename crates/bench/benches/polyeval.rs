@@ -1,0 +1,68 @@
+//! Criterion bench: the polytransaction evaluator, lazy vs. eager.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_core::expr::{evaluate, SplitMode};
+use pv_core::{Entry, Expr, ItemId, TransactionSpec, TxnId, Value};
+use std::collections::BTreeMap;
+
+fn db(total: u64, poly: u64) -> BTreeMap<ItemId, Entry<Value>> {
+    (0..total)
+        .map(|i| {
+            let entry = if i < poly {
+                Entry::in_doubt(
+                    Entry::Simple(Value::Int(i as i64 + 100)),
+                    Entry::Simple(Value::Int(i as i64)),
+                    TxnId(i),
+                )
+            } else {
+                Entry::Simple(Value::Int(i as i64))
+            };
+            (ItemId(i), entry)
+        })
+        .collect()
+}
+
+/// A transfer-shaped spec over the first two items.
+fn transfer_spec() -> TransactionSpec {
+    let (f, t) = (ItemId(0), ItemId(1));
+    TransactionSpec::new()
+        .guard(Expr::read(f).ge(Expr::int(10)))
+        .update(f, Expr::read(f).sub(Expr::int(10)))
+        .update(t, Expr::read(t).add(Expr::int(10)))
+        .output("granted", Expr::read(f).ge(Expr::int(10)))
+}
+
+/// A sum over the first `n` items.
+fn sum_spec(n: u64) -> TransactionSpec {
+    let mut sum = Expr::int(0);
+    for i in 0..n {
+        sum = sum.add(Expr::read(ItemId(i)));
+    }
+    TransactionSpec::new().output("sum", sum)
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polyeval");
+    for poly in [0u64, 1, 2, 4] {
+        let source = db(8, poly);
+        let transfer = transfer_spec();
+        let sum = sum_spec(6);
+        group.bench_with_input(BenchmarkId::new("transfer_lazy", poly), &poly, |b, _| {
+            b.iter(|| black_box(evaluate(&transfer, &source, SplitMode::Lazy).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("transfer_eager", poly), &poly, |b, _| {
+            b.iter(|| black_box(evaluate(&transfer, &source, SplitMode::Eager).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("sum_lazy", poly), &poly, |b, _| {
+            b.iter(|| black_box(evaluate(&sum, &source, SplitMode::Lazy).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("collate_writes", poly), &poly, |b, _| {
+            let out = evaluate(&transfer, &source, SplitMode::Lazy).unwrap();
+            b.iter(|| black_box(out.collate_writes(&source).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

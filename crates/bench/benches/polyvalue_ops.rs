@@ -1,0 +1,52 @@
+//! Criterion bench: polyvalue construction, simplification, and reduction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_core::{Entry, TxnId, Value};
+
+/// Stacks `depth` in-doubt updates (distinct transactions, distinct values):
+/// the worst case where nothing merges.
+fn stacked(depth: u64) -> Entry<Value> {
+    let mut e = Entry::Simple(Value::Int(0));
+    for t in 0..depth {
+        e = Entry::in_doubt(Entry::Simple(Value::Int(t as i64 + 1)), e, TxnId(t));
+    }
+    e
+}
+
+fn bench_poly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polyvalue");
+    for depth in [1u64, 3, 6] {
+        group.bench_with_input(
+            BenchmarkId::new("stack_in_doubt", depth),
+            &depth,
+            |b, &d| b.iter(|| black_box(stacked(d))),
+        );
+        let e = stacked(depth);
+        group.bench_with_input(BenchmarkId::new("assign_outcome", depth), &depth, |b, _| {
+            b.iter(|| black_box(e.assign_outcome(TxnId(0), true)))
+        });
+        group.bench_with_input(BenchmarkId::new("validate", depth), &depth, |b, _| {
+            b.iter(|| black_box(e.validate()))
+        });
+        group.bench_with_input(BenchmarkId::new("deps", depth), &depth, |b, _| {
+            b.iter(|| black_box(e.deps()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("full_resolution", depth),
+            &depth,
+            |b, &d| {
+                b.iter(|| {
+                    let mut x = e.clone();
+                    for t in 0..d {
+                        x = x.assign_outcome(TxnId(t), t % 2 == 0);
+                    }
+                    black_box(x)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_poly);
+criterion_main!(benches);

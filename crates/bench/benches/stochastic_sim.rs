@@ -1,0 +1,46 @@
+//! Criterion bench: throughput of the §4.2 stochastic simulation (events per
+//! second of wall time), sized so a full Table 2 row is cheap to regenerate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_model::ModelParams;
+use pv_stochsim::{SimConfig, Simulation};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stochsim");
+    group.sample_size(10);
+    for (label, params) in [
+        (
+            "u10_d1",
+            ModelParams {
+                u: 10.0,
+                f: 0.01,
+                i: 1e4,
+                r: 0.01,
+                y: 0.0,
+                d: 1.0,
+            },
+        ),
+        (
+            "u10_d5",
+            ModelParams {
+                u: 10.0,
+                f: 0.01,
+                i: 1e4,
+                r: 0.01,
+                y: 0.0,
+                d: 5.0,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("run_400s", label), &params, |b, &p| {
+            b.iter(|| {
+                let cfg = SimConfig::new(p, 7).with_horizon(400.0);
+                black_box(Simulation::new(cfg).run().mean_poly)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Extension experiment: **availability under failures**, per protocol.
+//!
+//! Sweeps the site crash rate and runs the same transfer workload under the
+//! three §2 protocols (polyvalue, blocking 2PC, relaxed). Reports the
+//! fraction of requests committed *promptly* (by the end of the failure
+//! window), lock conflicts, blocking stalls, and — for relaxed — atomicity
+//! violations and whether money was conserved.
+//!
+//! Run with `cargo run -p pv-bench --bin availability [--seed N]`.
+
+use pv_core::ItemId;
+use pv_engine::{
+    ClientConfig, Cluster, ClusterBuilder, CommitProtocol, Directory, EngineConfig, RandomTransfers,
+};
+use pv_simnet::{FailureConfig, FailurePlan, NetConfig, SimRng, SimTime};
+
+const SITES: u32 = 4;
+const ACCOUNTS: u64 = 24;
+const INITIAL: i64 = 1_000;
+const CLIENTS: u32 = 3;
+const PER_CLIENT: u64 = 250;
+const CHAOS_SECS: u64 = 15;
+
+struct Row {
+    protocol: &'static str,
+    crash_rate: f64,
+    prompt_frac: f64,
+    in_doubt: u64,
+    stalls: u64,
+    conflicts: u64,
+    violations: u64,
+    conserved: bool,
+}
+
+fn run(protocol: CommitProtocol, crash_rate: f64, seed: u64) -> Row {
+    let mut builder = ClusterBuilder::new(SITES, Directory::Mod(SITES))
+        .seed(seed)
+        .net(NetConfig::default())
+        .engine(EngineConfig::with_protocol(protocol))
+        .uniform_items(ACCOUNTS, INITIAL);
+    for _ in 0..CLIENTS {
+        builder = builder.client(
+            ClientConfig {
+                record_results: false,
+                ..ClientConfig::default()
+            },
+            Box::new(RandomTransfers::new(ACCOUNTS, 20.0, 50).with_limit(PER_CLIENT)),
+        );
+    }
+    let mut cluster: Cluster = builder.build();
+    let plan = FailurePlan::poisson(
+        FailureConfig {
+            crash_rate_per_sec: crash_rate,
+            mean_downtime_secs: 0.8,
+            horizon: SimTime::from_secs(CHAOS_SECS),
+        },
+        SITES,
+        &mut SimRng::new(seed ^ 0xC4A5),
+    );
+    plan.apply(&mut cluster.world);
+    // Link partitions at the same intensity: both endpoints stay alive, but
+    // cross-site commits through the cut link are left in doubt — the case
+    // the polyvalue mechanism is built for.
+    let mut prng = SimRng::new(seed ^ 0x9A27);
+    if crash_rate > 0.0 {
+        let mut t = 0.0f64;
+        loop {
+            t += prng.exponential(1.0 / (crash_rate * f64::from(SITES)));
+            if t >= CHAOS_SECS as f64 {
+                break;
+            }
+            let a = prng.below(u64::from(SITES)) as u32;
+            let mut b = prng.below(u64::from(SITES)) as u32;
+            if a == b {
+                b = (b + 1) % SITES;
+            }
+            let start = SimTime::from_millis((t * 1000.0) as u64);
+            let dur = prng.exponential(0.8).max(0.05);
+            let end = start + pv_simnet::SimDuration::from_secs_f64(dur);
+            cluster
+                .world
+                .schedule_partition(start, pv_simnet::NodeId(a), pv_simnet::NodeId(b));
+            cluster
+                .world
+                .schedule_heal(end, pv_simnet::NodeId(a), pv_simnet::NodeId(b));
+        }
+    }
+    cluster.run_until(SimTime::from_secs(CHAOS_SECS));
+    let prompt = cluster.world.metrics().counter("client.committed");
+    cluster.run_until(SimTime::from_secs(CHAOS_SECS + 25));
+    let m = cluster.world.metrics();
+    let conserved = cluster.total_poly_count() == 0
+        && cluster.sum_items((0..ACCOUNTS).map(ItemId)) == ACCOUNTS as i64 * INITIAL;
+    Row {
+        protocol: protocol.label(),
+        crash_rate,
+        prompt_frac: prompt as f64 / (CLIENTS as u64 * PER_CLIENT) as f64,
+        in_doubt: m.counter("txn.in_doubt"),
+        stalls: m.counter("blocking.stalls"),
+        conflicts: m.counter("lock.conflicts"),
+        violations: m.counter("relaxed.violations"),
+        conserved,
+    }
+}
+
+fn main() {
+    let seed = pv_bench::seed_from_args(1979);
+    println!("Availability under failures: {CLIENTS} clients x {PER_CLIENT} transfers,");
+    println!("{SITES} sites, {ACCOUNTS} accounts, {CHAOS_SECS}s failure window, seed {seed}.");
+    println!("'prompt' = fraction of requests committed within the failure window.");
+    println!();
+    println!(
+        "{:<13} {:>11} {:>8} {:>9} {:>8} {:>10} {:>11} {:>10}",
+        "protocol",
+        "crash/s",
+        "prompt",
+        "in-doubt",
+        "stalls",
+        "conflicts",
+        "violations",
+        "conserved"
+    );
+    for &crash_rate in &[0.0, 0.1, 0.2, 0.4] {
+        for protocol in [
+            CommitProtocol::Polyvalue,
+            CommitProtocol::Blocking2pc,
+            CommitProtocol::Relaxed { complete_prob: 0.5 },
+        ] {
+            let row = run(protocol, crash_rate, seed);
+            println!(
+                "{:<13} {:>11.2} {:>7.1}% {:>9} {:>8} {:>10} {:>11} {:>10}",
+                row.protocol,
+                row.crash_rate,
+                row.prompt_frac * 100.0,
+                row.in_doubt,
+                row.stalls,
+                row.conflicts,
+                row.violations,
+                if row.conserved { "yes" } else { "NO" },
+            );
+        }
+        println!();
+    }
+    println!("Expected shape: prompt fraction degrades fastest for blocking-2pc as the");
+    println!("crash rate rises; polyvalue keeps processing (in-doubt > 0, conserved);");
+    println!("relaxed stays available but may print conserved = NO with violations > 0.");
+}

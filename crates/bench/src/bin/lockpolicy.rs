@@ -1,0 +1,91 @@
+//! Extension experiment: **lock-conflict policy ablation** — no-wait vs.
+//! wound-wait under increasing contention.
+//!
+//! The paper assumes *some* serializability mechanism under the polyvalue
+//! protocol; this experiment shows the engine is a real transaction engine
+//! by comparing the two classic no-deadlock policies on the same workload:
+//! client-visible retries, commits within the run, queueing/wounding
+//! activity, and conservation.
+//!
+//! Run with `cargo run -p pv-bench --bin lockpolicy [--seed N]`.
+
+use pv_core::ItemId;
+use pv_engine::{
+    ClientConfig, ClusterBuilder, CommitProtocol, Directory, EngineConfig, LockPolicy,
+    RandomTransfers,
+};
+use pv_simnet::{NetConfig, SimTime};
+
+const SITES: u32 = 3;
+const INITIAL: i64 = 1_000;
+
+fn run(policy: LockPolicy, accounts: u64, seed: u64) -> (u64, u64, u64, u64, u64, bool) {
+    let mut builder = ClusterBuilder::new(SITES, Directory::Mod(SITES))
+        .seed(seed)
+        .net(NetConfig::default())
+        .engine(EngineConfig {
+            lock_policy: policy,
+            ..EngineConfig::with_protocol(CommitProtocol::Polyvalue)
+        })
+        .uniform_items(accounts, INITIAL);
+    for _ in 0..3 {
+        builder = builder.client(
+            ClientConfig {
+                record_results: false,
+                ..ClientConfig::default()
+            },
+            Box::new(RandomTransfers::new(accounts, 30.0, 50).with_limit(250)),
+        );
+    }
+    let mut cluster = builder.build();
+    cluster.run_until(SimTime::from_secs(40));
+    let m = cluster.world.metrics();
+    let conserved = cluster.sum_items((0..accounts).map(ItemId)) == accounts as i64 * INITIAL;
+    (
+        m.counter("client.committed"),
+        m.counter("client.retries"),
+        m.counter("lock.conflicts"),
+        m.counter("lock.queue_served"),
+        m.counter("lock.wounds"),
+        conserved,
+    )
+}
+
+fn main() {
+    let seed = pv_bench::seed_from_args(1979);
+    println!("Lock policy ablation: 3 clients x 250 transfers over N hot accounts");
+    println!("(3 sites, no failures, seed {seed})");
+    println!();
+    println!(
+        "{:>9} {:<11} {:>9} {:>8} {:>10} {:>12} {:>7} {:>10}",
+        "accounts",
+        "policy",
+        "commits",
+        "retries",
+        "conflicts",
+        "queue-served",
+        "wounds",
+        "conserved"
+    );
+    for accounts in [4u64, 8, 16, 48] {
+        for policy in [LockPolicy::NoWait, LockPolicy::WoundWait] {
+            let (commits, retries, conflicts, served, wounds, conserved) =
+                run(policy, accounts, seed);
+            println!(
+                "{:>9} {:<11} {:>9} {:>8} {:>10} {:>12} {:>7} {:>10}",
+                accounts,
+                policy.label(),
+                commits,
+                retries,
+                conflicts,
+                served,
+                wounds,
+                if conserved { "yes" } else { "NO" },
+            );
+        }
+        println!();
+    }
+    println!("Expected shape: as accounts shrink (contention rises), no-wait burns");
+    println!("retries on client-visible aborts while wound-wait absorbs conflicts in");
+    println!("its queue; both always conserve money exactly.");
+}

@@ -1,0 +1,14 @@
+//! Regenerates **Table 2** of the paper: the §4.2 stochastic simulation
+//! versus the model prediction, for the paper's six parameter sets.
+//!
+//! Run with `cargo run -p pv-bench --bin table2 [--seed N]`. Each row
+//! simulates 4,000 virtual seconds; expect a few seconds of wall time.
+
+fn main() {
+    let seed = pv_bench::seed_from_args(1979);
+    print!("{}", pv_stochsim::table2::render(seed));
+    println!();
+    println!("'Pred P' is the closed form; 'Paper actual' is the paper's measured");
+    println!("column; 'Ours' is this implementation's stable-period mean (seed {seed}).");
+    println!("See EXPERIMENTS.md for the shape comparison notes.");
+}

@@ -1,0 +1,52 @@
+//! Extension experiment: **transient decay** of a polyvalue burst versus the
+//! §4.1 model's exponential solution — the paper's stability claim ("a
+//! serious failure … does not cause the number of polyvalues to grow without
+//! limit").
+//!
+//! Injects a 200-polyvalue burst into the §4.2 simulation and prints the
+//! measured census next to the model's `P(t) = P∞ + (P₀ − P∞)e^(−λt)`.
+//!
+//! Run with `cargo run -p pv-bench --bin transient [--seed N]`.
+
+use pv_model::{decay_rate, population_at, steady_state, ModelParams, Prediction};
+use pv_stochsim::{SimConfig, Simulation};
+
+fn main() {
+    let seed = pv_bench::seed_from_args(1979);
+    let params = ModelParams {
+        u: 10.0,
+        f: 0.01,
+        i: 1e4,
+        r: 0.02,
+        y: 0.0,
+        d: 1.0,
+    };
+    let burst = 200u64;
+    let horizon = 400.0;
+    let pinf = match steady_state(&params) {
+        Prediction::Stable(p) => p,
+        Prediction::Unstable => unreachable!("chosen parameters are stable"),
+    };
+    println!("Transient decay of a {burst}-polyvalue burst ({params}, seed {seed})");
+    println!(
+        "steady state P = {pinf:.2}, decay rate lambda = {:.4}/s",
+        decay_rate(&params)
+    );
+    println!();
+
+    let mut sim = Simulation::new(SimConfig::new(params, seed).with_horizon(horizon));
+    sim.inject_burst(burst);
+    let result = sim.run();
+
+    println!("{:>8} {:>12} {:>12}", "t (s)", "model P(t)", "measured P");
+    for &(t, p) in result.samples.iter().step_by(4) {
+        let model = population_at(&params, burst as f64, t);
+        println!("{t:>8.0} {model:>12.2} {p:>12}");
+    }
+    println!();
+    println!("Expected shape: both columns decay from {burst} toward ~{pinf:.1} with");
+    println!(
+        "time constant ~{:.0}s, never diverging.",
+        1.0 / decay_rate(&params)
+    );
+}

@@ -1,0 +1,105 @@
+//! Literals: a transaction identifier or its negation.
+
+use crate::txn::TxnId;
+use std::fmt;
+
+/// A literal in a condition: a transaction variable, possibly negated.
+///
+/// A positive literal `T` is true if transaction `T` completed; a negative
+/// literal `¬T` is true if it aborted.
+///
+/// # Examples
+///
+/// ```
+/// use pv_core::cond::Literal;
+/// use pv_core::txn::TxnId;
+///
+/// let pos = Literal::positive(TxnId(1));
+/// let neg = pos.negated();
+/// assert_eq!(neg, Literal::negative(TxnId(1)));
+/// assert!(pos.is_positive());
+/// assert!(!neg.is_positive());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal {
+    txn: TxnId,
+    positive: bool,
+}
+
+impl Literal {
+    /// A positive literal: true iff `txn` completed.
+    pub fn positive(txn: TxnId) -> Self {
+        Literal {
+            txn,
+            positive: true,
+        }
+    }
+
+    /// A negative literal: true iff `txn` aborted.
+    pub fn negative(txn: TxnId) -> Self {
+        Literal {
+            txn,
+            positive: false,
+        }
+    }
+
+    /// The transaction variable of this literal.
+    pub fn txn(self) -> TxnId {
+        self.txn
+    }
+
+    /// Whether the literal is positive (un-negated).
+    pub fn is_positive(self) -> bool {
+        self.positive
+    }
+
+    /// The complementary literal over the same variable.
+    pub fn negated(self) -> Self {
+        Literal {
+            txn: self.txn,
+            positive: !self.positive,
+        }
+    }
+
+    /// Evaluates the literal under a truth assignment for its variable.
+    pub fn eval(self, txn_completed: bool) -> bool {
+        self.positive == txn_completed
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.txn)
+        } else {
+            write!(f, "¬{}", self.txn)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_is_involutive() {
+        let l = Literal::positive(TxnId(3));
+        assert_eq!(l.negated().negated(), l);
+    }
+
+    #[test]
+    fn eval_matches_polarity() {
+        let p = Literal::positive(TxnId(1));
+        let n = Literal::negative(TxnId(1));
+        assert!(p.eval(true));
+        assert!(!p.eval(false));
+        assert!(!n.eval(true));
+        assert!(n.eval(false));
+    }
+
+    #[test]
+    fn display_uses_negation_sign() {
+        assert_eq!(Literal::positive(TxnId(5)).to_string(), "T5");
+        assert_eq!(Literal::negative(TxnId(5)).to_string(), "¬T5");
+    }
+}

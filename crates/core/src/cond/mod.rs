@@ -1,0 +1,22 @@
+//! Boolean condition algebra over transaction identifiers.
+//!
+//! The conditions attached to polyvalue pairs (§3 of the paper) are
+//! predicates whose variables stand for transactions: a variable is true if
+//! the transaction completed and false if it aborted. This module provides
+//! the algebra the polyvalue mechanism needs:
+//!
+//! * [`Literal`] — a transaction variable or its negation,
+//! * [`Product`] — a contradiction-free conjunction of literals,
+//! * [`Condition`] — a canonical sum-of-products predicate supporting
+//!   conjunction, disjunction, negation, outcome substitution, and the
+//!   completeness/disjointness checks that form the polyvalue invariant.
+
+mod dnf;
+mod literal;
+mod parse;
+mod product;
+
+pub use dnf::Condition;
+pub use literal::Literal;
+pub use parse::{parse_condition, ParseError};
+pub use product::Product;

@@ -1,0 +1,236 @@
+//! Parsing conditions from text.
+//!
+//! The grammar accepts both the ASCII operators (`!`, `&`, `|`) and the
+//! Unicode ones this crate's `Display` produces (`¬`, `∧`, `∨`), so any
+//! rendered condition parses back to an equal value:
+//!
+//! ```text
+//! cond   := term ( ('|' | '∨') term )*
+//! term   := factor ( ('&' | '∧') factor )*
+//! factor := ('!' | '¬') factor | '(' cond ')' | 'true' | 'false' | 'T' digits
+//! ```
+
+use super::dnf::Condition;
+use crate::txn::TxnId;
+use std::fmt;
+
+/// A parse failure, with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    /// Consumes one of the given literal alternatives, if present.
+    fn eat(&mut self, alternatives: &[&str]) -> bool {
+        self.skip_ws();
+        for alt in alternatives {
+            if self.rest().starts_with(alt) {
+                self.pos += alt.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn parse_cond(&mut self) -> Result<Condition, ParseError> {
+        let mut acc = self.parse_term()?;
+        while self.eat(&["∨", "|"]) {
+            let rhs = self.parse_term()?;
+            acc = acc.or(&rhs);
+        }
+        Ok(acc)
+    }
+
+    fn parse_term(&mut self) -> Result<Condition, ParseError> {
+        let mut acc = self.parse_factor()?;
+        while self.eat(&["∧", "&"]) {
+            let rhs = self.parse_factor()?;
+            acc = acc.and(&rhs);
+        }
+        Ok(acc)
+    }
+
+    fn parse_factor(&mut self) -> Result<Condition, ParseError> {
+        if self.eat(&["¬", "!"]) {
+            return Ok(self.parse_factor()?.not());
+        }
+        if self.eat(&["("]) {
+            let inner = self.parse_cond()?;
+            if !self.eat(&[")"]) {
+                return Err(self.error("expected ')'"));
+            }
+            return Ok(inner);
+        }
+        if self.eat(&["true"]) {
+            return Ok(Condition::tru());
+        }
+        if self.eat(&["false"]) {
+            return Ok(Condition::fls());
+        }
+        if self.eat(&["T"]) {
+            let digits: String = self
+                .rest()
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            if digits.is_empty() {
+                return Err(self.error("expected digits after 'T'"));
+            }
+            self.pos += digits.len();
+            let raw: u64 = digits
+                .parse()
+                .map_err(|_| self.error("transaction id out of range"))?;
+            return Ok(Condition::var(TxnId(raw)));
+        }
+        Err(self.error("expected '!', '(', 'true', 'false', or a transaction id"))
+    }
+}
+
+/// Parses a condition; the entire input must be consumed.
+pub fn parse_condition(input: &str) -> Result<Condition, ParseError> {
+    let mut p = Parser::new(input);
+    let cond = p.parse_cond()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.error("trailing input"));
+    }
+    Ok(cond)
+}
+
+impl std::str::FromStr for Condition {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_condition(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Condition {
+        parse_condition(s).unwrap()
+    }
+
+    #[test]
+    fn atoms() {
+        assert_eq!(p("true"), Condition::tru());
+        assert_eq!(p("false"), Condition::fls());
+        assert_eq!(p("T7"), Condition::var(TxnId(7)));
+        assert_eq!(p("!T7"), Condition::not_var(TxnId(7)));
+        assert_eq!(p("¬T7"), Condition::not_var(TxnId(7)));
+        assert_eq!(p("  T7  "), Condition::var(TxnId(7)));
+    }
+
+    #[test]
+    fn operators_ascii_and_unicode_agree() {
+        assert_eq!(p("T1 & T2"), p("T1 ∧ T2"));
+        assert_eq!(p("T1 | T2"), p("T1 ∨ T2"));
+        assert_eq!(p("!T1"), p("¬T1"));
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        // T1 | T2 & T3 == T1 | (T2 & T3).
+        assert_eq!(p("T1 | T2 & T3"), p("T1 | (T2 & T3)"));
+        assert_ne!(p("T1 | T2 & T3"), p("(T1 | T2) & T3"));
+    }
+
+    #[test]
+    fn parentheses_and_nesting() {
+        let c = p("T1 & (T2 | T3)");
+        assert_eq!(
+            c,
+            Condition::var(TxnId(1)).and(&Condition::var(TxnId(2)).or(&Condition::var(TxnId(3))))
+        );
+        assert_eq!(p("!(T1 & T2)"), p("!T1 | !T2"));
+        assert_eq!(p("((T1))"), p("T1"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for c in [
+            Condition::tru(),
+            Condition::fls(),
+            Condition::var(TxnId(3)),
+            Condition::not_var(TxnId(3)),
+            Condition::var(TxnId(1)).and(&Condition::var(TxnId(2))),
+            Condition::var(TxnId(1))
+                .and(&Condition::var(TxnId(2)))
+                .or(&Condition::not_var(TxnId(3))),
+        ] {
+            let rendered = c.to_string();
+            assert_eq!(p(&rendered), c, "round-trip failed for {rendered}");
+        }
+    }
+
+    #[test]
+    fn from_str_works() {
+        let c: Condition = "T1 & !T2".parse().unwrap();
+        assert_eq!(
+            c,
+            Condition::var(TxnId(1)).and(&Condition::not_var(TxnId(2)))
+        );
+        assert!("T1 &".parse::<Condition>().is_err());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse_condition("T1 & ?").unwrap_err();
+        assert_eq!(e.at, 5);
+        assert!(e.to_string().contains("byte 5"));
+        let e = parse_condition("(T1").unwrap_err();
+        assert!(e.message.contains("')'"));
+        let e = parse_condition("T").unwrap_err();
+        assert!(e.message.contains("digits"));
+        let e = parse_condition("T1 T2").unwrap_err();
+        assert!(e.message.contains("trailing"));
+        let e = parse_condition("T99999999999999999999999").unwrap_err();
+        assert!(e.message.contains("out of range"));
+        assert!(parse_condition("").is_err());
+    }
+
+    #[test]
+    fn double_negation_parses() {
+        assert_eq!(p("!!T1"), p("T1"));
+        assert_eq!(p("¬¬¬T1"), p("!T1"));
+    }
+}

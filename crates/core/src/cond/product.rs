@@ -1,0 +1,282 @@
+//! Products: conjunctions of literals over distinct transaction variables.
+
+use super::literal::Literal;
+use crate::txn::TxnId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A conjunction of literals, each over a distinct transaction variable.
+///
+/// A product is the "term" of a sum-of-products (disjunctive normal form)
+/// condition. The empty product is the constant `true`. A product can never
+/// contain both a variable and its negation: conjunction with a complementary
+/// literal yields `None` (the constant `false`), so contradictory products are
+/// unrepresentable.
+///
+/// # Examples
+///
+/// ```
+/// use pv_core::cond::{Literal, Product};
+/// use pv_core::txn::TxnId;
+///
+/// let t1 = Literal::positive(TxnId(1));
+/// let not_t2 = Literal::negative(TxnId(2));
+/// let p = Product::from_literals([t1, not_t2]).unwrap();
+/// assert_eq!(p.len(), 2);
+/// // Conjoining with ¬T1 contradicts T1:
+/// assert!(p.and_literal(t1.negated()).is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Product {
+    /// Map from variable to polarity (`true` = positive literal).
+    literals: BTreeMap<TxnId, bool>,
+}
+
+impl Product {
+    /// The empty product, the constant `true`.
+    pub fn top() -> Self {
+        Product::default()
+    }
+
+    /// A product consisting of a single literal.
+    pub fn unit(lit: Literal) -> Self {
+        let mut literals = BTreeMap::new();
+        literals.insert(lit.txn(), lit.is_positive());
+        Product { literals }
+    }
+
+    /// Builds a product from literals; `None` if any pair is contradictory.
+    pub fn from_literals<I: IntoIterator<Item = Literal>>(lits: I) -> Option<Self> {
+        let mut p = Product::top();
+        for lit in lits {
+            p = p.and_literal(lit)?;
+        }
+        Some(p)
+    }
+
+    /// Number of literals in the product.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Whether this is the empty product (the constant `true`).
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// Iterates over the literals in variable order.
+    pub fn literals(&self) -> impl Iterator<Item = Literal> + '_ {
+        self.literals.iter().map(|(&txn, &pos)| {
+            if pos {
+                Literal::positive(txn)
+            } else {
+                Literal::negative(txn)
+            }
+        })
+    }
+
+    /// The polarity of `txn` in this product, if present.
+    pub fn polarity_of(&self, txn: TxnId) -> Option<bool> {
+        self.literals.get(&txn).copied()
+    }
+
+    /// Conjoins a literal; `None` if the result is contradictory.
+    pub fn and_literal(&self, lit: Literal) -> Option<Self> {
+        match self.literals.get(&lit.txn()) {
+            Some(&pos) if pos != lit.is_positive() => None,
+            Some(_) => Some(self.clone()),
+            None => {
+                let mut next = self.clone();
+                next.literals.insert(lit.txn(), lit.is_positive());
+                Some(next)
+            }
+        }
+    }
+
+    /// Conjoins two products; `None` if the result is contradictory.
+    pub fn and(&self, other: &Product) -> Option<Self> {
+        // Iterate over the smaller product for efficiency.
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = large.clone();
+        for (&txn, &pos) in &small.literals {
+            match out.literals.get(&txn) {
+                Some(&existing) if existing != pos => return None,
+                Some(_) => {}
+                None => {
+                    out.literals.insert(txn, pos);
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Whether this product subsumes `other`: every literal of `self` appears
+    /// in `other`, so `other` implies `self` and `self ∨ other = self`.
+    pub fn subsumes(&self, other: &Product) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        self.literals
+            .iter()
+            .all(|(txn, pos)| other.literals.get(txn) == Some(pos))
+    }
+
+    /// Evaluates the product under a complete truth assignment.
+    ///
+    /// Variables missing from `assignment` are treated as `false` (aborted).
+    pub fn eval(&self, assignment: &BTreeMap<TxnId, bool>) -> bool {
+        self.literals
+            .iter()
+            .all(|(txn, &pos)| assignment.get(txn).copied().unwrap_or(false) == pos)
+    }
+
+    /// Substitutes a truth value for `txn`.
+    ///
+    /// Returns `Some(product)` with the literal removed if the substitution is
+    /// consistent, or `None` if it falsifies the product.
+    pub fn assign(&self, txn: TxnId, value: bool) -> Option<Self> {
+        match self.literals.get(&txn) {
+            None => Some(self.clone()),
+            Some(&pos) if pos == value => {
+                let mut next = self.clone();
+                next.literals.remove(&txn);
+                Some(next)
+            }
+            Some(_) => None,
+        }
+    }
+
+    /// The set of variables mentioned by the product, in order.
+    pub fn vars(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.literals.keys().copied()
+    }
+
+    /// The consensus of two products, if defined.
+    ///
+    /// When the products clash on *exactly one* variable `x` (one contains
+    /// `x`, the other `¬x`), the consensus is the conjunction of all their
+    /// other literals: `p ∨ q` implies it. Iterated consensus plus absorption
+    /// yields the Blake canonical form (the set of all prime implicants),
+    /// which [`super::Condition`] uses as its unique normal form.
+    pub fn consensus(&self, other: &Product) -> Option<Product> {
+        let mut clash: Option<TxnId> = None;
+        for (txn, pos) in &self.literals {
+            if let Some(&opos) = other.literals.get(txn) {
+                if opos != *pos {
+                    if clash.is_some() {
+                        return None;
+                    }
+                    clash = Some(*txn);
+                }
+            }
+        }
+        let clash = clash?;
+        let mut literals = self.literals.clone();
+        literals.remove(&clash);
+        for (&txn, &pos) in &other.literals {
+            if txn != clash {
+                literals.insert(txn, pos);
+            }
+        }
+        Some(Product { literals })
+    }
+}
+
+impl fmt::Display for Product {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "true");
+        }
+        let mut first = true;
+        for lit in self.literals() {
+            if !first {
+                write!(f, "∧")?;
+            }
+            write!(f, "{lit}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(n: u64) -> Literal {
+        Literal::positive(TxnId(n))
+    }
+
+    fn neg(n: u64) -> Literal {
+        Literal::negative(TxnId(n))
+    }
+
+    #[test]
+    fn top_is_empty_and_true() {
+        let t = Product::top();
+        assert!(t.is_empty());
+        assert!(t.eval(&BTreeMap::new()));
+        assert_eq!(t.to_string(), "true");
+    }
+
+    #[test]
+    fn contradiction_is_unrepresentable() {
+        assert!(Product::from_literals([pos(1), neg(1)]).is_none());
+        let p = Product::unit(pos(1));
+        assert!(p.and_literal(neg(1)).is_none());
+    }
+
+    #[test]
+    fn duplicate_literal_is_idempotent() {
+        let p = Product::from_literals([pos(1), pos(1)]).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn and_merges_and_detects_conflict() {
+        let a = Product::from_literals([pos(1), neg(2)]).unwrap();
+        let b = Product::from_literals([pos(3)]).unwrap();
+        let ab = a.and(&b).unwrap();
+        assert_eq!(ab.len(), 3);
+        let c = Product::from_literals([pos(2)]).unwrap();
+        assert!(a.and(&c).is_none());
+    }
+
+    #[test]
+    fn subsumption() {
+        let small = Product::from_literals([pos(1)]).unwrap();
+        let large = Product::from_literals([pos(1), neg(2)]).unwrap();
+        assert!(small.subsumes(&large));
+        assert!(!large.subsumes(&small));
+        assert!(small.subsumes(&small));
+        assert!(Product::top().subsumes(&large));
+    }
+
+    #[test]
+    fn eval_with_missing_vars_defaults_to_aborted() {
+        let p = Product::from_literals([neg(1)]).unwrap();
+        assert!(p.eval(&BTreeMap::new()));
+        let q = Product::from_literals([pos(1)]).unwrap();
+        assert!(!q.eval(&BTreeMap::new()));
+    }
+
+    #[test]
+    fn assign_removes_or_falsifies() {
+        let p = Product::from_literals([pos(1), neg(2)]).unwrap();
+        let after = p.assign(TxnId(1), true).unwrap();
+        assert_eq!(after.len(), 1);
+        assert!(p.assign(TxnId(1), false).is_none());
+        // Assigning an absent variable is a no-op.
+        assert_eq!(p.assign(TxnId(9), true).unwrap(), p);
+    }
+
+    #[test]
+    fn display_orders_by_variable() {
+        let p = Product::from_literals([neg(2), pos(1)]).unwrap();
+        assert_eq!(p.to_string(), "T1∧¬T2");
+    }
+}

@@ -1,0 +1,351 @@
+//! Database entries: a simple value or a polyvalue.
+
+use crate::cond::Condition;
+use crate::poly::{PolyError, Polyvalue};
+use crate::txn::TxnId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The current content of a database item: either an exact (*simple*) value
+/// or a [`Polyvalue`] describing the possible values under the outcomes of
+/// in-doubt transactions.
+///
+/// All polyvalue construction funnels through [`Entry::assemble`], which
+/// applies the paper's three simplification rules (§3.1):
+///
+/// 1. **flatten** nested polyvalues into pairs with conjoined conditions,
+/// 2. **merge** pairs with equal values by disjoining their conditions,
+/// 3. **drop** pairs whose condition reduces to `false`,
+///
+/// and collapses a single surviving pair into `Entry::Simple`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry<V> {
+    /// An exact value: the item's value is known.
+    Simple(V),
+    /// Several possible values, conditioned on transaction outcomes.
+    Poly(Polyvalue<V>),
+}
+
+impl<V: Clone + Eq> Entry<V> {
+    /// Assembles an entry from `(entry, condition)` alternatives.
+    ///
+    /// The input conditions must be complete and disjoint *as a family*
+    /// (guaranteed by the polytransaction partitioning rules of §3.2 and by
+    /// the in-doubt constructor); this is re-checked and an error returned if
+    /// violated. Nested polyvalues in the input entries are flattened.
+    pub fn assemble(alternatives: Vec<(Entry<V>, Condition)>) -> Result<Entry<V>, PolyError> {
+        // Rule 1: flatten nesting.
+        let mut flat: Vec<(V, Condition)> = Vec::with_capacity(alternatives.len());
+        for (entry, cond) in alternatives {
+            match entry {
+                Entry::Simple(v) => flat.push((v, cond)),
+                Entry::Poly(p) => {
+                    for (v, inner) in p.pairs() {
+                        flat.push((v.clone(), cond.and(inner)));
+                    }
+                }
+            }
+        }
+        // Rule 3: drop unsatisfiable pairs (conditions are canonical
+        // sum-of-products, so falsity is syntactic).
+        flat.retain(|(_, c)| !c.is_false());
+        // Rule 2: merge pairs with equal values.
+        let mut merged: Vec<(V, Condition)> = Vec::with_capacity(flat.len());
+        for (v, c) in flat {
+            match merged.iter_mut().find(|(mv, _)| *mv == v) {
+                Some((_, mc)) => *mc = mc.or(&c),
+                None => merged.push((v, c)),
+            }
+        }
+        // Canonical pair order: sort by condition (conditions are themselves
+        // canonical), so structurally equal entries are `==`.
+        merged.sort_by(|(_, a), (_, b)| a.cmp(b));
+        match merged.len() {
+            0 => Err(PolyError::Empty),
+            1 => {
+                let (v, c) = merged.into_iter().next().expect("one pair");
+                if c.is_true() {
+                    Ok(Entry::Simple(v))
+                } else {
+                    Err(PolyError::NotComplete)
+                }
+            }
+            _ => {
+                let p = Polyvalue::from_invariant_pairs(merged);
+                p.validate()?;
+                Ok(Entry::Poly(p))
+            }
+        }
+    }
+
+    /// Builds the in-doubt entry of §3.1: `{⟨new, T⟩, ⟨old, ¬T⟩}`.
+    ///
+    /// `new` is the value computed by the delayed transaction `txn` and `old`
+    /// the previous entry. Either may itself be a polyvalue; nesting is
+    /// flattened. If new and old turn out equal the result is simple.
+    pub fn in_doubt(new: Entry<V>, old: Entry<V>, txn: TxnId) -> Entry<V> {
+        Entry::assemble(vec![
+            (new, Condition::var(txn)),
+            (old, Condition::not_var(txn)),
+        ])
+        .expect("{T, ¬T} is complete and disjoint")
+    }
+
+    /// Whether this entry is an exact value.
+    pub fn is_simple(&self) -> bool {
+        matches!(self, Entry::Simple(_))
+    }
+
+    /// Whether this entry is a polyvalue.
+    pub fn is_poly(&self) -> bool {
+        matches!(self, Entry::Poly(_))
+    }
+
+    /// The exact value, if simple.
+    pub fn as_simple(&self) -> Option<&V> {
+        match self {
+            Entry::Simple(v) => Some(v),
+            Entry::Poly(_) => None,
+        }
+    }
+
+    /// The polyvalue, if uncertain.
+    pub fn as_poly(&self) -> Option<&Polyvalue<V>> {
+        match self {
+            Entry::Simple(_) => None,
+            Entry::Poly(p) => Some(p),
+        }
+    }
+
+    /// The `(value, condition)` alternatives of this entry; a simple value is
+    /// a single alternative under `true`.
+    pub fn alternatives(&self) -> Vec<(V, Condition)> {
+        match self {
+            Entry::Simple(v) => vec![(v.clone(), Condition::tru())],
+            Entry::Poly(p) => p.pairs().to_vec(),
+        }
+    }
+
+    /// Number of alternatives (1 for a simple value).
+    pub fn pair_count(&self) -> usize {
+        match self {
+            Entry::Simple(_) => 1,
+            Entry::Poly(p) => p.len(),
+        }
+    }
+
+    /// Transactions whose outcomes this entry depends on (empty if simple).
+    pub fn deps(&self) -> BTreeSet<TxnId> {
+        match self {
+            Entry::Simple(_) => BTreeSet::new(),
+            Entry::Poly(p) => p.deps(),
+        }
+    }
+
+    /// Substitutes a known outcome, possibly collapsing to a simple value.
+    pub fn assign_outcome(&self, txn: TxnId, completed: bool) -> Entry<V> {
+        match self {
+            Entry::Simple(_) => self.clone(),
+            Entry::Poly(p) => p.assign_outcome(txn, completed),
+        }
+    }
+
+    /// Substitutes several outcomes at once.
+    pub fn assign_outcomes<I: IntoIterator<Item = (TxnId, bool)>>(&self, outcomes: I) -> Entry<V> {
+        let mut e = self.clone();
+        for (txn, completed) in outcomes {
+            e = e.assign_outcome(txn, completed);
+        }
+        e
+    }
+
+    /// The value selected by a complete outcome assignment.
+    pub fn resolve(&self, assignment: &BTreeMap<TxnId, bool>) -> Option<&V> {
+        match self {
+            Entry::Simple(v) => Some(v),
+            Entry::Poly(p) => p.resolve(assignment),
+        }
+    }
+
+    /// Applies `f` to every alternative, preserving conditions.
+    pub fn map<W: Clone + Eq>(&self, mut f: impl FnMut(&V) -> W) -> Entry<W> {
+        match self {
+            Entry::Simple(v) => Entry::Simple(f(v)),
+            Entry::Poly(p) => p.map(f),
+        }
+    }
+
+    /// Checks the polyvalue invariant (trivially true for simple entries).
+    pub fn validate(&self) -> Result<(), PolyError> {
+        match self {
+            Entry::Simple(_) => Ok(()),
+            Entry::Poly(p) => p.validate(),
+        }
+    }
+}
+
+impl<V: Clone + Eq + Ord> Entry<V> {
+    /// The smallest possible value of the entry.
+    ///
+    /// For applications like the paper's reservation example, decisions can
+    /// often be made from the range of an uncertain value alone.
+    pub fn min_value(&self) -> &V {
+        match self {
+            Entry::Simple(v) => v,
+            Entry::Poly(p) => p.values().min().expect("polyvalue is non-empty"),
+        }
+    }
+
+    /// The largest possible value of the entry.
+    pub fn max_value(&self) -> &V {
+        match self {
+            Entry::Simple(v) => v,
+            Entry::Poly(p) => p.values().max().expect("polyvalue is non-empty"),
+        }
+    }
+}
+
+impl<V: fmt::Display> fmt::Display for Entry<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Entry::Simple(v) => write!(f, "{v}"),
+            Entry::Poly(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl<V> From<V> for Entry<V> {
+    fn from(v: V) -> Self {
+        Entry::Simple(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxnId {
+        TxnId(n)
+    }
+
+    #[test]
+    fn assemble_single_true_pair_is_simple() {
+        let e = Entry::assemble(vec![(Entry::Simple(5), Condition::tru())]).unwrap();
+        assert_eq!(e, Entry::Simple(5));
+    }
+
+    #[test]
+    fn assemble_empty_is_error() {
+        let e: Result<Entry<i64>, _> = Entry::assemble(vec![]);
+        assert_eq!(e, Err(PolyError::Empty));
+    }
+
+    #[test]
+    fn assemble_incomplete_is_error() {
+        let e = Entry::assemble(vec![(Entry::Simple(5), Condition::var(t(1)))]);
+        assert_eq!(e, Err(PolyError::NotComplete));
+    }
+
+    #[test]
+    fn assemble_overlapping_is_error() {
+        let e = Entry::assemble(vec![
+            (Entry::Simple(1), Condition::tru()),
+            (Entry::Simple(2), Condition::var(t(1))),
+        ]);
+        assert_eq!(e, Err(PolyError::NotDisjoint));
+    }
+
+    #[test]
+    fn assemble_merges_equal_values_across_entries() {
+        // {⟨5, T1⟩, ⟨5, ¬T1⟩} → 5.
+        let e = Entry::assemble(vec![
+            (Entry::Simple(5), Condition::var(t(1))),
+            (Entry::Simple(5), Condition::not_var(t(1))),
+        ])
+        .unwrap();
+        assert_eq!(e, Entry::Simple(5));
+    }
+
+    #[test]
+    fn assemble_drops_false_conditions() {
+        let contradiction = Condition::var(t(1)).and(&Condition::not_var(t(1)));
+        let e = Entry::assemble(vec![
+            (Entry::Simple(1), Condition::tru()),
+            (Entry::Simple(2), contradiction),
+        ])
+        .unwrap();
+        assert_eq!(e, Entry::Simple(1));
+    }
+
+    #[test]
+    fn alternatives_of_simple_is_true_pair() {
+        let e = Entry::Simple(3);
+        assert_eq!(e.alternatives(), vec![(3, Condition::tru())]);
+        assert_eq!(e.pair_count(), 1);
+        assert!(e.deps().is_empty());
+    }
+
+    #[test]
+    fn accessors() {
+        let s = Entry::Simple(1);
+        assert!(s.is_simple() && !s.is_poly());
+        assert_eq!(s.as_simple(), Some(&1));
+        assert!(s.as_poly().is_none());
+        let p = Entry::in_doubt(Entry::Simple(1), Entry::Simple(2), t(1));
+        assert!(p.is_poly() && !p.is_simple());
+        assert!(p.as_simple().is_none());
+        assert!(p.as_poly().is_some());
+        assert_eq!(p.pair_count(), 2);
+    }
+
+    #[test]
+    fn assign_outcomes_resolves_chains() {
+        let first = Entry::in_doubt(Entry::Simple(90), Entry::Simple(100), t(1));
+        let second = Entry::in_doubt(Entry::Simple(50), first, t(2));
+        assert_eq!(
+            second.assign_outcomes([(t(2), false), (t(1), true)]),
+            Entry::Simple(90)
+        );
+        assert_eq!(
+            second.assign_outcomes([(t(2), false), (t(1), false)]),
+            Entry::Simple(100)
+        );
+        assert_eq!(second.assign_outcomes([(t(2), true)]), Entry::Simple(50));
+    }
+
+    #[test]
+    fn min_max_values() {
+        let e = Entry::in_doubt(Entry::Simple(90), Entry::Simple(100), t(1));
+        assert_eq!(*e.min_value(), 90);
+        assert_eq!(*e.max_value(), 100);
+        let s = Entry::Simple(7);
+        assert_eq!(*s.min_value(), 7);
+        assert_eq!(*s.max_value(), 7);
+    }
+
+    #[test]
+    fn map_on_simple() {
+        let s = Entry::Simple(3);
+        assert_eq!(s.map(|v| v + 1), Entry::Simple(4));
+    }
+
+    #[test]
+    fn resolve_on_simple_ignores_assignment() {
+        let s = Entry::Simple(3);
+        assert_eq!(s.resolve(&BTreeMap::new()), Some(&3));
+    }
+
+    #[test]
+    fn display() {
+        let s: Entry<i64> = Entry::Simple(3);
+        assert_eq!(s.to_string(), "3");
+        let p = Entry::in_doubt(Entry::Simple(1), Entry::Simple(2), t(1));
+        assert_eq!(p.to_string(), "{⟨2, ¬T1⟩, ⟨1, T1⟩}");
+    }
+
+    #[test]
+    fn from_value() {
+        let e: Entry<i64> = 5.into();
+        assert_eq!(e, Entry::Simple(5));
+    }
+}

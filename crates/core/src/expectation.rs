@@ -1,0 +1,207 @@
+//! Probability-weighted views of uncertain entries.
+//!
+//! §3.4 gives a system two choices for an uncertain output: present it or
+//! withhold it. A natural extension — decision support over polyvalues — is
+//! to weight the alternatives by the *probability that each in-doubt
+//! transaction will complete* (e.g. from historical commit rates after
+//! failures) and summarise the polyvalue numerically: the probability of a
+//! predicate, or the expected value of a numeric item.
+
+use crate::cond::Condition;
+use crate::entry::Entry;
+use crate::txn::TxnId;
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// A prior over in-doubt transaction outcomes: maps each transaction to the
+/// probability that it *completed*. Implemented for closures and maps.
+pub trait OutcomePrior {
+    /// Probability in `[0, 1]` that `txn` completed.
+    fn completion_probability(&self, txn: TxnId) -> f64;
+}
+
+impl<F: Fn(TxnId) -> f64> OutcomePrior for F {
+    fn completion_probability(&self, txn: TxnId) -> f64 {
+        self(txn)
+    }
+}
+
+impl OutcomePrior for std::collections::BTreeMap<TxnId, f64> {
+    fn completion_probability(&self, txn: TxnId) -> f64 {
+        self.get(&txn).copied().unwrap_or(0.5)
+    }
+}
+
+/// The probability that `cond` holds, assuming independent transaction
+/// outcomes distributed per `prior`.
+///
+/// Computed by summing over the (complete, disjoint by construction)
+/// satisfying assignments of the condition's variables — exponential in the
+/// number of distinct in-doubt transactions, which §4 shows is tiny.
+pub fn condition_probability(cond: &Condition, prior: &impl OutcomePrior) -> f64 {
+    let vars: Vec<TxnId> = cond.vars().into_iter().collect();
+    assert!(
+        vars.len() <= 20,
+        "too many in-doubt transactions to enumerate"
+    );
+    let mut total = 0.0;
+    for bits in 0u64..(1 << vars.len()) {
+        let assignment: std::collections::BTreeMap<TxnId, bool> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, bits & (1 << i) != 0))
+            .collect();
+        if cond.eval(&assignment) {
+            let mut p = 1.0;
+            for (i, &v) in vars.iter().enumerate() {
+                let pc = prior.completion_probability(v).clamp(0.0, 1.0);
+                p *= if bits & (1 << i) != 0 { pc } else { 1.0 - pc };
+            }
+            total += p;
+        }
+    }
+    total
+}
+
+/// Probability-weighted summaries of an uncertain entry.
+pub trait EntryExpectation {
+    /// The probability of each `(value, probability)` alternative under the
+    /// prior. Probabilities sum to 1 (the conditions are complete and
+    /// disjoint).
+    fn distribution(&self, prior: &impl OutcomePrior) -> Vec<(Value, f64)>;
+
+    /// The expected value of a numeric entry under the prior; `None` if any
+    /// alternative is not an integer.
+    fn expected_int(&self, prior: &impl OutcomePrior) -> Option<f64>;
+
+    /// The probability that a boolean entry is `true` under the prior;
+    /// `None` if any alternative is not a boolean.
+    fn probability_true(&self, prior: &impl OutcomePrior) -> Option<f64>;
+}
+
+impl EntryExpectation for Entry<Value> {
+    fn distribution(&self, prior: &impl OutcomePrior) -> Vec<(Value, f64)> {
+        match self {
+            Entry::Simple(v) => vec![(v.clone(), 1.0)],
+            Entry::Poly(p) => p
+                .pairs()
+                .iter()
+                .map(|(v, c)| (v.clone(), condition_probability(c, prior)))
+                .collect(),
+        }
+    }
+
+    fn expected_int(&self, prior: &impl OutcomePrior) -> Option<f64> {
+        let mut acc = 0.0;
+        for (v, p) in self.distribution(prior) {
+            acc += v.as_int()? as f64 * p;
+        }
+        Some(acc)
+    }
+
+    fn probability_true(&self, prior: &impl OutcomePrior) -> Option<f64> {
+        let mut acc = 0.0;
+        for (v, p) in self.distribution(prior) {
+            if v.as_bool()? {
+                acc += p;
+            }
+        }
+        Some(acc)
+    }
+}
+
+/// The in-doubt transactions a caller needs priors for.
+pub fn required_priors(entry: &Entry<Value>) -> BTreeSet<TxnId> {
+    entry.deps()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doubt(new: i64, old: i64, t: u64) -> Entry<Value> {
+        Entry::in_doubt(
+            Entry::Simple(Value::Int(new)),
+            Entry::Simple(Value::Int(old)),
+            TxnId(t),
+        )
+    }
+
+    #[test]
+    fn simple_entries_are_certain() {
+        let e = Entry::Simple(Value::Int(7));
+        let prior = |_: TxnId| 0.3;
+        assert_eq!(e.distribution(&prior), vec![(Value::Int(7), 1.0)]);
+        assert_eq!(e.expected_int(&prior), Some(7.0));
+        assert!(required_priors(&e).is_empty());
+    }
+
+    #[test]
+    fn two_pair_expectation_interpolates() {
+        // 90 if T1 completes (p = 0.8), 100 otherwise.
+        let e = doubt(90, 100, 1);
+        let prior = |_: TxnId| 0.8;
+        let expected = e.expected_int(&prior).unwrap();
+        assert!((expected - (0.8 * 90.0 + 0.2 * 100.0)).abs() < 1e-12);
+        // Distribution sums to 1.
+        let total: f64 = e.distribution(&prior).iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stacked_uncertainty_composes_independently() {
+        // Layer T2 (p=0.5) over T1 (p=0.8): values 50 (T2), 90 (¬T2∧T1),
+        // 100 (¬T2∧¬T1).
+        let base = doubt(90, 100, 1);
+        let e = Entry::in_doubt(Entry::Simple(Value::Int(50)), base, TxnId(2));
+        let prior: std::collections::BTreeMap<TxnId, f64> =
+            [(TxnId(1), 0.8), (TxnId(2), 0.5)].into();
+        let expected = e.expected_int(&prior).unwrap();
+        let want = 0.5 * 50.0 + 0.5 * (0.8 * 90.0 + 0.2 * 100.0);
+        assert!((expected - want).abs() < 1e-12, "{expected} vs {want}");
+        assert_eq!(required_priors(&e).len(), 2);
+    }
+
+    #[test]
+    fn probability_true_for_uncertain_authorization() {
+        // "authorized" is true iff T1 aborted (balance stayed high).
+        let e = Entry::in_doubt(
+            Entry::Simple(Value::Bool(false)),
+            Entry::Simple(Value::Bool(true)),
+            TxnId(1),
+        );
+        let p = e.probability_true(&|_: TxnId| 0.25).unwrap();
+        assert!((p - 0.75).abs() < 1e-12);
+        // Non-boolean alternatives yield None.
+        assert_eq!(doubt(1, 2, 1).probability_true(&|_: TxnId| 0.5), None);
+        assert_eq!(e.expected_int(&|_: TxnId| 0.5), None);
+    }
+
+    #[test]
+    fn map_prior_defaults_to_half() {
+        let prior: std::collections::BTreeMap<TxnId, f64> = std::collections::BTreeMap::new();
+        let e = doubt(0, 10, 9);
+        assert!((e.expected_int(&prior).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_probability_handles_compound_conditions() {
+        // P(T1 ∧ (T2 ∨ T3)) with independent p = 0.5 each: 0.5 · 0.75.
+        let c =
+            Condition::var(TxnId(1)).and(&Condition::var(TxnId(2)).or(&Condition::var(TxnId(3))));
+        let p = condition_probability(&c, &|_: TxnId| 0.5);
+        assert!((p - 0.375).abs() < 1e-12);
+        assert!((condition_probability(&Condition::tru(), &|_: TxnId| 0.9) - 1.0).abs() < 1e-12);
+        assert_eq!(
+            condition_probability(&Condition::fls(), &|_: TxnId| 0.9),
+            0.0
+        );
+    }
+
+    #[test]
+    fn out_of_range_priors_are_clamped() {
+        let e = doubt(0, 10, 1);
+        assert!((e.expected_int(&|_: TxnId| 7.0).unwrap() - 0.0).abs() < 1e-12);
+        assert!((e.expected_int(&|_: TxnId| -3.0).unwrap() - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,325 @@
+//! The transaction expression language.
+//!
+//! Transactions are *data*: a [`TransactionSpec`](crate::spec::TransactionSpec)
+//! carries expressions over database items rather than opaque closures. This
+//! is what lets the polytransaction evaluator (§3.2) re-run the same
+//! computation under each alternative database state, and lets the engine
+//! ship computations between sites.
+
+use crate::value::{CmpOp, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifies a database item.
+///
+/// Items are the unit of storage and locking; in the engine each item lives
+/// at exactly one site (a replicated item is modelled, as in the paper, as a
+/// set of per-site items).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u64);
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item{}", self.0)
+    }
+}
+
+/// Binary operators of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Checked integer addition.
+    Add,
+    /// Checked integer subtraction.
+    Sub,
+    /// Checked integer multiplication.
+    Mul,
+    /// Checked integer division.
+    Div,
+    /// Minimum of two same-typed values.
+    Min,
+    /// Maximum of two same-typed values.
+    Max,
+    /// Boolean conjunction (short-circuiting).
+    And,
+    /// Boolean disjunction (short-circuiting).
+    Or,
+}
+
+impl BinOp {
+    /// The operator's rendering in [`fmt::Display`] output.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// An expression over database items and constants.
+///
+/// # Examples
+///
+/// ```
+/// use pv_core::expr::{Expr, ItemId};
+/// use pv_core::value::Value;
+///
+/// // balance(0) - 10, clamped at zero from below by a guard elsewhere.
+/// let e = Expr::read(ItemId(0)).sub(Expr::int(10));
+/// assert_eq!(e.read_set(), [ItemId(0)].into_iter().collect());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A constant value.
+    Const(Value),
+    /// The current value of a database item.
+    Read(ItemId),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A comparison, producing a boolean.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Boolean negation.
+    Not(Box<Expr>),
+    /// Conditional: evaluates the condition, then only the selected branch.
+    ///
+    /// Because the unselected branch is never evaluated, reads inside it do
+    /// not force polytransaction partitioning (the §3.2 optimisation).
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+// Builder methods named `add`/`sub`/`mul`/`div`/`not`/`neg` intentionally
+// mirror the expression language's operators; they build ASTs rather than
+// computing, so implementing the std ops traits would be misleading.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    /// An integer constant.
+    pub fn int(n: i64) -> Expr {
+        Expr::Const(Value::Int(n))
+    }
+
+    /// A boolean constant.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Const(Value::Bool(b))
+    }
+
+    /// A string constant.
+    pub fn str(s: &str) -> Expr {
+        Expr::Const(Value::Str(s.to_owned()))
+    }
+
+    /// Reads a database item.
+    pub fn read(item: ItemId) -> Expr {
+        Expr::Read(item)
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs`.
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Div, Box::new(self), Box::new(rhs))
+    }
+
+    /// `min(self, rhs)`.
+    pub fn min(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Min, Box::new(self), Box::new(rhs))
+    }
+
+    /// `max(self, rhs)`.
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Max, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self && rhs` (short-circuiting).
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::And, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self || rhs` (short-circuiting).
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Or, Box::new(self), Box::new(rhs))
+    }
+
+    /// A comparison producing a boolean.
+    pub fn cmp(self, op: CmpOp, rhs: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Lt, rhs)
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Le, rhs)
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Ge, rhs)
+    }
+
+    /// `self == rhs`.
+    pub fn eq_v(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Eq, rhs)
+    }
+
+    /// `self != rhs`.
+    pub fn ne_v(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Ne, rhs)
+    }
+
+    /// Arithmetic negation.
+    pub fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+
+    /// Boolean negation.
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `if cond { then } else { otherwise }`.
+    pub fn ite(cond: Expr, then: Expr, otherwise: Expr) -> Expr {
+        Expr::If(Box::new(cond), Box::new(then), Box::new(otherwise))
+    }
+
+    /// All items this expression *could* read (the static read set; lazy
+    /// evaluation may read fewer).
+    pub fn read_set(&self) -> BTreeSet<ItemId> {
+        let mut out = BTreeSet::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut BTreeSet<ItemId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Read(item) => {
+                out.insert(*item);
+            }
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            Expr::Neg(a) | Expr::Not(a) => a.collect_reads(out),
+            Expr::If(c, t, e) => {
+                c.collect_reads(out);
+                t.collect_reads(out);
+                e.collect_reads(out);
+            }
+        }
+    }
+
+    /// Number of AST nodes; a size measure for tests and benchmarks.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Read(_) => 1,
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => 1 + a.size() + b.size(),
+            Expr::Neg(a) | Expr::Not(a) => 1 + a.size(),
+            Expr::If(c, t, e) => 1 + c.size() + t.size() + e.size(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Read(item) => write!(f, "{item}"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::Cmp(op, a, b) => write!(f, "({a} {} {b})", op.name()),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+            Expr::Not(a) => write!(f, "(!{a})"),
+            Expr::If(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let e = Expr::read(ItemId(1)).add(Expr::int(2)).mul(Expr::int(3));
+        assert_eq!(e.size(), 5);
+        assert_eq!(e.to_string(), "((item1 + 2) * 3)");
+    }
+
+    #[test]
+    fn read_set_collects_all_reads() {
+        let e = Expr::ite(
+            Expr::read(ItemId(1)).lt(Expr::int(0)),
+            Expr::read(ItemId(2)),
+            Expr::read(ItemId(3)).max(Expr::read(ItemId(1))),
+        );
+        let rs: Vec<u64> = e.read_set().into_iter().map(|i| i.0).collect();
+        assert_eq!(rs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn display_covers_all_variants() {
+        assert_eq!(Expr::bool(true).to_string(), "true");
+        assert_eq!(Expr::str("a").to_string(), "\"a\"");
+        assert_eq!(Expr::int(1).neg().to_string(), "(-1)");
+        assert_eq!(Expr::bool(false).not().to_string(), "(!false)");
+        assert_eq!(
+            Expr::int(1)
+                .le(Expr::int(2))
+                .and(Expr::bool(true))
+                .to_string(),
+            "((1 le 2) && true)"
+        );
+        assert_eq!(Expr::int(1).min(Expr::int(2)).to_string(), "(1 min 2)");
+        assert_eq!(
+            Expr::ite(Expr::bool(true), Expr::int(1), Expr::int(2)).to_string(),
+            "(if true then 1 else 2)"
+        );
+    }
+
+    #[test]
+    fn comparison_builders() {
+        let a = Expr::int(1);
+        for (e, s) in [
+            (a.clone().lt(Expr::int(2)), "lt"),
+            (a.clone().le(Expr::int(2)), "le"),
+            (a.clone().gt(Expr::int(2)), "gt"),
+            (a.clone().ge(Expr::int(2)), "ge"),
+            (a.clone().eq_v(Expr::int(2)), "eq"),
+            (a.clone().ne_v(Expr::int(2)), "ne"),
+        ] {
+            assert!(e.to_string().contains(s));
+        }
+    }
+
+    #[test]
+    fn item_id_display() {
+        assert_eq!(ItemId(4).to_string(), "item4");
+    }
+}

@@ -1,0 +1,795 @@
+//! The polytransaction evaluator (§3.2 of the paper).
+//!
+//! A transaction that reads an item holding a polyvalue becomes a
+//! *polytransaction*: it is partitioned into alternative transactions, one
+//! per consistent combination of conditions on the polyvalues it reads. Each
+//! alternative runs the same [`TransactionSpec`] against a different database
+//! state; its results are tagged with the conjunction of the conditions of
+//! the values it actually read.
+//!
+//! Two partitioning strategies are provided:
+//!
+//! * [`SplitMode::Lazy`] (the default) splits an alternative only when it
+//!   actually reads a polyvalued item. Short-circuiting `&&`/`||` and `if`
+//!   mean alternatives whose control flow never touches an uncertain item are
+//!   not partitioned — the optimisation §3.2 describes ("one can also
+//!   recognize cases where the actual value of an item ... need not cause
+//!   partitioning").
+//! * [`SplitMode::Eager`] partitions up front on every polyvalued item in the
+//!   static read set, which is simpler but can create exponentially more
+//!   alternatives. The `partitioning` benchmark quantifies the difference.
+
+use crate::cond::Condition;
+use crate::entry::Entry;
+use crate::expr::{BinOp, Expr, ItemId};
+use crate::poly::PolyError;
+use crate::spec::TransactionSpec;
+use crate::value::{Value, ValueError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A source of current item values for evaluation.
+pub trait ReadSource {
+    /// Reads the current entry of `item`, or `None` if the item is unknown.
+    fn read_entry(&self, item: ItemId) -> Option<Entry<Value>>;
+}
+
+impl ReadSource for BTreeMap<ItemId, Entry<Value>> {
+    fn read_entry(&self, item: ItemId) -> Option<Entry<Value>> {
+        self.get(&item).cloned()
+    }
+}
+
+impl ReadSource for BTreeMap<ItemId, Value> {
+    fn read_entry(&self, item: ItemId) -> Option<Entry<Value>> {
+        self.get(&item).cloned().map(Entry::Simple)
+    }
+}
+
+/// Errors aborting the evaluation of a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A value operation failed (type mismatch, overflow, division by zero).
+    Value(ValueError),
+    /// The transaction read an item the source does not hold.
+    MissingItem(ItemId),
+    /// The guard expression did not evaluate to a boolean.
+    GuardNotBool,
+    /// A short-circuit operator's operand was not a boolean.
+    OperandNotBool(&'static str),
+    /// An `if` condition was not a boolean.
+    ConditionNotBool,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Value(e) => write!(f, "value error: {e}"),
+            EvalError::MissingItem(item) => write!(f, "missing item {item}"),
+            EvalError::GuardNotBool => write!(f, "guard did not evaluate to a boolean"),
+            EvalError::OperandNotBool(op) => write!(f, "operand of {op} is not a boolean"),
+            EvalError::ConditionNotBool => write!(f, "if condition is not a boolean"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<ValueError> for EvalError {
+    fn from(e: ValueError) -> Self {
+        EvalError::Value(e)
+    }
+}
+
+/// How alternatives are split on polyvalued reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitMode {
+    /// Split only when a polyvalued item is actually read.
+    #[default]
+    Lazy,
+    /// Split on every polyvalued item in the static read set, up front.
+    Eager,
+}
+
+/// Counters describing how much partitioning an evaluation performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalStats {
+    /// Alternatives that finished evaluation.
+    pub alternatives: usize,
+    /// Number of split events (each replaces one alternative by several).
+    pub splits: usize,
+    /// Item reads served from the source (not from the alternative's cache).
+    pub item_reads: usize,
+}
+
+/// The result of one alternative transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AltResult {
+    /// The condition under which this alternative is the real execution.
+    pub cond: Condition,
+    /// Whether the guard held (always `true` when the spec has no guard).
+    pub granted: bool,
+    /// Values computed for updated items (empty when not granted).
+    pub writes: BTreeMap<ItemId, Value>,
+    /// Output values, in spec order.
+    pub outputs: Vec<(String, Value)>,
+}
+
+/// The complete result of evaluating a transaction: one [`AltResult`] per
+/// alternative, with conditions that are complete and disjoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalOutcome {
+    /// The alternatives, in evaluation order.
+    pub alts: Vec<AltResult>,
+    /// Partitioning counters.
+    pub stats: EvalStats,
+}
+
+impl EvalOutcome {
+    /// Whether every alternative's guard held.
+    pub fn all_granted(&self) -> bool {
+        self.alts.iter().all(|a| a.granted)
+    }
+
+    /// Whether any alternative's guard held.
+    pub fn any_granted(&self) -> bool {
+        self.alts.iter().any(|a| a.granted)
+    }
+
+    /// Whether the transaction was partitioned at all.
+    pub fn is_poly(&self) -> bool {
+        self.alts.len() > 1
+    }
+
+    /// Collates the per-alternative writes into one [`Entry`] per item.
+    ///
+    /// For an alternative that does not write the item (e.g. its guard was
+    /// denied), the item's *current* entry is used, per §3.2: "or is the
+    /// previous value of the item if transaction `T_c` does not compute a new
+    /// value for the item".
+    pub fn collate_writes(
+        &self,
+        current: &impl ReadSource,
+    ) -> Result<BTreeMap<ItemId, Entry<Value>>, CollateError> {
+        let mut items: Vec<ItemId> = Vec::new();
+        for alt in &self.alts {
+            for item in alt.writes.keys() {
+                if !items.contains(item) {
+                    items.push(*item);
+                }
+            }
+        }
+        let mut out = BTreeMap::new();
+        for item in items {
+            let mut pairs: Vec<(Entry<Value>, Condition)> = Vec::with_capacity(self.alts.len());
+            for alt in &self.alts {
+                let entry = match alt.writes.get(&item) {
+                    Some(v) => Entry::Simple(v.clone()),
+                    None => current
+                        .read_entry(item)
+                        .ok_or(CollateError::MissingItem(item))?,
+                };
+                pairs.push((entry, alt.cond.clone()));
+            }
+            let entry = Entry::assemble(pairs).map_err(CollateError::Poly)?;
+            out.insert(item, entry);
+        }
+        Ok(out)
+    }
+
+    /// Collates per-alternative outputs into one [`Entry`] per output name.
+    ///
+    /// An output whose value agrees across all alternatives collates to a
+    /// simple entry — the §3.4 case where uncertainty in the database is not
+    /// reflected in the system's outputs.
+    pub fn collate_outputs(&self) -> Result<Vec<(String, Entry<Value>)>, CollateError> {
+        let Some(first) = self.alts.first() else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::with_capacity(first.outputs.len());
+        for (idx, (name, _)) in first.outputs.iter().enumerate() {
+            let pairs = self
+                .alts
+                .iter()
+                .map(|alt| {
+                    let (_, v) = &alt.outputs[idx];
+                    (Entry::Simple(v.clone()), alt.cond.clone())
+                })
+                .collect();
+            let entry = Entry::assemble(pairs).map_err(CollateError::Poly)?;
+            out.push((name.clone(), entry));
+        }
+        Ok(out)
+    }
+
+    /// Collates the guard decision across alternatives.
+    pub fn collate_granted(&self) -> Result<Entry<Value>, CollateError> {
+        let pairs = self
+            .alts
+            .iter()
+            .map(|alt| (Entry::Simple(Value::Bool(alt.granted)), alt.cond.clone()))
+            .collect();
+        Entry::assemble(pairs).map_err(CollateError::Poly)
+    }
+}
+
+/// Errors from collating alternative results into entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollateError {
+    /// The current value of an item was needed but unavailable.
+    MissingItem(ItemId),
+    /// The collated pairs violate the polyvalue invariant (indicates a bug in
+    /// the partitioning rules; should not occur).
+    Poly(PolyError),
+}
+
+impl fmt::Display for CollateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollateError::MissingItem(item) => write!(f, "missing current value for {item}"),
+            CollateError::Poly(e) => write!(f, "collation produced invalid polyvalue: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollateError {}
+
+/// One in-progress alternative transaction.
+#[derive(Debug, Clone)]
+struct Alternative {
+    cond: Condition,
+    bindings: BTreeMap<ItemId, Value>,
+}
+
+/// Internal control flow: an alternative either needs splitting on an item or
+/// hit a hard error.
+enum EvalStop {
+    Split(ItemId),
+    Error(EvalError),
+}
+
+impl From<EvalError> for EvalStop {
+    fn from(e: EvalError) -> Self {
+        EvalStop::Error(e)
+    }
+}
+
+impl From<ValueError> for EvalStop {
+    fn from(e: ValueError) -> Self {
+        EvalStop::Error(EvalError::Value(e))
+    }
+}
+
+/// Evaluates `spec` against `source`, partitioning into alternative
+/// transactions as polyvalued items are read.
+///
+/// # Examples
+///
+/// ```
+/// use pv_core::expr::{evaluate, Expr, ItemId, SplitMode};
+/// use pv_core::spec::TransactionSpec;
+/// use pv_core::{Entry, TxnId, Value};
+/// use std::collections::BTreeMap;
+///
+/// let seat_count = ItemId(0);
+/// let mut db = BTreeMap::new();
+/// // The count is in doubt: 5 if T1 completed, 4 otherwise.
+/// db.insert(
+///     seat_count,
+///     Entry::in_doubt(
+///         Entry::Simple(Value::Int(5)),
+///         Entry::Simple(Value::Int(4)),
+///         TxnId(1),
+///     ),
+/// );
+/// // Grant a reservation if even the largest possible count is below 10.
+/// let spec = TransactionSpec::new()
+///     .guard(Expr::read(seat_count).lt(Expr::int(10)))
+///     .update(seat_count, Expr::read(seat_count).add(Expr::int(1)));
+/// let out = evaluate(&spec, &db, SplitMode::Lazy).unwrap();
+/// assert!(out.all_granted()); // both alternatives grant
+/// ```
+pub fn evaluate(
+    spec: &TransactionSpec,
+    source: &impl ReadSource,
+    mode: SplitMode,
+) -> Result<EvalOutcome, EvalError> {
+    let mut stats = EvalStats::default();
+    let mut work: Vec<Alternative> = Vec::new();
+
+    match mode {
+        SplitMode::Lazy => {
+            work.push(Alternative {
+                cond: Condition::tru(),
+                bindings: BTreeMap::new(),
+            });
+        }
+        SplitMode::Eager => {
+            // Partition up front on every polyvalued item in the read set.
+            let mut alts = vec![Alternative {
+                cond: Condition::tru(),
+                bindings: BTreeMap::new(),
+            }];
+            for item in spec.read_set() {
+                let entry = source
+                    .read_entry(item)
+                    .ok_or(EvalError::MissingItem(item))?;
+                stats.item_reads += 1;
+                match entry {
+                    Entry::Simple(v) => {
+                        for alt in &mut alts {
+                            alt.bindings.insert(item, v.clone());
+                        }
+                    }
+                    Entry::Poly(p) => {
+                        stats.splits += 1;
+                        let mut next = Vec::with_capacity(alts.len() * p.len());
+                        for alt in alts {
+                            for (v, c) in p.pairs() {
+                                let cond = alt.cond.and(c);
+                                if cond.is_false() {
+                                    continue;
+                                }
+                                let mut bindings = alt.bindings.clone();
+                                bindings.insert(item, v.clone());
+                                next.push(Alternative { cond, bindings });
+                            }
+                        }
+                        alts = next;
+                    }
+                }
+            }
+            work = alts;
+        }
+    }
+
+    let mut done: Vec<AltResult> = Vec::new();
+    while let Some(mut alt) = work.pop() {
+        match run_alternative(spec, source, &mut alt, &mut stats) {
+            Ok(result) => done.push(result),
+            Err(EvalStop::Split(item)) => {
+                let entry = source
+                    .read_entry(item)
+                    .ok_or(EvalError::MissingItem(item))?;
+                let Entry::Poly(p) = entry else {
+                    unreachable!("split is only requested for polyvalued items");
+                };
+                stats.splits += 1;
+                for (v, c) in p.pairs() {
+                    let cond = alt.cond.and(c);
+                    if cond.is_false() {
+                        continue;
+                    }
+                    let mut bindings = alt.bindings.clone();
+                    bindings.insert(item, v.clone());
+                    work.push(Alternative { cond, bindings });
+                }
+            }
+            Err(EvalStop::Error(e)) => return Err(e),
+        }
+    }
+    // Evaluation order (stack) produces a deterministic but arbitrary order;
+    // sort by condition for reproducible output downstream.
+    done.sort_by(|a, b| a.cond.cmp(&b.cond));
+    stats.alternatives = done.len();
+    Ok(EvalOutcome { alts: done, stats })
+}
+
+/// Runs the whole spec under one alternative; may request a split.
+fn run_alternative(
+    spec: &TransactionSpec,
+    source: &impl ReadSource,
+    alt: &mut Alternative,
+    stats: &mut EvalStats,
+) -> Result<AltResult, EvalStop> {
+    let granted = match &spec.guard {
+        None => true,
+        Some(g) => eval_expr(g, source, alt, stats)?
+            .as_bool()
+            .ok_or(EvalError::GuardNotBool)?,
+    };
+    let mut writes = BTreeMap::new();
+    if granted {
+        for (item, expr) in &spec.updates {
+            let v = eval_expr(expr, source, alt, stats)?;
+            writes.insert(*item, v);
+        }
+    }
+    let mut outputs = Vec::with_capacity(spec.outputs.len());
+    for (name, expr) in &spec.outputs {
+        let v = eval_expr(expr, source, alt, stats)?;
+        outputs.push((name.clone(), v));
+    }
+    Ok(AltResult {
+        cond: alt.cond.clone(),
+        granted,
+        writes,
+        outputs,
+    })
+}
+
+/// Evaluates an expression under an alternative's bindings, caching simple
+/// reads and requesting a split on polyvalued reads.
+fn eval_expr(
+    expr: &Expr,
+    source: &impl ReadSource,
+    alt: &mut Alternative,
+    stats: &mut EvalStats,
+) -> Result<Value, EvalStop> {
+    match expr {
+        Expr::Const(v) => Ok(v.clone()),
+        Expr::Read(item) => {
+            if let Some(v) = alt.bindings.get(item) {
+                return Ok(v.clone());
+            }
+            let entry = source
+                .read_entry(*item)
+                .ok_or(EvalError::MissingItem(*item))?;
+            stats.item_reads += 1;
+            match entry {
+                Entry::Simple(v) => {
+                    alt.bindings.insert(*item, v.clone());
+                    Ok(v)
+                }
+                Entry::Poly(_) => Err(EvalStop::Split(*item)),
+            }
+        }
+        Expr::Bin(BinOp::And, a, b) => {
+            let lhs = eval_expr(a, source, alt, stats)?
+                .as_bool()
+                .ok_or(EvalError::OperandNotBool("&&"))?;
+            if !lhs {
+                return Ok(Value::Bool(false));
+            }
+            let rhs = eval_expr(b, source, alt, stats)?
+                .as_bool()
+                .ok_or(EvalError::OperandNotBool("&&"))?;
+            Ok(Value::Bool(rhs))
+        }
+        Expr::Bin(BinOp::Or, a, b) => {
+            let lhs = eval_expr(a, source, alt, stats)?
+                .as_bool()
+                .ok_or(EvalError::OperandNotBool("||"))?;
+            if lhs {
+                return Ok(Value::Bool(true));
+            }
+            let rhs = eval_expr(b, source, alt, stats)?
+                .as_bool()
+                .ok_or(EvalError::OperandNotBool("||"))?;
+            Ok(Value::Bool(rhs))
+        }
+        Expr::Bin(op, a, b) => {
+            let lhs = eval_expr(a, source, alt, stats)?;
+            let rhs = eval_expr(b, source, alt, stats)?;
+            let v = match op {
+                BinOp::Add => lhs.add(&rhs),
+                BinOp::Sub => lhs.sub(&rhs),
+                BinOp::Mul => lhs.mul(&rhs),
+                BinOp::Div => lhs.div(&rhs),
+                BinOp::Min => lhs.min_v(&rhs),
+                BinOp::Max => lhs.max_v(&rhs),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }?;
+            Ok(v)
+        }
+        Expr::Cmp(op, a, b) => {
+            let lhs = eval_expr(a, source, alt, stats)?;
+            let rhs = eval_expr(b, source, alt, stats)?;
+            Ok(lhs.compare(*op, &rhs)?)
+        }
+        Expr::Neg(a) => Ok(eval_expr(a, source, alt, stats)?.neg()?),
+        Expr::Not(a) => Ok(eval_expr(a, source, alt, stats)?.not()?),
+        Expr::If(c, t, e) => {
+            let cond = eval_expr(c, source, alt, stats)?
+                .as_bool()
+                .ok_or(EvalError::ConditionNotBool)?;
+            if cond {
+                eval_expr(t, source, alt, stats)
+            } else {
+                eval_expr(e, source, alt, stats)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::TxnId;
+
+    fn int(n: i64) -> Entry<Value> {
+        Entry::Simple(Value::Int(n))
+    }
+
+    fn doubt(new: i64, old: i64, t: u64) -> Entry<Value> {
+        Entry::in_doubt(int(new), int(old), TxnId(t))
+    }
+
+    fn db(entries: Vec<(u64, Entry<Value>)>) -> BTreeMap<ItemId, Entry<Value>> {
+        entries.into_iter().map(|(i, e)| (ItemId(i), e)).collect()
+    }
+
+    #[test]
+    fn simple_values_yield_single_alternative() {
+        let source = db(vec![(0, int(5))]);
+        let spec = TransactionSpec::new()
+            .update(ItemId(0), Expr::read(ItemId(0)).add(Expr::int(1)))
+            .output("v", Expr::read(ItemId(0)));
+        let out = evaluate(&spec, &source, SplitMode::Lazy).unwrap();
+        assert_eq!(out.alts.len(), 1);
+        assert!(!out.is_poly());
+        assert_eq!(out.alts[0].writes[&ItemId(0)], Value::Int(6));
+        assert_eq!(out.alts[0].outputs[0].1, Value::Int(5));
+        assert_eq!(out.stats.splits, 0);
+    }
+
+    #[test]
+    fn poly_read_partitions_into_alternatives() {
+        let source = db(vec![(0, doubt(90, 100, 1))]);
+        let spec =
+            TransactionSpec::new().update(ItemId(0), Expr::read(ItemId(0)).sub(Expr::int(10)));
+        let out = evaluate(&spec, &source, SplitMode::Lazy).unwrap();
+        assert_eq!(out.alts.len(), 2);
+        assert_eq!(out.stats.splits, 1);
+        let writes = out.collate_writes(&source).unwrap();
+        let entry = &writes[&ItemId(0)];
+        let p = entry.as_poly().unwrap();
+        assert_eq!(
+            p.condition_for(&Value::Int(80)),
+            Some(&Condition::var(TxnId(1)))
+        );
+        assert_eq!(
+            p.condition_for(&Value::Int(90)),
+            Some(&Condition::not_var(TxnId(1)))
+        );
+    }
+
+    #[test]
+    fn output_independent_of_uncertainty_is_simple() {
+        // §3.4: uncertainty need not be reflected in outputs.
+        let source = db(vec![(0, doubt(90, 100, 1))]);
+        let spec = TransactionSpec::new().output("enough", Expr::read(ItemId(0)).ge(Expr::int(50)));
+        let out = evaluate(&spec, &source, SplitMode::Lazy).unwrap();
+        let outputs = out.collate_outputs().unwrap();
+        assert_eq!(outputs[0].1, Entry::Simple(Value::Bool(true)));
+    }
+
+    #[test]
+    fn lazy_mode_skips_unread_poly_items() {
+        // Item 1 is poly but the if's taken branch never reads it.
+        let source = db(vec![(0, int(1)), (1, doubt(5, 6, 1))]);
+        let expr = Expr::ite(
+            Expr::read(ItemId(0)).gt(Expr::int(0)),
+            Expr::int(42),
+            Expr::read(ItemId(1)),
+        );
+        let spec = TransactionSpec::new().output("v", expr);
+        let lazy = evaluate(&spec, &source, SplitMode::Lazy).unwrap();
+        assert_eq!(lazy.alts.len(), 1);
+        assert_eq!(lazy.stats.splits, 0);
+        let eager = evaluate(&spec, &source, SplitMode::Eager).unwrap();
+        assert_eq!(eager.alts.len(), 2);
+        assert_eq!(eager.stats.splits, 1);
+        // Both collate to the same simple output.
+        assert_eq!(
+            lazy.collate_outputs().unwrap(),
+            eager.collate_outputs().unwrap()
+        );
+    }
+
+    #[test]
+    fn short_circuit_and_skips_poly_read() {
+        let source = db(vec![(0, int(0)), (1, doubt(5, 6, 1))]);
+        let spec = TransactionSpec::new().output(
+            "v",
+            Expr::read(ItemId(0))
+                .gt(Expr::int(0))
+                .and(Expr::read(ItemId(1)).gt(Expr::int(0))),
+        );
+        let out = evaluate(&spec, &source, SplitMode::Lazy).unwrap();
+        assert_eq!(out.alts.len(), 1);
+        assert_eq!(out.alts[0].outputs[0].1, Value::Bool(false));
+    }
+
+    #[test]
+    fn short_circuit_or_skips_poly_read() {
+        let source = db(vec![(0, int(1)), (1, doubt(5, 6, 1))]);
+        let spec = TransactionSpec::new().output(
+            "v",
+            Expr::read(ItemId(0))
+                .gt(Expr::int(0))
+                .or(Expr::read(ItemId(1)).gt(Expr::int(0))),
+        );
+        let out = evaluate(&spec, &source, SplitMode::Lazy).unwrap();
+        assert_eq!(out.alts.len(), 1);
+        assert_eq!(out.alts[0].outputs[0].1, Value::Bool(true));
+    }
+
+    #[test]
+    fn two_poly_reads_partition_into_four() {
+        let source = db(vec![(0, doubt(1, 2, 1)), (1, doubt(10, 20, 2))]);
+        let spec =
+            TransactionSpec::new().output("sum", Expr::read(ItemId(0)).add(Expr::read(ItemId(1))));
+        let out = evaluate(&spec, &source, SplitMode::Lazy).unwrap();
+        assert_eq!(out.alts.len(), 4);
+        // Conditions are pairwise disjoint and complete.
+        let conds: Vec<&Condition> = out.alts.iter().map(|a| &a.cond).collect();
+        assert!(Condition::pairwise_disjoint(&conds));
+        assert!(Condition::complete(conds.iter().copied()));
+        let outputs = out.collate_outputs().unwrap();
+        let p = outputs[0].1.as_poly().unwrap();
+        assert_eq!(p.len(), 4); // 11, 21, 12, 22
+    }
+
+    #[test]
+    fn correlated_poly_reads_share_conditions() {
+        // Two items in doubt under the *same* transaction: only two
+        // consistent alternatives exist, not four.
+        let source = db(vec![(0, doubt(1, 2, 1)), (1, doubt(10, 20, 1))]);
+        let spec =
+            TransactionSpec::new().output("sum", Expr::read(ItemId(0)).add(Expr::read(ItemId(1))));
+        let out = evaluate(&spec, &source, SplitMode::Lazy).unwrap();
+        assert_eq!(out.alts.len(), 2);
+        let outputs = out.collate_outputs().unwrap();
+        let p = outputs[0].1.as_poly().unwrap();
+        // 1+10=11 under T1, 2+20=22 under ¬T1.
+        assert_eq!(
+            p.condition_for(&Value::Int(11)),
+            Some(&Condition::var(TxnId(1)))
+        );
+        assert_eq!(
+            p.condition_for(&Value::Int(22)),
+            Some(&Condition::not_var(TxnId(1)))
+        );
+    }
+
+    #[test]
+    fn guard_denied_alternative_writes_nothing() {
+        let source = db(vec![(0, doubt(5, 100, 1))]);
+        // Withdraw 50 if balance covers it.
+        let spec = TransactionSpec::new()
+            .guard(Expr::read(ItemId(0)).ge(Expr::int(50)))
+            .update(ItemId(0), Expr::read(ItemId(0)).sub(Expr::int(50)))
+            .output("granted", Expr::read(ItemId(0)).ge(Expr::int(50)));
+        let out = evaluate(&spec, &source, SplitMode::Lazy).unwrap();
+        assert_eq!(out.alts.len(), 2);
+        assert!(out.any_granted());
+        assert!(!out.all_granted());
+        // Collated write: 50 if ¬T1 (granted from 100), otherwise previous
+        // value (the in-doubt polyvalue's T1 branch: 5).
+        let writes = out.collate_writes(&source).unwrap();
+        let p = writes[&ItemId(0)].as_poly().unwrap();
+        assert_eq!(
+            p.condition_for(&Value::Int(50)),
+            Some(&Condition::not_var(TxnId(1)))
+        );
+        assert_eq!(
+            p.condition_for(&Value::Int(5)),
+            Some(&Condition::var(TxnId(1)))
+        );
+        // The granted flag itself is uncertain.
+        let granted = out.collate_granted().unwrap();
+        assert!(granted.is_poly());
+    }
+
+    #[test]
+    fn missing_item_is_an_error() {
+        let source = db(vec![]);
+        let spec = TransactionSpec::new().output("v", Expr::read(ItemId(9)));
+        assert_eq!(
+            evaluate(&spec, &source, SplitMode::Lazy),
+            Err(EvalError::MissingItem(ItemId(9)))
+        );
+        assert_eq!(
+            evaluate(&spec, &source, SplitMode::Eager),
+            Err(EvalError::MissingItem(ItemId(9)))
+        );
+    }
+
+    #[test]
+    fn type_errors_abort_evaluation() {
+        let source = db(vec![(0, int(1))]);
+        let bad_guard = TransactionSpec::new().guard(Expr::read(ItemId(0)));
+        assert_eq!(
+            evaluate(&bad_guard, &source, SplitMode::Lazy),
+            Err(EvalError::GuardNotBool)
+        );
+        let bad_add = TransactionSpec::new().output("v", Expr::int(1).add(Expr::bool(true)));
+        assert!(matches!(
+            evaluate(&bad_add, &source, SplitMode::Lazy),
+            Err(EvalError::Value(_))
+        ));
+        let bad_if =
+            TransactionSpec::new().output("v", Expr::ite(Expr::int(1), Expr::int(2), Expr::int(3)));
+        assert_eq!(
+            evaluate(&bad_if, &source, SplitMode::Lazy),
+            Err(EvalError::ConditionNotBool)
+        );
+        let bad_and = TransactionSpec::new().output("v", Expr::int(1).and(Expr::bool(true)));
+        assert_eq!(
+            evaluate(&bad_and, &source, SplitMode::Lazy),
+            Err(EvalError::OperandNotBool("&&"))
+        );
+        let bad_or = TransactionSpec::new().output("v", Expr::bool(false).or(Expr::int(1)));
+        assert_eq!(
+            evaluate(&bad_or, &source, SplitMode::Lazy),
+            Err(EvalError::OperandNotBool("||"))
+        );
+    }
+
+    #[test]
+    fn eager_and_lazy_agree_semantically() {
+        let source = db(vec![
+            (0, doubt(1, 2, 1)),
+            (1, doubt(10, 20, 2)),
+            (2, int(100)),
+        ]);
+        let spec = TransactionSpec::new()
+            .guard(Expr::read(ItemId(2)).gt(Expr::int(0)))
+            .update(
+                ItemId(2),
+                Expr::read(ItemId(0))
+                    .add(Expr::read(ItemId(1)))
+                    .add(Expr::read(ItemId(2))),
+            )
+            .output("x", Expr::read(ItemId(0)));
+        let lazy = evaluate(&spec, &source, SplitMode::Lazy).unwrap();
+        let eager = evaluate(&spec, &source, SplitMode::Eager).unwrap();
+        assert_eq!(
+            lazy.collate_writes(&source).unwrap(),
+            eager.collate_writes(&source).unwrap()
+        );
+        assert_eq!(
+            lazy.collate_outputs().unwrap(),
+            eager.collate_outputs().unwrap()
+        );
+    }
+
+    #[test]
+    fn reading_same_poly_item_twice_splits_once() {
+        let source = db(vec![(0, doubt(1, 2, 1))]);
+        let spec = TransactionSpec::new()
+            .output("double", Expr::read(ItemId(0)).add(Expr::read(ItemId(0))));
+        let out = evaluate(&spec, &source, SplitMode::Lazy).unwrap();
+        assert_eq!(out.alts.len(), 2);
+        assert_eq!(out.stats.splits, 1);
+        let outputs = out.collate_outputs().unwrap();
+        let p = outputs[0].1.as_poly().unwrap();
+        assert!(p.condition_for(&Value::Int(2)).is_some());
+        assert!(p.condition_for(&Value::Int(4)).is_some());
+    }
+
+    #[test]
+    fn collate_writes_with_missing_current_value_errors() {
+        // Alternative 2 does not write item 0 and the source lacks it.
+        let mut source = db(vec![(0, doubt(5, 100, 1))]);
+        let spec = TransactionSpec::new()
+            .guard(Expr::read(ItemId(0)).ge(Expr::int(50)))
+            .update(ItemId(0), Expr::int(0));
+        let out = evaluate(&spec, &source, SplitMode::Lazy).unwrap();
+        source.clear();
+        assert_eq!(
+            out.collate_writes(&source),
+            Err(CollateError::MissingItem(ItemId(0)))
+        );
+    }
+
+    #[test]
+    fn value_map_read_source() {
+        let mut m: BTreeMap<ItemId, Value> = BTreeMap::new();
+        m.insert(ItemId(0), Value::Int(9));
+        assert_eq!(m.read_entry(ItemId(0)), Some(Entry::Simple(Value::Int(9))));
+        assert_eq!(m.read_entry(ItemId(1)), None);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(EvalError::MissingItem(ItemId(3))
+            .to_string()
+            .contains("item3"));
+        assert!(EvalError::GuardNotBool.to_string().contains("guard"));
+        assert!(CollateError::MissingItem(ItemId(3))
+            .to_string()
+            .contains("item3"));
+    }
+}

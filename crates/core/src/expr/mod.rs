@@ -1,0 +1,9 @@
+//! Transaction expressions and the polytransaction evaluator.
+
+mod ast;
+mod eval;
+
+pub use ast::{BinOp, Expr, ItemId};
+pub use eval::{
+    evaluate, AltResult, CollateError, EvalError, EvalOutcome, EvalStats, ReadSource, SplitMode,
+};

@@ -1,0 +1,323 @@
+//! Polyvalues: sets of `⟨value, condition⟩` pairs (§3 of the paper).
+
+use crate::cond::Condition;
+use crate::entry::Entry;
+use crate::txn::TxnId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A polyvalue: the set of values an item could currently have, depending on
+/// the outcomes of transactions delayed by failures.
+///
+/// A polyvalue is a set of pairs `⟨v, c⟩` where `v` is a simple value and `c`
+/// is a [`Condition`] over transaction identifiers indicating when `v` is the
+/// correct value. The invariant from §3 of the paper holds at all times:
+///
+/// * the conditions are **complete** — exactly one is true under any outcome
+///   assignment — and
+/// * **disjoint** — no two can be true simultaneously — and
+/// * the representation is **minimal** — values are pairwise distinct, every
+///   condition is satisfiable, and each is in sum-of-products form.
+///
+/// Construct polyvalues through [`Entry::assemble`] or [`Entry::in_doubt`],
+/// which apply the paper's three simplification rules (flatten nesting, merge
+/// equal values, drop false conditions) and enforce the invariant.
+///
+/// # Examples
+///
+/// ```
+/// use pv_core::{Condition, Entry, TxnId};
+///
+/// // A transfer of 10 from a balance of 100 is in doubt under T9:
+/// let e = Entry::in_doubt(Entry::Simple(90), Entry::Simple(100), TxnId(9));
+/// let p = e.as_poly().unwrap();
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.condition_for(&90), Some(&Condition::var(TxnId(9))));
+/// // Learning that T9 completed collapses the polyvalue:
+/// assert_eq!(e.assign_outcome(TxnId(9), true), Entry::Simple(90));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Polyvalue<V> {
+    /// Invariant: ≥ 2 pairs, complete & disjoint conditions, distinct values,
+    /// no unsatisfiable conditions.
+    pairs: Vec<(V, Condition)>,
+}
+
+/// Errors detected when constructing or validating a polyvalue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolyError {
+    /// No pair survived simplification (all conditions were false).
+    Empty,
+    /// The conditions do not cover every outcome assignment.
+    NotComplete,
+    /// Two conditions can hold simultaneously.
+    NotDisjoint,
+    /// Two pairs carry the same value (the representation is not minimal).
+    DuplicateValue,
+    /// A pair carries an unsatisfiable condition.
+    FalseCondition,
+}
+
+impl fmt::Display for PolyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolyError::Empty => write!(f, "polyvalue has no satisfiable pairs"),
+            PolyError::NotComplete => write!(f, "polyvalue conditions are not complete"),
+            PolyError::NotDisjoint => write!(f, "polyvalue conditions are not disjoint"),
+            PolyError::DuplicateValue => write!(f, "polyvalue has duplicate values"),
+            PolyError::FalseCondition => write!(f, "polyvalue has an unsatisfiable condition"),
+        }
+    }
+}
+
+impl std::error::Error for PolyError {}
+
+impl<V: Clone + Eq> Polyvalue<V> {
+    /// Builds a polyvalue from pairs already known to satisfy the invariant.
+    ///
+    /// Callers outside this crate should use [`Entry::assemble`]. This
+    /// constructor still debug-asserts minimality cheaply.
+    pub(crate) fn from_invariant_pairs(pairs: Vec<(V, Condition)>) -> Self {
+        debug_assert!(pairs.len() >= 2);
+        Polyvalue { pairs }
+    }
+
+    /// The `⟨value, condition⟩` pairs, in insertion order.
+    pub fn pairs(&self) -> &[(V, Condition)] {
+        &self.pairs
+    }
+
+    /// Number of pairs (always ≥ 2).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Polyvalues are never empty; provided for clippy-conventional pairing
+    /// with [`Polyvalue::len`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the possible values.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.pairs.iter().map(|(v, _)| v)
+    }
+
+    /// The condition under which `value` is correct, if `value` is one of the
+    /// possibilities.
+    pub fn condition_for(&self, value: &V) -> Option<&Condition> {
+        self.pairs.iter().find(|(v, _)| v == value).map(|(_, c)| c)
+    }
+
+    /// All transactions whose outcomes this polyvalue depends on.
+    pub fn deps(&self) -> BTreeSet<TxnId> {
+        self.pairs.iter().flat_map(|(_, c)| c.vars()).collect()
+    }
+
+    /// Substitutes a known outcome for `txn` and re-simplifies; the result
+    /// may collapse to a simple value.
+    pub fn assign_outcome(&self, txn: TxnId, completed: bool) -> Entry<V> {
+        let pairs = self
+            .pairs
+            .iter()
+            .map(|(v, c)| (Entry::Simple(v.clone()), c.assign(txn, completed)))
+            .collect();
+        Entry::assemble(pairs).expect("outcome substitution preserves the invariant")
+    }
+
+    /// The value selected by a complete outcome assignment, if any condition
+    /// is satisfied. For a valid polyvalue with a total assignment over its
+    /// dependencies this is always `Some`.
+    pub fn resolve(&self, assignment: &BTreeMap<TxnId, bool>) -> Option<&V> {
+        self.pairs
+            .iter()
+            .find(|(_, c)| c.eval(assignment))
+            .map(|(v, _)| v)
+    }
+
+    /// Applies `f` to every possible value, keeping the conditions. Equal
+    /// outputs are re-merged, so the result may collapse to a simple entry.
+    pub fn map<W: Clone + Eq>(&self, mut f: impl FnMut(&V) -> W) -> Entry<W> {
+        let pairs = self
+            .pairs
+            .iter()
+            .map(|(v, c)| (Entry::Simple(f(v)), c.clone()))
+            .collect();
+        Entry::assemble(pairs).expect("mapping preserves completeness and disjointness")
+    }
+
+    /// Checks the full §3 invariant; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), PolyError> {
+        if self.pairs.is_empty() {
+            return Err(PolyError::Empty);
+        }
+        for (i, (v, c)) in self.pairs.iter().enumerate() {
+            if c.is_false() {
+                return Err(PolyError::FalseCondition);
+            }
+            for (v2, c2) in &self.pairs[i + 1..] {
+                if v == v2 {
+                    return Err(PolyError::DuplicateValue);
+                }
+                if !c.disjoint_with(c2) {
+                    return Err(PolyError::NotDisjoint);
+                }
+            }
+        }
+        if !Condition::complete(self.pairs.iter().map(|(_, c)| c)) {
+            return Err(PolyError::NotComplete);
+        }
+        Ok(())
+    }
+}
+
+impl<V: fmt::Display> fmt::Display for Polyvalue<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (v, c) in &self.pairs {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "⟨{v}, {c}⟩")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Condition;
+
+    fn in_doubt_int(new: i64, old: i64, t: u64) -> Entry<i64> {
+        Entry::in_doubt(Entry::Simple(new), Entry::Simple(old), TxnId(t))
+    }
+
+    #[test]
+    fn in_doubt_builds_two_pair_polyvalue() {
+        let e = in_doubt_int(90, 100, 1);
+        let p = e.as_poly().unwrap();
+        assert_eq!(p.len(), 2);
+        p.validate().unwrap();
+        assert_eq!(p.condition_for(&90), Some(&Condition::var(TxnId(1))));
+        assert_eq!(p.condition_for(&100), Some(&Condition::not_var(TxnId(1))));
+        assert_eq!(p.condition_for(&5), None);
+    }
+
+    #[test]
+    fn equal_new_and_old_collapse_to_simple() {
+        // Rule 2: the same value under both outcomes is certain.
+        let e = in_doubt_int(100, 100, 1);
+        assert_eq!(e, Entry::Simple(100));
+    }
+
+    #[test]
+    fn assign_outcome_collapses() {
+        let e = in_doubt_int(90, 100, 1);
+        let p = e.as_poly().unwrap();
+        assert_eq!(p.assign_outcome(TxnId(1), true), Entry::Simple(90));
+        assert_eq!(p.assign_outcome(TxnId(1), false), Entry::Simple(100));
+    }
+
+    #[test]
+    fn assign_unrelated_outcome_is_identity() {
+        let e = in_doubt_int(90, 100, 1);
+        let p = e.as_poly().unwrap();
+        assert_eq!(p.assign_outcome(TxnId(99), true), e);
+    }
+
+    #[test]
+    fn nested_in_doubt_flattens() {
+        // Item in doubt under T1, then a second in-doubt update under T2
+        // stacks on top: rule 1 flattens the nesting.
+        let first = in_doubt_int(90, 100, 1);
+        let second = Entry::in_doubt(Entry::Simple(50), first.clone(), TxnId(2));
+        let p = second.as_poly().unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.len(), 3);
+        // ⟨50, T2⟩, ⟨90, ¬T2∧T1⟩, ⟨100, ¬T2∧¬T1⟩.
+        assert_eq!(p.condition_for(&50), Some(&Condition::var(TxnId(2))));
+        assert_eq!(
+            p.condition_for(&90),
+            Some(&Condition::not_var(TxnId(2)).and(&Condition::var(TxnId(1))))
+        );
+        // Resolving both outcomes picks the right value.
+        assert_eq!(p.assign_outcome(TxnId(2), true), Entry::Simple(50));
+        let after = p.assign_outcome(TxnId(2), false);
+        assert_eq!(after, first);
+    }
+
+    #[test]
+    fn deps_lists_all_transactions() {
+        let first = in_doubt_int(90, 100, 1);
+        let second = Entry::in_doubt(Entry::Simple(50), first, TxnId(2));
+        let p = second.as_poly().unwrap();
+        let deps: Vec<u64> = p.deps().into_iter().map(|t| t.raw()).collect();
+        assert_eq!(deps, vec![1, 2]);
+    }
+
+    #[test]
+    fn resolve_selects_by_assignment() {
+        let e = in_doubt_int(90, 100, 1);
+        let p = e.as_poly().unwrap();
+        let mut a = BTreeMap::new();
+        a.insert(TxnId(1), true);
+        assert_eq!(p.resolve(&a), Some(&90));
+        a.insert(TxnId(1), false);
+        assert_eq!(p.resolve(&a), Some(&100));
+    }
+
+    #[test]
+    fn map_preserves_conditions_and_may_collapse() {
+        let e = in_doubt_int(90, 100, 1);
+        let p = e.as_poly().unwrap();
+        // Distinct outputs stay poly.
+        let doubled = p.map(|v| v * 2);
+        let dp = doubled.as_poly().unwrap();
+        assert_eq!(dp.condition_for(&180), Some(&Condition::var(TxnId(1))));
+        // Constant map collapses to a simple value.
+        assert_eq!(p.map(|_| 7), Entry::Simple(7));
+    }
+
+    #[test]
+    fn validate_rejects_bad_polyvalues() {
+        // Hand-built invalid polyvalues to exercise each error.
+        let t1 = Condition::var(TxnId(1));
+        let n1 = Condition::not_var(TxnId(1));
+        let not_disjoint = Polyvalue {
+            pairs: vec![(1i64, Condition::tru()), (2, t1.clone())],
+        };
+        assert_eq!(not_disjoint.validate(), Err(PolyError::NotDisjoint));
+        // A pair whose condition is unsatisfiable.
+        let has_false = Polyvalue {
+            pairs: vec![(1i64, t1.clone()), (2, t1.and(&n1))],
+        };
+        assert_eq!(has_false.validate(), Err(PolyError::FalseCondition));
+        let dup = Polyvalue {
+            pairs: vec![(1i64, t1.clone()), (1, n1.clone())],
+        };
+        assert_eq!(dup.validate(), Err(PolyError::DuplicateValue));
+        let incomplete = Polyvalue {
+            pairs: vec![(1i64, t1.and(&Condition::var(TxnId(2)))), (2, n1)],
+        };
+        assert_eq!(incomplete.validate(), Err(PolyError::NotComplete));
+        let empty: Polyvalue<i64> = Polyvalue { pairs: vec![] };
+        assert_eq!(empty.validate(), Err(PolyError::Empty));
+    }
+
+    #[test]
+    fn display_renders_pairs() {
+        let e = in_doubt_int(90, 100, 1);
+        let p = e.as_poly().unwrap();
+        assert_eq!(p.to_string(), "{⟨100, ¬T1⟩, ⟨90, T1⟩}");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PolyError::Empty.to_string().contains("no satisfiable"));
+        assert!(PolyError::NotComplete.to_string().contains("complete"));
+        assert!(PolyError::NotDisjoint.to_string().contains("disjoint"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Transaction identifiers.
+//!
+//! A [`TxnId`] names a transaction in the distributed system. Polyvalue
+//! conditions (see [`crate::cond`]) are boolean predicates whose variables are
+//! transaction identifiers: a variable is *true* if the transaction was
+//! completed and *false* if it was aborted.
+
+use std::fmt;
+
+/// A globally unique transaction identifier.
+///
+/// The identifier is an opaque 64-bit value. The engine layer encodes the
+/// coordinator site in the upper bits (see `pv-engine`), but nothing in the
+/// core algebra depends on that encoding.
+///
+/// # Examples
+///
+/// ```
+/// use pv_core::txn::TxnId;
+///
+/// let t = TxnId(7);
+/// assert_eq!(t.raw(), 7);
+/// assert_eq!(format!("{t}"), "T7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// Returns the raw 64-bit representation.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u64> for TxnId {
+    fn from(raw: u64) -> Self {
+        TxnId(raw)
+    }
+}
+
+/// The outcome of a transaction, once known.
+///
+/// `Completed` corresponds to the coordinator deciding *complete* (commit) and
+/// `Aborted` to *abort*. Substituting an outcome for a transaction identifier
+/// in a condition replaces the variable with `true` or `false` respectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The transaction was completed: its updates are the correct values.
+    Completed,
+    /// The transaction was aborted: its updates never took effect.
+    Aborted,
+}
+
+impl Outcome {
+    /// The truth value this outcome assigns to the transaction's variable.
+    pub fn as_bool(self) -> bool {
+        matches!(self, Outcome::Completed)
+    }
+
+    /// Builds an outcome from a truth value (`true` = completed).
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Outcome::Completed
+        } else {
+            Outcome::Aborted
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Completed => write!(f, "completed"),
+            Outcome::Aborted => write!(f, "aborted"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_display_and_raw() {
+        let t = TxnId(42);
+        assert_eq!(t.raw(), 42);
+        assert_eq!(t.to_string(), "T42");
+        assert_eq!(TxnId::from(42u64), t);
+    }
+
+    #[test]
+    fn txn_id_ordering_follows_raw_value() {
+        assert!(TxnId(1) < TxnId(2));
+        assert!(TxnId(100) > TxnId(99));
+    }
+
+    #[test]
+    fn outcome_bool_round_trip() {
+        assert!(Outcome::Completed.as_bool());
+        assert!(!Outcome::Aborted.as_bool());
+        assert_eq!(Outcome::from_bool(true), Outcome::Completed);
+        assert_eq!(Outcome::from_bool(false), Outcome::Aborted);
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(Outcome::Completed.to_string(), "completed");
+        assert_eq!(Outcome::Aborted.to_string(), "aborted");
+    }
+}

@@ -1,0 +1,396 @@
+//! Runtime values stored in database items.
+//!
+//! The polyvalue mechanism itself is value-agnostic ([`crate::poly`] is
+//! generic), but the transaction expression language ([`crate::expr`]) and
+//! the engine operate on this concrete, dynamically typed [`Value`].
+
+use std::fmt;
+
+/// A dynamically typed database value.
+///
+/// Arithmetic is checked: overflow and division by zero are reported as
+/// [`ValueError`]s rather than panicking, so a malformed transaction aborts
+/// instead of taking down a site.
+///
+/// # Examples
+///
+/// ```
+/// use pv_core::value::Value;
+///
+/// let a = Value::Int(40);
+/// let b = Value::Int(2);
+/// assert_eq!(a.add(&b).unwrap(), Value::Int(42));
+/// assert!(a.add(&Value::Bool(true)).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A 64-bit signed integer (account balances in cents, seat counts, …).
+    Int(i64),
+    /// A boolean (authorization decisions, flags).
+    Bool(bool),
+    /// A UTF-8 string (names, status labels).
+    Str(String),
+}
+
+/// Errors produced by value operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueError {
+    /// The operands' types do not fit the operation.
+    TypeMismatch {
+        /// The operation that failed, e.g. `"add"`.
+        op: &'static str,
+        /// Rendered left-hand operand.
+        lhs: String,
+        /// Rendered right-hand operand (empty for unary operations).
+        rhs: String,
+    },
+    /// Integer overflow in checked arithmetic.
+    Overflow {
+        /// The operation that overflowed.
+        op: &'static str,
+    },
+    /// Division (or remainder) by zero.
+    DivideByZero,
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::TypeMismatch { op, lhs, rhs } => {
+                if rhs.is_empty() {
+                    write!(f, "type mismatch in {op}: {lhs}")
+                } else {
+                    write!(f, "type mismatch in {op}: {lhs} vs {rhs}")
+                }
+            }
+            ValueError::Overflow { op } => write!(f, "integer overflow in {op}"),
+            ValueError::DivideByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+/// Result alias for value operations.
+pub type ValueResult = Result<Value, ValueError>;
+
+impl Value {
+    /// Reads the value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Reads the value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Reads the value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+        }
+    }
+
+    fn mismatch(op: &'static str, lhs: &Value, rhs: &Value) -> ValueError {
+        ValueError::TypeMismatch {
+            op,
+            lhs: lhs.to_string(),
+            rhs: rhs.to_string(),
+        }
+    }
+
+    fn int_op(
+        op: &'static str,
+        lhs: &Value,
+        rhs: &Value,
+        f: impl FnOnce(i64, i64) -> Option<i64>,
+    ) -> ValueResult {
+        match (lhs, rhs) {
+            (Value::Int(a), Value::Int(b)) => {
+                f(*a, *b).map(Value::Int).ok_or(ValueError::Overflow { op })
+            }
+            _ => Err(Value::mismatch(op, lhs, rhs)),
+        }
+    }
+
+    /// Checked addition (ints only).
+    pub fn add(&self, rhs: &Value) -> ValueResult {
+        Value::int_op("add", self, rhs, i64::checked_add)
+    }
+
+    /// Checked subtraction (ints only).
+    pub fn sub(&self, rhs: &Value) -> ValueResult {
+        Value::int_op("sub", self, rhs, i64::checked_sub)
+    }
+
+    /// Checked multiplication (ints only).
+    pub fn mul(&self, rhs: &Value) -> ValueResult {
+        Value::int_op("mul", self, rhs, i64::checked_mul)
+    }
+
+    /// Checked division (ints only); division by zero is an error.
+    pub fn div(&self, rhs: &Value) -> ValueResult {
+        match (self, rhs) {
+            (Value::Int(_), Value::Int(0)) => Err(ValueError::DivideByZero),
+            (Value::Int(a), Value::Int(b)) => a
+                .checked_div(*b)
+                .map(Value::Int)
+                .ok_or(ValueError::Overflow { op: "div" }),
+            _ => Err(Value::mismatch("div", self, rhs)),
+        }
+    }
+
+    /// Minimum of two values of the same type.
+    pub fn min_v(&self, rhs: &Value) -> ValueResult {
+        if self.type_name() != rhs.type_name() {
+            return Err(Value::mismatch("min", self, rhs));
+        }
+        Ok(if self <= rhs {
+            self.clone()
+        } else {
+            rhs.clone()
+        })
+    }
+
+    /// Maximum of two values of the same type.
+    pub fn max_v(&self, rhs: &Value) -> ValueResult {
+        if self.type_name() != rhs.type_name() {
+            return Err(Value::mismatch("max", self, rhs));
+        }
+        Ok(if self >= rhs {
+            self.clone()
+        } else {
+            rhs.clone()
+        })
+    }
+
+    /// Arithmetic negation (ints only).
+    pub fn neg(&self) -> ValueResult {
+        match self {
+            Value::Int(n) => n
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or(ValueError::Overflow { op: "neg" }),
+            _ => Err(ValueError::TypeMismatch {
+                op: "neg",
+                lhs: self.to_string(),
+                rhs: String::new(),
+            }),
+        }
+    }
+
+    /// Logical negation (bools only).
+    pub fn not(&self) -> ValueResult {
+        match self {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            _ => Err(ValueError::TypeMismatch {
+                op: "not",
+                lhs: self.to_string(),
+                rhs: String::new(),
+            }),
+        }
+    }
+
+    /// Logical conjunction (bools only).
+    pub fn and_v(&self, rhs: &Value) -> ValueResult {
+        match (self, rhs) {
+            (Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(*a && *b)),
+            _ => Err(Value::mismatch("and", self, rhs)),
+        }
+    }
+
+    /// Logical disjunction (bools only).
+    pub fn or_v(&self, rhs: &Value) -> ValueResult {
+        match (self, rhs) {
+            (Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(*a || *b)),
+            _ => Err(Value::mismatch("or", self, rhs)),
+        }
+    }
+
+    /// Typed comparison; comparing different types is an error.
+    pub fn compare(&self, op: CmpOp, rhs: &Value) -> ValueResult {
+        if self.type_name() != rhs.type_name() {
+            return Err(Value::mismatch(op.name(), self, rhs));
+        }
+        let r = match op {
+            CmpOp::Eq => self == rhs,
+            CmpOp::Ne => self != rhs,
+            CmpOp::Lt => self < rhs,
+            CmpOp::Le => self <= rhs,
+            CmpOp::Gt => self > rhs,
+            CmpOp::Ge => self >= rhs,
+        };
+        Ok(Value::Bool(r))
+    }
+}
+
+/// Comparison operators for [`Value::compare`] and the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator's short name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_happy_path() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(Value::Int(2).sub(&Value::Int(3)).unwrap(), Value::Int(-1));
+        assert_eq!(Value::Int(2).mul(&Value::Int(3)).unwrap(), Value::Int(6));
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(Value::Int(5).neg().unwrap(), Value::Int(-5));
+    }
+
+    #[test]
+    fn overflow_is_reported_not_panicked() {
+        assert_eq!(
+            Value::Int(i64::MAX).add(&Value::Int(1)),
+            Err(ValueError::Overflow { op: "add" })
+        );
+        assert_eq!(
+            Value::Int(i64::MIN).neg(),
+            Err(ValueError::Overflow { op: "neg" })
+        );
+        assert_eq!(
+            Value::Int(i64::MIN).div(&Value::Int(-1)),
+            Err(ValueError::Overflow { op: "div" })
+        );
+    }
+
+    #[test]
+    fn divide_by_zero() {
+        assert_eq!(
+            Value::Int(1).div(&Value::Int(0)),
+            Err(ValueError::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        assert!(Value::Int(1).add(&Value::Bool(true)).is_err());
+        assert!(Value::Bool(true).and_v(&Value::Int(1)).is_err());
+        assert!(Value::Int(1)
+            .compare(CmpOp::Lt, &Value::Str("x".into()))
+            .is_err());
+        assert!(Value::Str("x".into()).neg().is_err());
+        assert!(Value::Int(0).not().is_err());
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Value::Int(1).min_v(&Value::Int(2)).unwrap(), Value::Int(1));
+        assert_eq!(Value::Int(1).max_v(&Value::Int(2)).unwrap(), Value::Int(2));
+        assert!(Value::Int(1).min_v(&Value::Bool(false)).is_err());
+    }
+
+    #[test]
+    fn boolean_logic() {
+        let t = Value::Bool(true);
+        let f = Value::Bool(false);
+        assert_eq!(t.and_v(&f).unwrap(), f);
+        assert_eq!(t.or_v(&f).unwrap(), t);
+        assert_eq!(f.not().unwrap(), t);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = Value::Int(1);
+        let b = Value::Int(2);
+        assert_eq!(a.compare(CmpOp::Lt, &b).unwrap(), Value::Bool(true));
+        assert_eq!(a.compare(CmpOp::Ge, &b).unwrap(), Value::Bool(false));
+        assert_eq!(a.compare(CmpOp::Eq, &a).unwrap(), Value::Bool(true));
+        assert_eq!(a.compare(CmpOp::Ne, &b).unwrap(), Value::Bool(true));
+        let s1 = Value::Str("a".into());
+        let s2 = Value::Str("b".into());
+        assert_eq!(s1.compare(CmpOp::Le, &s2).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn accessors_and_conversions() {
+        assert_eq!(Value::from(3i64).as_int(), Some(3));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::Int(1).as_bool(), None);
+        assert_eq!(Value::Bool(true).as_int(), None);
+        assert_eq!(Value::Int(1).as_str(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Str("x".into()).to_string(), "\"x\"");
+    }
+}

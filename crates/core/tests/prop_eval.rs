@@ -1,0 +1,210 @@
+//! Property tests for the polytransaction evaluator (§3.2).
+//!
+//! The fundamental theorem being checked: evaluating a transaction against a
+//! database with polyvalues, then resolving the collated results under an
+//! outcome assignment, gives the same answer as first resolving the database
+//! and evaluating the transaction on plain values.
+
+use proptest::prelude::*;
+use pv_core::expr::{evaluate, ReadSource, SplitMode};
+use pv_core::{Condition, Entry, Expr, ItemId, TransactionSpec, TxnId, Value};
+use std::collections::BTreeMap;
+
+const VARS: u64 = 3;
+const ITEMS: u64 = 4;
+
+type Db = BTreeMap<ItemId, Entry<Value>>;
+
+/// Database generator: every item starts simple and accumulates 0–2 in-doubt
+/// updates, mirroring how polyvalues are created by the protocol.
+fn db_strategy() -> impl Strategy<Value = Db> {
+    prop::collection::vec(
+        (0i64..8, prop::collection::vec((0i64..8, 0..VARS), 0..3)),
+        ITEMS as usize,
+    )
+    .prop_map(|per_item| {
+        per_item
+            .into_iter()
+            .enumerate()
+            .map(|(i, (initial, history))| {
+                let mut e = Entry::Simple(Value::Int(initial));
+                for (new, txn) in history {
+                    e = Entry::in_doubt(Entry::Simple(Value::Int(new)), e, TxnId(txn));
+                }
+                (ItemId(i as u64), e)
+            })
+            .collect()
+    })
+}
+
+/// Total integer expressions (no division, so evaluation cannot fail).
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-4i64..8).prop_map(Expr::int),
+        (0..ITEMS).prop_map(|i| Expr::read(ItemId(i))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.min(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.max(b)),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Expr::ite(
+                c.lt(Expr::int(3)),
+                t,
+                e
+            )),
+        ]
+    })
+}
+
+fn spec_strategy() -> impl Strategy<Value = TransactionSpec> {
+    (
+        prop::option::of(expr_strategy()),
+        prop::collection::vec((0..ITEMS, expr_strategy()), 0..3),
+        prop::collection::vec(expr_strategy(), 0..2),
+    )
+        .prop_map(|(guard, updates, outputs)| {
+            let mut spec = TransactionSpec::new();
+            if let Some(g) = guard {
+                spec = spec.guard(g.lt(Expr::int(4)));
+            }
+            for (item, e) in updates {
+                spec = spec.update(ItemId(item), e);
+            }
+            for (i, e) in outputs.into_iter().enumerate() {
+                spec = spec.output(&format!("o{i}"), e);
+            }
+            spec
+        })
+}
+
+fn all_assignments() -> Vec<BTreeMap<TxnId, bool>> {
+    (0u32..(1 << VARS))
+        .map(|bits| {
+            (0..VARS)
+                .map(|v| (TxnId(v), bits & (1 << v) != 0))
+                .collect()
+        })
+        .collect()
+}
+
+/// Resolves every entry of the database under an assignment.
+fn resolve_db(db: &Db, a: &BTreeMap<TxnId, bool>) -> BTreeMap<ItemId, Value> {
+    db.iter()
+        .map(|(item, e)| (*item, e.resolve(a).expect("complete").clone()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Lazy and eager partitioning collate to identical results.
+    #[test]
+    fn lazy_and_eager_agree(db in db_strategy(), spec in spec_strategy()) {
+        let lazy = evaluate(&spec, &db, SplitMode::Lazy).unwrap();
+        let eager = evaluate(&spec, &db, SplitMode::Eager).unwrap();
+        prop_assert_eq!(
+            lazy.collate_writes(&db).unwrap(),
+            eager.collate_writes(&db).unwrap()
+        );
+        prop_assert_eq!(
+            lazy.collate_outputs().unwrap(),
+            eager.collate_outputs().unwrap()
+        );
+        // Lazy never produces more alternatives than eager.
+        prop_assert!(lazy.alts.len() <= eager.alts.len());
+    }
+
+    /// Alternative conditions are complete and pairwise disjoint — the §3.2
+    /// guarantee that makes the produced polyvalues valid.
+    #[test]
+    fn alternative_conditions_are_complete_and_disjoint(
+        db in db_strategy(),
+        spec in spec_strategy(),
+        mode in prop_oneof![Just(SplitMode::Lazy), Just(SplitMode::Eager)],
+    ) {
+        let out = evaluate(&spec, &db, mode).unwrap();
+        let conds: Vec<&Condition> = out.alts.iter().map(|a| &a.cond).collect();
+        prop_assert!(Condition::complete(conds.iter().copied()));
+        prop_assert!(Condition::pairwise_disjoint(&conds));
+    }
+
+    /// The fundamental correctness property: polyevaluation then resolution
+    /// equals resolution then plain evaluation.
+    #[test]
+    fn polyeval_commutes_with_resolution(db in db_strategy(), spec in spec_strategy()) {
+        let out = evaluate(&spec, &db, SplitMode::Lazy).unwrap();
+        let writes = out.collate_writes(&db).unwrap();
+        let outputs = out.collate_outputs().unwrap();
+        for a in all_assignments() {
+            // Reference: evaluate against the resolved (plain) database.
+            let plain = resolve_db(&db, &a);
+            let plain_entries: Db =
+                plain.iter().map(|(i, v)| (*i, Entry::Simple(v.clone()))).collect();
+            let reference = evaluate(&spec, &plain_entries, SplitMode::Lazy).unwrap();
+            prop_assert_eq!(reference.alts.len(), 1);
+            let ref_alt = &reference.alts[0];
+
+            // Writes: each collated entry resolves to the reference value, or
+            // to the resolved current value if the reference did not write.
+            for (item, entry) in &writes {
+                let expect = ref_alt
+                    .writes
+                    .get(item)
+                    .cloned()
+                    .unwrap_or_else(|| plain[item].clone());
+                prop_assert_eq!(entry.resolve(&a), Some(&expect));
+            }
+            // Items never collated must not have been written by the
+            // reference either.
+            for item in ref_alt.writes.keys() {
+                prop_assert!(writes.contains_key(item));
+            }
+
+            // Outputs match pointwise.
+            for (idx, (name, entry)) in outputs.iter().enumerate() {
+                let (ref_name, ref_val) = &ref_alt.outputs[idx];
+                prop_assert_eq!(name, ref_name);
+                prop_assert_eq!(entry.resolve(&a), Some(ref_val));
+            }
+        }
+    }
+
+    /// Every collated entry satisfies the polyvalue invariant.
+    #[test]
+    fn collated_entries_are_valid(db in db_strategy(), spec in spec_strategy()) {
+        let out = evaluate(&spec, &db, SplitMode::Lazy).unwrap();
+        for entry in out.collate_writes(&db).unwrap().values() {
+            entry.validate().unwrap();
+        }
+        for (_, entry) in out.collate_outputs().unwrap() {
+            entry.validate().unwrap();
+        }
+        out.collate_granted().unwrap().validate().unwrap();
+    }
+
+    /// A transaction whose static read set contains no polyvalued item is
+    /// never partitioned and produces only simple writes.
+    #[test]
+    fn certain_inputs_never_propagate_uncertainty(spec in spec_strategy()) {
+        let db: Db = (0..ITEMS)
+            .map(|i| (ItemId(i), Entry::Simple(Value::Int(i as i64))))
+            .collect();
+        let out = evaluate(&spec, &db, SplitMode::Lazy).unwrap();
+        prop_assert_eq!(out.alts.len(), 1);
+        for entry in out.collate_writes(&db).unwrap().values() {
+            prop_assert!(entry.is_simple());
+        }
+    }
+
+    /// Reading through the `ReadSource` trait object works for both map kinds.
+    #[test]
+    fn read_source_impls_agree(v in 0i64..100) {
+        let mut em: Db = BTreeMap::new();
+        em.insert(ItemId(0), Entry::Simple(Value::Int(v)));
+        let mut vm: BTreeMap<ItemId, Value> = BTreeMap::new();
+        vm.insert(ItemId(0), Value::Int(v));
+        prop_assert_eq!(em.read_entry(ItemId(0)), vm.read_entry(ItemId(0)));
+    }
+}

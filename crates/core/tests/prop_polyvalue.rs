@@ -1,0 +1,156 @@
+//! Property tests: polyvalues denote functions from outcome assignments to
+//! values, and every operation preserves that denotation.
+
+use proptest::prelude::*;
+use pv_core::{Entry, TxnId, Value};
+use std::collections::BTreeMap;
+
+const VARS: u64 = 4;
+
+/// A history of in-doubt updates: each step stacks `{⟨new, T⟩, ⟨old, ¬T⟩}`
+/// on the current entry. This is exactly how polyvalues arise in the system,
+/// so entries generated this way always satisfy the invariant.
+fn entry_history() -> impl Strategy<Value = Vec<(i64, u64)>> {
+    prop::collection::vec((0i64..6, 0..VARS), 0..5)
+}
+
+fn build_entry(initial: i64, history: &[(i64, u64)]) -> Entry<Value> {
+    let mut entry = Entry::Simple(Value::Int(initial));
+    for (new, txn) in history {
+        entry = Entry::in_doubt(Entry::Simple(Value::Int(*new)), entry, TxnId(*txn));
+    }
+    entry
+}
+
+fn all_assignments() -> Vec<BTreeMap<TxnId, bool>> {
+    (0u32..(1 << VARS))
+        .map(|bits| {
+            (0..VARS)
+                .map(|v| (TxnId(v), bits & (1 << v) != 0))
+                .collect()
+        })
+        .collect()
+}
+
+/// The reference denotation: replay the history under an assignment.
+fn reference(initial: i64, history: &[(i64, u64)], a: &BTreeMap<TxnId, bool>) -> i64 {
+    let mut v = initial;
+    for (new, txn) in history {
+        if a[&TxnId(*txn)] {
+            v = *new;
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Entries built from in-doubt histories always satisfy the §3 invariant
+    /// (complete, disjoint, minimal).
+    #[test]
+    fn in_doubt_histories_are_valid(initial in 0i64..6, history in entry_history()) {
+        let entry = build_entry(initial, &history);
+        entry.validate().unwrap();
+    }
+
+    /// The entry resolves to exactly the replayed value on every assignment.
+    #[test]
+    fn resolve_matches_replay(initial in 0i64..6, history in entry_history()) {
+        let entry = build_entry(initial, &history);
+        for a in all_assignments() {
+            let expect = Value::Int(reference(initial, &history, &a));
+            prop_assert_eq!(entry.resolve(&a), Some(&expect));
+        }
+    }
+
+    /// Substituting outcomes one at a time, in any order, converges to the
+    /// same simple value as direct resolution.
+    #[test]
+    fn outcome_substitution_commutes_with_resolution(
+        initial in 0i64..6,
+        history in entry_history(),
+        order in Just(()).prop_perturb(|_, mut rng| {
+            let mut order: Vec<u64> = (0..VARS).collect();
+            for i in (1..order.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            order
+        }),
+        bits in 0u32..(1 << VARS),
+    ) {
+        let entry = build_entry(initial, &history);
+        let a: BTreeMap<TxnId, bool> =
+            (0..VARS).map(|v| (TxnId(v), bits & (1 << v) != 0)).collect();
+        let mut reduced = entry.clone();
+        for v in order {
+            reduced = reduced.assign_outcome(TxnId(v), a[&TxnId(v)]);
+            reduced.validate().unwrap();
+        }
+        let expect = Value::Int(reference(initial, &history, &a));
+        prop_assert_eq!(reduced, Entry::Simple(expect));
+    }
+
+    /// Partial substitution never grows the pair count and never loses the
+    /// values consistent with the remaining uncertainty.
+    #[test]
+    fn partial_substitution_shrinks(
+        initial in 0i64..6,
+        history in entry_history(),
+        var in 0..VARS,
+        value: bool,
+    ) {
+        let entry = build_entry(initial, &history);
+        let after = entry.assign_outcome(TxnId(var), value);
+        prop_assert!(after.pair_count() <= entry.pair_count());
+        prop_assert!(!after.deps().contains(&TxnId(var)));
+        // Every remaining assignment agrees with the original entry.
+        for mut a in all_assignments() {
+            a.insert(TxnId(var), value);
+            prop_assert_eq!(after.resolve(&a), entry.resolve(&a));
+        }
+    }
+
+    /// `map` distributes over resolution: resolve-then-apply equals
+    /// apply-then-resolve.
+    #[test]
+    fn map_commutes_with_resolve(
+        initial in 0i64..6,
+        history in entry_history(),
+        offset in -5i64..5,
+    ) {
+        let entry = build_entry(initial, &history);
+        let mapped = entry.map(|v| {
+            Value::Int(v.as_int().expect("ints only") + offset)
+        });
+        mapped.validate().unwrap();
+        for a in all_assignments() {
+            let direct = Value::Int(reference(initial, &history, &a) + offset);
+            prop_assert_eq!(mapped.resolve(&a), Some(&direct));
+        }
+    }
+
+    /// min/max bound every possible resolution.
+    #[test]
+    fn min_max_bound_resolutions(initial in 0i64..6, history in entry_history()) {
+        let entry = build_entry(initial, &history);
+        for a in all_assignments() {
+            let v = entry.resolve(&a).unwrap().clone();
+            prop_assert!(*entry.min_value() <= v);
+            prop_assert!(v <= *entry.max_value());
+        }
+    }
+
+    /// Pair count never exceeds the number of distinct values in the history
+    /// plus the initial value.
+    #[test]
+    fn pair_count_is_bounded_by_distinct_values(initial in 0i64..6, history in entry_history()) {
+        let entry = build_entry(initial, &history);
+        let mut distinct: Vec<i64> = history.iter().map(|(v, _)| *v).collect();
+        distinct.push(initial);
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(entry.pair_count() <= distinct.len());
+    }
+}

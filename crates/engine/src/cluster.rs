@@ -1,0 +1,284 @@
+//! Cluster assembly: sites + clients in one simulated world.
+
+use crate::client::{Client, ClientConfig};
+use crate::config::EngineConfig;
+use crate::directory::Directory;
+use crate::messages::Msg;
+use crate::site::{site_node, Site};
+use crate::workload::Workload;
+use pv_core::{Entry, ItemId, Value};
+use pv_simnet::{NetConfig, NodeId, SimTime, World};
+use pv_store::SiteId;
+
+/// The node type of an engine world: either a database site or a client.
+pub enum Node {
+    /// A database site.
+    Site(Box<Site>),
+    /// A workload client.
+    Client(Box<Client>),
+}
+
+impl pv_simnet::Actor for Node {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut pv_simnet::Ctx<Msg>) {
+        match self {
+            Node::Site(s) => s.on_start(ctx),
+            Node::Client(c) => c.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut pv_simnet::Ctx<Msg>, from: NodeId, msg: Msg) {
+        match self {
+            Node::Site(s) => s.on_message(ctx, from, msg),
+            Node::Client(c) => c.on_message(ctx, from, msg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut pv_simnet::Ctx<Msg>, key: u64) {
+        match self {
+            Node::Site(s) => s.on_timer(ctx, key),
+            Node::Client(c) => c.on_timer(ctx, key),
+        }
+    }
+
+    fn on_crash(&mut self) {
+        match self {
+            Node::Site(s) => s.on_crash(),
+            Node::Client(c) => c.on_crash(),
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut pv_simnet::Ctx<Msg>) {
+        match self {
+            Node::Site(s) => s.on_recover(ctx),
+            Node::Client(c) => c.on_recover(ctx),
+        }
+    }
+}
+
+/// Builder for a simulated cluster.
+pub struct ClusterBuilder {
+    seed: u64,
+    net: NetConfig,
+    engine: EngineConfig,
+    sites: u32,
+    directory: Directory,
+    items: Vec<(ItemId, Value)>,
+    clients: Vec<(ClientConfig, Box<dyn Workload>)>,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for `sites` sites placed by `directory`.
+    pub fn new(sites: u32, directory: Directory) -> Self {
+        assert!(sites > 0);
+        ClusterBuilder {
+            seed: 0,
+            net: NetConfig::default(),
+            engine: EngineConfig::default(),
+            sites,
+            directory,
+            items: Vec::new(),
+            clients: Vec::new(),
+        }
+    }
+
+    /// Sets the random seed (runs are reproducible per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the network model.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Sets the engine configuration (protocol, timeouts).
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Seeds an initial item value (placed by the directory).
+    pub fn item(mut self, item: ItemId, value: Value) -> Self {
+        self.items.push((item, value));
+        self
+    }
+
+    /// Seeds items `0..n` with the same integer value.
+    pub fn uniform_items(mut self, n: u64, value: i64) -> Self {
+        for i in 0..n {
+            self.items.push((ItemId(i), Value::Int(value)));
+        }
+        self
+    }
+
+    /// Adds a client driven by `workload`.
+    pub fn client(mut self, config: ClientConfig, workload: Box<dyn Workload>) -> Self {
+        self.clients.push((config, workload));
+        self
+    }
+
+    /// Builds the world: sites first (node ids `0..sites`), then clients.
+    pub fn build(self) -> Cluster {
+        let mut world = World::new(self.seed, self.net);
+        for s in 0..self.sites {
+            let mut site = Site::new(s as SiteId, self.engine.clone(), self.directory.clone());
+            for (item, value) in &self.items {
+                if self.directory.site_of(*item) == Some(s as SiteId) {
+                    site.seed_item(*item, value.clone());
+                }
+            }
+            let id = world.add_node(Node::Site(Box::new(site)));
+            debug_assert_eq!(id, site_node(s as SiteId));
+        }
+        let mut client_nodes = Vec::with_capacity(self.clients.len());
+        for (config, workload) in self.clients {
+            let client = Client::new(config, self.directory.clone(), self.sites, workload);
+            client_nodes.push(world.add_node(Node::Client(Box::new(client))));
+        }
+        Cluster {
+            world,
+            sites: self.sites,
+            client_nodes,
+            directory: self.directory,
+        }
+    }
+}
+
+/// A running simulated cluster.
+pub struct Cluster {
+    /// The underlying simulation world (exposed for failure injection and
+    /// fine-grained control).
+    pub world: World<Node>,
+    sites: u32,
+    client_nodes: Vec<NodeId>,
+    directory: Directory,
+}
+
+impl Cluster {
+    /// Number of sites.
+    pub fn site_count(&self) -> u32 {
+        self.sites
+    }
+
+    /// The node ids of the clients, in the order they were added.
+    pub fn client_nodes(&self) -> &[NodeId] {
+        &self.client_nodes
+    }
+
+    /// Immutable access to a site.
+    pub fn site(&self, s: SiteId) -> &Site {
+        match self.world.actor(site_node(s)) {
+            Node::Site(site) => site,
+            Node::Client(_) => panic!("node {s} is a client"),
+        }
+    }
+
+    /// Immutable access to a client by index.
+    pub fn client(&self, idx: usize) -> &Client {
+        match self.world.actor(self.client_nodes[idx]) {
+            Node::Client(c) => c,
+            Node::Site(_) => panic!("client index {idx} resolves to a site"),
+        }
+    }
+
+    /// Runs the simulation until virtual time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.world.run_until(t);
+    }
+
+    /// Total number of items holding polyvalues across all sites — the
+    /// paper's `P(t)` for the engine-level system.
+    pub fn total_poly_count(&self) -> usize {
+        (0..self.sites)
+            .map(|s| self.site(s as SiteId).poly_count())
+            .sum()
+    }
+
+    /// Samples the polyvalue census into the metrics gauge `poly.count`.
+    pub fn sample_poly_gauge(&mut self) {
+        let now = self.world.now();
+        let count = self.total_poly_count() as f64;
+        self.world.metrics_mut().gauge("poly.count", now, count);
+    }
+
+    /// The current entry of an item, wherever it lives.
+    pub fn item_entry(&self, item: ItemId) -> Option<Entry<Value>> {
+        let site = self.directory.site_of(item)?;
+        self.site(site).store().get(item).cloned()
+    }
+
+    /// Whether every site is fully quiescent: no in-flight protocol state,
+    /// no staged transactions, no tracked outcomes.
+    pub fn all_quiescent(&self) -> bool {
+        (0..self.sites).all(|s| self.site(s as SiteId).is_quiescent())
+    }
+
+    /// Sums an integer item range (consistency checks, e.g. conservation of
+    /// money). Panics if any item is missing or uncertain.
+    pub fn sum_items(&self, items: impl Iterator<Item = ItemId>) -> i64 {
+        items
+            .map(|item| {
+                let entry = self
+                    .item_entry(item)
+                    .unwrap_or_else(|| panic!("missing {item}"));
+                match entry {
+                    Entry::Simple(Value::Int(n)) => n,
+                    other => panic!("{item} is not a simple int: {other}"),
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Script;
+    use pv_simnet::SimDuration;
+
+    #[test]
+    fn builder_places_items_by_directory() {
+        let cluster = ClusterBuilder::new(3, Directory::Mod(3))
+            .uniform_items(9, 7)
+            .build();
+        for s in 0..3u32 {
+            assert_eq!(cluster.site(s).store().item_count(), 3);
+        }
+        assert_eq!(
+            cluster.item_entry(ItemId(4)),
+            Some(Entry::Simple(Value::Int(7)))
+        );
+        assert_eq!(cluster.sum_items((0..9).map(ItemId)), 63);
+        assert!(cluster.all_quiescent());
+        assert_eq!(cluster.total_poly_count(), 0);
+        assert_eq!(cluster.site_count(), 3);
+    }
+
+    #[test]
+    fn clients_are_added_after_sites() {
+        let cluster = ClusterBuilder::new(2, Directory::Mod(2))
+            .client(
+                ClientConfig::default(),
+                Box::new(Script::new(vec![], SimDuration::from_millis(1))),
+            )
+            .build();
+        assert_eq!(cluster.client_nodes(), &[NodeId(2)]);
+        assert_eq!(cluster.client(0).outstanding_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a client")]
+    fn site_accessor_rejects_clients() {
+        let cluster = ClusterBuilder::new(1, Directory::Mod(1))
+            .client(
+                ClientConfig::default(),
+                Box::new(Script::new(vec![], SimDuration::from_millis(1))),
+            )
+            .build();
+        let _ = cluster.site(1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Item placement: which site holds which item.
+
+use pv_core::ItemId;
+use pv_store::SiteId;
+use std::collections::BTreeMap;
+
+/// Maps items to their home sites. Every site and client of a cluster holds
+/// the same directory (placement is static, as in the paper's model where
+/// "each item is stored at one of the sites").
+#[derive(Debug, Clone)]
+pub enum Directory {
+    /// Item `i` lives at site `i mod n`.
+    Mod(u32),
+    /// Explicit placement; items absent from the map do not exist.
+    Explicit(BTreeMap<ItemId, SiteId>),
+}
+
+impl Directory {
+    /// The home site of `item`, or `None` if the item does not exist
+    /// (explicit directories only).
+    pub fn site_of(&self, item: ItemId) -> Option<SiteId> {
+        match self {
+            Directory::Mod(n) => {
+                assert!(*n > 0, "directory over zero sites");
+                Some((item.0 % u64::from(*n)) as SiteId)
+            }
+            Directory::Explicit(map) => map.get(&item).copied(),
+        }
+    }
+
+    /// Groups items by home site, preserving the input order within a site.
+    pub fn group_by_site<T: Copy, I: IntoIterator<Item = (ItemId, T)>>(
+        &self,
+        items: I,
+    ) -> BTreeMap<SiteId, Vec<(ItemId, T)>> {
+        let mut out: BTreeMap<SiteId, Vec<(ItemId, T)>> = BTreeMap::new();
+        for (item, tag) in items {
+            let site = self
+                .site_of(item)
+                .unwrap_or_else(|| panic!("no site holds {item}"));
+            out.entry(site).or_default().push((item, tag));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_directory_spreads_items() {
+        let d = Directory::Mod(3);
+        assert_eq!(d.site_of(ItemId(0)), Some(0));
+        assert_eq!(d.site_of(ItemId(1)), Some(1));
+        assert_eq!(d.site_of(ItemId(2)), Some(2));
+        assert_eq!(d.site_of(ItemId(3)), Some(0));
+    }
+
+    #[test]
+    fn explicit_directory() {
+        let d = Directory::Explicit([(ItemId(1), 5), (ItemId(2), 5)].into());
+        assert_eq!(d.site_of(ItemId(1)), Some(5));
+        assert_eq!(d.site_of(ItemId(9)), None);
+    }
+
+    #[test]
+    fn grouping() {
+        let d = Directory::Mod(2);
+        let groups = d.group_by_site([(ItemId(0), 'a'), (ItemId(1), 'b'), (ItemId(2), 'c')]);
+        assert_eq!(groups[&0], vec![(ItemId(0), 'a'), (ItemId(2), 'c')]);
+        assert_eq!(groups[&1], vec![(ItemId(1), 'b')]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no site holds")]
+    fn grouping_unknown_item_panics() {
+        let d = Directory::Explicit(BTreeMap::new());
+        let _ = d.group_by_site([(ItemId(1), ())]);
+    }
+}

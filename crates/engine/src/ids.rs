@@ -1,0 +1,87 @@
+//! Transaction identifier encoding.
+//!
+//! A transaction id embeds its coordinator site (and the coordinator's
+//! epoch), so any site holding a polyvalue can compute *whom to ask* about
+//! the outcome without a directory lookup:
+//!
+//! ```text
+//! 63        48 47        32 31                     0
+//! +-----------+------------+------------------------+
+//! | site (16) | epoch (16) |      counter (32)      |
+//! +-----------+------------+------------------------+
+//! ```
+
+use pv_core::TxnId;
+use pv_store::SiteId;
+
+/// Builds a transaction id for a coordinator site, epoch, and counter.
+///
+/// # Panics
+///
+/// Panics if `site` or `epoch` exceed 16 bits or `counter` exceeds 32 bits —
+/// limits far beyond any simulated cluster.
+pub fn encode_txn(site: SiteId, epoch: u32, counter: u64) -> TxnId {
+    assert!(site < (1 << 16), "site id out of range");
+    assert!(epoch < (1 << 16), "epoch out of range");
+    assert!(counter < (1 << 32), "transaction counter out of range");
+    TxnId((u64::from(site) << 48) | (u64::from(epoch) << 32) | counter)
+}
+
+/// The coordinator site embedded in a transaction id.
+pub fn coordinator_of(txn: TxnId) -> SiteId {
+    (txn.raw() >> 48) as SiteId
+}
+
+/// The coordinator epoch embedded in a transaction id.
+pub fn epoch_of(txn: TxnId) -> u32 {
+    ((txn.raw() >> 32) & 0xFFFF) as u32
+}
+
+/// The per-epoch counter embedded in a transaction id.
+pub fn counter_of(txn: TxnId) -> u64 {
+    txn.raw() & 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let t = encode_txn(7, 3, 12345);
+        assert_eq!(coordinator_of(t), 7);
+        assert_eq!(epoch_of(t), 3);
+        assert_eq!(counter_of(t), 12345);
+    }
+
+    #[test]
+    fn distinct_sites_give_distinct_ids() {
+        assert_ne!(encode_txn(1, 0, 5), encode_txn(2, 0, 5));
+        assert_ne!(encode_txn(1, 0, 5), encode_txn(1, 1, 5));
+        assert_ne!(encode_txn(1, 0, 5), encode_txn(1, 0, 6));
+    }
+
+    #[test]
+    fn ids_order_within_a_site_by_epoch_then_counter() {
+        assert!(encode_txn(1, 0, 9) < encode_txn(1, 1, 0));
+        assert!(encode_txn(1, 1, 0) < encode_txn(1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "site id out of range")]
+    fn oversized_site_panics() {
+        encode_txn(1 << 16, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter out of range")]
+    fn oversized_counter_panics() {
+        encode_txn(0, 0, 1 << 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch out of range")]
+    fn oversized_epoch_panics() {
+        encode_txn(0, 1 << 16, 0);
+    }
+}

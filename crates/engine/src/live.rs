@@ -1,0 +1,556 @@
+//! A live, thread-backed deployment of the engine.
+//!
+//! The simulated world is where the paper's experiments run, but the same
+//! [`Site`] logic also deploys onto real threads: one OS thread per site,
+//! crossbeam channels as the network, a timer wheel per thread, and wall
+//! clock time. This is possible because sites are *sans-io* actors — every
+//! side effect goes through the [`pv_simnet::Ctx`] effect interface, which
+//! this module drives externally via [`pv_simnet::Ctx::external`].
+//!
+//! The live runtime supports crash/recover injection (the thread drops its
+//! volatile state and replays the WAL, exactly like the simulation) and
+//! shared metrics behind a `parking_lot` mutex.
+
+use crate::config::EngineConfig;
+use crate::directory::Directory;
+use crate::messages::{Msg, TxnResult};
+use crate::site::Site;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use pv_core::{ItemId, Value};
+use pv_simnet::{Actor, Ctx, Effect, Metrics, NodeId, SimRng, SimTime};
+use pv_store::SiteId;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The shared registry of client reply channels, keyed by client node id.
+type ClientRegistry = Arc<Mutex<BTreeMap<u32, Sender<(u64, TxnResult)>>>>;
+
+/// What flows over a site thread's inbox.
+enum Envelope {
+    /// A protocol message from another node.
+    Deliver { from: NodeId, msg: Msg },
+    /// Crash the site: volatile state is dropped, the WAL survives.
+    Crash,
+    /// Recover the site.
+    Recover,
+    /// Reply with a state snapshot.
+    Inspect(Sender<SiteSnapshot>),
+    /// Shut the thread down.
+    Stop,
+}
+
+/// A point-in-time view of one live site.
+#[derive(Debug, Clone)]
+pub struct SiteSnapshot {
+    /// The site's id.
+    pub site: SiteId,
+    /// Whether it is currently up.
+    pub up: bool,
+    /// Items currently holding polyvalues.
+    pub poly_count: usize,
+    /// Entries of every item the site holds.
+    pub items: Vec<(ItemId, pv_core::Entry<Value>)>,
+    /// Whether any protocol state is still in flight.
+    pub quiescent: bool,
+}
+
+/// One pending timer in a site thread's wheel.
+struct PendingTimer {
+    due: Instant,
+    id: u64,
+    key: u64,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.id == other.id
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed so the heap pops the earliest timer.
+        other.due.cmp(&self.due).then(other.id.cmp(&self.id))
+    }
+}
+
+/// The per-thread driver translating [`Effect`]s into channels and timers.
+struct SiteThread {
+    site: Site,
+    me: NodeId,
+    inbox: Receiver<Envelope>,
+    peers: Vec<Sender<Envelope>>,
+    clients: ClientRegistry,
+    metrics: Arc<Mutex<Metrics>>,
+    rng: SimRng,
+    next_timer_id: u64,
+    timers: BinaryHeap<PendingTimer>,
+    cancelled: BTreeSet<u64>,
+    epoch: Instant,
+    up: bool,
+}
+
+impl SiteThread {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Runs one actor callback and applies its effects.
+    fn callback(&mut self, f: impl FnOnce(&mut Site, &mut Ctx<Msg>)) {
+        let mut metrics = self.metrics.lock();
+        let mut ctx = Ctx::external(
+            self.now(),
+            self.me,
+            &mut self.rng,
+            &mut metrics,
+            &mut self.next_timer_id,
+        );
+        f(&mut self.site, &mut ctx);
+        let effects = ctx.drain_effects();
+        drop(metrics);
+        let now = self.now();
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    // Replies route to client channels; everything else to
+                    // site inboxes. A send to a missing peer is dropped,
+                    // like a datagram.
+                    if let Msg::Reply { req_id, result } = msg {
+                        if let Some(tx) = self.clients.lock().get(&to.0) {
+                            let _ = tx.send((req_id, result));
+                        }
+                        continue;
+                    }
+                    if let Some(peer) = self.peers.get(to.0 as usize) {
+                        let _ = peer.send(Envelope::Deliver { from: self.me, msg });
+                    }
+                }
+                Effect::SetTimer { id, key, at } => {
+                    let delay =
+                        Duration::from_micros(at.as_micros().saturating_sub(now.as_micros()));
+                    self.timers.push(PendingTimer {
+                        due: Instant::now() + delay,
+                        id,
+                        key,
+                    });
+                }
+                Effect::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> Site {
+        loop {
+            // Fire due timers (only while up; a crash voids the wheel).
+            while self.up {
+                match self.timers.peek() {
+                    Some(t) if t.due <= Instant::now() => {
+                        let t = self.timers.pop().expect("peeked");
+                        if self.cancelled.remove(&t.id) {
+                            continue;
+                        }
+                        let key = t.key;
+                        self.callback(|site, ctx| site.on_timer(ctx, key));
+                    }
+                    _ => break,
+                }
+            }
+            let wait = self
+                .timers
+                .peek()
+                .filter(|_| self.up)
+                .map(|t| t.due.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(50));
+            match self.inbox.recv_timeout(wait) {
+                Ok(Envelope::Deliver { from, msg }) => {
+                    if self.up {
+                        self.callback(|site, ctx| site.on_message(ctx, from, msg));
+                    }
+                    // A crashed site drops traffic on the floor.
+                }
+                Ok(Envelope::Crash) => {
+                    if self.up {
+                        self.up = false;
+                        self.timers.clear();
+                        self.cancelled.clear();
+                        self.site.on_crash();
+                        self.metrics.lock().inc("live.crashes");
+                    }
+                }
+                Ok(Envelope::Recover) => {
+                    if !self.up {
+                        self.up = true;
+                        self.callback(|site, ctx| site.on_recover(ctx));
+                        self.metrics.lock().inc("live.recoveries");
+                    }
+                }
+                Ok(Envelope::Inspect(reply)) => {
+                    let snapshot = SiteSnapshot {
+                        site: self.site.id(),
+                        up: self.up,
+                        poly_count: self.site.poly_count(),
+                        items: self
+                            .site
+                            .store()
+                            .iter_items()
+                            .map(|(i, e)| (i, e.clone()))
+                            .collect(),
+                        quiescent: self.site.is_quiescent(),
+                    };
+                    let _ = reply.send(snapshot);
+                }
+                Ok(Envelope::Stop) => return self.site,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return self.site,
+            }
+        }
+    }
+}
+
+/// Errors from interacting with a live cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiveError {
+    /// No reply arrived within the deadline.
+    Timeout,
+    /// The cluster is shutting down.
+    Disconnected,
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Timeout => write!(f, "no reply within the deadline"),
+            LiveError::Disconnected => write!(f, "live cluster is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+/// A running thread-per-site deployment of the engine.
+///
+/// # Examples
+///
+/// ```
+/// use pv_core::{Expr, ItemId, TransactionSpec, Value};
+/// use pv_engine::live::LiveCluster;
+/// use pv_engine::{Directory, EngineConfig};
+/// use std::time::Duration;
+///
+/// let cluster = LiveCluster::start(
+///     2,
+///     Directory::Mod(2),
+///     EngineConfig::default(),
+///     vec![(ItemId(0), Value::Int(100)), (ItemId(1), Value::Int(0))],
+/// );
+/// let transfer = TransactionSpec::new()
+///     .guard(Expr::read(ItemId(0)).ge(Expr::int(40)))
+///     .update(ItemId(0), Expr::read(ItemId(0)).sub(Expr::int(40)))
+///     .update(ItemId(1), Expr::read(ItemId(1)).add(Expr::int(40)));
+/// let result = cluster.submit(0, &transfer, Duration::from_secs(5)).unwrap();
+/// assert!(result.is_committed());
+/// cluster.shutdown();
+/// ```
+pub struct LiveCluster {
+    senders: Vec<Sender<Envelope>>,
+    handles: Vec<std::thread::JoinHandle<Site>>,
+    clients: ClientRegistry,
+    metrics: Arc<Mutex<Metrics>>,
+    client_rx: Receiver<(u64, TxnResult)>,
+    client_node: u32,
+    next_req: Mutex<u64>,
+}
+
+impl LiveCluster {
+    /// Spawns `sites` site threads, seeds `items`, and returns the handle.
+    pub fn start(
+        sites: u32,
+        directory: Directory,
+        config: EngineConfig,
+        items: Vec<(ItemId, Value)>,
+    ) -> Self {
+        assert!(sites > 0);
+        let metrics = Arc::new(Mutex::new(Metrics::new()));
+        let clients = Arc::new(Mutex::new(BTreeMap::new()));
+        let epoch = Instant::now();
+        let mut senders = Vec::with_capacity(sites as usize);
+        let mut inboxes = Vec::with_capacity(sites as usize);
+        for _ in 0..sites {
+            let (tx, rx) = channel::unbounded();
+            senders.push(tx);
+            inboxes.push(rx);
+        }
+        let mut handles = Vec::with_capacity(sites as usize);
+        for (s, inbox) in inboxes.into_iter().enumerate() {
+            let mut site = Site::new(s as SiteId, config.clone(), directory.clone());
+            for (item, value) in &items {
+                if directory.site_of(*item) == Some(s as SiteId) {
+                    site.seed_item(*item, value.clone());
+                }
+            }
+            let thread = SiteThread {
+                site,
+                me: NodeId(s as u32),
+                inbox,
+                peers: senders.clone(),
+                clients: Arc::clone(&clients),
+                metrics: Arc::clone(&metrics),
+                rng: SimRng::new(0xC0FFEE + s as u64),
+                next_timer_id: 0,
+                timers: BinaryHeap::new(),
+                cancelled: BTreeSet::new(),
+                epoch,
+                up: true,
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pv-site-{s}"))
+                    .spawn(move || thread.run())
+                    .expect("spawn site thread"),
+            );
+        }
+        // Register one client channel, addressed as node `sites`.
+        let client_node = sites;
+        let (ctx_tx, client_rx) = channel::unbounded();
+        clients.lock().insert(client_node, ctx_tx);
+        LiveCluster {
+            senders,
+            handles,
+            clients,
+            metrics,
+            client_rx,
+            client_node,
+            next_req: Mutex::new(1),
+        }
+    }
+
+    /// Submits a transaction to `coordinator` and blocks for the result.
+    pub fn submit(
+        &self,
+        coordinator: SiteId,
+        spec: &pv_core::TransactionSpec,
+        deadline: Duration,
+    ) -> Result<TxnResult, LiveError> {
+        let req_id = {
+            let mut next = self.next_req.lock();
+            let id = *next;
+            *next += 1;
+            id
+        };
+        self.senders[coordinator as usize]
+            .send(Envelope::Deliver {
+                from: NodeId(self.client_node),
+                msg: Msg::Submit {
+                    req_id,
+                    spec: spec.clone(),
+                },
+            })
+            .map_err(|_| LiveError::Disconnected)?;
+        let limit = Instant::now() + deadline;
+        loop {
+            let remaining = limit.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(LiveError::Timeout);
+            }
+            match self.client_rx.recv_timeout(remaining) {
+                Ok((id, result)) if id == req_id => return Ok(result),
+                Ok(_) => continue, // stale reply from an abandoned request
+                Err(RecvTimeoutError::Timeout) => return Err(LiveError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(LiveError::Disconnected),
+            }
+        }
+    }
+
+    /// Crashes a site (volatile state lost; the WAL survives).
+    pub fn crash(&self, site: SiteId) {
+        let _ = self.senders[site as usize].send(Envelope::Crash);
+    }
+
+    /// Recovers a crashed site.
+    pub fn recover(&self, site: SiteId) {
+        let _ = self.senders[site as usize].send(Envelope::Recover);
+    }
+
+    /// Snapshots a site's state.
+    pub fn inspect(&self, site: SiteId, deadline: Duration) -> Result<SiteSnapshot, LiveError> {
+        let (tx, rx) = channel::bounded(1);
+        self.senders[site as usize]
+            .send(Envelope::Inspect(tx))
+            .map_err(|_| LiveError::Disconnected)?;
+        rx.recv_timeout(deadline).map_err(|e| match e {
+            RecvTimeoutError::Timeout => LiveError::Timeout,
+            RecvTimeoutError::Disconnected => LiveError::Disconnected,
+        })
+    }
+
+    /// Total polyvalued items across live sites.
+    pub fn total_poly_count(&self, deadline: Duration) -> Result<usize, LiveError> {
+        let mut total = 0;
+        for s in 0..self.senders.len() {
+            total += self.inspect(s as SiteId, deadline)?.poly_count;
+        }
+        Ok(total)
+    }
+
+    /// A copy of the shared metrics registry.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.lock().clone()
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Stops every site thread and returns the final [`Site`] states.
+    pub fn shutdown(self) -> Vec<Site> {
+        for tx in &self.senders {
+            let _ = tx.send(Envelope::Stop);
+        }
+        self.clients.lock().clear();
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("site thread panicked"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CommitProtocol;
+    use pv_core::{Entry, Expr, TransactionSpec};
+    use pv_simnet::SimDuration;
+
+    fn fast_config() -> EngineConfig {
+        EngineConfig {
+            read_timeout: SimDuration::from_millis(200),
+            ready_timeout: SimDuration::from_millis(200),
+            wait_timeout: SimDuration::from_millis(80),
+            read_lease: SimDuration::from_millis(500),
+            inquire_interval: SimDuration::from_millis(100),
+            ..EngineConfig::with_protocol(CommitProtocol::Polyvalue)
+        }
+    }
+
+    fn transfer(from: u64, to: u64, amount: i64) -> TransactionSpec {
+        let (f, t) = (ItemId(from), ItemId(to));
+        TransactionSpec::new()
+            .guard(Expr::read(f).ge(Expr::int(amount)))
+            .update(f, Expr::read(f).sub(Expr::int(amount)))
+            .update(t, Expr::read(t).add(Expr::int(amount)))
+    }
+
+    fn two_site_cluster() -> LiveCluster {
+        LiveCluster::start(
+            2,
+            Directory::Mod(2),
+            fast_config(),
+            vec![(ItemId(0), Value::Int(100)), (ItemId(1), Value::Int(100))],
+        )
+    }
+
+    #[test]
+    fn live_transfer_commits() {
+        let cluster = two_site_cluster();
+        let result = cluster
+            .submit(0, &transfer(0, 1, 30), Duration::from_secs(5))
+            .unwrap();
+        assert!(result.is_committed());
+        let s0 = cluster.inspect(0, Duration::from_secs(1)).unwrap();
+        let s1 = cluster.inspect(1, Duration::from_secs(1)).unwrap();
+        assert_eq!(s0.items[0].1, Entry::Simple(Value::Int(70)));
+        assert_eq!(s1.items[0].1, Entry::Simple(Value::Int(130)));
+        assert!(s0.up && s1.up);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn live_denied_transfer_changes_nothing() {
+        let cluster = two_site_cluster();
+        let result = cluster
+            .submit(0, &transfer(0, 1, 500), Duration::from_secs(5))
+            .unwrap();
+        assert!(result.is_committed());
+        assert!(!result.fully_granted());
+        let s0 = cluster.inspect(0, Duration::from_secs(1)).unwrap();
+        assert_eq!(s0.items[0].1, Entry::Simple(Value::Int(100)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn live_crash_recover_preserves_data() {
+        let cluster = two_site_cluster();
+        cluster
+            .submit(0, &transfer(0, 1, 10), Duration::from_secs(5))
+            .unwrap();
+        cluster.crash(1);
+        std::thread::sleep(Duration::from_millis(50));
+        let down = cluster.inspect(1, Duration::from_secs(1)).unwrap();
+        assert!(!down.up);
+        cluster.recover(1);
+        std::thread::sleep(Duration::from_millis(50));
+        let up = cluster.inspect(1, Duration::from_secs(1)).unwrap();
+        assert!(up.up);
+        assert_eq!(up.items[0].1, Entry::Simple(Value::Int(110)), "WAL replay");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn live_transaction_during_crash_times_out_or_aborts() {
+        let cluster = two_site_cluster();
+        cluster.crash(1);
+        std::thread::sleep(Duration::from_millis(20));
+        // Coordinator 0 cannot reach site 1: the attempt must not hang
+        // forever and must not commit.
+        let result = cluster.submit(0, &transfer(0, 1, 10), Duration::from_secs(3));
+        match result {
+            Ok(r) => assert!(!r.is_committed()),
+            Err(LiveError::Timeout) => {}
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+        cluster.recover(1);
+        // After recovery the system settles with no residual uncertainty.
+        std::thread::sleep(Duration::from_millis(400));
+        assert_eq!(cluster.total_poly_count(Duration::from_secs(1)).unwrap(), 0);
+        // And money is intact.
+        let s0 = cluster.inspect(0, Duration::from_secs(1)).unwrap();
+        let s1 = cluster.inspect(1, Duration::from_secs(1)).unwrap();
+        let total = [&s0, &s1]
+            .iter()
+            .flat_map(|s| s.items.iter())
+            .map(|(_, e)| e.as_simple().and_then(Value::as_int).expect("settled"))
+            .sum::<i64>();
+        assert_eq!(total, 200);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn live_sequential_transfers_conserve() {
+        let cluster = two_site_cluster();
+        for k in 0..10 {
+            let (a, b) = if k % 2 == 0 { (0, 1) } else { (1, 0) };
+            let r = cluster.submit(a as u32 % 2, &transfer(a, b, 5 + k), Duration::from_secs(5));
+            assert!(r.unwrap().is_committed());
+        }
+        let s0 = cluster.inspect(0, Duration::from_secs(1)).unwrap();
+        let s1 = cluster.inspect(1, Duration::from_secs(1)).unwrap();
+        let total: i64 = [&s0, &s1]
+            .iter()
+            .flat_map(|s| s.items.iter())
+            .map(|(_, e)| e.as_simple().and_then(Value::as_int).expect("settled"))
+            .sum();
+        assert_eq!(total, 200);
+        assert!(cluster.metrics().counter("txn.committed") >= 10);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,259 @@
+//! Protocol messages exchanged between sites and clients.
+
+use pv_core::{Entry, ItemId, TransactionSpec, TxnId, Value};
+use std::fmt;
+
+/// Whether an item is read or written by a transaction at a site, which
+/// determines the lock acquired when the coordinator fetches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Read-only access (shared lock).
+    Read,
+    /// Read/write access (exclusive lock).
+    Write,
+}
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A lock could not be acquired (no-wait conflict); worth retrying.
+    LockConflict,
+    /// The coordinator timed out waiting for a site.
+    Timeout,
+    /// The transaction's expressions failed to evaluate (type error, missing
+    /// item, arithmetic fault).
+    Eval(String),
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::LockConflict => write!(f, "lock conflict"),
+            AbortReason::Timeout => write!(f, "timeout"),
+            AbortReason::Eval(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+/// The result of a transaction as reported to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnResult {
+    /// The transaction completed.
+    Committed {
+        /// Collated guard decision: `Bool(true)` when every alternative
+        /// granted, a polyvalue when the decision itself is uncertain (§3.4).
+        granted: Entry<Value>,
+        /// Collated named outputs; polyvalued outputs reflect database
+        /// uncertainty per §3.4.
+        outputs: Vec<(String, Entry<Value>)>,
+        /// Whether the transaction executed as a polytransaction.
+        was_poly: bool,
+    },
+    /// The transaction aborted without effect.
+    Aborted {
+        /// Why it aborted.
+        reason: AbortReason,
+    },
+}
+
+impl TxnResult {
+    /// Whether this result is a commit.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnResult::Committed { .. })
+    }
+
+    /// Whether the commit granted its guard in every alternative.
+    pub fn fully_granted(&self) -> bool {
+        matches!(
+            self,
+            TxnResult::Committed {
+                granted: Entry::Simple(Value::Bool(true)),
+                ..
+            }
+        )
+    }
+
+    /// Whether any output (or the guard) is uncertain.
+    pub fn has_uncertain_output(&self) -> bool {
+        match self {
+            TxnResult::Committed {
+                granted, outputs, ..
+            } => granted.is_poly() || outputs.iter().any(|(_, e)| e.is_poly()),
+            TxnResult::Aborted { .. } => false,
+        }
+    }
+
+    /// The in-doubt transactions this result's outputs depend on.
+    pub fn deps(&self) -> std::collections::BTreeSet<pv_core::TxnId> {
+        match self {
+            TxnResult::Committed {
+                granted, outputs, ..
+            } => {
+                let mut deps = granted.deps();
+                for (_, e) in outputs {
+                    deps.extend(e.deps());
+                }
+                deps
+            }
+            TxnResult::Aborted { .. } => std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Substitutes a learned outcome into every output entry (the §3.4
+    /// withhold policy applies this until nothing uncertain remains).
+    pub fn reduce(&self, txn: pv_core::TxnId, completed: bool) -> TxnResult {
+        match self {
+            TxnResult::Committed {
+                granted,
+                outputs,
+                was_poly,
+            } => TxnResult::Committed {
+                granted: granted.assign_outcome(txn, completed),
+                outputs: outputs
+                    .iter()
+                    .map(|(name, e)| (name.clone(), e.assign_outcome(txn, completed)))
+                    .collect(),
+                was_poly: *was_poly,
+            },
+            aborted => aborted.clone(),
+        }
+    }
+}
+
+/// Messages of the distributed commit protocol.
+///
+/// `Submit`/`Reply` connect clients to coordinators; `ReadReq` through
+/// `Decision` are the two-phase protocol of §3.1; `Inquire`/`OutcomeNotify`
+/// implement the failure-recovery outcome propagation of §3.3.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Client → coordinator: run this transaction.
+    Submit {
+        /// Client-chosen request identifier, echoed in the reply.
+        req_id: u64,
+        /// The transaction to run.
+        spec: TransactionSpec,
+    },
+    /// Coordinator → client: the transaction's result.
+    Reply {
+        /// Echo of the request id.
+        req_id: u64,
+        /// The outcome.
+        result: TxnResult,
+    },
+    /// Coordinator → participant: lock and return these items' entries.
+    ReadReq {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// The transaction's start timestamp (microseconds of virtual time),
+        /// used by the wound-wait lock policy to order transactions by age.
+        ts: u64,
+        /// Items this site holds, with the lock mode each needs.
+        items: Vec<(ItemId, AccessMode)>,
+    },
+    /// Participant → coordinator: current entries (locks granted).
+    ReadResp {
+        /// The transaction.
+        txn: TxnId,
+        /// The requested entries.
+        entries: Vec<(ItemId, Entry<Value>)>,
+    },
+    /// Participant → coordinator: lock conflict; abort and retry.
+    ReadNack {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Coordinator → participant: stage these computed writes (compute phase
+    /// result shipping).
+    Prepare {
+        /// The transaction.
+        txn: TxnId,
+        /// Computed new entries for items this site holds.
+        writes: Vec<(ItemId, Entry<Value>)>,
+    },
+    /// Participant → coordinator: writes staged durably; in wait phase.
+    Ready {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Participant → coordinator: cannot stage (unknown lease or conflict).
+    PrepareNack {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Coordinator → participants: the transaction's outcome.
+    Decision {
+        /// The transaction.
+        txn: TxnId,
+        /// `true` = complete, `false` = abort.
+        completed: bool,
+    },
+    /// Any site → coordinator of `txn`: what was the outcome?
+    Inquire {
+        /// The in-doubt transaction.
+        txn: TxnId,
+    },
+    /// Outcome propagation (§3.3): response to `Inquire` and the
+    /// site-to-site forwarding along `sent_to` lists.
+    OutcomeNotify {
+        /// The resolved transaction.
+        txn: TxnId,
+        /// Its outcome.
+        completed: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_core::TxnId;
+
+    #[test]
+    fn result_predicates() {
+        let committed = TxnResult::Committed {
+            granted: Entry::Simple(Value::Bool(true)),
+            outputs: vec![],
+            was_poly: false,
+        };
+        assert!(committed.is_committed());
+        assert!(committed.fully_granted());
+        assert!(!committed.has_uncertain_output());
+
+        let denied = TxnResult::Committed {
+            granted: Entry::Simple(Value::Bool(false)),
+            outputs: vec![],
+            was_poly: false,
+        };
+        assert!(denied.is_committed());
+        assert!(!denied.fully_granted());
+
+        let aborted = TxnResult::Aborted {
+            reason: AbortReason::Timeout,
+        };
+        assert!(!aborted.is_committed());
+        assert!(!aborted.fully_granted());
+        assert!(!aborted.has_uncertain_output());
+    }
+
+    #[test]
+    fn uncertain_output_detection() {
+        let poly = Entry::in_doubt(
+            Entry::Simple(Value::Int(1)),
+            Entry::Simple(Value::Int(2)),
+            TxnId(1),
+        );
+        let r = TxnResult::Committed {
+            granted: Entry::Simple(Value::Bool(true)),
+            outputs: vec![("x".into(), poly)],
+            was_poly: true,
+        };
+        assert!(r.has_uncertain_output());
+    }
+
+    #[test]
+    fn abort_reason_display() {
+        assert_eq!(AbortReason::LockConflict.to_string(), "lock conflict");
+        assert_eq!(AbortReason::Timeout.to_string(), "timeout");
+        assert!(AbortReason::Eval("bad".into()).to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,220 @@
+//! The participant state machine of Figure 1.
+//!
+//! The paper's Figure 1 gives each site three states for a transaction —
+//! *idle*, *compute*, and *wait* — with the distinguishing polyvalue edge:
+//! a wait-phase timeout installs polyvalues and returns to idle instead of
+//! blocking. This module is the pure transition function; the site actor
+//! drives it, and the `figure1` benchmark binary prints the reachable
+//! transition table directly from this code.
+
+use std::fmt;
+
+/// A site's per-transaction protocol state (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartPhase {
+    /// No work in progress for the transaction.
+    Idle,
+    /// Computing the transaction's results (serving reads, staging writes).
+    Compute,
+    /// Results computed and `ready` sent; awaiting the outcome.
+    Wait,
+}
+
+/// Events that drive the participant state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartEvent {
+    /// The site begins computing for a new transaction.
+    Begin,
+    /// Results computed promptly; the site reports `ready`.
+    ComputeDone,
+    /// A failure prevented prompt computation (or an abort arrived while
+    /// computing).
+    ComputeFailed,
+    /// The coordinator's `complete` message arrived.
+    Complete,
+    /// The coordinator's `abort` message arrived.
+    Abort,
+    /// Neither `complete` nor `abort` arrived promptly.
+    Timeout,
+}
+
+/// The action a transition requires of the site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartAction {
+    /// Nothing beyond the state change.
+    None,
+    /// Send `ready` to the coordinator.
+    SendReady,
+    /// Install the computed values (the transaction completed).
+    Install,
+    /// Discard the computed values (the transaction aborted or failed).
+    Discard,
+    /// Install in-doubt polyvalues `{⟨new, T⟩, ⟨old, ¬T⟩}` and release locks
+    /// — the paper's contribution; baselines replace this action.
+    InstallPolyvalues,
+}
+
+impl fmt::Display for PartPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PartPhase::Idle => "idle",
+            PartPhase::Compute => "compute",
+            PartPhase::Wait => "wait",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for PartEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PartEvent::Begin => "begin transaction",
+            PartEvent::ComputeDone => "results computed promptly",
+            PartEvent::ComputeFailed => "failure during compute / abort",
+            PartEvent::Complete => "complete received",
+            PartEvent::Abort => "abort received",
+            PartEvent::Timeout => "no message promptly",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for PartAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PartAction::None => "-",
+            PartAction::SendReady => "send ready",
+            PartAction::Install => "install results",
+            PartAction::Discard => "discard results",
+            PartAction::InstallPolyvalues => "install polyvalues",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The Figure-1 transition function. Returns `None` for events that are not
+/// defined in the given state (the site ignores them).
+pub fn transition(phase: PartPhase, event: PartEvent) -> Option<(PartPhase, PartAction)> {
+    use PartAction as A;
+    use PartEvent as E;
+    use PartPhase as P;
+    match (phase, event) {
+        (P::Idle, E::Begin) => Some((P::Compute, A::None)),
+        (P::Compute, E::ComputeDone) => Some((P::Wait, A::SendReady)),
+        (P::Compute, E::ComputeFailed) => Some((P::Idle, A::Discard)),
+        (P::Compute, E::Abort) => Some((P::Idle, A::Discard)),
+        (P::Wait, E::Complete) => Some((P::Idle, A::Install)),
+        (P::Wait, E::Abort) => Some((P::Idle, A::Discard)),
+        (P::Wait, E::Timeout) => Some((P::Idle, A::InstallPolyvalues)),
+        _ => None,
+    }
+}
+
+/// Every defined transition, for rendering Figure 1.
+pub fn all_transitions() -> Vec<(PartPhase, PartEvent, PartPhase, PartAction)> {
+    let phases = [PartPhase::Idle, PartPhase::Compute, PartPhase::Wait];
+    let events = [
+        PartEvent::Begin,
+        PartEvent::ComputeDone,
+        PartEvent::ComputeFailed,
+        PartEvent::Complete,
+        PartEvent::Abort,
+        PartEvent::Timeout,
+    ];
+    let mut out = Vec::new();
+    for p in phases {
+        for e in events {
+            if let Some((next, action)) = transition(p, e) {
+                out.push((p, e, next, action));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use PartAction as A;
+    use PartEvent as E;
+    use PartPhase as P;
+
+    #[test]
+    fn happy_path_idle_compute_wait_idle() {
+        let (p, a) = transition(P::Idle, E::Begin).unwrap();
+        assert_eq!((p, a), (P::Compute, A::None));
+        let (p, a) = transition(p, E::ComputeDone).unwrap();
+        assert_eq!((p, a), (P::Wait, A::SendReady));
+        let (p, a) = transition(p, E::Complete).unwrap();
+        assert_eq!((p, a), (P::Idle, A::Install));
+    }
+
+    #[test]
+    fn compute_failure_discards() {
+        assert_eq!(
+            transition(P::Compute, E::ComputeFailed),
+            Some((P::Idle, A::Discard))
+        );
+        assert_eq!(
+            transition(P::Compute, E::Abort),
+            Some((P::Idle, A::Discard))
+        );
+    }
+
+    #[test]
+    fn wait_abort_discards() {
+        assert_eq!(transition(P::Wait, E::Abort), Some((P::Idle, A::Discard)));
+    }
+
+    #[test]
+    fn wait_timeout_installs_polyvalues() {
+        // The edge that distinguishes the polyvalue protocol from blocking
+        // 2PC: wait → idle on timeout, installing polyvalues.
+        assert_eq!(
+            transition(P::Wait, E::Timeout),
+            Some((P::Idle, A::InstallPolyvalues))
+        );
+    }
+
+    #[test]
+    fn undefined_events_are_ignored() {
+        assert_eq!(transition(P::Idle, E::Complete), None);
+        assert_eq!(transition(P::Idle, E::Timeout), None);
+        assert_eq!(transition(P::Wait, E::Begin), None);
+        assert_eq!(transition(P::Compute, E::Complete), None);
+        assert_eq!(transition(P::Compute, E::Timeout), None);
+    }
+
+    #[test]
+    fn all_transitions_enumerates_the_figure() {
+        let all = all_transitions();
+        assert_eq!(all.len(), 7);
+        // Every wait-state exit returns to idle (no site ever blocks).
+        for (from, _, to, _) in &all {
+            if *from == P::Wait {
+                assert_eq!(*to, P::Idle);
+            }
+        }
+    }
+
+    #[test]
+    fn displays_are_human_readable() {
+        assert_eq!(P::Idle.to_string(), "idle");
+        assert_eq!(P::Compute.to_string(), "compute");
+        assert_eq!(P::Wait.to_string(), "wait");
+        assert_eq!(E::Timeout.to_string(), "no message promptly");
+        assert_eq!(A::InstallPolyvalues.to_string(), "install polyvalues");
+        assert_eq!(A::None.to_string(), "-");
+        assert_eq!(E::Begin.to_string(), "begin transaction");
+        assert_eq!(E::ComputeDone.to_string(), "results computed promptly");
+        assert_eq!(
+            E::ComputeFailed.to_string(),
+            "failure during compute / abort"
+        );
+        assert_eq!(E::Complete.to_string(), "complete received");
+        assert_eq!(E::Abort.to_string(), "abort received");
+        assert_eq!(A::SendReady.to_string(), "send ready");
+        assert_eq!(A::Install.to_string(), "install results");
+        assert_eq!(A::Discard.to_string(), "discard results");
+    }
+}

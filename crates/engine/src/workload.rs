@@ -1,0 +1,269 @@
+//! Workload generators driving clients.
+
+use pv_core::{Expr, ItemId, TransactionSpec};
+use pv_simnet::{SimDuration, SimRng};
+
+/// A source of transactions for one client.
+pub trait Workload {
+    /// The next transaction and the delay before submitting it, or `None`
+    /// when the workload is exhausted.
+    fn next(&mut self, rng: &mut SimRng) -> Option<(TransactionSpec, SimDuration)>;
+}
+
+/// A fixed list of transactions submitted at fixed intervals (tests and
+/// scripted scenarios).
+#[derive(Debug, Clone)]
+pub struct Script {
+    specs: Vec<TransactionSpec>,
+    interval: SimDuration,
+    next: usize,
+}
+
+impl Script {
+    /// Builds a script that submits `specs` in order, one every `interval`.
+    pub fn new(specs: Vec<TransactionSpec>, interval: SimDuration) -> Self {
+        Script {
+            specs,
+            interval,
+            next: 0,
+        }
+    }
+}
+
+impl Workload for Script {
+    fn next(&mut self, _rng: &mut SimRng) -> Option<(TransactionSpec, SimDuration)> {
+        let spec = self.specs.get(self.next)?.clone();
+        self.next += 1;
+        Some((spec, self.interval))
+    }
+}
+
+/// The engine-level mirror of the paper's §4.2 workload: transactions arrive
+/// as a Poisson process of rate `rate_per_sec`; each updates one uniformly
+/// random item with a value depending on `d ~ Exp(mean_deps)` other random
+/// items, and includes the item's previous value with probability
+/// `1 − y_prob` (the paper's `Y`).
+#[derive(Debug, Clone)]
+pub struct UniformRmw {
+    /// Total number of items (`I`).
+    pub items: u64,
+    /// Arrival rate per second (`U` for a single client).
+    pub rate_per_sec: f64,
+    /// Mean number of items the new value depends on (`D`).
+    pub mean_deps: f64,
+    /// Probability the new value ignores the previous value (`Y`).
+    pub y_prob: f64,
+    /// Stop after this many transactions (`None` = unbounded).
+    pub limit: Option<u64>,
+    issued: u64,
+}
+
+impl UniformRmw {
+    /// Builds the workload; see the field docs for the paper correspondence.
+    pub fn new(items: u64, rate_per_sec: f64, mean_deps: f64, y_prob: f64) -> Self {
+        assert!(items > 0 && rate_per_sec > 0.0);
+        UniformRmw {
+            items,
+            rate_per_sec,
+            mean_deps,
+            y_prob,
+            limit: None,
+            issued: 0,
+        }
+    }
+
+    /// Caps the number of transactions generated.
+    pub fn with_limit(mut self, limit: u64) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+}
+
+impl Workload for UniformRmw {
+    fn next(&mut self, rng: &mut SimRng) -> Option<(TransactionSpec, SimDuration)> {
+        if let Some(limit) = self.limit {
+            if self.issued >= limit {
+                return None;
+            }
+        }
+        self.issued += 1;
+        let target = ItemId(rng.below(self.items));
+        // d dependencies, exponentially distributed with mean D (rounded).
+        let d = rng.exponential(self.mean_deps).round() as u64;
+        let mut expr = if rng.chance(self.y_prob) {
+            // New value independent of the previous one.
+            Expr::int(rng.below(1000) as i64)
+        } else {
+            Expr::read(target)
+        };
+        for _ in 0..d.min(8) {
+            let dep = ItemId(rng.below(self.items));
+            expr = expr.add(Expr::read(dep));
+        }
+        let spec = TransactionSpec::new().update(target, expr);
+        let gap = SimDuration::from_secs_f64(rng.exponential(1.0 / self.rate_per_sec));
+        Some((spec, gap))
+    }
+}
+
+/// Random funds transfers between `accounts` accounts: the §5 electronic
+/// funds transfer workload. Each transfer moves a random amount between two
+/// distinct random accounts, guarded by sufficient funds.
+#[derive(Debug, Clone)]
+pub struct RandomTransfers {
+    /// Number of accounts (items `0..accounts`).
+    pub accounts: u64,
+    /// Arrival rate per second.
+    pub rate_per_sec: f64,
+    /// Transfers move `1..=max_amount`.
+    pub max_amount: i64,
+    /// Stop after this many transfers (`None` = unbounded).
+    pub limit: Option<u64>,
+    issued: u64,
+}
+
+impl RandomTransfers {
+    /// Builds the workload.
+    pub fn new(accounts: u64, rate_per_sec: f64, max_amount: i64) -> Self {
+        assert!(accounts >= 2 && rate_per_sec > 0.0 && max_amount >= 1);
+        RandomTransfers {
+            accounts,
+            rate_per_sec,
+            max_amount,
+            limit: None,
+            issued: 0,
+        }
+    }
+
+    /// Caps the number of transfers generated.
+    pub fn with_limit(mut self, limit: u64) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// The transfer spec itself (also used by the apps crate).
+    pub fn transfer_spec(from: ItemId, to: ItemId, amount: i64) -> TransactionSpec {
+        TransactionSpec::new()
+            .guard(Expr::read(from).ge(Expr::int(amount)))
+            .update(from, Expr::read(from).sub(Expr::int(amount)))
+            .update(to, Expr::read(to).add(Expr::int(amount)))
+            .output("granted", Expr::read(from).ge(Expr::int(amount)))
+    }
+}
+
+impl Workload for RandomTransfers {
+    fn next(&mut self, rng: &mut SimRng) -> Option<(TransactionSpec, SimDuration)> {
+        if let Some(limit) = self.limit {
+            if self.issued >= limit {
+                return None;
+            }
+        }
+        self.issued += 1;
+        let from = rng.below(self.accounts);
+        let mut to = rng.below(self.accounts);
+        if to == from {
+            to = (to + 1) % self.accounts;
+        }
+        let amount = 1 + rng.below(self.max_amount as u64) as i64;
+        let spec = RandomTransfers::transfer_spec(ItemId(from), ItemId(to), amount);
+        let gap = SimDuration::from_secs_f64(rng.exponential(1.0 / self.rate_per_sec));
+        Some((spec, gap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_replays_in_order_then_ends() {
+        let a = TransactionSpec::new().update(ItemId(1), Expr::int(1));
+        let b = TransactionSpec::new().update(ItemId(2), Expr::int(2));
+        let mut s = Script::new(vec![a.clone(), b.clone()], SimDuration::from_secs(1));
+        let mut rng = SimRng::new(1);
+        assert_eq!(s.next(&mut rng).unwrap().0, a);
+        assert_eq!(s.next(&mut rng).unwrap().0, b);
+        assert!(s.next(&mut rng).is_none());
+    }
+
+    #[test]
+    fn uniform_rmw_targets_valid_items() {
+        let mut w = UniformRmw::new(100, 10.0, 2.0, 0.5);
+        let mut rng = SimRng::new(2);
+        for _ in 0..200 {
+            let (spec, gap) = w.next(&mut rng).unwrap();
+            assert_eq!(spec.updates.len(), 1);
+            let (item, _) = &spec.updates[0];
+            assert!(item.0 < 100);
+            assert!(gap > SimDuration::ZERO);
+            for read in spec.read_set() {
+                assert!(read.0 < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn limit_caps_generation() {
+        let mut w = UniformRmw::new(10, 1.0, 1.0, 0.0).with_limit(3);
+        let mut rng = SimRng::new(3);
+        assert!(w.next(&mut rng).is_some());
+        assert!(w.next(&mut rng).is_some());
+        assert!(w.next(&mut rng).is_some());
+        assert!(w.next(&mut rng).is_none());
+    }
+
+    #[test]
+    fn y_zero_always_reads_previous_value() {
+        let mut w = UniformRmw::new(10, 1.0, 0.0, 0.0);
+        let mut rng = SimRng::new(4);
+        for _ in 0..50 {
+            let (spec, _) = w.next(&mut rng).unwrap();
+            let (item, _) = &spec.updates[0];
+            assert!(
+                spec.read_set().contains(item),
+                "with Y=0 the update must read the target"
+            );
+        }
+    }
+
+    #[test]
+    fn y_one_never_reads_previous_value_with_zero_deps() {
+        let mut w = UniformRmw::new(10, 1.0, 0.0, 1.0);
+        let mut rng = SimRng::new(5);
+        let mut sum = 0;
+        for _ in 0..50 {
+            let (spec, _) = w.next(&mut rng).unwrap();
+            let (item, _) = &spec.updates[0];
+            sum += usize::from(spec.read_set().contains(item));
+        }
+        // d is exponential with mean 0, so it is always 0 reads of target.
+        assert_eq!(sum, 0);
+    }
+
+    #[test]
+    fn random_transfers_are_well_formed() {
+        let mut w = RandomTransfers::new(10, 5.0, 20).with_limit(100);
+        let mut rng = SimRng::new(9);
+        let mut n = 0;
+        while let Some((spec, _)) = w.next(&mut rng) {
+            n += 1;
+            let writes: Vec<u64> = spec.write_set().into_iter().map(|i| i.0).collect();
+            assert_eq!(writes.len(), 2, "distinct from/to");
+            assert!(writes.iter().all(|&i| i < 10));
+            assert!(spec.guard.is_some());
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn mean_gap_tracks_rate() {
+        let mut w = UniformRmw::new(10, 50.0, 1.0, 0.0);
+        let mut rng = SimRng::new(6);
+        let n = 2000;
+        let total: f64 = (0..n)
+            .map(|_| w.next(&mut rng).unwrap().1.as_secs_f64())
+            .sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.02).abs() < 0.005, "mean gap {mean}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the full engine: arbitrary transfer workloads and
+//! failure schedules must preserve atomicity.
+//!
+//! Each case builds a cluster, runs a random scripted workload under random
+//! crash/partition chaos, lets the system settle, and asserts the universal
+//! invariants: money conserved exactly, no residual polyvalues, full
+//! quiescence. Cases are few but each covers an entire distributed run.
+
+use proptest::prelude::*;
+use pv_core::{Expr, ItemId, TransactionSpec};
+use pv_engine::{ClientConfig, ClusterBuilder, CommitProtocol, Directory, EngineConfig, Script};
+use pv_simnet::{NetConfig, NodeId, SimDuration, SimTime};
+
+const SITES: u32 = 3;
+const ACCOUNTS: u64 = 9;
+const INITIAL: i64 = 200;
+
+#[derive(Debug, Clone)]
+struct Chaos {
+    crashes: Vec<(u32, u64, u64)>,         // (site, crash_ms, recover_ms)
+    partitions: Vec<(u32, u32, u64, u64)>, // (a, b, cut_ms, heal_ms)
+}
+
+fn transfer_strategy() -> impl Strategy<Value = TransactionSpec> {
+    (0..ACCOUNTS, 0..ACCOUNTS, 1i64..80).prop_map(|(from, to, amount)| {
+        let to = if to == from { (to + 1) % ACCOUNTS } else { to };
+        let (f, t) = (ItemId(from), ItemId(to));
+        TransactionSpec::new()
+            .guard(Expr::read(f).ge(Expr::int(amount)))
+            .update(f, Expr::read(f).sub(Expr::int(amount)))
+            .update(t, Expr::read(t).add(Expr::int(amount)))
+    })
+}
+
+fn chaos_strategy() -> impl Strategy<Value = Chaos> {
+    let crash =
+        (0..SITES, 100u64..4000, 100u64..1500).prop_map(|(site, at, down)| (site, at, at + down));
+    let partition = (0..SITES, 0..SITES, 100u64..4000, 100u64..1500).prop_map(|(a, b, at, dur)| {
+        let b = if a == b { (b + 1) % SITES } else { b };
+        (a, b, at, at + dur)
+    });
+    (
+        prop::collection::vec(crash, 0..4),
+        prop::collection::vec(partition, 0..4),
+    )
+        .prop_map(|(crashes, partitions)| Chaos {
+            crashes,
+            partitions,
+        })
+}
+
+fn run_case(specs: Vec<TransactionSpec>, chaos: &Chaos, seed: u64) -> pv_engine::Cluster {
+    let mut cluster = ClusterBuilder::new(SITES, Directory::Mod(SITES))
+        .seed(seed)
+        .net(NetConfig::default())
+        .engine(EngineConfig::with_protocol(CommitProtocol::Polyvalue))
+        .uniform_items(ACCOUNTS, INITIAL)
+        .client(
+            ClientConfig {
+                record_results: false,
+                ..ClientConfig::default()
+            },
+            Box::new(Script::new(specs, SimDuration::from_millis(40))),
+        )
+        .build();
+    for &(site, crash_ms, recover_ms) in &chaos.crashes {
+        cluster
+            .world
+            .schedule_crash(SimTime::from_millis(crash_ms), NodeId(site));
+        cluster
+            .world
+            .schedule_recover(SimTime::from_millis(recover_ms), NodeId(site));
+    }
+    for &(a, b, cut_ms, heal_ms) in &chaos.partitions {
+        cluster
+            .world
+            .schedule_partition(SimTime::from_millis(cut_ms), NodeId(a), NodeId(b));
+        cluster
+            .world
+            .schedule_heal(SimTime::from_millis(heal_ms), NodeId(a), NodeId(b));
+    }
+    // Workload + chaos fit inside ~8 s; settle until 25 s.
+    cluster.run_until(SimTime::from_secs(25));
+    cluster
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Atomicity survives arbitrary transfer workloads and failure timing.
+    #[test]
+    fn any_workload_any_chaos_conserves_money(
+        specs in prop::collection::vec(transfer_strategy(), 1..60),
+        chaos in chaos_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let cluster = run_case(specs, &chaos, seed);
+        prop_assert_eq!(
+            cluster.sum_items((0..ACCOUNTS).map(ItemId)),
+            ACCOUNTS as i64 * INITIAL,
+            "conservation violated"
+        );
+        prop_assert_eq!(cluster.total_poly_count(), 0, "residual polyvalues");
+        prop_assert!(cluster.all_quiescent(), "protocol state lingering");
+        prop_assert_eq!(cluster.world.metrics().counter("relaxed.violations"), 0);
+    }
+
+    /// The same case is bit-for-bit reproducible.
+    #[test]
+    fn cases_are_deterministic(
+        specs in prop::collection::vec(transfer_strategy(), 1..20),
+        chaos in chaos_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let a = run_case(specs.clone(), &chaos, seed);
+        let b = run_case(specs, &chaos, seed);
+        for account in 0..ACCOUNTS {
+            prop_assert_eq!(
+                a.item_entry(ItemId(account)),
+                b.item_entry(ItemId(account))
+            );
+        }
+        prop_assert_eq!(
+            a.world.metrics().counter("txn.committed"),
+            b.world.metrics().counter("txn.committed")
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! # pv-model — the §4.1 analytic model
+//!
+//! The paper models the expected number of polyvalued items `P(t)` with a
+//! first-order linear ODE over six parameters (`U, F, I, R, Y, D`):
+//! creation by failures and by polytransactions, destruction by recovery and
+//! by overwriting. This crate provides the steady state
+//! `P = UFI/(IR + UY − UD)`, the transient solution, stability analysis, and
+//! the Table 1 generator.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod params;
+pub mod sensitivity;
+mod steady;
+pub mod table1;
+mod transient;
+
+pub use params::ModelParams;
+pub use steady::{decay_rate, prediction_in_validity_region, steady_state, Prediction};
+pub use transient::{decay_time, population_at, trace};

@@ -1,0 +1,160 @@
+//! Parameters of the §4.1 model of polyvalue creation and deletion.
+
+use std::fmt;
+
+/// The six parameters of the paper's model (§4.1):
+///
+/// * `U` — updates per second,
+/// * `F` — probability an update fails,
+/// * `I` — number of items in the database,
+/// * `R` — proportion of failures recovered each second,
+/// * `Y` — probability the new value of an updated item does not depend on
+///   its previous value,
+/// * `D` — average number of items the new value depends on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Updates per second (`U`).
+    pub u: f64,
+    /// Probability an update fails (`F`).
+    pub f: f64,
+    /// Number of items (`I`).
+    pub i: f64,
+    /// Proportion of failures recovered per second (`R`).
+    pub r: f64,
+    /// Probability the new value ignores the previous value (`Y`).
+    pub y: f64,
+    /// Mean dependency fan-in (`D`).
+    pub d: f64,
+}
+
+impl ModelParams {
+    /// The paper's "typical database to which polyvalues may be applied"
+    /// (first row of Table 1): `U=10, F=10⁻⁴, I=10⁶, R=10⁻³, Y=0, D=1`.
+    pub fn typical() -> Self {
+        ModelParams {
+            u: 10.0,
+            f: 1e-4,
+            i: 1e6,
+            r: 1e-3,
+            y: 0.0,
+            d: 1.0,
+        }
+    }
+
+    /// Builder-style override of `U`.
+    pub fn with_u(mut self, u: f64) -> Self {
+        self.u = u;
+        self
+    }
+
+    /// Builder-style override of `F`.
+    pub fn with_f(mut self, f: f64) -> Self {
+        self.f = f;
+        self
+    }
+
+    /// Builder-style override of `I`.
+    pub fn with_i(mut self, i: f64) -> Self {
+        self.i = i;
+        self
+    }
+
+    /// Builder-style override of `R`.
+    pub fn with_r(mut self, r: f64) -> Self {
+        self.r = r;
+        self
+    }
+
+    /// Builder-style override of `Y`.
+    pub fn with_y(mut self, y: f64) -> Self {
+        self.y = y;
+        self
+    }
+
+    /// Builder-style override of `D`.
+    pub fn with_d(mut self, d: f64) -> Self {
+        self.d = d;
+        self
+    }
+
+    /// Basic sanity: all parameters non-negative, probabilities in `[0,1]`,
+    /// at least one item.
+    // The negated comparisons are deliberate: `!(x >= 0.0)` also rejects
+    // NaN, which `x < 0.0` would accept.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.u >= 0.0) {
+            return Err(format!("U must be non-negative, got {}", self.u));
+        }
+        if !(0.0..=1.0).contains(&self.f) {
+            return Err(format!("F must be a probability, got {}", self.f));
+        }
+        if !(self.i >= 1.0) {
+            return Err(format!("I must be at least 1, got {}", self.i));
+        }
+        if !(self.r >= 0.0) {
+            return Err(format!("R must be non-negative, got {}", self.r));
+        }
+        if !(0.0..=1.0).contains(&self.y) {
+            return Err(format!("Y must be a probability, got {}", self.y));
+        }
+        if !(self.d >= 0.0) {
+            return Err(format!("D must be non-negative, got {}", self.d));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ModelParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "U={} F={} I={} R={} Y={} D={}",
+            self.u, self.f, self.i, self.r, self.y, self.d
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_matches_paper() {
+        let p = ModelParams::typical();
+        assert_eq!(p.u, 10.0);
+        assert_eq!(p.f, 1e-4);
+        assert_eq!(p.i, 1e6);
+        assert_eq!(p.r, 1e-3);
+        assert_eq!(p.y, 0.0);
+        assert_eq!(p.d, 1.0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn builders_override_one_field() {
+        let p = ModelParams::typical().with_u(100.0).with_d(5.0);
+        assert_eq!(p.u, 100.0);
+        assert_eq!(p.d, 5.0);
+        assert_eq!(p.i, 1e6);
+        let p2 = p.with_f(0.01).with_i(1e4).with_r(0.01).with_y(1.0);
+        assert_eq!((p2.f, p2.i, p2.r, p2.y), (0.01, 1e4, 0.01, 1.0));
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(ModelParams::typical().with_f(1.5).validate().is_err());
+        assert!(ModelParams::typical().with_y(-0.1).validate().is_err());
+        assert!(ModelParams::typical().with_i(0.0).validate().is_err());
+        assert!(ModelParams::typical().with_u(-1.0).validate().is_err());
+        assert!(ModelParams::typical().with_r(-1.0).validate().is_err());
+        assert!(ModelParams::typical().with_d(-1.0).validate().is_err());
+        assert!(ModelParams::typical().with_f(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn display_lists_parameters() {
+        let s = ModelParams::typical().to_string();
+        assert!(s.contains("U=10") && s.contains("I=1000000"));
+    }
+}

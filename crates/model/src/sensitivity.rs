@@ -1,0 +1,200 @@
+//! Parameter-space exploration of the §4.1 model.
+//!
+//! "Space limitations in this paper prevent a thorough exploration of the
+//! parameter space, however the individual effects of the parameters can be
+//! clearly seen from the equations and the data." This module does that
+//! exploration programmatically: per-parameter sweeps, log-log elasticities,
+//! and the stability boundary where polytransaction growth outruns recovery.
+
+use crate::params::ModelParams;
+use crate::steady::{steady_state, Prediction};
+
+/// One of the model's six parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Updates per second.
+    U,
+    /// Failure probability per update.
+    F,
+    /// Database size in items.
+    I,
+    /// Recovery rate.
+    R,
+    /// Probability an update ignores the previous value.
+    Y,
+    /// Mean dependency fan-in.
+    D,
+}
+
+impl Axis {
+    /// All six axes, for sweeping.
+    pub fn all() -> [Axis; 6] {
+        [Axis::U, Axis::F, Axis::I, Axis::R, Axis::Y, Axis::D]
+    }
+
+    /// Reads this parameter from a parameter set.
+    pub fn get(self, p: &ModelParams) -> f64 {
+        match self {
+            Axis::U => p.u,
+            Axis::F => p.f,
+            Axis::I => p.i,
+            Axis::R => p.r,
+            Axis::Y => p.y,
+            Axis::D => p.d,
+        }
+    }
+
+    /// Returns a copy of `p` with this parameter set to `v`.
+    pub fn set(self, p: &ModelParams, v: f64) -> ModelParams {
+        let mut q = *p;
+        match self {
+            Axis::U => q.u = v,
+            Axis::F => q.f = v,
+            Axis::I => q.i = v,
+            Axis::R => q.r = v,
+            Axis::Y => q.y = v,
+            Axis::D => q.d = v,
+        }
+        q
+    }
+
+    /// The axis's name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::U => "U",
+            Axis::F => "F",
+            Axis::I => "I",
+            Axis::R => "R",
+            Axis::Y => "Y",
+            Axis::D => "D",
+        }
+    }
+}
+
+/// Sweeps one parameter over `values`, returning `(value, prediction)`
+/// pairs.
+pub fn sweep(base: &ModelParams, axis: Axis, values: &[f64]) -> Vec<(f64, Prediction)> {
+    values
+        .iter()
+        .map(|&v| (v, steady_state(&axis.set(base, v))))
+        .collect()
+}
+
+/// The elasticity `d ln P / d ln x` of the steady state with respect to one
+/// parameter, by central log-space finite difference. `None` where the
+/// model is unstable or the parameter is zero (no log derivative exists).
+pub fn elasticity(base: &ModelParams, axis: Axis) -> Option<f64> {
+    let x = axis.get(base);
+    if x <= 0.0 {
+        return None;
+    }
+    let h = 1e-4;
+    let up = steady_state(&axis.set(base, x * (1.0 + h))).value()?;
+    let down = steady_state(&axis.set(base, x * (1.0 - h))).value()?;
+    if up <= 0.0 || down <= 0.0 {
+        return None;
+    }
+    Some((up.ln() - down.ln()) / ((1.0 + h).ln() - (1.0 - h).ln()))
+}
+
+/// The dependency fan-in at which the first-order model loses stability:
+/// `D* = (IR + UY)/U`. Above it, polytransactions create polyvalues faster
+/// than recovery and overwriting destroy them.
+pub fn stability_boundary_d(p: &ModelParams) -> f64 {
+    (p.i * p.r + p.u * p.y) / p.u
+}
+
+/// The update rate at which the model loses stability for fixed `D > Y`:
+/// `U* = IR / (D − Y)`. `None` when `D ≤ Y` (stable at any rate).
+pub fn stability_boundary_u(p: &ModelParams) -> Option<f64> {
+    if p.d <= p.y {
+        return None;
+    }
+    Some(p.i * p.r / (p.d - p.y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_get_set_round_trip() {
+        let p = ModelParams::typical();
+        for axis in Axis::all() {
+            let v = axis.get(&p);
+            let q = axis.set(&p, v * 2.0);
+            assert_eq!(axis.get(&q), v * 2.0, "{}", axis.name());
+            // Other axes untouched.
+            for other in Axis::all() {
+                if other != axis {
+                    assert_eq!(other.get(&q), other.get(&p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failure_rate_elasticity_is_exactly_one() {
+        // P ∝ F, so d ln P / d ln F = 1.
+        let e = elasticity(&ModelParams::typical(), Axis::F).unwrap();
+        assert!((e - 1.0).abs() < 1e-6, "{e}");
+    }
+
+    #[test]
+    fn recovery_elasticity_is_near_minus_one() {
+        // With UD ≪ IR, P ≈ UF/R, so the R elasticity approaches −1.
+        let e = elasticity(&ModelParams::typical(), Axis::R).unwrap();
+        assert!(e < -0.9 && e > -1.1, "{e}");
+    }
+
+    #[test]
+    fn dependency_elasticity_grows_near_the_boundary() {
+        // Close to D*, the denominator vanishes and the D elasticity blows
+        // up — the quantitative form of "one would not wish to operate" a
+        // database there.
+        let p = ModelParams::typical().with_i(2e4); // IR = 20, UD = 10 at D=1
+        let near = elasticity(&p.with_d(1.9), Axis::D).unwrap();
+        let far = elasticity(&p.with_d(0.5), Axis::D).unwrap();
+        assert!(near > 5.0 * far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn elasticity_none_cases() {
+        // Y = 0 has no log-derivative.
+        assert!(elasticity(&ModelParams::typical(), Axis::Y).is_none());
+        // Unstable region.
+        let unstable = ModelParams::typical().with_i(1e3).with_d(200.0);
+        assert!(elasticity(&unstable, Axis::F).is_none());
+    }
+
+    #[test]
+    fn sweep_reproduces_table1_spine() {
+        let base = ModelParams::typical();
+        let swept = sweep(&base, Axis::F, &[1e-4, 1e-3, 5e-3]);
+        let ps: Vec<f64> = swept.iter().map(|(_, p)| p.value().unwrap()).collect();
+        assert!((ps[0] - 1.0101).abs() < 0.001);
+        assert!((ps[1] - 10.101).abs() < 0.01);
+        assert!((ps[2] - 50.505).abs() < 0.01);
+    }
+
+    #[test]
+    fn stability_boundaries() {
+        let p = ModelParams::typical().with_i(2e4); // IR = 20, U = 10
+        assert!((stability_boundary_d(&p) - 2.0).abs() < 1e-12);
+        // At D just below the boundary the model is stable; above, not.
+        assert!(steady_state(&p.with_d(1.99)).value().is_some());
+        assert_eq!(steady_state(&p.with_d(2.01)), Prediction::Unstable);
+        // U boundary for D = 2: U* = IR/(D−Y) = 20/2 = 10.
+        let q = p.with_d(2.0);
+        assert!((stability_boundary_u(&q).unwrap() - 10.0).abs() < 1e-12);
+        assert!(stability_boundary_u(&p.with_d(0.0)).is_none());
+        assert!(steady_state(&q.with_u(9.9)).value().is_some());
+        assert_eq!(steady_state(&q.with_u(10.1)), Prediction::Unstable);
+    }
+
+    #[test]
+    fn axis_names() {
+        let names: Vec<&str> = Axis::all().iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["U", "F", "I", "R", "Y", "D"]);
+    }
+}

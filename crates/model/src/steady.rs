@@ -1,0 +1,177 @@
+//! Steady-state solution of the §4.1 differential equation.
+//!
+//! The paper models the number of polyvalued items `P(t)` by
+//!
+//! ```text
+//! P'(t) = UF + UD·P/I − UY·P/I − R·P
+//! ```
+//!
+//! — creation by failures (`UF`), creation by polytransactions (`UD·P/I`),
+//! destruction by overwriting with simple values (`UY·P/I`), and destruction
+//! by failure recovery (`R·P`). Solving gives the steady state
+//! `P = UFI / (IR + UY − UD)`, valid while `P ≪ I`.
+
+use crate::params::ModelParams;
+
+/// The model's prediction for the steady-state polyvalue population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Prediction {
+    /// The population converges to this expected value.
+    Stable(f64),
+    /// The first-order model predicts unbounded growth (`IR + UY ≤ UD`):
+    /// polytransactions create polyvalues faster than recovery and
+    /// overwriting destroy them. The paper notes such parameters describe a
+    /// system one "would not wish to operate".
+    Unstable,
+}
+
+impl Prediction {
+    /// The stable value, if any.
+    pub fn value(self) -> Option<f64> {
+        match self {
+            Prediction::Stable(p) => Some(p),
+            Prediction::Unstable => None,
+        }
+    }
+}
+
+/// The decay rate `λ = R + (UY − UD)/I` of deviations from the steady state.
+/// Positive `λ` means the system is stable (the paper's first noted point).
+pub fn decay_rate(p: &ModelParams) -> f64 {
+    p.r + (p.u * p.y - p.u * p.d) / p.i
+}
+
+/// The steady-state expected number of polyvalues,
+/// `P = UFI / (IR + UY − UD)` (§4.1).
+pub fn steady_state(p: &ModelParams) -> Prediction {
+    let denom = p.i * p.r + p.u * p.y - p.u * p.d;
+    if denom <= 0.0 {
+        return Prediction::Unstable;
+    }
+    Prediction::Stable(p.u * p.f * p.i / denom)
+}
+
+/// Whether the first-order approximation `(1 − P/I) ≈ 1` is trustworthy:
+/// the predicted population must be small relative to the database.
+pub fn prediction_in_validity_region(p: &ModelParams) -> bool {
+    match steady_state(p) {
+        Prediction::Stable(pred) => pred < 0.05 * p.i,
+        Prediction::Unstable => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stable(p: &ModelParams) -> f64 {
+        steady_state(p).value().expect("stable")
+    }
+
+    #[test]
+    fn typical_parameters_give_paper_value() {
+        // Table 1 row 1: P = 1.01.
+        let p = ModelParams::typical();
+        assert!((stable(&p) - 1.0101).abs() < 0.001);
+    }
+
+    #[test]
+    fn tenfold_rate_gives_11_11() {
+        // Table 1: U = 100 → P = 11.11.
+        let p = ModelParams::typical().with_u(100.0);
+        assert!((stable(&p) - 11.111).abs() < 0.01);
+    }
+
+    #[test]
+    fn smaller_database_raises_density() {
+        // Table 1: I = 100,000 → P = 1.11; I = 20,000 → P = 2.00.
+        let p = ModelParams::typical().with_i(1e5);
+        assert!((stable(&p) - 1.1111).abs() < 0.001);
+        let p = ModelParams::typical().with_i(2e4);
+        assert!((stable(&p) - 2.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn failure_rate_scales_nearly_linearly() {
+        // Table 1: F = 0.001 → 10.10; F = 0.005 → 50.50.
+        let p = ModelParams::typical().with_f(1e-3);
+        assert!((stable(&p) - 10.101).abs() < 0.01);
+        let p = ModelParams::typical().with_f(5e-3);
+        assert!((stable(&p) - 50.505).abs() < 0.01);
+    }
+
+    #[test]
+    fn slow_recovery_raises_population() {
+        // Table 1: R = 0.0001 → 11.11.
+        let p = ModelParams::typical().with_r(1e-4);
+        assert!((stable(&p) - 11.111).abs() < 0.01);
+    }
+
+    #[test]
+    fn y_one_removes_the_self_dependency_term() {
+        // Table 1: Y = 1 → P = 1.00 exactly (UY cancels UD at D = 1).
+        let p = ModelParams::typical().with_y(1.0);
+        assert!((stable(&p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependency_fanin_amplifies() {
+        // Table 1: D = 5 at I = 100,000 → P = 2.00.
+        let p = ModelParams::typical().with_i(1e5).with_d(5.0);
+        assert!((stable(&p) - 2.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn table_2_predictions() {
+        // The "Predicted P" column of Table 2.
+        let base = ModelParams {
+            u: 2.0,
+            f: 0.01,
+            i: 1e4,
+            r: 0.01,
+            y: 0.0,
+            d: 1.0,
+        };
+        assert!((stable(&base) - 2.0408).abs() < 0.001);
+        assert!((stable(&base.with_u(5.0)) - 5.263).abs() < 0.001);
+        assert!((stable(&base.with_u(10.0)) - 11.111).abs() < 0.001);
+        assert!((stable(&base.with_u(10.0).with_f(0.001)) - 1.1111).abs() < 0.001);
+        assert!((stable(&base.with_u(10.0).with_d(5.0)) - 20.0).abs() < 0.001);
+        assert!((stable(&base.with_u(10.0).with_d(5.0).with_y(1.0)) - 16.667).abs() < 0.001);
+    }
+
+    #[test]
+    fn unstable_region_detected() {
+        // IR + UY − UD ≤ 0: e.g. massive fan-in.
+        let p = ModelParams::typical().with_d(200.0).with_i(1e3);
+        assert_eq!(steady_state(&p), Prediction::Unstable);
+        assert!(decay_rate(&p) < 0.0);
+        assert!(!prediction_in_validity_region(&p));
+        assert_eq!(steady_state(&p).value(), None);
+    }
+
+    #[test]
+    fn decay_rate_is_positive_when_stable() {
+        let p = ModelParams::typical();
+        assert!(decay_rate(&p) > 0.0);
+        // λ·P∞ = UF at equilibrium.
+        let lambda = decay_rate(&p);
+        let pinf = stable(&p);
+        assert!((lambda * pinf - p.u * p.f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validity_region() {
+        assert!(prediction_in_validity_region(&ModelParams::typical()));
+        // Tiny database, huge failure rate → P comparable to I.
+        let bad = ModelParams {
+            u: 100.0,
+            f: 0.5,
+            i: 100.0,
+            r: 0.01,
+            y: 0.0,
+            d: 0.0,
+        };
+        assert!(!prediction_in_validity_region(&bad));
+    }
+}

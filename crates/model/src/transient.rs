@@ -1,0 +1,149 @@
+//! Transient solution `P(t)` of the §4.1 model.
+//!
+//! The linear ODE `P'(t) = UF − λ·P(t)` with `λ = R + (UY − UD)/I` has the
+//! solution `P(t) = P∞ + (P₀ − P∞)·e^(−λt)`: any deviation from the steady
+//! state decays exponentially — the paper's stability argument ("a serious
+//! failure causing the introduction of many polyvalues does not cause the
+//! number of polyvalues to grow without limit").
+
+use crate::params::ModelParams;
+use crate::steady::decay_rate;
+
+/// The expected polyvalue population at time `t` (seconds) starting from
+/// `p0` polyvalues at `t = 0`.
+///
+/// For unstable parameter regions (`λ ≤ 0`) the first-order model grows
+/// without bound; the exponential form still applies and is returned as-is,
+/// matching the paper's caveat that it no longer *predicts* a real system.
+pub fn population_at(params: &ModelParams, p0: f64, t: f64) -> f64 {
+    let lambda = decay_rate(params);
+    if lambda.abs() < 1e-15 {
+        // Degenerate: pure accumulation at rate UF.
+        return p0 + params.u * params.f * t;
+    }
+    let pinf = params.u * params.f / lambda;
+    pinf + (p0 - pinf) * (-lambda * t).exp()
+}
+
+/// Time for a deviation from steady state to decay by `factor` (e.g. `0.5`
+/// for a half-life). `None` in unstable regions.
+pub fn decay_time(params: &ModelParams, factor: f64) -> Option<f64> {
+    assert!(factor > 0.0 && factor < 1.0, "factor must be in (0,1)");
+    let lambda = decay_rate(params);
+    if lambda <= 0.0 {
+        return None;
+    }
+    Some(-factor.ln() / lambda)
+}
+
+/// Samples `P(t)` at `n` evenly spaced times over `[0, horizon]` (inclusive
+/// endpoints), for plotting against simulation traces.
+pub fn trace(params: &ModelParams, p0: f64, horizon: f64, n: usize) -> Vec<(f64, f64)> {
+    assert!(n >= 2, "a trace needs at least two points");
+    (0..n)
+        .map(|k| {
+            let t = horizon * k as f64 / (n - 1) as f64;
+            (t, population_at(params, p0, t))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steady::{steady_state, Prediction};
+
+    #[test]
+    fn starts_at_p0_and_converges_to_steady_state() {
+        let p = ModelParams::typical();
+        let pinf = match steady_state(&p) {
+            Prediction::Stable(v) => v,
+            Prediction::Unstable => panic!("typical is stable"),
+        };
+        assert!((population_at(&p, 100.0, 0.0) - 100.0).abs() < 1e-9);
+        let far = population_at(&p, 100.0, 1e5);
+        assert!((far - pinf).abs() < 1e-6, "far future {far} vs {pinf}");
+    }
+
+    #[test]
+    fn decay_is_monotone_from_above_and_below() {
+        let p = ModelParams::typical();
+        let pinf = steady_state(&p).value().unwrap();
+        let mut last = population_at(&p, 100.0, 0.0);
+        for k in 1..50 {
+            let v = population_at(&p, 100.0, k as f64 * 100.0);
+            assert!(v < last, "burst must decay monotonically");
+            assert!(v > pinf, "never undershoots the steady state");
+            last = v;
+        }
+        let mut last = population_at(&p, 0.0, 0.0);
+        for k in 1..50 {
+            let v = population_at(&p, 0.0, k as f64 * 100.0);
+            assert!(v > last, "empty start must fill monotonically");
+            assert!(v < pinf);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn satisfies_the_ode_numerically() {
+        let p = ModelParams::typical().with_d(3.0).with_y(0.5);
+        let lambda = crate::steady::decay_rate(&p);
+        let h = 1e-4;
+        for &t in &[0.0, 10.0, 500.0] {
+            let x = population_at(&p, 40.0, t);
+            let dx = (population_at(&p, 40.0, t + h) - population_at(&p, 40.0, t - h)) / (2.0 * h);
+            let rhs = p.u * p.f - lambda * x;
+            assert!((dx - rhs).abs() < 1e-6, "t={t}: {dx} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn half_life_matches_analytic_form() {
+        let p = ModelParams::typical();
+        let t_half = decay_time(&p, 0.5).unwrap();
+        let pinf = steady_state(&p).value().unwrap();
+        let v = population_at(&p, pinf + 80.0, t_half);
+        assert!(((v - pinf) - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unstable_region_has_no_decay_time_and_grows() {
+        let p = ModelParams::typical().with_d(500.0).with_i(1e3);
+        assert_eq!(decay_time(&p, 0.5), None);
+        let early = population_at(&p, 10.0, 1.0);
+        let late = population_at(&p, 10.0, 100.0);
+        assert!(late > early, "unstable model must grow");
+    }
+
+    #[test]
+    fn zero_lambda_accumulates_linearly() {
+        // R = 0, Y = D balance: λ = 0 exactly.
+        let p = ModelParams {
+            u: 10.0,
+            f: 0.01,
+            i: 1e4,
+            r: 0.0,
+            y: 0.5,
+            d: 0.5,
+        };
+        assert!((population_at(&p, 5.0, 10.0) - (5.0 + 10.0 * 0.01 * 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_is_evenly_spaced() {
+        let p = ModelParams::typical();
+        let tr = trace(&p, 50.0, 100.0, 11);
+        assert_eq!(tr.len(), 11);
+        assert_eq!(tr[0].0, 0.0);
+        assert_eq!(tr[10].0, 100.0);
+        assert!((tr[1].0 - 10.0).abs() < 1e-9);
+        assert!((tr[0].1 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in (0,1)")]
+    fn bad_decay_factor_panics() {
+        let _ = decay_time(&ModelParams::typical(), 1.5);
+    }
+}

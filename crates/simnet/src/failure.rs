@@ -1,0 +1,204 @@
+//! Failure injection: scripted and stochastic crash/recovery schedules.
+
+use crate::actor::{Actor, NodeId};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::world::World;
+
+/// One planned outage of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// The node that fails.
+    pub node: NodeId,
+    /// When the node crashes.
+    pub crash_at: SimTime,
+    /// When the node recovers.
+    pub recover_at: SimTime,
+}
+
+/// A schedule of node outages for a run.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    outages: Vec<Outage>,
+}
+
+/// Parameters of the stochastic failure process.
+///
+/// Crashes arrive at each node as a Poisson process of rate
+/// `crash_rate_per_sec`; each outage lasts an exponentially distributed time
+/// with mean `mean_downtime_secs` — the paper's recovery model, where `R` is
+/// "the proportion of failures recovered each second" (mean downtime `1/R`).
+#[derive(Debug, Clone, Copy)]
+pub struct FailureConfig {
+    /// Poisson crash rate per node, per second of virtual time.
+    pub crash_rate_per_sec: f64,
+    /// Mean outage duration in seconds (`1/R` in the paper's notation).
+    pub mean_downtime_secs: f64,
+    /// Horizon: no crashes are generated at or beyond this time.
+    pub horizon: SimTime,
+}
+
+impl FailurePlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FailurePlan::default()
+    }
+
+    /// Adds one scripted outage. Panics if `recover_at <= crash_at`.
+    pub fn outage(mut self, node: NodeId, crash_at: SimTime, recover_at: SimTime) -> Self {
+        assert!(recover_at > crash_at, "outage must have positive duration");
+        self.outages.push(Outage {
+            node,
+            crash_at,
+            recover_at,
+        });
+        self
+    }
+
+    /// Generates a random plan per [`FailureConfig`] for `nodes` nodes.
+    ///
+    /// Outages of one node never overlap: the next crash is drawn after the
+    /// previous recovery.
+    pub fn poisson(cfg: FailureConfig, nodes: u32, rng: &mut SimRng) -> Self {
+        let mut plan = FailurePlan::new();
+        for n in 0..nodes {
+            let mut node_rng = rng.fork(0xFA11 + u64::from(n));
+            let mut t = SimTime::ZERO;
+            loop {
+                let gap = if cfg.crash_rate_per_sec <= 0.0 {
+                    break;
+                } else {
+                    SimDuration::from_secs_f64(node_rng.exponential(1.0 / cfg.crash_rate_per_sec))
+                };
+                let crash_at = t + gap;
+                if crash_at >= cfg.horizon {
+                    break;
+                }
+                let down = SimDuration::from_secs_f64(node_rng.exponential(cfg.mean_downtime_secs))
+                    .max(SimDuration::from_micros(1));
+                let recover_at = crash_at + down;
+                plan.outages.push(Outage {
+                    node: NodeId(n),
+                    crash_at,
+                    recover_at,
+                });
+                t = recover_at;
+            }
+        }
+        plan
+    }
+
+    /// The outages in the plan.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// Total downtime accumulated over all outages.
+    pub fn total_downtime(&self) -> SimDuration {
+        self.outages.iter().fold(SimDuration::ZERO, |acc, o| {
+            acc + o.recover_at.since(o.crash_at)
+        })
+    }
+
+    /// Schedules every outage onto a world.
+    pub fn apply<A: Actor>(&self, world: &mut World<A>) {
+        for o in &self.outages {
+            world.schedule_crash(o.crash_at, o.node);
+            world.schedule_recover(o.recover_at, o.node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::Ctx;
+    use crate::net::NetConfig;
+
+    struct Noop;
+    impl Actor for Noop {
+        type Msg = ();
+        fn on_message(&mut self, _ctx: &mut Ctx<()>, _from: NodeId, _msg: ()) {}
+    }
+
+    #[test]
+    fn scripted_plan_applies() {
+        let mut w: World<Noop> = World::new(1, NetConfig::instant());
+        let a = w.add_node(Noop);
+        let plan = FailurePlan::new().outage(a, SimTime::from_secs(1), SimTime::from_secs(2));
+        assert_eq!(plan.outages().len(), 1);
+        assert_eq!(plan.total_downtime(), SimDuration::from_secs(1));
+        plan.apply(&mut w);
+        w.run_until(SimTime::from_millis(1500));
+        assert!(!w.is_up(a));
+        w.run_until(SimTime::from_millis(2500));
+        assert!(w.is_up(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_length_outage_rejected() {
+        let _ = FailurePlan::new().outage(NodeId(0), SimTime::from_secs(1), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn poisson_plan_respects_horizon_and_no_overlap() {
+        let mut rng = SimRng::new(99);
+        let cfg = FailureConfig {
+            crash_rate_per_sec: 0.5,
+            mean_downtime_secs: 0.3,
+            horizon: SimTime::from_secs(100),
+        };
+        let plan = FailurePlan::poisson(cfg, 4, &mut rng);
+        assert!(!plan.outages().is_empty());
+        for o in plan.outages() {
+            assert!(o.crash_at < cfg.horizon);
+            assert!(o.recover_at > o.crash_at);
+        }
+        // Per-node outages are sequential.
+        for n in 0..4u32 {
+            let mut last_recover = SimTime::ZERO;
+            for o in plan.outages().iter().filter(|o| o.node == NodeId(n)) {
+                assert!(o.crash_at >= last_recover);
+                last_recover = o.recover_at;
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_plan_is_deterministic() {
+        let cfg = FailureConfig {
+            crash_rate_per_sec: 1.0,
+            mean_downtime_secs: 0.5,
+            horizon: SimTime::from_secs(10),
+        };
+        let p1 = FailurePlan::poisson(cfg, 3, &mut SimRng::new(5));
+        let p2 = FailurePlan::poisson(cfg, 3, &mut SimRng::new(5));
+        assert_eq!(p1.outages(), p2.outages());
+    }
+
+    #[test]
+    fn zero_rate_means_no_outages() {
+        let cfg = FailureConfig {
+            crash_rate_per_sec: 0.0,
+            mean_downtime_secs: 0.5,
+            horizon: SimTime::from_secs(10),
+        };
+        let plan = FailurePlan::poisson(cfg, 3, &mut SimRng::new(5));
+        assert!(plan.outages().is_empty());
+    }
+
+    #[test]
+    fn crash_rate_roughly_matches() {
+        let cfg = FailureConfig {
+            crash_rate_per_sec: 0.2,
+            mean_downtime_secs: 0.1,
+            horizon: SimTime::from_secs(1000),
+        };
+        let plan = FailurePlan::poisson(cfg, 1, &mut SimRng::new(17));
+        let n = plan.outages().len() as f64;
+        // Expect about rate * horizon = 200 outages (downtime shortens the
+        // exposure window slightly).
+        assert!(n > 120.0 && n < 280.0, "n = {n}");
+    }
+}

@@ -1,0 +1,312 @@
+//! Metrics registry: counters, gauge time series, and histograms.
+
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A value-distribution accumulator with summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    values: Vec<f64>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) by nearest-rank, or `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("metrics must not be NaN"));
+        let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank])
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// All raw observations, in arrival order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A named registry of counters, gauges, and histograms for one run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, Vec<(SimTime, f64)>>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `by` to the counter `name` (creating it at zero).
+    pub fn inc_by(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Adds one to the counter `name`.
+    pub fn inc(&mut self, name: &str) {
+        self.inc_by(name, 1);
+    }
+
+    /// The current value of a counter (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Appends a gauge sample at time `t`.
+    pub fn gauge(&mut self, name: &str, t: SimTime, v: f64) {
+        self.gauges.entry(name.to_owned()).or_default().push((t, v));
+    }
+
+    /// The sample series of a gauge (empty if never sampled).
+    pub fn gauge_series(&self, name: &str) -> &[(SimTime, f64)] {
+        self.gauges.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The latest value of a gauge, if any.
+    pub fn gauge_last(&self, name: &str) -> Option<f64> {
+        self.gauge_series(name).last().map(|&(_, v)| v)
+    }
+
+    /// Time-weighted mean of a gauge over `[from, to]`, treating each sample
+    /// as holding until the next. `None` when there is no sample at or
+    /// before `from`... the series must start at or before `from` to be
+    /// meaningful; earlier samples are clipped.
+    pub fn gauge_time_mean(&self, name: &str, from: SimTime, to: SimTime) -> Option<f64> {
+        let series = self.gauge_series(name);
+        if series.is_empty() || to <= from {
+            return None;
+        }
+        let mut acc = 0.0;
+        let mut last_t = from;
+        let mut last_v: Option<f64> = None;
+        for &(t, v) in series {
+            if t <= from {
+                last_v = Some(v);
+                continue;
+            }
+            if t >= to {
+                break;
+            }
+            if let Some(lv) = last_v {
+                acc += lv * t.since(last_t).as_secs_f64();
+            }
+            last_t = t;
+            last_v = Some(v);
+        }
+        let lv = last_v?;
+        acc += lv * to.since(last_t).as_secs_f64();
+        Some(acc / to.since(from).as_secs_f64())
+    }
+
+    /// Records an observation into histogram `name`.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(v);
+    }
+
+    /// The histogram `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry into this one (counters add, gauge series and
+    /// histograms concatenate).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, series) in &other.gauges {
+            self.gauges
+                .entry(k.clone())
+                .or_default()
+                .extend(series.iter().copied());
+        }
+        for (k, h) in &other.histograms {
+            let dst = self.histograms.entry(k.clone()).or_default();
+            for &v in h.values() {
+                dst.observe(v);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "counter {k} = {v}")?;
+        }
+        for (k, h) in &self.histograms {
+            writeln!(
+                f,
+                "hist {k}: n={} mean={:.3} p50={:.3} p99={:.3}",
+                h.count(),
+                h.mean().unwrap_or(f64::NAN),
+                h.quantile(0.5).unwrap_or(f64::NAN),
+                h.quantile(0.99).unwrap_or(f64::NAN),
+            )?;
+        }
+        for (k, series) in &self.gauges {
+            writeln!(f, "gauge {k}: {} samples", series.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        assert_eq!(m.counter("x"), 0);
+        m.inc("x");
+        m.inc_by("x", 4);
+        assert_eq!(m.counter("x"), 5);
+        assert_eq!(m.counters().collect::<Vec<_>>(), vec![("x", 5)]);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), Some(3.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(5.0));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(5.0));
+    }
+
+    #[test]
+    fn empty_histogram_returns_none() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn gauges_record_series() {
+        let mut m = Metrics::new();
+        m.gauge("p", SimTime::from_secs(1), 10.0);
+        m.gauge("p", SimTime::from_secs(2), 20.0);
+        assert_eq!(m.gauge_series("p").len(), 2);
+        assert_eq!(m.gauge_last("p"), Some(20.0));
+        assert_eq!(m.gauge_last("missing"), None);
+    }
+
+    #[test]
+    fn gauge_time_mean_weights_by_duration() {
+        let mut m = Metrics::new();
+        // 10 for 1s, then 20 for 3s → mean (10·1 + 20·3)/4 = 17.5.
+        m.gauge("p", SimTime::ZERO, 10.0);
+        m.gauge("p", SimTime::from_secs(1), 20.0);
+        let mean = m
+            .gauge_time_mean("p", SimTime::ZERO, SimTime::from_secs(4))
+            .unwrap();
+        assert!((mean - 17.5).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn gauge_time_mean_clips_before_window() {
+        let mut m = Metrics::new();
+        m.gauge("p", SimTime::ZERO, 5.0);
+        m.gauge("p", SimTime::from_secs(10), 15.0);
+        // Window entirely after the last sample.
+        let mean = m
+            .gauge_time_mean("p", SimTime::from_secs(20), SimTime::from_secs(30))
+            .unwrap();
+        assert!((mean - 15.0).abs() < 1e-9);
+        // Degenerate/empty cases.
+        assert!(m
+            .gauge_time_mean("p", SimTime::from_secs(3), SimTime::from_secs(3))
+            .is_none());
+        assert!(m
+            .gauge_time_mean("missing", SimTime::ZERO, SimTime::from_secs(1))
+            .is_none());
+    }
+
+    #[test]
+    fn observe_routes_to_histogram() {
+        let mut m = Metrics::new();
+        m.observe("lat", 1.5);
+        m.observe("lat", 2.5);
+        assert_eq!(m.histogram("lat").unwrap().count(), 2);
+        assert!(m.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn merge_combines_registries() {
+        let mut a = Metrics::new();
+        a.inc("c");
+        a.observe("h", 1.0);
+        a.gauge("g", SimTime::ZERO, 1.0);
+        let mut b = Metrics::new();
+        b.inc_by("c", 2);
+        b.observe("h", 2.0);
+        b.gauge("g", SimTime::from_secs(1), 2.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.gauge_series("g").len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_each_kind() {
+        let mut m = Metrics::new();
+        m.inc("c");
+        m.observe("h", 1.0);
+        m.gauge("g", SimTime::ZERO, 1.0);
+        let s = m.to_string();
+        assert!(s.contains("counter c = 1"));
+        assert!(s.contains("hist h"));
+        assert!(s.contains("gauge g"));
+    }
+}

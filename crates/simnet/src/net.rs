@@ -1,0 +1,156 @@
+//! Network model: latency, loss, and partitions.
+
+use crate::actor::NodeId;
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use std::collections::BTreeSet;
+
+/// Static configuration of the message network.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Minimum one-way latency between distinct nodes.
+    pub min_delay: SimDuration,
+    /// Additional uniformly distributed latency on top of `min_delay`.
+    pub jitter: SimDuration,
+    /// Latency of a node sending to itself.
+    pub local_delay: SimDuration,
+    /// Probability that any remote message is lost in transit.
+    pub drop_prob: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            min_delay: SimDuration::from_millis(5),
+            jitter: SimDuration::from_millis(5),
+            local_delay: SimDuration::from_micros(10),
+            drop_prob: 0.0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A zero-latency, lossless network, useful in unit tests.
+    pub fn instant() -> Self {
+        NetConfig {
+            min_delay: SimDuration::from_micros(1),
+            jitter: SimDuration::ZERO,
+            local_delay: SimDuration::from_micros(1),
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Samples the one-way latency for a message from `from` to `to`.
+    pub fn sample_delay(&self, from: NodeId, to: NodeId, rng: &mut SimRng) -> SimDuration {
+        if from == to {
+            return self.local_delay;
+        }
+        let jitter = if self.jitter == SimDuration::ZERO {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(rng.below(self.jitter.as_micros().max(1)))
+        };
+        self.min_delay + jitter
+    }
+}
+
+/// Mutable link state: the set of partitioned (blocked) node pairs.
+#[derive(Debug, Clone, Default)]
+pub struct LinkState {
+    blocked: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl LinkState {
+    /// Normalises a pair so `(a, b)` and `(b, a)` are the same link.
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Cuts the link between `a` and `b` (both directions).
+    pub fn cut(&mut self, a: NodeId, b: NodeId) {
+        self.blocked.insert(Self::key(a, b));
+    }
+
+    /// Heals the link between `a` and `b`.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.blocked.remove(&Self::key(a, b));
+    }
+
+    /// Whether traffic can flow between `a` and `b`.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        a == b || !self.blocked.contains(&Self::key(a, b))
+    }
+
+    /// Number of cut links.
+    pub fn cut_count(&self) -> usize {
+        self.blocked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = NetConfig::default();
+        assert!(c.min_delay > SimDuration::ZERO);
+        assert_eq!(c.drop_prob, 0.0);
+    }
+
+    #[test]
+    fn delay_sampling_respects_bounds() {
+        let c = NetConfig {
+            min_delay: SimDuration::from_millis(10),
+            jitter: SimDuration::from_millis(5),
+            local_delay: SimDuration::from_micros(1),
+            drop_prob: 0.0,
+        };
+        let mut rng = SimRng::new(3);
+        for _ in 0..200 {
+            let d = c.sample_delay(NodeId(0), NodeId(1), &mut rng);
+            assert!(d >= SimDuration::from_millis(10));
+            assert!(d < SimDuration::from_millis(15));
+        }
+        assert_eq!(
+            c.sample_delay(NodeId(2), NodeId(2), &mut rng),
+            SimDuration::from_micros(1)
+        );
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let c = NetConfig::instant();
+        let mut rng = SimRng::new(3);
+        assert_eq!(
+            c.sample_delay(NodeId(0), NodeId(1), &mut rng),
+            SimDuration::from_micros(1)
+        );
+    }
+
+    #[test]
+    fn links_cut_and_heal_symmetrically() {
+        let mut ls = LinkState::default();
+        assert!(ls.connected(NodeId(0), NodeId(1)));
+        ls.cut(NodeId(1), NodeId(0));
+        assert!(!ls.connected(NodeId(0), NodeId(1)));
+        assert!(!ls.connected(NodeId(1), NodeId(0)));
+        assert_eq!(ls.cut_count(), 1);
+        // A node is always connected to itself.
+        assert!(ls.connected(NodeId(0), NodeId(0)));
+        ls.heal(NodeId(0), NodeId(1));
+        assert!(ls.connected(NodeId(0), NodeId(1)));
+        assert_eq!(ls.cut_count(), 0);
+    }
+
+    #[test]
+    fn healing_unknown_link_is_noop() {
+        let mut ls = LinkState::default();
+        ls.heal(NodeId(5), NodeId(6));
+        assert!(ls.connected(NodeId(5), NodeId(6)));
+    }
+}

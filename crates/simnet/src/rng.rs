@@ -1,0 +1,228 @@
+//! Deterministic random number streams.
+//!
+//! Every source of randomness in a simulation run derives from one master
+//! seed, so a run is exactly reproducible from `(configuration, seed)`.
+//! Independent components fork their own sub-streams so that adding a
+//! component does not perturb the draws seen by the others.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    rng: SmallRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates the master stream for a run.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Forks an independent sub-stream identified by `stream`.
+    ///
+    /// Forking is a pure function of `(seed, stream)`: the sub-stream does
+    /// not depend on how much the parent has been consumed.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        // SplitMix64-style mixing of the (seed, stream) pair.
+        let mut z = self.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::new(z)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// A uniform draw in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// A uniform integer in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.rng.random_range(0..n)
+    }
+
+    /// A Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.unit() < p
+    }
+
+    /// An exponential draw with the given mean, by inverse transform.
+    ///
+    /// The offline `rand` crate does not bundle `rand_distr`; inverse
+    /// transform sampling (`-mean · ln(1-u)`) is exact and two lines.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean >= 0.0, "exponential mean must be non-negative");
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let u: f64 = self.unit();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "pick from empty slice");
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.unit(), b.unit());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<f64> = (0..10).map(|_| a.unit()).collect();
+        let vb: Vec<f64> = (0..10).map(|_| b.unit()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_is_independent_of_consumption() {
+        let parent = SimRng::new(7);
+        let mut consumed = parent.clone();
+        for _ in 0..50 {
+            consumed.unit();
+        }
+        let mut f1 = parent.fork(3);
+        let mut f2 = consumed.fork(3);
+        for _ in 0..20 {
+            assert_eq!(f1.unit(), f2.unit());
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_distinct() {
+        let parent = SimRng::new(7);
+        let mut f1 = parent.fork(1);
+        let mut f2 = parent.fork(2);
+        let v1: Vec<f64> = (0..10).map(|_| f1.unit()).collect();
+        let v2: Vec<f64> = (0..10).map(|_| f2.unit()).collect();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn unit_is_in_range() {
+        let mut r = SimRng::new(9);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SimRng::new(9);
+        for _ in 0..1000 {
+            let u = r.uniform(5.0, 6.0);
+            assert!((5.0..6.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::new(9);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(9);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = SimRng::new(11);
+        let n = 20_000;
+        let mean = 4.0;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let got = sum / n as f64;
+        assert!((got - mean).abs() < 0.15 * mean, "sample mean {got}");
+    }
+
+    #[test]
+    fn exponential_zero_mean_is_zero() {
+        let mut r = SimRng::new(11);
+        assert_eq!(r.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::new(13);
+        let mut xs: Vec<u32> = (0..20).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut r = SimRng::new(13);
+        let xs = [1, 2, 3];
+        for _ in 0..50 {
+            assert!(xs.contains(r.pick(&xs)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SimRng::new(1).below(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pick from empty")]
+    fn pick_empty_panics() {
+        let xs: [u8; 0] = [];
+        SimRng::new(1).pick(&xs);
+    }
+}

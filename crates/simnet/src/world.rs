@@ -1,0 +1,619 @@
+//! The simulation world: event loop, scheduling, failures.
+
+use crate::actor::{Actor, Ctx, Effect, NodeId};
+use crate::metrics::Metrics;
+use crate::net::{LinkState, NetConfig};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// What happens when a scheduled event comes due.
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        id: u64,
+        key: u64,
+        gen: u32,
+    },
+    Crash(NodeId),
+    Recover(NodeId),
+    LinkDown(NodeId, NodeId),
+    LinkUp(NodeId, NodeId),
+}
+
+/// A scheduled event. Ordering is `(time, seq)`: ties broken by insertion
+/// order, which keeps runs fully deterministic.
+#[derive(Debug)]
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation of a message-passing system.
+///
+/// The world owns a set of [`Actor`] nodes, a virtual clock, a network model
+/// (latency, loss, partitions), and a failure schedule (crashes and
+/// recoveries). Runs are exactly reproducible from the seed.
+///
+/// # Examples
+///
+/// ```
+/// use pv_simnet::{Actor, Ctx, NetConfig, NodeId, SimTime, World};
+///
+/// struct Echo;
+/// impl Actor for Echo {
+///     type Msg = u32;
+///     fn on_message(&mut self, ctx: &mut Ctx<u32>, from: NodeId, msg: u32) {
+///         if from != NodeId::ENV {
+///             return;
+///         }
+///         ctx.metrics().inc("echoed");
+///         ctx.send(ctx.me(), msg + 1);
+///     }
+/// }
+///
+/// let mut world = World::new(42, NetConfig::instant());
+/// let n = world.add_node(Echo);
+/// world.send_from_env(n, 7);
+/// world.run_until(SimTime::from_secs(1));
+/// assert_eq!(world.metrics().counter("echoed"), 1);
+/// ```
+pub struct World<A: Actor> {
+    now: SimTime,
+    seq: u64,
+    next_timer_id: u64,
+    events: BinaryHeap<Reverse<Scheduled<A::Msg>>>,
+    actors: Vec<A>,
+    up: Vec<bool>,
+    crash_gen: Vec<u32>,
+    cancelled_timers: BTreeSet<u64>,
+    links: LinkState,
+    net: NetConfig,
+    rng: SimRng,
+    metrics: Metrics,
+    started: bool,
+}
+
+impl<A: Actor> World<A> {
+    /// Creates an empty world with the given seed and network model.
+    pub fn new(seed: u64, net: NetConfig) -> Self {
+        World {
+            now: SimTime::ZERO,
+            seq: 0,
+            next_timer_id: 0,
+            events: BinaryHeap::new(),
+            actors: Vec::new(),
+            up: Vec::new(),
+            crash_gen: Vec::new(),
+            cancelled_timers: BTreeSet::new(),
+            links: LinkState::default(),
+            net,
+            rng: SimRng::new(seed),
+            metrics: Metrics::new(),
+            started: false,
+        }
+    }
+
+    /// Adds a node; returns its identity. If the world has already started,
+    /// the actor's `on_start` runs immediately.
+    pub fn add_node(&mut self, actor: A) -> NodeId {
+        let id = NodeId(self.actors.len() as u32);
+        self.actors.push(actor);
+        self.up.push(true);
+        self.crash_gen.push(0);
+        if self.started {
+            self.run_callback(id, |actor, ctx| actor.on_start(ctx));
+        }
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Whether `node` is currently up.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.up[node.0 as usize]
+    }
+
+    /// Immutable access to a node's actor (for assertions and scraping).
+    pub fn actor(&self, node: NodeId) -> &A {
+        &self.actors[node.0 as usize]
+    }
+
+    /// Mutable access to a node's actor. Intended for test setup; effects
+    /// cannot be emitted through this path.
+    pub fn actor_mut(&mut self, node: NodeId) -> &mut A {
+        &mut self.actors[node.0 as usize]
+    }
+
+    /// The run's metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// The master random stream (e.g. for workload generation).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Injects a message from the environment, delivered after local delay.
+    pub fn send_from_env(&mut self, to: NodeId, msg: A::Msg) {
+        let at = self.now + self.net.local_delay;
+        self.push(
+            at,
+            EventKind::Deliver {
+                from: NodeId::ENV,
+                to,
+                msg,
+            },
+        );
+    }
+
+    /// Schedules a crash of `node` at time `at`.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        self.push(at, EventKind::Crash(node));
+    }
+
+    /// Schedules a recovery of `node` at time `at`.
+    pub fn schedule_recover(&mut self, at: SimTime, node: NodeId) {
+        self.push(at, EventKind::Recover(node));
+    }
+
+    /// Schedules a bidirectional link cut between `a` and `b` at time `at`.
+    pub fn schedule_partition(&mut self, at: SimTime, a: NodeId, b: NodeId) {
+        self.push(at, EventKind::LinkDown(a, b));
+    }
+
+    /// Schedules the link between `a` and `b` to heal at time `at`.
+    pub fn schedule_heal(&mut self, at: SimTime, a: NodeId, b: NodeId) {
+        self.push(at, EventKind::LinkUp(a, b));
+    }
+
+    /// Calls `on_start` on every node added so far. Idempotent.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.actors.len() {
+            self.run_callback(NodeId(i as u32), |actor, ctx| actor.on_start(ctx));
+        }
+    }
+
+    /// Processes a single event; returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let Some(Reverse(ev)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        match ev.kind {
+            EventKind::Deliver { from, to, msg } => {
+                let to_idx = to.0 as usize;
+                if to_idx >= self.actors.len() || !self.up[to_idx] {
+                    self.metrics.inc("net.dropped_dest_down");
+                } else if from != NodeId::ENV && from != to && !self.links.connected(from, to) {
+                    // Partition began while the message was in flight.
+                    self.metrics.inc("net.dropped_partition");
+                } else {
+                    self.metrics.inc("net.delivered");
+                    self.run_callback(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                }
+            }
+            EventKind::Timer { node, id, key, gen } => {
+                if self.cancelled_timers.remove(&id) {
+                    return true;
+                }
+                let idx = node.0 as usize;
+                if !self.up[idx] || self.crash_gen[idx] != gen {
+                    return true; // timer died with the crash
+                }
+                self.run_callback(node, |actor, ctx| actor.on_timer(ctx, key));
+            }
+            EventKind::Crash(node) => {
+                let idx = node.0 as usize;
+                if self.up[idx] {
+                    self.up[idx] = false;
+                    self.crash_gen[idx] += 1;
+                    self.metrics.inc("node.crashes");
+                    self.actors[idx].on_crash();
+                }
+            }
+            EventKind::Recover(node) => {
+                let idx = node.0 as usize;
+                if !self.up[idx] {
+                    self.up[idx] = true;
+                    self.metrics.inc("node.recoveries");
+                    self.run_callback(node, |actor, ctx| actor.on_recover(ctx));
+                }
+            }
+            EventKind::LinkDown(a, b) => {
+                self.links.cut(a, b);
+                self.metrics.inc("net.partitions");
+            }
+            EventKind::LinkUp(a, b) => {
+                self.links.heal(a, b);
+                self.metrics.inc("net.heals");
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue is exhausted or virtual time would pass `t`;
+    /// afterwards `now() == max(now, t)` (events at exactly `t` are
+    /// processed; a target already in the past is a no-op — the clock never
+    /// rewinds).
+    pub fn run_until(&mut self, t: SimTime) {
+        self.start();
+        while let Some(Reverse(head)) = self.events.peek() {
+            if head.at > t {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs until no events remain (the system is quiescent) or `max_events`
+    /// have been processed. Returns the number of events processed.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        self.start();
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Number of pending events (for tests).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<A::Msg>) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Scheduled { at, seq, kind }));
+    }
+
+    /// Runs one actor callback and applies its effects.
+    fn run_callback(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Ctx<A::Msg>)) {
+        let idx = node.0 as usize;
+        let mut node_rng = self.rng.fork(u64::from(node.0) + 1);
+        let mut ctx = Ctx {
+            now: self.now,
+            me: node,
+            effects: Vec::new(),
+            rng: &mut node_rng,
+            metrics: &mut self.metrics,
+            next_timer_id: &mut self.next_timer_id,
+        };
+        f(&mut self.actors[idx], &mut ctx);
+        let effects = std::mem::take(&mut ctx.effects);
+        // Refresh the master stream so successive callbacks differ.
+        self.rng = self.rng.fork(0x5eed);
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    if node != to && !self.links.connected(node, to) {
+                        self.metrics.inc("net.dropped_partition");
+                        continue;
+                    }
+                    if node != to && self.net.drop_prob > 0.0 && self.rng.chance(self.net.drop_prob)
+                    {
+                        self.metrics.inc("net.dropped_loss");
+                        continue;
+                    }
+                    let delay = self.net.sample_delay(node, to, &mut self.rng);
+                    self.push(
+                        self.now + delay,
+                        EventKind::Deliver {
+                            from: node,
+                            to,
+                            msg,
+                        },
+                    );
+                }
+                Effect::SetTimer { id, key, at } => {
+                    self.push(
+                        at,
+                        EventKind::Timer {
+                            node,
+                            id,
+                            key,
+                            gen: self.crash_gen[idx],
+                        },
+                    );
+                }
+                Effect::CancelTimer(id) => {
+                    self.cancelled_timers.insert(id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Test actor: counts messages, echoes pings, exercises timers.
+    #[derive(Default)]
+    struct Node {
+        received: Vec<(NodeId, u32)>,
+        timers_fired: Vec<u64>,
+        crashed: u32,
+        recovered: u32,
+        // "Stable" state surviving crashes, vs volatile scratch.
+        stable: u32,
+        volatile: u32,
+    }
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping(u32),
+        PingTo(NodeId, u32),
+        ArmTimer(u64),
+        ArmAndCancel(u64),
+        Bump,
+    }
+
+    impl Actor for Node {
+        type Msg = Msg;
+
+        fn on_message(&mut self, ctx: &mut Ctx<Msg>, from: NodeId, msg: Msg) {
+            match msg {
+                Msg::Ping(v) => self.received.push((from, v)),
+                Msg::PingTo(to, v) => ctx.send(to, Msg::Ping(v)),
+                Msg::ArmTimer(key) => {
+                    ctx.set_timer(SimDuration::from_millis(100), key);
+                }
+                Msg::ArmAndCancel(key) => {
+                    let t = ctx.set_timer(SimDuration::from_millis(100), key);
+                    ctx.cancel_timer(t);
+                }
+                Msg::Bump => {
+                    self.stable += 1;
+                    self.volatile += 1;
+                }
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<Msg>, key: u64) {
+            self.timers_fired.push(key);
+        }
+
+        fn on_crash(&mut self) {
+            self.crashed += 1;
+            self.volatile = 0;
+        }
+
+        fn on_recover(&mut self, _ctx: &mut Ctx<Msg>) {
+            self.recovered += 1;
+        }
+    }
+
+    fn world() -> World<Node> {
+        World::new(7, NetConfig::instant())
+    }
+
+    #[test]
+    fn messages_are_delivered_in_order() {
+        let mut w = world();
+        let a = w.add_node(Node::default());
+        w.send_from_env(a, Msg::Ping(1));
+        w.send_from_env(a, Msg::Ping(2));
+        w.run_until(SimTime::from_secs(1));
+        let got: Vec<u32> = w.actor(a).received.iter().map(|&(_, v)| v).collect();
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(w.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn node_to_node_messaging() {
+        let mut w = world();
+        let a = w.add_node(Node::default());
+        let b = w.add_node(Node::default());
+        w.send_from_env(a, Msg::PingTo(b, 9));
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.actor(b).received, vec![(a, 9)]);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        let mut w = world();
+        let a = w.add_node(Node::default());
+        w.send_from_env(a, Msg::ArmTimer(5));
+        w.send_from_env(a, Msg::ArmAndCancel(6));
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.actor(a).timers_fired, vec![5]);
+    }
+
+    #[test]
+    fn crash_drops_messages_and_timers() {
+        let mut w = world();
+        let a = w.add_node(Node::default());
+        w.send_from_env(a, Msg::ArmTimer(1));
+        w.schedule_crash(SimTime::from_millis(50), a);
+        // Message arriving while down is dropped.
+        w.run_until(SimTime::from_millis(60));
+        w.send_from_env(a, Msg::Ping(1));
+        w.run_until(SimTime::from_secs(1));
+        assert!(!w.is_up(a));
+        assert_eq!(w.actor(a).crashed, 1);
+        assert!(
+            w.actor(a).timers_fired.is_empty(),
+            "timer must die with crash"
+        );
+        assert!(w.actor(a).received.is_empty());
+        assert_eq!(w.metrics().counter("net.dropped_dest_down"), 1);
+    }
+
+    #[test]
+    fn recovery_restores_delivery() {
+        let mut w = world();
+        let a = w.add_node(Node::default());
+        w.schedule_crash(SimTime::from_millis(10), a);
+        w.schedule_recover(SimTime::from_millis(20), a);
+        w.run_until(SimTime::from_millis(30));
+        assert!(w.is_up(a));
+        assert_eq!(w.actor(a).recovered, 1);
+        w.send_from_env(a, Msg::Ping(3));
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.actor(a).received.len(), 1);
+    }
+
+    #[test]
+    fn volatile_state_is_lost_stable_survives() {
+        let mut w = world();
+        let a = w.add_node(Node::default());
+        w.send_from_env(a, Msg::Bump);
+        w.run_until(SimTime::from_millis(5));
+        w.schedule_crash(SimTime::from_millis(10), a);
+        w.schedule_recover(SimTime::from_millis(20), a);
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.actor(a).stable, 1);
+        assert_eq!(w.actor(a).volatile, 0);
+    }
+
+    #[test]
+    fn partitions_block_and_heal() {
+        let mut w = world();
+        let a = w.add_node(Node::default());
+        let b = w.add_node(Node::default());
+        w.schedule_partition(SimTime::ZERO, a, b);
+        w.run_until(SimTime::from_millis(1));
+        w.send_from_env(a, Msg::PingTo(b, 1));
+        w.run_until(SimTime::from_millis(10));
+        assert!(w.actor(b).received.is_empty());
+        assert_eq!(w.metrics().counter("net.dropped_partition"), 1);
+        w.schedule_heal(w.now(), a, b);
+        w.run_until(SimTime::from_millis(20));
+        w.send_from_env(a, Msg::PingTo(b, 2));
+        w.run_until(SimTime::from_millis(30));
+        assert_eq!(w.actor(b).received, vec![(a, 2)]);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed: u64| {
+            let mut w: World<Node> = World::new(
+                seed,
+                NetConfig {
+                    min_delay: SimDuration::from_millis(1),
+                    jitter: SimDuration::from_millis(10),
+                    local_delay: SimDuration::from_micros(1),
+                    drop_prob: 0.2,
+                },
+            );
+            let a = w.add_node(Node::default());
+            let b = w.add_node(Node::default());
+            for i in 0..50 {
+                w.send_from_env(a, Msg::PingTo(b, i));
+            }
+            w.run_until(SimTime::from_secs(1));
+            w.actor(b).received.clone()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds should perturb the run");
+    }
+
+    #[test]
+    fn run_until_never_rewinds_the_clock() {
+        let mut w = world();
+        let a = w.add_node(Node::default());
+        w.run_until(SimTime::from_secs(2));
+        assert_eq!(w.now(), SimTime::from_secs(2));
+        // A target in the past is a no-op, not a time machine.
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.now(), SimTime::from_secs(2));
+        // Events injected afterwards happen at or after the current time.
+        w.send_from_env(a, Msg::Ping(1));
+        w.run_until(SimTime::from_secs(3));
+        assert_eq!(w.actor(a).received.len(), 1);
+    }
+
+    #[test]
+    fn run_to_quiescence_counts_events() {
+        let mut w = world();
+        let a = w.add_node(Node::default());
+        w.send_from_env(a, Msg::Ping(1));
+        let n = w.run_to_quiescence(1000);
+        assert_eq!(n, 1);
+        assert_eq!(w.pending_events(), 0);
+        assert!(!w.step());
+    }
+
+    #[test]
+    fn double_crash_and_double_recover_are_idempotent() {
+        let mut w = world();
+        let a = w.add_node(Node::default());
+        w.schedule_crash(SimTime::from_millis(1), a);
+        w.schedule_crash(SimTime::from_millis(2), a);
+        w.schedule_recover(SimTime::from_millis(3), a);
+        w.schedule_recover(SimTime::from_millis(4), a);
+        w.run_until(SimTime::from_millis(10));
+        assert_eq!(w.actor(a).crashed, 1);
+        assert_eq!(w.actor(a).recovered, 1);
+    }
+
+    #[test]
+    fn lossy_network_drops_some_messages() {
+        let mut w: World<Node> = World::new(
+            5,
+            NetConfig {
+                drop_prob: 0.5,
+                ..NetConfig::instant()
+            },
+        );
+        let a = w.add_node(Node::default());
+        let b = w.add_node(Node::default());
+        for i in 0..100 {
+            w.send_from_env(a, Msg::PingTo(b, i));
+        }
+        w.run_until(SimTime::from_secs(1));
+        let got = w.actor(b).received.len();
+        assert!(got > 10 && got < 90, "got {got}");
+        assert!(w.metrics().counter("net.dropped_loss") > 0);
+    }
+}

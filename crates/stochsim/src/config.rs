@@ -1,0 +1,91 @@
+//! Configuration of the §4.2 stochastic simulation.
+
+use pv_model::ModelParams;
+
+/// Parameters of one simulation run: the paper's six model parameters plus
+/// run control (horizon, warm-up, sampling, seed).
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// The model parameters `U, F, I, R, Y, D`.
+    pub params: ModelParams,
+    /// Virtual seconds to simulate in total.
+    pub horizon_secs: f64,
+    /// Leading fraction of the run excluded from the average (warm-up to
+    /// reach the stable period the paper averages over).
+    pub warmup_frac: f64,
+    /// Interval between samples of the polyvalue census.
+    pub sample_every_secs: f64,
+    /// Random seed; identical configs and seeds reproduce exactly.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A run over the given parameters with defaults tuned so Table 2's
+    /// configurations reach their stable period comfortably.
+    pub fn new(params: ModelParams, seed: u64) -> Self {
+        SimConfig {
+            params,
+            horizon_secs: 4_000.0,
+            warmup_frac: 0.25,
+            sample_every_secs: 5.0,
+            seed,
+        }
+    }
+
+    /// Overrides the horizon.
+    pub fn with_horizon(mut self, secs: f64) -> Self {
+        self.horizon_secs = secs;
+        self
+    }
+
+    /// Checks run-control sanity in addition to the model parameters.
+    // `!(x > 0.0)` deliberately rejects NaN as well.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        self.params.validate()?;
+        if !(self.horizon_secs > 0.0) {
+            return Err("horizon must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.warmup_frac) {
+            return Err("warm-up fraction must be in [0, 1)".into());
+        }
+        if !(self.sample_every_secs > 0.0) {
+            return Err("sample interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let c = SimConfig::new(ModelParams::typical(), 1);
+        c.validate().unwrap();
+        assert!(c.horizon_secs > 0.0);
+    }
+
+    #[test]
+    fn with_horizon_overrides() {
+        let c = SimConfig::new(ModelParams::typical(), 1).with_horizon(10.0);
+        assert_eq!(c.horizon_secs, 10.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_run_control() {
+        let mut c = SimConfig::new(ModelParams::typical(), 1);
+        c.horizon_secs = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::new(ModelParams::typical(), 1);
+        c.warmup_frac = 1.0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::new(ModelParams::typical(), 1);
+        c.sample_every_secs = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::new(ModelParams::typical(), 1);
+        c.params.f = 2.0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,20 @@
+//! # pv-stochsim — the §4.2 stochastic simulation
+//!
+//! The paper validated its model by simulating the polyvalue mechanism at
+//! the bookkeeping level: items tagged with the in-doubt transactions they
+//! depend on, a Poisson update workload with exponential dependency fan-in,
+//! Bernoulli failures, and exponential recovery. This crate is that
+//! simulation, plus the Table 2 generator comparing the measured stable
+//! polyvalue census against the `pv-model` prediction.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod sim;
+pub mod stats;
+pub mod table2;
+
+pub use config::SimConfig;
+pub use sim::{SimResult, Simulation};
+pub use stats::{batch_means, lag1_autocorrelation, BatchMeans};

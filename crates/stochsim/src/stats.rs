@@ -1,0 +1,158 @@
+//! Output analysis for steady-state simulation: batch means and
+//! confidence intervals.
+//!
+//! The paper reports a single "Actual P" per run, "averaged … during a
+//! stable period". Batch means is the standard way to quantify how stable
+//! that average is: the post-warm-up samples are grouped into batches whose
+//! means are approximately independent, giving a standard error and a
+//! confidence half-width for the run's estimate.
+
+/// A batch-means estimate of a steady-state mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchMeans {
+    /// The grand mean over all batches.
+    pub mean: f64,
+    /// Standard error of the grand mean.
+    pub std_error: f64,
+    /// Half-width of the ~95 % confidence interval (t ≈ 2 for ≥ 10 batches).
+    pub half_width_95: f64,
+    /// Number of batches used.
+    pub batches: usize,
+    /// Samples per batch.
+    pub batch_len: usize,
+}
+
+impl BatchMeans {
+    /// Whether a hypothesised true mean is inside the 95 % interval.
+    pub fn covers(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.half_width_95
+    }
+
+    /// Relative precision of the estimate (half-width / mean); `None` when
+    /// the mean is zero.
+    pub fn relative_precision(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.half_width_95 / self.mean.abs())
+        }
+    }
+}
+
+/// Computes batch means over `samples` with `batches` equal batches
+/// (trailing remainder samples are dropped). Returns `None` with fewer than
+/// 2 batches' worth of data.
+pub fn batch_means(samples: &[f64], batches: usize) -> Option<BatchMeans> {
+    if batches < 2 || samples.len() < batches {
+        return None;
+    }
+    let batch_len = samples.len() / batches;
+    if batch_len == 0 {
+        return None;
+    }
+    let means: Vec<f64> = (0..batches)
+        .map(|b| {
+            let chunk = &samples[b * batch_len..(b + 1) * batch_len];
+            chunk.iter().sum::<f64>() / batch_len as f64
+        })
+        .collect();
+    let grand = means.iter().sum::<f64>() / batches as f64;
+    let var = means.iter().map(|m| (m - grand).powi(2)).sum::<f64>() / (batches - 1) as f64;
+    let std_error = (var / batches as f64).sqrt();
+    Some(BatchMeans {
+        mean: grand,
+        std_error,
+        half_width_95: 2.0 * std_error,
+        batches,
+        batch_len,
+    })
+}
+
+/// Estimates the lag-1 autocorrelation of a series (a warm-up/batch-size
+/// diagnostic: strongly positive values mean batches are too small).
+pub fn lag1_autocorrelation(samples: &[f64]) -> Option<f64> {
+    if samples.len() < 3 {
+        return None;
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum();
+    if var == 0.0 {
+        return None;
+    }
+    let cov: f64 = samples
+        .windows(2)
+        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .sum();
+    Some(cov / var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_has_zero_error() {
+        let samples = vec![5.0; 100];
+        let bm = batch_means(&samples, 10).unwrap();
+        assert_eq!(bm.mean, 5.0);
+        assert_eq!(bm.std_error, 0.0);
+        assert_eq!(bm.half_width_95, 0.0);
+        assert_eq!(bm.batches, 10);
+        assert_eq!(bm.batch_len, 10);
+        assert!(bm.covers(5.0));
+        assert!(!bm.covers(5.1));
+        assert_eq!(bm.relative_precision(), Some(0.0));
+    }
+
+    #[test]
+    fn alternating_series_mean_and_error() {
+        // 0,10,0,10,… grand mean 5; batches of even length all have mean 5.
+        let samples: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 10.0 })
+            .collect();
+        let bm = batch_means(&samples, 10).unwrap();
+        assert!((bm.mean - 5.0).abs() < 1e-12);
+        assert!(bm.std_error < 1e-12);
+    }
+
+    #[test]
+    fn noisy_series_interval_covers_truth() {
+        // Deterministic pseudo-noise around 7.
+        let samples: Vec<f64> = (0..1000)
+            .map(|i| 7.0 + ((i as f64 * 0.7391).sin() * 2.0))
+            .collect();
+        let bm = batch_means(&samples, 20).unwrap();
+        assert!(bm.covers(7.0), "mean {} ± {}", bm.mean, bm.half_width_95);
+        assert!(bm.half_width_95 < 1.0);
+    }
+
+    #[test]
+    fn too_little_data_returns_none() {
+        assert!(batch_means(&[], 10).is_none());
+        assert!(batch_means(&[1.0, 2.0], 10).is_none());
+        assert!(batch_means(&[1.0, 2.0, 3.0], 1).is_none());
+    }
+
+    #[test]
+    fn zero_mean_has_no_relative_precision() {
+        let samples = vec![0.0; 20];
+        let bm = batch_means(&samples, 4).unwrap();
+        assert_eq!(bm.relative_precision(), None);
+    }
+
+    #[test]
+    fn lag1_detects_correlation_structure() {
+        // A slow ramp is strongly positively autocorrelated.
+        let ramp: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(lag1_autocorrelation(&ramp).unwrap() > 0.9);
+        // Perfect alternation is strongly negatively autocorrelated.
+        let alt: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
+        assert!(lag1_autocorrelation(&alt).unwrap() < -0.9);
+        // Degenerate inputs.
+        assert!(lag1_autocorrelation(&[1.0, 2.0]).is_none());
+        assert!(lag1_autocorrelation(&[3.0; 50]).is_none());
+    }
+}

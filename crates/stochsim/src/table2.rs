@@ -1,0 +1,165 @@
+//! Table 2 of the paper: simulation vs. model prediction.
+
+use crate::config::SimConfig;
+use crate::sim::Simulation;
+use pv_model::{steady_state, ModelParams, Prediction};
+use std::fmt::Write as _;
+
+/// One row of Table 2: parameters, the paper's predicted and measured `P`,
+/// and (after [`Table2Row::simulate`]) our measured `P`.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Row {
+    /// The model parameters.
+    pub params: ModelParams,
+    /// The paper's "Predicted P" column.
+    pub paper_predicted: f64,
+    /// The paper's "Actual P" column (their simulation).
+    pub paper_actual: f64,
+}
+
+impl Table2Row {
+    /// The closed-form prediction from `pv-model` (must match the paper's
+    /// predicted column).
+    pub fn predicted(&self) -> f64 {
+        match steady_state(&self.params) {
+            Prediction::Stable(p) => p,
+            Prediction::Unstable => f64::INFINITY,
+        }
+    }
+
+    /// Runs our §4.2 simulation for this row.
+    pub fn simulate(&self, seed: u64) -> f64 {
+        Simulation::new(SimConfig::new(self.params, seed))
+            .run()
+            .mean_poly
+    }
+}
+
+/// The six rows of Table 2 (all on `I = 10,000`).
+pub fn rows() -> Vec<Table2Row> {
+    let base = ModelParams {
+        u: 2.0,
+        f: 0.01,
+        i: 1e4,
+        r: 0.01,
+        y: 0.0,
+        d: 1.0,
+    };
+    vec![
+        Table2Row {
+            params: base,
+            paper_predicted: 2.04,
+            paper_actual: 2.00,
+        },
+        Table2Row {
+            params: base.with_u(5.0),
+            paper_predicted: 5.26,
+            paper_actual: 2.71,
+        },
+        Table2Row {
+            params: base.with_u(10.0),
+            paper_predicted: 11.11,
+            paper_actual: 9.5,
+        },
+        Table2Row {
+            params: base.with_u(10.0).with_f(0.001),
+            paper_predicted: 1.11,
+            paper_actual: 0.74,
+        },
+        Table2Row {
+            params: base.with_u(10.0).with_d(5.0),
+            paper_predicted: 20.0,
+            paper_actual: 19.8,
+        },
+        Table2Row {
+            params: base.with_u(10.0).with_d(5.0).with_y(1.0),
+            paper_predicted: 16.7,
+            paper_actual: 15.8,
+        },
+    ]
+}
+
+/// Renders the table in the paper's layout, adding our measured column.
+pub fn render(seed: u64) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Table 2: Results of Simulating the Polyvalue Mechanism"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>4} {:>7} {:>7} {:>6} {:>3} {:>3} | {:>9} {:>12} {:>8} {:>9}",
+        "U", "F", "I", "R", "Y", "D", "Pred P", "Paper actual", "Ours", "Ours/Pred"
+    )
+    .unwrap();
+    for row in rows() {
+        let p = row.params;
+        let ours = row.simulate(seed);
+        writeln!(
+            out,
+            "{:>4} {:>7} {:>7} {:>6} {:>3} {:>3} | {:>9.2} {:>12.2} {:>8.2} {:>9.2}",
+            p.u,
+            p.f,
+            p.i,
+            p.r,
+            p.y,
+            p.d,
+            row.predicted(),
+            row.paper_actual,
+            ours,
+            ours / row.predicted(),
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicted_column_matches_paper() {
+        for row in rows() {
+            let predicted = row.predicted();
+            assert!(
+                (predicted - row.paper_predicted).abs() / row.paper_predicted < 0.01,
+                "predicted {predicted} vs paper {}",
+                row.paper_predicted
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_reproduces_the_papers_shape() {
+        // The paper's qualitative findings: the census is *small* (tens of
+        // items out of 10,000), *stable*, and tracks the model prediction to
+        // within tens of percent. Our mechanism-faithful runs land slightly
+        // above the first-order prediction (multi-tag items outlive the
+        // model's R·P destruction term); the paper's short runs landed
+        // slightly below (their row 2 deviates 2x from their own model).
+        // Band: [0.5, 1.4] x predicted, and within [0.4, 3] x their actual.
+        for (idx, row) in rows().iter().enumerate() {
+            let ours = row.simulate(1000 + idx as u64);
+            let predicted = row.predicted();
+            assert!(
+                ours >= predicted * 0.5 && ours <= predicted * 1.4,
+                "row {idx}: ours {ours} vs predicted {predicted}"
+            );
+            assert!(
+                ours >= row.paper_actual * 0.4 && ours <= row.paper_actual * 3.0,
+                "row {idx}: ours {ours} vs paper actual {}",
+                row.paper_actual
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = render(7);
+        assert!(s.contains("Table 2"));
+        assert!(s.contains("19.8") || s.contains("19.80"));
+        assert_eq!(s.lines().count(), 2 + rows().len());
+    }
+}

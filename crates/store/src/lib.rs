@@ -1,0 +1,23 @@
+//! # pv-store — per-site durable storage
+//!
+//! Each site in the distributed system owns a [`SiteStore`]: an item table
+//! holding simple values and polyvalues, staged wait-phase transactions, the
+//! §3.3 outcome-dependency table, and coordinator decisions — all backed by a
+//! write-ahead log ([`Wal`]) that survives simulated crashes. The paper
+//! assumes sites remember in-doubt transactions across failures; the WAL is
+//! that assumption made explicit.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+mod outcomes;
+mod site_store;
+mod table;
+mod wal;
+
+pub use codec::CodecError;
+pub use outcomes::{DepEntry, OutcomeTable};
+pub use site_store::{PendingTxn, SiteStore};
+pub use table::ItemTable;
+pub use wal::{Record, SiteId, Wal};

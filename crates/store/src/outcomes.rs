@@ -1,0 +1,160 @@
+//! The §3.3 outcome-dependency table.
+//!
+//! "Each site maintains a table recording, for each transaction T whose
+//! outcome is unknown, a list of the polyvalues held by the site that depend
+//! on T, and a list of other sites to which polyvalues dependent on T have
+//! been sent. […] Once this is done, that site can forget the outcome of T
+//! and the table entry for T."
+
+use crate::wal::SiteId;
+use pv_core::{ItemId, TxnId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What one site knows about who depends on an in-doubt transaction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepEntry {
+    /// Local items whose polyvalues depend on the transaction.
+    pub items: BTreeSet<ItemId>,
+    /// Other sites to which dependent polyvalues have been sent.
+    pub sent_to: BTreeSet<SiteId>,
+}
+
+impl DepEntry {
+    /// Whether the entry carries no information.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty() && self.sent_to.is_empty()
+    }
+}
+
+/// Per-site table: in-doubt transaction → dependent items and sites.
+#[derive(Debug, Clone, Default)]
+pub struct OutcomeTable {
+    map: BTreeMap<TxnId, DepEntry>,
+}
+
+impl OutcomeTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        OutcomeTable::default()
+    }
+
+    /// Records that a local item depends on `txn`.
+    pub fn note_item(&mut self, txn: TxnId, item: ItemId) {
+        self.map.entry(txn).or_default().items.insert(item);
+    }
+
+    /// Records that a polyvalue dependent on `txn` was sent to `site`.
+    pub fn note_sent(&mut self, txn: TxnId, site: SiteId) {
+        self.map.entry(txn).or_default().sent_to.insert(site);
+    }
+
+    /// Removes a resolved item from every transaction entry (used when an
+    /// item is overwritten and no longer depends on a transaction). Entries
+    /// left with no items *and* no send-list carry no information and are
+    /// pruned — §3.3's "quickly deleted when no longer needed".
+    pub fn clear_item(&mut self, item: ItemId) {
+        self.map.retain(|_, entry| {
+            entry.items.remove(&item);
+            !entry.is_empty()
+        });
+    }
+
+    /// Takes (and forgets) the entry for `txn`, per §3.3.
+    pub fn take(&mut self, txn: TxnId) -> Option<DepEntry> {
+        self.map.remove(&txn)
+    }
+
+    /// Whether the site is tracking `txn`.
+    pub fn contains(&self, txn: TxnId) -> bool {
+        self.map.contains_key(&txn)
+    }
+
+    /// The entry for `txn`, if tracked.
+    pub fn get(&self, txn: TxnId) -> Option<&DepEntry> {
+        self.map.get(&txn)
+    }
+
+    /// Iterates over the tracked transactions in id order.
+    pub fn pending(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Number of tracked transactions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty (the bounded-state property: once all
+    /// outcomes are propagated, nothing remains).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_and_take() {
+        let mut t = OutcomeTable::new();
+        t.note_item(TxnId(1), ItemId(10));
+        t.note_item(TxnId(1), ItemId(11));
+        t.note_sent(TxnId(1), 3);
+        assert!(t.contains(TxnId(1)));
+        assert_eq!(t.len(), 1);
+        let e = t.take(TxnId(1)).unwrap();
+        assert_eq!(e.items.len(), 2);
+        assert_eq!(e.sent_to.len(), 1);
+        assert!(!t.contains(TxnId(1)));
+        assert!(t.is_empty());
+        assert!(t.take(TxnId(1)).is_none());
+    }
+
+    #[test]
+    fn duplicate_notes_are_idempotent() {
+        let mut t = OutcomeTable::new();
+        t.note_item(TxnId(1), ItemId(10));
+        t.note_item(TxnId(1), ItemId(10));
+        t.note_sent(TxnId(1), 3);
+        t.note_sent(TxnId(1), 3);
+        let e = t.get(TxnId(1)).unwrap();
+        assert_eq!(e.items.len(), 1);
+        assert_eq!(e.sent_to.len(), 1);
+    }
+
+    #[test]
+    fn clear_item_prunes_everywhere() {
+        let mut t = OutcomeTable::new();
+        t.note_item(TxnId(1), ItemId(10));
+        t.note_item(TxnId(2), ItemId(10));
+        t.note_item(TxnId(2), ItemId(11));
+        t.clear_item(ItemId(10));
+        // T1's entry became empty and was pruned; T2 keeps item 11.
+        assert!(!t.contains(TxnId(1)));
+        assert_eq!(t.get(TxnId(2)).unwrap().items.len(), 1);
+        // An entry with a send-list survives clearing its last item.
+        t.note_sent(TxnId(3), 7);
+        t.note_item(TxnId(3), ItemId(11));
+        t.clear_item(ItemId(11));
+        assert!(t.get(TxnId(3)).unwrap().items.is_empty());
+        assert!(!t.contains(TxnId(2)), "T2 lost its last item too");
+    }
+
+    #[test]
+    fn pending_lists_in_order() {
+        let mut t = OutcomeTable::new();
+        t.note_item(TxnId(5), ItemId(1));
+        t.note_item(TxnId(2), ItemId(1));
+        let ids: Vec<u64> = t.pending().map(|t| t.raw()).collect();
+        assert_eq!(ids, vec![2, 5]);
+    }
+
+    #[test]
+    fn dep_entry_is_empty() {
+        assert!(DepEntry::default().is_empty());
+        let mut e = DepEntry::default();
+        e.sent_to.insert(1);
+        assert!(!e.is_empty());
+    }
+}

@@ -1,0 +1,641 @@
+//! The per-site storage engine.
+//!
+//! A [`SiteStore`] owns one site's durable state: the item table, staged
+//! wait-phase transactions, the §3.3 outcome-dependency table, and (when the
+//! site acts as coordinator) decided outcomes. Every mutation is logged to
+//! the WAL first; [`SiteStore::crash_and_recover`] discards the materialised
+//! state and rebuilds it by replay, which is exactly what the engine's sites
+//! do when the failure injector crashes them.
+
+use crate::outcomes::{DepEntry, OutcomeTable};
+use crate::table::ItemTable;
+use crate::wal::{Record, SiteId, Wal};
+use pv_core::expr::ReadSource;
+use pv_core::{Entry, ItemId, TxnId, Value};
+use std::collections::BTreeMap;
+
+/// A transaction staged in the wait phase: values computed, outcome unknown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingTxn {
+    /// The coordinator to ask about the outcome.
+    pub coordinator: SiteId,
+    /// The writes this site will install if the transaction completes.
+    pub writes: Vec<(ItemId, Entry<Value>)>,
+}
+
+/// Durable per-site storage with WAL-based crash recovery.
+///
+/// # Examples
+///
+/// ```
+/// use pv_store::SiteStore;
+/// use pv_core::{Entry, ItemId, TxnId, Value};
+///
+/// let mut store = SiteStore::new();
+/// store.seed_item(ItemId(1), Value::Int(100));
+/// // Stage a wait-phase transaction, then time out into a polyvalue:
+/// store.stage(TxnId(7), 0, vec![(ItemId(1), Entry::Simple(Value::Int(90)))]);
+/// store.install_in_doubt(TxnId(7));
+/// assert_eq!(store.poly_count(), 1);
+/// // A crash loses nothing: state is rebuilt from the WAL.
+/// store.crash_and_recover();
+/// assert_eq!(store.poly_count(), 1);
+/// // Learning the outcome collapses the polyvalue.
+/// store.apply_decision(TxnId(7), true);
+/// assert_eq!(store.get(ItemId(1)), Some(&Entry::Simple(Value::Int(90))));
+/// assert_eq!(store.poly_count(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SiteStore {
+    wal: Wal,
+    items: ItemTable,
+    pending: BTreeMap<TxnId, PendingTxn>,
+    outcomes: OutcomeTable,
+    decisions: BTreeMap<TxnId, bool>,
+    epoch: u32,
+    compact_threshold: usize,
+}
+
+impl SiteStore {
+    /// An empty store with the default compaction threshold.
+    pub fn new() -> Self {
+        SiteStore {
+            compact_threshold: 4096,
+            ..SiteStore::default()
+        }
+    }
+
+    /// Sets how many WAL appends trigger [`SiteStore::maybe_compact`].
+    pub fn with_compact_threshold(mut self, threshold: usize) -> Self {
+        self.compact_threshold = threshold;
+        self
+    }
+
+    // ---- items -----------------------------------------------------------
+
+    /// Creates an item with an initial simple value (bypasses no protocol:
+    /// used to load the database before a run).
+    pub fn seed_item(&mut self, item: ItemId, value: Value) {
+        self.set_entry(item, Entry::Simple(value));
+    }
+
+    /// Durably installs `entry` as the current value of `item`, maintaining
+    /// the outcome-dependency table.
+    pub fn set_entry(&mut self, item: ItemId, entry: Entry<Value>) {
+        self.wal.append(Record::SetItem {
+            item,
+            entry: entry.clone(),
+        });
+        self.materialise_set(item, entry);
+    }
+
+    /// The current entry of `item`.
+    pub fn get(&self, item: ItemId) -> Option<&Entry<Value>> {
+        self.items.get(item)
+    }
+
+    /// Whether this site holds `item`.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.contains(item)
+    }
+
+    /// Number of items held.
+    pub fn item_count(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of items currently holding polyvalues (the paper's `P(t)`
+    /// restricted to this site).
+    pub fn poly_count(&self) -> usize {
+        self.items.poly_count()
+    }
+
+    /// Iterates over `(item, entry)` pairs in item order.
+    pub fn iter_items(&self) -> impl Iterator<Item = (ItemId, &Entry<Value>)> {
+        self.items.iter()
+    }
+
+    // ---- wait-phase staging (§3.1) ----------------------------------------
+
+    /// Stages the writes of a transaction entering the wait phase.
+    pub fn stage(&mut self, txn: TxnId, coordinator: SiteId, writes: Vec<(ItemId, Entry<Value>)>) {
+        self.wal.append(Record::PendingPrepare {
+            txn,
+            coordinator,
+            writes: writes.clone(),
+        });
+        self.pending.insert(
+            txn,
+            PendingTxn {
+                coordinator,
+                writes,
+            },
+        );
+    }
+
+    /// The staged transaction, if any.
+    pub fn pending(&self, txn: TxnId) -> Option<&PendingTxn> {
+        self.pending.get(&txn)
+    }
+
+    /// All staged transactions, in id order.
+    pub fn pending_txns(&self) -> Vec<TxnId> {
+        self.pending.keys().copied().collect()
+    }
+
+    /// §3.1 timeout path: converts a staged transaction into in-doubt
+    /// polyvalues `{⟨new, T⟩, ⟨old, ¬T⟩}` for each staged write and releases
+    /// the staging. Returns the items updated.
+    pub fn install_in_doubt(&mut self, txn: TxnId) -> Vec<ItemId> {
+        let Some(p) = self.pending.remove(&txn) else {
+            return Vec::new();
+        };
+        self.wal.append(Record::PendingResolved { txn });
+        let mut installed = Vec::with_capacity(p.writes.len());
+        for (item, new) in p.writes {
+            let old = self
+                .items
+                .get(item)
+                .expect("staged writes target existing items")
+                .clone();
+            let entry = Entry::in_doubt(new, old, txn);
+            self.set_entry(item, entry);
+            installed.push(item);
+        }
+        installed
+    }
+
+    // ---- outcomes (§3.3) ---------------------------------------------------
+
+    /// This site learns the outcome of `txn`: installs or discards any staged
+    /// writes, reduces every dependent polyvalue, and forgets the §3.3 table
+    /// entry. Returns the entry's `sent_to` set so the caller can forward the
+    /// outcome.
+    pub fn apply_decision(&mut self, txn: TxnId, completed: bool) -> DepEntry {
+        // Resolve staging first: a late Decision may arrive before (or
+        // instead of) the in-doubt timeout.
+        if let Some(p) = self.pending.remove(&txn) {
+            self.wal.append(Record::PendingResolved { txn });
+            if completed {
+                for (item, entry) in p.writes {
+                    self.set_entry(item, entry);
+                }
+            }
+        }
+        // Reduce dependent polyvalues and forget the table entry.
+        let Some(dep) = self.outcomes.take(txn) else {
+            return DepEntry::default();
+        };
+        self.wal.append(Record::DepForgotten { txn });
+        for &item in &dep.items {
+            let Some(entry) = self.items.get(item) else {
+                continue;
+            };
+            if entry.deps().contains(&txn) {
+                let reduced = entry.assign_outcome(txn, completed);
+                self.set_entry(item, reduced);
+            }
+        }
+        dep
+    }
+
+    /// Records that a polyvalue dependent on `txn` was sent to `site`, so the
+    /// outcome can be forwarded there later (§3.3).
+    pub fn note_sent(&mut self, txn: TxnId, site: SiteId) {
+        self.wal.append(Record::DepSent { txn, site });
+        self.outcomes.note_sent(txn, site);
+    }
+
+    /// The transactions whose outcomes this site is waiting to learn.
+    pub fn tracked_txns(&self) -> Vec<TxnId> {
+        self.outcomes.pending().collect()
+    }
+
+    /// The §3.3 entry for `txn`, if tracked.
+    pub fn dep_entry(&self, txn: TxnId) -> Option<&DepEntry> {
+        self.outcomes.get(txn)
+    }
+
+    /// Whether the site still tracks any in-doubt transaction (bounded-state
+    /// check: after full recovery this must be false).
+    pub fn has_tracked_txns(&self) -> bool {
+        !self.outcomes.is_empty()
+    }
+
+    // ---- epochs --------------------------------------------------------------
+
+    /// The current epoch (0 until the first [`SiteStore::bump_epoch`]).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Durably starts a new epoch and returns it. Called by the site on
+    /// every recovery so freshly minted transaction ids cannot collide with
+    /// pre-crash ones.
+    pub fn bump_epoch(&mut self) -> u32 {
+        self.epoch += 1;
+        self.wal.append(Record::Epoch { epoch: self.epoch });
+        self.epoch
+    }
+
+    // ---- coordinator decisions ---------------------------------------------
+
+    /// Durably records this site's decision as coordinator of `txn`.
+    pub fn record_decision(&mut self, txn: TxnId, completed: bool) {
+        self.wal.append(Record::Decision { txn, completed });
+        self.decisions.insert(txn, completed);
+    }
+
+    /// The recorded decision for `txn`, if this site coordinated it.
+    pub fn decision_of(&self, txn: TxnId) -> Option<bool> {
+        self.decisions.get(&txn).copied()
+    }
+
+    // ---- crash recovery & compaction ---------------------------------------
+
+    /// Simulates a crash: discards all materialised state and rebuilds it by
+    /// replaying the WAL (the stable storage).
+    pub fn crash_and_recover(&mut self) {
+        let wal = std::mem::take(&mut self.wal);
+        self.items.clear();
+        self.pending.clear();
+        self.outcomes = OutcomeTable::new();
+        self.decisions.clear();
+        self.epoch = 0;
+        for record in wal.iter() {
+            match record.clone() {
+                Record::SetItem { item, entry } => self.materialise_set(item, entry),
+                Record::PendingPrepare {
+                    txn,
+                    coordinator,
+                    writes,
+                } => {
+                    self.pending.insert(
+                        txn,
+                        PendingTxn {
+                            coordinator,
+                            writes,
+                        },
+                    );
+                }
+                Record::PendingResolved { txn } => {
+                    self.pending.remove(&txn);
+                }
+                Record::DepNoted { txn, item } => self.outcomes.note_item(txn, item),
+                Record::DepSent { txn, site } => self.outcomes.note_sent(txn, site),
+                Record::DepForgotten { txn } => {
+                    self.outcomes.take(txn);
+                }
+                Record::Decision { txn, completed } => {
+                    self.decisions.insert(txn, completed);
+                }
+                Record::Epoch { epoch } => self.epoch = self.epoch.max(epoch),
+            }
+        }
+        self.wal = wal;
+    }
+
+    /// Compacts the WAL into a snapshot if enough has been appended since the
+    /// last compaction. Returns whether compaction ran.
+    pub fn maybe_compact(&mut self) -> bool {
+        if self.wal.appended_since_compaction() < self.compact_threshold {
+            return false;
+        }
+        self.compact();
+        true
+    }
+
+    /// Unconditionally rewrites the WAL as a snapshot of the current state.
+    pub fn compact(&mut self) {
+        let mut records = Vec::new();
+        for (item, entry) in self.items.iter() {
+            records.push(Record::SetItem {
+                item,
+                entry: entry.clone(),
+            });
+        }
+        for txn in self.outcomes.pending() {
+            let entry = self.outcomes.get(txn).expect("pending txn has entry");
+            // Items are re-derived from SetItem replay; only sent_to needs
+            // explicit records.
+            for &site in &entry.sent_to {
+                records.push(Record::DepSent { txn, site });
+            }
+        }
+        for (txn, p) in &self.pending {
+            records.push(Record::PendingPrepare {
+                txn: *txn,
+                coordinator: p.coordinator,
+                writes: p.writes.clone(),
+            });
+        }
+        for (&txn, &completed) in &self.decisions {
+            records.push(Record::Decision { txn, completed });
+        }
+        if self.epoch > 0 {
+            records.push(Record::Epoch { epoch: self.epoch });
+        }
+        self.wal.replace_with(records);
+    }
+
+    /// Read access to the WAL (tests and diagnostics).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Serialises the WAL to its binary on-disk form.
+    pub fn export_wal(&self) -> bytes::Bytes {
+        crate::codec::encode_wal(&self.wal)
+    }
+
+    /// Rebuilds a store from a binary WAL image (strict: the image must
+    /// parse completely). Use [`SiteStore::import_wal_lossy`] for a
+    /// possibly-torn image from a crashed disk.
+    pub fn import_wal(data: &[u8]) -> Result<SiteStore, crate::codec::CodecError> {
+        let wal = crate::codec::decode_wal(data)?;
+        let mut store = SiteStore {
+            wal,
+            ..SiteStore::new()
+        };
+        store.crash_and_recover();
+        Ok(store)
+    }
+
+    /// Rebuilds a store from a possibly-torn WAL image, dropping the torn
+    /// tail (the crash-recovery contract of a real log).
+    pub fn import_wal_lossy(data: &[u8]) -> (SiteStore, Option<crate::codec::CodecError>) {
+        let (wal, err) = crate::codec::decode_wal_lossy(data);
+        let mut store = SiteStore {
+            wal,
+            ..SiteStore::new()
+        };
+        store.crash_and_recover();
+        (store, err)
+    }
+
+    /// Applies a `SetItem` to the materialised state, keeping the outcome
+    /// table consistent: the item's dependencies are recomputed from the new
+    /// entry.
+    fn materialise_set(&mut self, item: ItemId, entry: Entry<Value>) {
+        self.outcomes.clear_item(item);
+        for txn in entry.deps() {
+            self.outcomes.note_item(txn, item);
+        }
+        self.items.set(item, entry);
+    }
+}
+
+impl ReadSource for SiteStore {
+    fn read_entry(&self, item: ItemId) -> Option<Entry<Value>> {
+        self.items.get(item).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple(v: i64) -> Entry<Value> {
+        Entry::Simple(Value::Int(v))
+    }
+
+    fn store_with_item(item: u64, v: i64) -> SiteStore {
+        let mut s = SiteStore::new();
+        s.seed_item(ItemId(item), Value::Int(v));
+        s
+    }
+
+    #[test]
+    fn seed_and_get() {
+        let s = store_with_item(1, 100);
+        assert_eq!(s.get(ItemId(1)), Some(&simple(100)));
+        assert!(s.contains(ItemId(1)));
+        assert_eq!(s.item_count(), 1);
+        assert_eq!(s.poly_count(), 0);
+        assert_eq!(s.read_entry(ItemId(1)), Some(simple(100)));
+        assert_eq!(s.read_entry(ItemId(9)), None);
+    }
+
+    #[test]
+    fn stage_complete_installs_writes() {
+        let mut s = store_with_item(1, 100);
+        s.stage(TxnId(5), 2, vec![(ItemId(1), simple(90))]);
+        assert!(s.pending(TxnId(5)).is_some());
+        assert_eq!(s.pending_txns(), vec![TxnId(5)]);
+        s.apply_decision(TxnId(5), true);
+        assert_eq!(s.get(ItemId(1)), Some(&simple(90)));
+        assert!(s.pending(TxnId(5)).is_none());
+    }
+
+    #[test]
+    fn stage_abort_discards_writes() {
+        let mut s = store_with_item(1, 100);
+        s.stage(TxnId(5), 2, vec![(ItemId(1), simple(90))]);
+        s.apply_decision(TxnId(5), false);
+        assert_eq!(s.get(ItemId(1)), Some(&simple(100)));
+        assert!(s.pending(TxnId(5)).is_none());
+    }
+
+    #[test]
+    fn in_doubt_then_complete() {
+        let mut s = store_with_item(1, 100);
+        s.stage(TxnId(5), 2, vec![(ItemId(1), simple(90))]);
+        let installed = s.install_in_doubt(TxnId(5));
+        assert_eq!(installed, vec![ItemId(1)]);
+        assert_eq!(s.poly_count(), 1);
+        assert!(s.pending(TxnId(5)).is_none());
+        assert_eq!(s.tracked_txns(), vec![TxnId(5)]);
+        // Late decision reduces the polyvalue through the same path.
+        s.apply_decision(TxnId(5), true);
+        assert_eq!(s.get(ItemId(1)), Some(&simple(90)));
+        assert_eq!(s.poly_count(), 0);
+        assert!(!s.has_tracked_txns());
+    }
+
+    #[test]
+    fn in_doubt_then_abort() {
+        let mut s = store_with_item(1, 100);
+        s.stage(TxnId(5), 2, vec![(ItemId(1), simple(90))]);
+        s.install_in_doubt(TxnId(5));
+        s.apply_decision(TxnId(5), false);
+        assert_eq!(s.get(ItemId(1)), Some(&simple(100)));
+        assert_eq!(s.poly_count(), 0);
+    }
+
+    #[test]
+    fn install_in_doubt_without_staging_is_noop() {
+        let mut s = store_with_item(1, 100);
+        assert!(s.install_in_doubt(TxnId(9)).is_empty());
+        assert_eq!(s.poly_count(), 0);
+    }
+
+    #[test]
+    fn apply_decision_returns_sent_to() {
+        let mut s = store_with_item(1, 100);
+        s.stage(TxnId(5), 2, vec![(ItemId(1), simple(90))]);
+        s.install_in_doubt(TxnId(5));
+        s.note_sent(TxnId(5), 7);
+        s.note_sent(TxnId(5), 8);
+        let dep = s.apply_decision(TxnId(5), true);
+        assert_eq!(dep.sent_to.into_iter().collect::<Vec<_>>(), vec![7, 8]);
+        // Applying again yields nothing (entry forgotten, §3.3).
+        let dep2 = s.apply_decision(TxnId(5), true);
+        assert!(dep2.is_empty());
+    }
+
+    #[test]
+    fn overwriting_poly_with_simple_clears_dependency() {
+        let mut s = store_with_item(1, 100);
+        s.stage(TxnId(5), 2, vec![(ItemId(1), simple(90))]);
+        s.install_in_doubt(TxnId(5));
+        assert_eq!(s.dep_entry(TxnId(5)).unwrap().items.len(), 1);
+        // A later transaction writes a simple value (Y in the paper's model):
+        // the dependency entry empties out and is pruned (§3.3 cleanup).
+        s.set_entry(ItemId(1), simple(55));
+        assert_eq!(s.poly_count(), 0);
+        assert!(s.dep_entry(TxnId(5)).is_none());
+        // Learning the outcome now changes nothing.
+        s.apply_decision(TxnId(5), true);
+        assert_eq!(s.get(ItemId(1)), Some(&simple(55)));
+    }
+
+    #[test]
+    fn crash_recovery_rebuilds_everything() {
+        let mut s = store_with_item(1, 100);
+        s.seed_item(ItemId(2), Value::Int(200));
+        s.stage(TxnId(5), 2, vec![(ItemId(1), simple(90))]);
+        s.install_in_doubt(TxnId(5));
+        s.note_sent(TxnId(5), 7);
+        s.stage(TxnId(6), 3, vec![(ItemId(2), simple(42))]);
+        s.record_decision(TxnId(9), true);
+
+        let before_items: Vec<_> = s.iter_items().map(|(i, e)| (i, e.clone())).collect();
+        let before_pending = s.pending_txns();
+        let before_tracked = s.tracked_txns();
+
+        s.crash_and_recover();
+
+        let after_items: Vec<_> = s.iter_items().map(|(i, e)| (i, e.clone())).collect();
+        assert_eq!(before_items, after_items);
+        assert_eq!(before_pending, s.pending_txns());
+        assert_eq!(before_tracked, s.tracked_txns());
+        assert_eq!(s.dep_entry(TxnId(5)).unwrap().sent_to.len(), 1);
+        assert_eq!(s.decision_of(TxnId(9)), Some(true));
+        assert_eq!(s.decision_of(TxnId(5)), None);
+        assert_eq!(s.poly_count(), 1);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut s = store_with_item(1, 100);
+        s.stage(TxnId(5), 2, vec![(ItemId(1), simple(90))]);
+        s.install_in_doubt(TxnId(5));
+        s.crash_and_recover();
+        let once: Vec<_> = s.iter_items().map(|(i, e)| (i, e.clone())).collect();
+        s.crash_and_recover();
+        let twice: Vec<_> = s.iter_items().map(|(i, e)| (i, e.clone())).collect();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_shrinks_log() {
+        let mut s = SiteStore::new().with_compact_threshold(8);
+        s.seed_item(ItemId(1), Value::Int(0));
+        for i in 0..20 {
+            s.set_entry(ItemId(1), simple(i));
+        }
+        assert!(s.wal().len() > 8);
+        assert!(s.maybe_compact());
+        assert_eq!(s.wal().len(), 1);
+        s.crash_and_recover();
+        assert_eq!(s.get(ItemId(1)), Some(&simple(19)));
+        // Below threshold → no compaction.
+        assert!(!s.maybe_compact());
+    }
+
+    #[test]
+    fn compaction_keeps_pending_and_outcomes() {
+        let mut s = store_with_item(1, 100);
+        s.stage(TxnId(5), 2, vec![(ItemId(1), simple(90))]);
+        s.install_in_doubt(TxnId(5));
+        s.note_sent(TxnId(5), 7);
+        s.stage(TxnId(6), 3, vec![(ItemId(1), simple(1))]);
+        s.record_decision(TxnId(9), false);
+        s.compact();
+        s.crash_and_recover();
+        assert_eq!(s.poly_count(), 1);
+        assert_eq!(s.pending_txns(), vec![TxnId(6)]);
+        assert_eq!(s.dep_entry(TxnId(5)).unwrap().sent_to.len(), 1);
+        assert!(s.dep_entry(TxnId(5)).unwrap().items.contains(&ItemId(1)));
+        assert_eq!(s.decision_of(TxnId(9)), Some(false));
+    }
+
+    #[test]
+    fn epoch_bumps_survive_recovery_and_compaction() {
+        let mut s = SiteStore::new();
+        assert_eq!(s.epoch(), 0);
+        assert_eq!(s.bump_epoch(), 1);
+        assert_eq!(s.bump_epoch(), 2);
+        s.crash_and_recover();
+        assert_eq!(s.epoch(), 2);
+        s.compact();
+        s.crash_and_recover();
+        assert_eq!(s.epoch(), 2);
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut s = store_with_item(1, 100);
+        s.stage(TxnId(5), 2, vec![(ItemId(1), simple(90))]);
+        s.install_in_doubt(TxnId(5));
+        s.note_sent(TxnId(5), 7);
+        s.record_decision(TxnId(9), true);
+        s.bump_epoch();
+        let image = s.export_wal();
+        let restored = SiteStore::import_wal(&image).unwrap();
+        assert_eq!(
+            restored
+                .iter_items()
+                .map(|(i, e)| (i, e.clone()))
+                .collect::<Vec<_>>(),
+            s.iter_items()
+                .map(|(i, e)| (i, e.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(restored.tracked_txns(), s.tracked_txns());
+        assert_eq!(restored.decision_of(TxnId(9)), Some(true));
+        assert_eq!(restored.epoch(), s.epoch());
+        // A torn image keeps the intact prefix.
+        let torn = &image[..image.len() - 3];
+        let (partial, err) = SiteStore::import_wal_lossy(torn);
+        assert!(err.is_some());
+        assert!(partial.wal().len() < s.wal().len());
+    }
+
+    #[test]
+    fn decision_recording() {
+        let mut s = SiteStore::new();
+        assert_eq!(s.decision_of(TxnId(1)), None);
+        s.record_decision(TxnId(1), true);
+        assert_eq!(s.decision_of(TxnId(1)), Some(true));
+    }
+
+    #[test]
+    fn poly_write_from_polytransaction_tracks_all_deps() {
+        // A staged write that is itself a polyvalue (computed by a
+        // polytransaction) must register dependencies on its conditions too.
+        let mut s = store_with_item(1, 100);
+        let poly_write = Entry::in_doubt(simple(1), simple(2), TxnId(3));
+        s.stage(TxnId(5), 2, vec![(ItemId(1), poly_write)]);
+        s.install_in_doubt(TxnId(5));
+        let tracked = s.tracked_txns();
+        assert!(tracked.contains(&TxnId(3)));
+        assert!(tracked.contains(&TxnId(5)));
+        // Resolving the outer transaction leaves dependency on the inner.
+        s.apply_decision(TxnId(5), true);
+        assert_eq!(s.tracked_txns(), vec![TxnId(3)]);
+        s.apply_decision(TxnId(3), false);
+        assert_eq!(s.get(ItemId(1)), Some(&simple(2)));
+        assert!(!s.has_tracked_txns());
+    }
+}

@@ -1,0 +1,127 @@
+//! The in-memory item table (materialised from the WAL).
+
+use pv_core::{Entry, ItemId, Value};
+use std::collections::BTreeMap;
+
+/// Maps items to their current entries, tracking how many are polyvalues.
+#[derive(Debug, Clone, Default)]
+pub struct ItemTable {
+    entries: BTreeMap<ItemId, Entry<Value>>,
+    poly_count: usize,
+}
+
+impl ItemTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        ItemTable::default()
+    }
+
+    /// Installs `entry` as the current value of `item`.
+    pub fn set(&mut self, item: ItemId, entry: Entry<Value>) {
+        let was_poly = self.entries.get(&item).is_some_and(Entry::is_poly);
+        let is_poly = entry.is_poly();
+        self.entries.insert(item, entry);
+        match (was_poly, is_poly) {
+            (false, true) => self.poly_count += 1,
+            (true, false) => self.poly_count -= 1,
+            _ => {}
+        }
+    }
+
+    /// The current entry of `item`.
+    pub fn get(&self, item: ItemId) -> Option<&Entry<Value>> {
+        self.entries.get(&item)
+    }
+
+    /// Whether the table holds `item`.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.entries.contains_key(&item)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of items currently holding polyvalues — the paper's `P(t)`.
+    pub fn poly_count(&self) -> usize {
+        self.poly_count
+    }
+
+    /// Iterates over `(item, entry)` in item order.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, &Entry<Value>)> {
+        self.entries.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Clears the table (crash of volatile state before replay).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.poly_count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_core::TxnId;
+
+    fn simple(v: i64) -> Entry<Value> {
+        Entry::Simple(Value::Int(v))
+    }
+
+    fn poly(a: i64, b: i64, t: u64) -> Entry<Value> {
+        Entry::in_doubt(simple(a), simple(b), TxnId(t))
+    }
+
+    #[test]
+    fn set_get_contains() {
+        let mut t = ItemTable::new();
+        assert!(t.is_empty());
+        t.set(ItemId(1), simple(5));
+        assert_eq!(t.get(ItemId(1)), Some(&simple(5)));
+        assert!(t.contains(ItemId(1)));
+        assert!(!t.contains(ItemId(2)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn poly_count_tracks_transitions() {
+        let mut t = ItemTable::new();
+        t.set(ItemId(1), simple(5));
+        assert_eq!(t.poly_count(), 0);
+        t.set(ItemId(1), poly(1, 2, 7));
+        assert_eq!(t.poly_count(), 1);
+        // Poly → poly keeps the count.
+        t.set(ItemId(1), poly(3, 4, 8));
+        assert_eq!(t.poly_count(), 1);
+        // New poly item increments.
+        t.set(ItemId(2), poly(1, 2, 7));
+        assert_eq!(t.poly_count(), 2);
+        // Overwriting with a simple value decrements.
+        t.set(ItemId(1), simple(9));
+        assert_eq!(t.poly_count(), 1);
+    }
+
+    #[test]
+    fn iter_in_item_order() {
+        let mut t = ItemTable::new();
+        t.set(ItemId(3), simple(3));
+        t.set(ItemId(1), simple(1));
+        let keys: Vec<u64> = t.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![1, 3]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t = ItemTable::new();
+        t.set(ItemId(1), poly(1, 2, 7));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.poly_count(), 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Write-ahead log records and replay.
+
+use pv_core::{Entry, ItemId, TxnId, Value};
+use std::fmt;
+
+/// Identifies a site (node) without depending on the simulation crate.
+pub type SiteId = u32;
+
+/// One durable log record.
+///
+/// Everything a site must remember across a crash is expressed as a record:
+/// installed item values (simple or poly), staged wait-phase transactions,
+/// the §3.3 outcome-dependency bookkeeping, and coordinator decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// An item's current entry was installed.
+    SetItem {
+        /// The item updated.
+        item: ItemId,
+        /// Its new entry (simple value or polyvalue).
+        entry: Entry<Value>,
+    },
+    /// A transaction entered the wait phase with these staged writes.
+    PendingPrepare {
+        /// The staged transaction.
+        txn: TxnId,
+        /// The transaction's coordinator site.
+        coordinator: SiteId,
+        /// Values computed for the items this site holds.
+        writes: Vec<(ItemId, Entry<Value>)>,
+    },
+    /// A staged transaction was resolved (installed, aborted, or converted to
+    /// polyvalues) and needs no further staging.
+    PendingResolved {
+        /// The resolved transaction.
+        txn: TxnId,
+    },
+    /// An item at this site depends on the outcome of `txn` (§3.3 table).
+    DepNoted {
+        /// The in-doubt transaction.
+        txn: TxnId,
+        /// The dependent item.
+        item: ItemId,
+    },
+    /// A polyvalue depending on `txn` was sent to `site` (§3.3 table).
+    DepSent {
+        /// The in-doubt transaction.
+        txn: TxnId,
+        /// The site the dependent polyvalue was sent to.
+        site: SiteId,
+    },
+    /// The outcome of `txn` was learned and its table entry discarded.
+    DepForgotten {
+        /// The resolved transaction.
+        txn: TxnId,
+    },
+    /// This site, as coordinator of `txn`, durably decided its outcome.
+    Decision {
+        /// The decided transaction.
+        txn: TxnId,
+        /// `true` = complete, `false` = abort.
+        completed: bool,
+    },
+    /// The site started a new epoch (after a recovery). Epochs are embedded
+    /// in transaction identifiers so a recovered coordinator never reuses an
+    /// id from before its crash.
+    Epoch {
+        /// The new epoch number.
+        epoch: u32,
+    },
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Record::SetItem { item, entry } => write!(f, "set {item} = {entry}"),
+            Record::PendingPrepare {
+                txn,
+                coordinator,
+                writes,
+            } => {
+                write!(
+                    f,
+                    "prepare {txn} coord=s{coordinator} writes={}",
+                    writes.len()
+                )
+            }
+            Record::PendingResolved { txn } => write!(f, "resolved {txn}"),
+            Record::DepNoted { txn, item } => write!(f, "dep {txn} -> {item}"),
+            Record::DepSent { txn, site } => write!(f, "dep {txn} sent to s{site}"),
+            Record::DepForgotten { txn } => write!(f, "dep {txn} forgotten"),
+            Record::Decision { txn, completed } => {
+                write!(
+                    f,
+                    "decision {txn} = {}",
+                    if *completed { "complete" } else { "abort" }
+                )
+            }
+            Record::Epoch { epoch } => write!(f, "epoch {epoch}"),
+        }
+    }
+}
+
+/// An append-only write-ahead log.
+///
+/// The log is the site's *stable storage*: on a crash everything else is
+/// discarded and the site's state is rebuilt by replaying it. Compaction
+/// rewrites the log from a state snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Wal {
+    records: Vec<Record>,
+    appended_since_compaction: usize,
+}
+
+impl Wal {
+    /// An empty log.
+    pub fn new() -> Self {
+        Wal::default()
+    }
+
+    /// Builds a log from already-materialised records (codec decode path).
+    pub fn from_records(records: Vec<Record>) -> Self {
+        Wal {
+            records,
+            appended_since_compaction: 0,
+        }
+    }
+
+    /// Appends one record.
+    pub fn append(&mut self, r: Record) {
+        self.records.push(r);
+        self.appended_since_compaction += 1;
+    }
+
+    /// Number of records currently in the log.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records appended since the last compaction (compaction policy input).
+    pub fn appended_since_compaction(&self) -> usize {
+        self.appended_since_compaction
+    }
+
+    /// Iterates the records in append order.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// Replaces the log wholesale with a snapshot (compaction).
+    pub fn replace_with(&mut self, records: Vec<Record>) {
+        self.records = records;
+        self.appended_since_compaction = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(item: u64, v: i64) -> Record {
+        Record::SetItem {
+            item: ItemId(item),
+            entry: Entry::Simple(Value::Int(v)),
+        }
+    }
+
+    #[test]
+    fn append_and_iterate_in_order() {
+        let mut wal = Wal::new();
+        assert!(wal.is_empty());
+        wal.append(set(1, 10));
+        wal.append(set(2, 20));
+        assert_eq!(wal.len(), 2);
+        assert!(!wal.is_empty());
+        let items: Vec<&Record> = wal.iter().collect();
+        assert_eq!(items[0], &set(1, 10));
+        assert_eq!(items[1], &set(2, 20));
+    }
+
+    #[test]
+    fn compaction_resets_counter() {
+        let mut wal = Wal::new();
+        wal.append(set(1, 10));
+        wal.append(set(1, 11));
+        assert_eq!(wal.appended_since_compaction(), 2);
+        wal.replace_with(vec![set(1, 11)]);
+        assert_eq!(wal.len(), 1);
+        assert_eq!(wal.appended_since_compaction(), 0);
+    }
+
+    #[test]
+    fn record_display() {
+        assert_eq!(set(1, 10).to_string(), "set item1 = 10");
+        assert_eq!(
+            Record::Decision {
+                txn: TxnId(3),
+                completed: true
+            }
+            .to_string(),
+            "decision T3 = complete"
+        );
+        assert_eq!(
+            Record::Decision {
+                txn: TxnId(3),
+                completed: false
+            }
+            .to_string(),
+            "decision T3 = abort"
+        );
+        assert_eq!(
+            Record::PendingPrepare {
+                txn: TxnId(1),
+                coordinator: 2,
+                writes: vec![]
+            }
+            .to_string(),
+            "prepare T1 coord=s2 writes=0"
+        );
+        assert_eq!(
+            Record::PendingResolved { txn: TxnId(1) }.to_string(),
+            "resolved T1"
+        );
+        assert_eq!(
+            Record::DepNoted {
+                txn: TxnId(1),
+                item: ItemId(4)
+            }
+            .to_string(),
+            "dep T1 -> item4"
+        );
+        assert_eq!(
+            Record::DepSent {
+                txn: TxnId(1),
+                site: 9
+            }
+            .to_string(),
+            "dep T1 sent to s9"
+        );
+        assert_eq!(
+            Record::DepForgotten { txn: TxnId(1) }.to_string(),
+            "dep T1 forgotten"
+        );
+        assert_eq!(Record::Epoch { epoch: 3 }.to_string(), "epoch 3");
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests: the store's recovery contract.
+//!
+//! Whatever sequence of operations a site performs, (1) a crash-and-replay
+//! reproduces exactly the same materialised state, (2) the binary codec
+//! round-trips the log bit-exactly, and (3) compaction never changes
+//! observable state.
+
+use proptest::prelude::*;
+use pv_core::{Entry, ItemId, TxnId, Value};
+use pv_store::SiteStore;
+
+/// Operations a site can perform against its store.
+#[derive(Debug, Clone)]
+enum Op {
+    Set { item: u64, value: i64 },
+    Stage { txn: u64, item: u64, value: i64 },
+    InstallInDoubt { txn: u64 },
+    Decide { txn: u64, completed: bool },
+    NoteSent { txn: u64, site: u32 },
+    RecordDecision { txn: u64, completed: bool },
+    BumpEpoch,
+    Compact,
+}
+
+const ITEMS: u64 = 4;
+const TXNS: u64 = 6;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..ITEMS, -50i64..50).prop_map(|(item, value)| Op::Set { item, value }),
+        (0..TXNS, 0..ITEMS, -50i64..50).prop_map(|(txn, item, value)| Op::Stage {
+            txn,
+            item,
+            value
+        }),
+        (0..TXNS).prop_map(|txn| Op::InstallInDoubt { txn }),
+        (0..TXNS, any::<bool>()).prop_map(|(txn, completed)| Op::Decide { txn, completed }),
+        (0..TXNS, 0..5u32).prop_map(|(txn, site)| Op::NoteSent { txn, site }),
+        (0..TXNS, any::<bool>()).prop_map(|(txn, completed)| Op::RecordDecision { txn, completed }),
+        Just(Op::BumpEpoch),
+        Just(Op::Compact),
+    ]
+}
+
+/// Applies an op; staging is only legal for not-currently-staged txns whose
+/// items exist, so the driver filters as a real site would.
+fn apply(store: &mut SiteStore, op: &Op) {
+    match op {
+        Op::Set { item, value } => {
+            store.set_entry(ItemId(*item), Entry::Simple(Value::Int(*value)));
+        }
+        Op::Stage { txn, item, value } => {
+            if store.pending(TxnId(*txn)).is_none() && store.contains(ItemId(*item)) {
+                store.stage(
+                    TxnId(*txn),
+                    0,
+                    vec![(ItemId(*item), Entry::Simple(Value::Int(*value)))],
+                );
+            }
+        }
+        Op::InstallInDoubt { txn } => {
+            store.install_in_doubt(TxnId(*txn));
+        }
+        Op::Decide { txn, completed } => {
+            store.apply_decision(TxnId(*txn), *completed);
+        }
+        Op::NoteSent { txn, site } => store.note_sent(TxnId(*txn), *site),
+        Op::RecordDecision { txn, completed } => {
+            if store.decision_of(TxnId(*txn)).is_none() {
+                store.record_decision(TxnId(*txn), *completed);
+            }
+        }
+        Op::BumpEpoch => {
+            store.bump_epoch();
+        }
+        Op::Compact => store.compact(),
+    }
+}
+
+/// The observable state of a store, for equality checks.
+fn observe(store: &SiteStore) -> impl PartialEq + std::fmt::Debug {
+    (
+        store
+            .iter_items()
+            .map(|(i, e)| (i, e.clone()))
+            .collect::<Vec<_>>(),
+        store.pending_txns(),
+        store.tracked_txns(),
+        store
+            .tracked_txns()
+            .iter()
+            .map(|&t| store.dep_entry(t).cloned())
+            .collect::<Vec<_>>(),
+        (0..TXNS)
+            .map(|t| store.decision_of(TxnId(t)))
+            .collect::<Vec<_>>(),
+        store.epoch(),
+        store.poly_count(),
+    )
+}
+
+fn seeded_store() -> SiteStore {
+    let mut store = SiteStore::new();
+    for item in 0..ITEMS {
+        store.seed_item(ItemId(item), Value::Int(item as i64));
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Crash-and-replay at the end of any op sequence is a no-op on
+    /// observable state.
+    #[test]
+    fn replay_reproduces_state(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let mut store = seeded_store();
+        for op in &ops {
+            apply(&mut store, op);
+        }
+        let before = observe(&store);
+        store.crash_and_recover();
+        prop_assert_eq!(&before, &observe(&store));
+        // And replay is idempotent.
+        store.crash_and_recover();
+        prop_assert_eq!(&before, &observe(&store));
+    }
+
+    /// Crashing after every single prefix also reproduces that prefix's
+    /// state (the WAL never lags the materialised state).
+    #[test]
+    fn replay_at_every_prefix(ops in prop::collection::vec(op_strategy(), 0..16)) {
+        for cut in 0..=ops.len() {
+            let mut direct = seeded_store();
+            for op in &ops[..cut] {
+                apply(&mut direct, op);
+            }
+            let mut replayed = direct.clone();
+            replayed.crash_and_recover();
+            prop_assert_eq!(observe(&direct), observe(&replayed), "prefix {}", cut);
+        }
+    }
+
+    /// The binary codec round-trips any reachable store exactly.
+    #[test]
+    fn codec_round_trips(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let mut store = seeded_store();
+        for op in &ops {
+            apply(&mut store, op);
+        }
+        let image = store.export_wal();
+        let restored = SiteStore::import_wal(&image).expect("intact image decodes");
+        prop_assert_eq!(observe(&store), observe(&restored));
+        // A second export is byte-identical (encoding is deterministic).
+        prop_assert_eq!(image, restored.export_wal());
+    }
+
+    /// Truncating the image anywhere never panics and yields a prefix of
+    /// the original records.
+    #[test]
+    fn torn_images_recover_a_prefix(
+        ops in prop::collection::vec(op_strategy(), 0..20),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut store = seeded_store();
+        for op in &ops {
+            apply(&mut store, op);
+        }
+        let image = store.export_wal();
+        let cut = ((image.len() as f64) * cut_frac) as usize;
+        let (partial, _err) = SiteStore::import_wal_lossy(&image[..cut]);
+        prop_assert!(partial.wal().len() <= store.wal().len());
+        for (got, want) in partial.wal().iter().zip(store.wal().iter()) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Compaction preserves observable state and shrinks (or keeps) the log.
+    #[test]
+    fn compaction_preserves_state(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let mut store = seeded_store();
+        for op in &ops {
+            apply(&mut store, op);
+        }
+        let before = observe(&store);
+        let mut compacted = store.clone();
+        compacted.compact();
+        prop_assert_eq!(&before, &observe(&compacted));
+        compacted.crash_and_recover();
+        prop_assert_eq!(&before, &observe(&compacted));
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's reservation example (§5): granting seats against an
+//! *uncertain* booking count.
+//!
+//! "If the number of reservations granted is a polyvalue, then a new
+//! reservation can be granted so long as the largest value in that polyvalue
+//! is less than the number of available rooms or seats."
+//!
+//! The run leaves one reservation in doubt (its coordinator is cut off at
+//! the moment of decision), then keeps selling seats against the polyvalued
+//! count: decisions stay *certain* until the largest possible count reaches
+//! capacity, turn *uncertain* for exactly one sale, and become certain
+//! denials after that. No overbooking is possible in any outcome.
+//!
+//! Run with `cargo run --example reservations`.
+
+use polyvalues::apps::{Decision, ReservationsApp};
+use polyvalues::core::ItemId;
+use polyvalues::engine::{
+    ClientConfig, ClusterBuilder, CommitProtocol, EngineConfig, Msg, Script, TxnResult,
+};
+use polyvalues::simnet::{NetConfig, NodeId, SimDuration, SimTime};
+
+fn main() {
+    // One flight with 5 seats, stored at site 1.
+    let app = ReservationsApp::new(2, 5);
+    let flight = 1u64; // item 1 → site 1
+    let mut builder = ClusterBuilder::new(2, ReservationsApp::directory(2))
+        .seed(3)
+        .net(NetConfig::instant())
+        .engine(EngineConfig::with_protocol(CommitProtocol::Polyvalue));
+    builder = app.seed(builder);
+    // The ticket desk: 7 sales, one per second, starting at t = 1s. Sales
+    // coordinate at the flight's own (healthy) site.
+    let mut cluster = builder
+        .client(
+            ClientConfig {
+                max_retries: 0,
+                ..ClientConfig::default()
+            },
+            Box::new(Script::new(
+                vec![app.reserve(flight); 7],
+                SimDuration::from_secs(1),
+            )),
+        )
+        .build();
+
+    // One reservation coordinated at the *remote* site 0; cut the link the
+    // instant site 0 decides, so the booked count is in doubt under T.
+    cluster.world.send_from_env(
+        NodeId(0),
+        Msg::Submit {
+            req_id: 1,
+            spec: app.reserve(flight),
+        },
+    );
+    while cluster.world.metrics().counter("txn.committed") < 1 {
+        let next = SimTime(cluster.world.now().as_micros() + 1);
+        cluster.run_until(next);
+    }
+    let now = cluster.world.now();
+    cluster.world.schedule_partition(now, NodeId(0), NodeId(1));
+    cluster.run_until(now + SimDuration::from_millis(900));
+    println!(
+        "booked count in doubt:  {}",
+        cluster.item_entry(ItemId(flight)).unwrap()
+    );
+    println!();
+
+    // Let the desk sell through the uncertainty.
+    println!(
+        "{:<6} {:>26} {:>12}",
+        "sale", "booked entry after sale", "decision"
+    );
+    for k in 1..=7u64 {
+        cluster.run_until(SimTime::from_secs(k) + SimDuration::from_millis(500));
+        let entry = cluster.item_entry(ItemId(flight)).unwrap();
+        let decision = cluster
+            .client(0)
+            .results()
+            .get(k as usize - 1)
+            .map(|(_, r)| match r {
+                TxnResult::Committed { granted, .. } => {
+                    format!("{:?}", Decision::from_entry(granted))
+                }
+                TxnResult::Aborted { reason } => format!("aborted: {reason}"),
+            })
+            .unwrap_or_else(|| "pending".into());
+        println!("{:<6} {:>26} {:>12}", k, entry.to_string(), decision);
+    }
+    println!();
+
+    // Heal: the in-doubt reservation resolves; capacity was never exceeded
+    // in *any* possible world, and is not exceeded now.
+    let now = cluster.world.now();
+    cluster.world.schedule_heal(now, NodeId(0), NodeId(1));
+    cluster.run_until(now + SimDuration::from_secs(5));
+    let settled = cluster.item_entry(ItemId(flight)).unwrap();
+    println!("settled booked count:   {settled}");
+    app.assert_no_overbooking(&cluster);
+    let granted = cluster
+        .client(0)
+        .results()
+        .iter()
+        .filter(|(_, r)| r.fully_granted())
+        .count();
+    let uncertain = cluster.world.metrics().counter("txn.uncertain_output");
+    println!();
+    println!(
+        "desk granted {granted} certain seats plus {uncertain} uncertain answer(s); \
+         capacity {} held in every outcome.",
+        app.capacity
+    );
+}

@@ -1,0 +1,111 @@
+//! Integration tests: the §5 applications keep their safety invariants
+//! through crash/partition chaos, end to end.
+
+use polyvalues::apps::{InventoryApp, ProductionTraffic, ReservationTraffic, ReservationsApp};
+use polyvalues::core::ItemId;
+use polyvalues::engine::{ClientConfig, Cluster, ClusterBuilder, CommitProtocol, EngineConfig};
+use polyvalues::simnet::{FailureConfig, FailurePlan, NetConfig, SimRng, SimTime};
+
+fn add_chaos(cluster: &mut Cluster, sites: u32, seed: u64) {
+    FailurePlan::poisson(
+        FailureConfig {
+            crash_rate_per_sec: 0.15,
+            mean_downtime_secs: 0.6,
+            horizon: SimTime::from_secs(12),
+        },
+        sites,
+        &mut SimRng::new(seed),
+    )
+    .apply(&mut cluster.world);
+}
+
+#[test]
+fn reservations_never_overbook_under_chaos() {
+    let app = ReservationsApp::new(6, 25);
+    let mut builder = ClusterBuilder::new(3, ReservationsApp::directory(3))
+        .seed(21)
+        .net(NetConfig::default())
+        .engine(EngineConfig::with_protocol(CommitProtocol::Polyvalue));
+    builder = app.seed(builder);
+    for _ in 0..2 {
+        builder = builder.client(
+            ClientConfig {
+                record_results: false,
+                ..ClientConfig::default()
+            },
+            Box::new(ReservationTraffic::new(app, 15.0, 0.2, 200)),
+        );
+    }
+    let mut cluster = builder.build();
+    add_chaos(&mut cluster, 3, 22);
+    cluster.run_until(SimTime::from_secs(12));
+    cluster.run_until(SimTime::from_secs(35));
+    assert_eq!(cluster.total_poly_count(), 0, "uncertainty must resolve");
+    app.assert_no_overbooking(&cluster);
+    let m = cluster.world.metrics();
+    assert!(m.counter("node.crashes") > 0, "chaos must have happened");
+    assert!(m.counter("txn.committed") > 100, "sales must have happened");
+}
+
+#[test]
+fn inventory_stock_never_negative_under_chaos() {
+    let app = InventoryApp::new(10, 500, 50);
+    let mut builder = ClusterBuilder::new(3, InventoryApp::directory(3))
+        .seed(31)
+        .net(NetConfig::default())
+        .engine(EngineConfig::with_protocol(CommitProtocol::Polyvalue));
+    builder = app.seed(builder);
+    for _ in 0..2 {
+        builder = builder.client(
+            ClientConfig {
+                record_results: false,
+                ..ClientConfig::default()
+            },
+            Box::new(ProductionTraffic::new(app, 15.0, 0.35, 12, 200)),
+        );
+    }
+    let mut cluster = builder.build();
+    add_chaos(&mut cluster, 3, 32);
+    cluster.run_until(SimTime::from_secs(12));
+    cluster.run_until(SimTime::from_secs(35));
+    assert_eq!(cluster.total_poly_count(), 0);
+    app.assert_stock_sane(&cluster);
+    let m = cluster.world.metrics();
+    assert!(m.counter("node.crashes") > 0);
+    assert!(m.counter("txn.committed") > 100);
+}
+
+#[test]
+fn reservations_bounded_by_capacity_in_aggregate() {
+    // A flight can never end with more bookings than the number of granted
+    // reservations minus cancellations would allow, and never exceeds
+    // capacity — even when the chaos hits the flight's home site.
+    let app = ReservationsApp::new(1, 8);
+    let mut builder = ClusterBuilder::new(2, ReservationsApp::directory(2))
+        .seed(41)
+        .net(NetConfig::default())
+        .engine(EngineConfig::with_protocol(CommitProtocol::Polyvalue));
+    builder = app.seed(builder);
+    builder = builder.client(
+        ClientConfig::default(),
+        Box::new(ReservationTraffic::new(app, 10.0, 0.0, 40)),
+    );
+    let mut cluster = builder.build();
+    add_chaos(&mut cluster, 2, 42);
+    cluster.run_until(SimTime::from_secs(30));
+    app.assert_no_overbooking(&cluster);
+    // Exactly min(grants, capacity) seats are taken once settled.
+    let granted = cluster
+        .client(0)
+        .results()
+        .iter()
+        .filter(|(_, r)| r.fully_granted())
+        .count() as i64;
+    let booked = cluster.sum_items(std::iter::once(ItemId(0)));
+    assert!(booked <= app.capacity);
+    assert!(
+        granted <= booked,
+        "every certainly-granted seat must be reflected in the count \
+         (granted {granted}, booked {booked})"
+    );
+}

@@ -1,0 +1,185 @@
+//! Integration tests re-enacting the paper's own worked material, across
+//! crates, through the `polyvalues` facade.
+
+use polyvalues::core::expr::{evaluate, SplitMode};
+use polyvalues::core::{Condition, Entry, Expr, ItemId, TransactionSpec, TxnId, Value};
+use std::collections::BTreeMap;
+
+/// §3: "the condition T1 (T2 T3) would be true if T1 and at least one of T2
+/// and T3 were completed."
+#[test]
+fn section3_condition_example() {
+    let c = Condition::var(TxnId(1)).and(&Condition::var(TxnId(2)).or(&Condition::var(TxnId(3))));
+    let eval = |t1: bool, t2: bool, t3: bool| {
+        let a: BTreeMap<TxnId, bool> = [(TxnId(1), t1), (TxnId(2), t2), (TxnId(3), t3)].into();
+        c.eval(&a)
+    };
+    assert!(eval(true, true, false));
+    assert!(eval(true, false, true));
+    assert!(eval(true, true, true));
+    assert!(!eval(true, false, false));
+    assert!(!eval(false, true, true));
+}
+
+/// §3.1: the in-doubt polyvalue `{⟨v, T⟩, ⟨v', ¬T⟩}` with the three
+/// simplification rules.
+#[test]
+fn section31_in_doubt_construction_and_simplification() {
+    let v = Entry::Simple(Value::Int(7));
+    let v_prime = Entry::Simple(Value::Int(3));
+    let e = Entry::in_doubt(v, v_prime, TxnId(9));
+    let p = e.as_poly().expect("uncertain");
+    assert_eq!(p.len(), 2);
+    assert_eq!(
+        p.condition_for(&Value::Int(7)),
+        Some(&Condition::var(TxnId(9)))
+    );
+    assert_eq!(
+        p.condition_for(&Value::Int(3)),
+        Some(&Condition::not_var(TxnId(9)))
+    );
+    // Rule 1 (flattening): updating with a polyvalue does not nest.
+    let nested = Entry::in_doubt(Entry::Simple(Value::Int(1)), e.clone(), TxnId(10));
+    let np = nested.as_poly().expect("uncertain");
+    assert_eq!(np.len(), 3);
+    for (_, cond) in np.pairs() {
+        // Conditions are flat products over T9/T10, not nested structures.
+        assert!(cond
+            .vars()
+            .iter()
+            .all(|t| [TxnId(9), TxnId(10)].contains(t)));
+    }
+    // Rule 2 (merging equal values).
+    let merged = Entry::in_doubt(
+        Entry::Simple(Value::Int(3)),
+        Entry::Simple(Value::Int(3)),
+        TxnId(11),
+    );
+    assert_eq!(merged, Entry::Simple(Value::Int(3)));
+    // Rule 3 (dropping false conditions) is internal, but observable: a
+    // condition that becomes false removes its pair.
+    assert_eq!(
+        e.assign_outcome(TxnId(9), true),
+        Entry::Simple(Value::Int(7))
+    );
+}
+
+/// §3.2: a polytransaction is partitioned into alternatives whose conditions
+/// are complete and disjoint, and alternatives with false conditions are
+/// never materialised.
+#[test]
+fn section32_polytransaction_partitioning() {
+    let mut db: BTreeMap<ItemId, Entry<Value>> = BTreeMap::new();
+    // Two items in doubt under the SAME transaction: conditions correlate.
+    db.insert(
+        ItemId(0),
+        Entry::in_doubt(
+            Entry::Simple(Value::Int(10)),
+            Entry::Simple(Value::Int(0)),
+            TxnId(1),
+        ),
+    );
+    db.insert(
+        ItemId(1),
+        Entry::in_doubt(
+            Entry::Simple(Value::Int(20)),
+            Entry::Simple(Value::Int(0)),
+            TxnId(1),
+        ),
+    );
+    let spec =
+        TransactionSpec::new().output("sum", Expr::read(ItemId(0)).add(Expr::read(ItemId(1))));
+    let out = evaluate(&spec, &db, SplitMode::Lazy).unwrap();
+    // Four combinations exist syntactically, but only two are consistent:
+    // T1 ∧ T1 and ¬T1 ∧ ¬T1. The inconsistent ones are discarded (their
+    // conditions are logically false).
+    assert_eq!(out.alts.len(), 2);
+    let conds: Vec<&Condition> = out.alts.iter().map(|a| &a.cond).collect();
+    assert!(Condition::complete(conds.iter().copied()));
+    assert!(Condition::pairwise_disjoint(&conds));
+    let outputs = out.collate_outputs().unwrap();
+    let p = outputs[0].1.as_poly().unwrap();
+    assert_eq!(
+        p.condition_for(&Value::Int(30)),
+        Some(&Condition::var(TxnId(1)))
+    );
+    assert_eq!(
+        p.condition_for(&Value::Int(0)),
+        Some(&Condition::not_var(TxnId(1)))
+    );
+}
+
+/// §3.3: once every outcome is known, "a single value pair will be left in
+/// each polyvalue, eliminating all uncertainty from the database."
+#[test]
+fn section33_full_recovery_eliminates_uncertainty() {
+    let mut entry = Entry::Simple(Value::Int(0));
+    for t in 0..5u64 {
+        entry = Entry::in_doubt(Entry::Simple(Value::Int(t as i64 + 1)), entry, TxnId(t));
+    }
+    assert!(entry.is_poly());
+    for t in 0..5u64 {
+        entry = entry.assign_outcome(TxnId(t), t % 2 == 0);
+        entry.validate().unwrap();
+    }
+    assert!(entry.is_simple(), "all outcomes known ⇒ no uncertainty");
+    // Outcomes: T0 ✓ (→1), T1 ✗, T2 ✓ (→3), T3 ✗, T4 ✓ (→5). Last
+    // completed writer wins.
+    assert_eq!(entry, Entry::Simple(Value::Int(5)));
+}
+
+/// §3.4 / §5: "a ticket agent would not be bothered by an uncertain answer
+/// to a request for the number of seats remaining", while a credit check
+/// that holds in every alternative is *not* uncertain at all.
+#[test]
+fn section34_output_uncertainty_classification() {
+    let mut db: BTreeMap<ItemId, Entry<Value>> = BTreeMap::new();
+    db.insert(
+        ItemId(0),
+        Entry::in_doubt(
+            Entry::Simple(Value::Int(95)),
+            Entry::Simple(Value::Int(100)),
+            TxnId(1),
+        ),
+    );
+    // Exact-value question: uncertain.
+    let how_many = TransactionSpec::new().output("left", Expr::read(ItemId(0)));
+    let out = evaluate(&how_many, &db, SplitMode::Lazy).unwrap();
+    assert!(out.collate_outputs().unwrap()[0].1.is_poly());
+    // Threshold question: certain despite the uncertainty.
+    let enough = TransactionSpec::new().output("ok", Expr::read(ItemId(0)).ge(Expr::int(50)));
+    let out = evaluate(&enough, &db, SplitMode::Lazy).unwrap();
+    assert_eq!(
+        out.collate_outputs().unwrap()[0].1,
+        Entry::Simple(Value::Bool(true))
+    );
+    // Threshold question that straddles the uncertainty: uncertain again.
+    let tight = TransactionSpec::new().output("ok", Expr::read(ItemId(0)).ge(Expr::int(98)));
+    let out = evaluate(&tight, &db, SplitMode::Lazy).unwrap();
+    assert!(out.collate_outputs().unwrap()[0].1.is_poly());
+}
+
+/// §5 reservations: "a new reservation can be granted so long as the largest
+/// value in that polyvalue is less than the number of available seats."
+#[test]
+fn section5_reservation_largest_value_rule() {
+    let capacity = 10i64;
+    let booked = Entry::in_doubt(
+        Entry::Simple(Value::Int(5)),
+        Entry::Simple(Value::Int(4)),
+        TxnId(1),
+    );
+    let mut db: BTreeMap<ItemId, Entry<Value>> = BTreeMap::new();
+    db.insert(ItemId(0), booked.clone());
+    let reserve = TransactionSpec::new()
+        .guard(Expr::read(ItemId(0)).lt(Expr::int(capacity)))
+        .update(ItemId(0), Expr::read(ItemId(0)).add(Expr::int(1)));
+    let out = evaluate(&reserve, &db, SplitMode::Lazy).unwrap();
+    // Largest possible count (5) < 10 ⇒ every alternative grants.
+    assert_eq!(*booked.max_value(), Value::Int(5));
+    assert!(out.all_granted());
+    assert_eq!(
+        out.collate_granted().unwrap(),
+        Entry::Simple(Value::Bool(true))
+    );
+}
