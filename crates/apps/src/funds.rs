@@ -86,7 +86,9 @@ impl FundsApp {
     /// Total funds currently in the bank; panics if any balance is missing
     /// or still uncertain (call after the cluster settles).
     pub fn total(&self, cluster: &Cluster) -> i64 {
-        cluster.sum_items((0..self.accounts).map(ItemId))
+        cluster
+            .sum_items((0..self.accounts).map(ItemId))
+            .expect("every balance settled")
     }
 
     /// The invariant the mechanism must preserve across any run made purely
@@ -179,27 +181,27 @@ mod tests {
         cluster.run_until(SimTime::from_secs(3));
         assert_eq!(
             cluster.item_entry(ItemId(0)),
-            Some(Entry::Simple(Value::Int(70)))
+            Ok(Entry::Simple(Value::Int(70)))
         );
         assert_eq!(
             cluster.item_entry(ItemId(1)),
-            Some(Entry::Simple(Value::Int(130)))
+            Ok(Entry::Simple(Value::Int(130)))
         );
         assert_eq!(
             cluster.item_entry(ItemId(2)),
-            Some(Entry::Simple(Value::Int(150)))
+            Ok(Entry::Simple(Value::Int(150)))
         );
         assert_eq!(
             cluster.item_entry(ItemId(3)),
-            Some(Entry::Simple(Value::Int(60)))
+            Ok(Entry::Simple(Value::Int(60)))
         );
         // Denied transfer left 4 and 5 untouched.
         assert_eq!(
             cluster.item_entry(ItemId(4)),
-            Some(Entry::Simple(Value::Int(100)))
+            Ok(Entry::Simple(Value::Int(100)))
         );
         assert_eq!(app.total(&cluster), app.expected_total() + 50 - 40);
-        let results = cluster.client(0).results();
+        let results = cluster.client(0).unwrap().results();
         assert_eq!(results.len(), 6);
         // The authorization for exactly 100 against account 1 (130 by then,
         // or 100 if it ran first — either way it covers 100).

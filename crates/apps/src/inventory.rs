@@ -95,7 +95,7 @@ impl InventoryApp {
         for p in 0..self.parts {
             let entry = cluster
                 .item_entry(self.part(p))
-                .unwrap_or_else(|| panic!("part {p} missing"));
+                .unwrap_or_else(|e| panic!("part {p}: {e}"));
             match entry {
                 Entry::Simple(Value::Int(n)) => {
                     assert!(n >= 0, "part {p} stock went negative: {n}");
@@ -202,14 +202,14 @@ mod tests {
         cluster.run_until(SimTime::from_secs(3));
         assert_eq!(
             cluster.item_entry(ItemId(0)),
-            Some(Entry::Simple(Value::Int(60)))
+            Ok(Entry::Simple(Value::Int(60)))
         );
         assert_eq!(
             cluster.item_entry(ItemId(1)),
-            Some(Entry::Simple(Value::Int(30)))
+            Ok(Entry::Simple(Value::Int(30)))
         );
         app.assert_stock_sane(&cluster);
-        let results = cluster.client(0).results();
+        let results = cluster.client(0).unwrap().results();
         let reorder_of = |idx: usize| match &results[idx].1 {
             TxnResult::Committed { outputs, .. } => outputs[0].1.clone(),
             other => panic!("unexpected {other:?}"),

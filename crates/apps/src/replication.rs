@@ -96,7 +96,7 @@ impl Replicated {
             .map(|&c| {
                 cluster
                     .item_entry(c)
-                    .unwrap_or_else(|| panic!("missing copy {c}"))
+                    .unwrap_or_else(|e| panic!("copy {c}: {e}"))
             })
             .collect()
     }

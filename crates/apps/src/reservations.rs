@@ -101,7 +101,7 @@ impl ReservationsApp {
         for f in 0..self.flights {
             let entry = cluster
                 .item_entry(self.flight(f))
-                .unwrap_or_else(|| panic!("flight {f} missing"));
+                .unwrap_or_else(|e| panic!("flight {f}: {e}"));
             match entry {
                 Entry::Simple(Value::Int(n)) => {
                     assert!(
@@ -216,11 +216,12 @@ mod tests {
         cluster.run_until(SimTime::from_secs(3));
         assert_eq!(
             cluster.item_entry(ItemId(0)),
-            Some(Entry::Simple(Value::Int(3)))
+            Ok(Entry::Simple(Value::Int(3)))
         );
         app.assert_no_overbooking(&cluster);
         let granted = cluster
             .client(0)
+            .unwrap()
             .results()
             .iter()
             .filter(|(_, r)| r.fully_granted())

@@ -32,12 +32,15 @@ struct Row {
     conserved: bool,
 }
 
-fn run(protocol: CommitProtocol, crash_rate: f64, seed: u64) -> Row {
+fn run(protocol: CommitProtocol, crash_rate: f64, seed: u64, trace: bool) -> (Row, Cluster) {
     let mut builder = ClusterBuilder::new(SITES, Directory::Mod(SITES))
         .seed(seed)
         .net(NetConfig::default())
         .engine(EngineConfig::with_protocol(protocol))
         .uniform_items(ACCOUNTS, INITIAL);
+    if trace {
+        builder = builder.collect_trace();
+    }
     for _ in 0..CLIENTS {
         builder = builder.client(
             ClientConfig {
@@ -90,8 +93,8 @@ fn run(protocol: CommitProtocol, crash_rate: f64, seed: u64) -> Row {
     cluster.run_until(SimTime::from_secs(CHAOS_SECS + 25));
     let m = cluster.world.metrics();
     let conserved = cluster.total_poly_count() == 0
-        && cluster.sum_items((0..ACCOUNTS).map(ItemId)) == ACCOUNTS as i64 * INITIAL;
-    Row {
+        && cluster.sum_items((0..ACCOUNTS).map(ItemId)) == Ok(ACCOUNTS as i64 * INITIAL);
+    let row = Row {
         protocol: protocol.label(),
         crash_rate,
         prompt_frac: prompt as f64 / (CLIENTS as u64 * PER_CLIENT) as f64,
@@ -100,7 +103,8 @@ fn run(protocol: CommitProtocol, crash_rate: f64, seed: u64) -> Row {
         conflicts: m.counter("lock.conflicts"),
         violations: m.counter("relaxed.violations"),
         conserved,
-    }
+    };
+    (row, cluster)
 }
 
 fn main() {
@@ -126,7 +130,7 @@ fn main() {
             CommitProtocol::Blocking2pc,
             CommitProtocol::Relaxed { complete_prob: 0.5 },
         ] {
-            let row = run(protocol, crash_rate, seed);
+            let (row, _) = run(protocol, crash_rate, seed, false);
             println!(
                 "{:<13} {:>11.2} {:>7.1}% {:>9} {:>8} {:>10} {:>11} {:>10}",
                 row.protocol,
@@ -144,4 +148,13 @@ fn main() {
     println!("Expected shape: prompt fraction degrades fastest for blocking-2pc as the");
     println!("crash rate rises; polyvalue keeps processing (in-doubt > 0, conserved);");
     println!("relaxed stays available but may print conserved = NO with violations > 0.");
+
+    // One traced polyvalue run at a representative crash rate, reported in
+    // full: phase latencies, the trace digest, and both metric exports.
+    println!();
+    println!("== observability: polyvalue @ 0.2 crash/s, seed {seed} ==");
+    println!();
+    let (_, cluster) = run(CommitProtocol::Polyvalue, 0.2, seed, true);
+    println!("{}", pv_bench::report::trace_summary(cluster.trace()));
+    pv_bench::report::print_observability(cluster.world.metrics());
 }

@@ -40,7 +40,8 @@ fn run(policy: LockPolicy, accounts: u64, seed: u64) -> (u64, u64, u64, u64, u64
     let mut cluster = builder.build();
     cluster.run_until(SimTime::from_secs(40));
     let m = cluster.world.metrics();
-    let conserved = cluster.sum_items((0..accounts).map(ItemId)) == accounts as i64 * INITIAL;
+    let conserved =
+        cluster.sum_items((0..accounts).map(ItemId)) == Ok(accounts as i64 * INITIAL);
     (
         m.counter("client.committed"),
         m.counter("client.retries"),

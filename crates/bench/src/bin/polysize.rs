@@ -154,7 +154,7 @@ fn census(seed: u64) {
     for step in 1..=120u64 {
         cluster.run_until(SimTime::from_millis(step * 250));
         for s in 0..SITES {
-            for (_, entry) in cluster.site(s).store().iter_items() {
+            for (_, entry) in cluster.site(s).expect("site in range").store().iter_items() {
                 if let Entry::Poly(p) = entry {
                     observed += 1;
                     *pair_histogram.entry(p.len()).or_insert(0) += 1;
@@ -179,6 +179,8 @@ fn census(seed: u64) {
         println!("  {deps:>3} deps: {count:>6}");
     }
     println!();
+    println!("phase latencies over the census run:");
+    println!("{}", pv_bench::report::phase_table(m));
     println!("Expected shape: part 1 shows pairs doubling 2 → 4 → 8 — each stacked");
     println!("transfer reads the uncertain balance (a polytransaction) and is itself");
     println!("left in doubt — then collapsing to one value on recovery. Part 2 shows");

@@ -7,6 +7,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod report;
+
 /// Parses an optional `--seed N` pair from the command line, defaulting to
 /// the given value, so table generators are reproducible but steerable.
 pub fn seed_from_args(default: u64) -> u64 {

@@ -1,0 +1,126 @@
+//! Shared reporting helpers for the table generators: per-phase latency
+//! tables, trace summaries, and the JSON / Prometheus metric exports.
+//!
+//! The engine observes each protocol phase into a latency histogram (see
+//! `DESIGN.md` for the vocabulary): `phase.submit_prepared` (read phase and
+//! evaluation), `phase.prepared_decided` (vote phase), `phase.submit_decided`
+//! (client-visible decision latency), and `poly.lifetime` (how long an
+//! in-doubt polyvalue lived before its outcome collapsed it). The helpers
+//! here turn those histograms into the tables the binaries print.
+
+use pv_simnet::{Metrics, Trace};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The phases every report tabulates, in presentation order:
+/// `(histogram name, human-readable label)`.
+pub const PHASES: &[(&str, &str)] = &[
+    ("phase.submit_prepared", "submit -> prepared"),
+    ("phase.prepared_decided", "prepared -> decided"),
+    ("phase.submit_decided", "submit -> decided"),
+    ("poly.lifetime", "install -> collapse"),
+];
+
+/// Formats the per-phase latency table: count, p50, p99, and max in
+/// milliseconds, one row per [`PHASES`] entry. Phases with no observations
+/// print a dash so absent traffic is visible rather than silently omitted.
+pub fn phase_table(metrics: &Metrics) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>8} {:>10} {:>10} {:>10}",
+        "phase", "count", "p50(ms)", "p99(ms)", "max(ms)"
+    );
+    for &(name, label) in PHASES {
+        match metrics.histogram(name) {
+            Some(h) if h.count() > 0 => {
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:>8} {:>10.2} {:>10.2} {:>10.2}",
+                    label,
+                    h.count(),
+                    h.quantile(0.5).unwrap_or(0.0) * 1e3,
+                    h.quantile(0.99).unwrap_or(0.0) * 1e3,
+                    h.max().unwrap_or(0.0) * 1e3,
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:>8} {:>10} {:>10} {:>10}",
+                    label, 0, "-", "-", "-"
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Counts trace records per event kind, in label order — a one-screen
+/// digest of a protocol run.
+pub fn trace_summary(trace: &Trace) -> String {
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for r in trace.records() {
+        *counts.entry(r.event.label()).or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{} trace events:", trace.len());
+    for (label, n) in counts {
+        let _ = writeln!(out, "  {label:<22} {n:>7}");
+    }
+    out
+}
+
+/// Prints the full observability report for a finished run: the phase
+/// table, then the metrics snapshot in both export formats (JSON first,
+/// Prometheus text exposition second).
+pub fn print_observability(metrics: &Metrics) {
+    println!("{}", phase_table(metrics));
+    let snapshot = metrics.snapshot();
+    println!("-- metrics (json) --");
+    println!("{}", snapshot.to_json());
+    println!();
+    println!("-- metrics (prometheus) --");
+    print!("{}", snapshot.to_prometheus());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_simnet::{NodeId, SimTime, TraceEvent};
+
+    #[test]
+    fn phase_table_lists_every_phase() {
+        let mut m = Metrics::new();
+        m.observe("phase.submit_decided", 0.010);
+        m.observe("phase.submit_decided", 0.020);
+        let table = phase_table(&m);
+        for (_, label) in PHASES {
+            assert!(table.contains(label), "missing row for {label}");
+        }
+        assert!(table.contains("submit -> decided"));
+        // Unobserved phases render dashes, not zeros pretending to be data.
+        assert!(table.contains("-"));
+    }
+
+    #[test]
+    fn trace_summary_counts_by_label() {
+        let mut trace = Trace::collecting();
+        let at = SimTime::from_millis(1);
+        trace.record(at, NodeId(0), TraceEvent::Prepared { txn: 1, site: 0 });
+        trace.record(
+            at,
+            NodeId(0),
+            TraceEvent::Decided {
+                txn: 1,
+                completed: true,
+            },
+        );
+        trace.record(at, NodeId(1), TraceEvent::Prepared { txn: 2, site: 1 });
+        let summary = trace_summary(&trace);
+        assert!(summary.starts_with("3 trace events:"));
+        assert!(summary.contains("prepared"));
+        assert!(summary.contains("2"));
+        assert!(summary.contains("decided"));
+    }
+}

@@ -24,6 +24,12 @@ impl fmt::Display for ItemId {
     }
 }
 
+impl From<u64> for ItemId {
+    fn from(raw: u64) -> Self {
+        ItemId(raw)
+    }
+}
+
 /// Binary operators of the expression language.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {

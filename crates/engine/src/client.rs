@@ -6,7 +6,7 @@ use crate::messages::{AbortReason, Msg, TxnResult};
 use crate::site::site_node;
 use crate::workload::Workload;
 use pv_core::TransactionSpec;
-use pv_simnet::{Actor, Ctx, NodeId, SimDuration};
+use pv_simnet::{Actor, Ctx, NodeId, SimDuration, TraceEvent};
 use pv_store::SiteId;
 use std::collections::BTreeMap;
 
@@ -133,6 +133,10 @@ impl Client {
         };
         if out.first_submit.is_none() {
             out.first_submit = Some(ctx.now());
+            ctx.trace(TraceEvent::TxnSubmitted {
+                req_id,
+                coordinator: out.coordinator,
+            });
         }
         out.awaiting = true;
         out.gen = out.gen.wrapping_add(1);
@@ -175,6 +179,10 @@ impl Actor for Client {
             let jitter = ctx.rng().uniform(0.5, 1.5);
             let delay = self.config.backoff.mul_f64(factor as f64 * jitter);
             ctx.metrics().inc("client.retries");
+            ctx.trace(TraceEvent::TxnRetried {
+                req_id,
+                attempt: out.retries,
+            });
             ctx.set_timer(delay, key);
             return;
         }

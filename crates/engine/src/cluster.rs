@@ -3,11 +3,12 @@
 use crate::client::{Client, ClientConfig};
 use crate::config::EngineConfig;
 use crate::directory::Directory;
+use crate::error::EngineError;
 use crate::messages::Msg;
 use crate::site::{site_node, Site};
 use crate::workload::Workload;
 use pv_core::{Entry, ItemId, Value};
-use pv_simnet::{NetConfig, NodeId, SimTime, World};
+use pv_simnet::{NetConfig, NodeId, SimTime, Trace, TraceSink, World};
 use pv_store::SiteId;
 
 /// The node type of an engine world: either a database site or a client.
@@ -66,6 +67,7 @@ pub struct ClusterBuilder {
     directory: Directory,
     items: Vec<(ItemId, Value)>,
     clients: Vec<(ClientConfig, Box<dyn Workload>)>,
+    trace: Option<Trace>,
 }
 
 impl ClusterBuilder {
@@ -80,6 +82,7 @@ impl ClusterBuilder {
             directory,
             items: Vec::new(),
             clients: Vec::new(),
+            trace: None,
         }
     }
 
@@ -95,15 +98,17 @@ impl ClusterBuilder {
         self
     }
 
-    /// Sets the engine configuration (protocol, timeouts).
-    pub fn engine(mut self, engine: EngineConfig) -> Self {
-        self.engine = engine;
+    /// Sets the engine configuration (protocol, timeouts). Accepts a full
+    /// [`EngineConfig`] or a bare [`crate::CommitProtocol`].
+    pub fn engine(mut self, engine: impl Into<EngineConfig>) -> Self {
+        self.engine = engine.into();
         self
     }
 
-    /// Seeds an initial item value (placed by the directory).
-    pub fn item(mut self, item: ItemId, value: Value) -> Self {
-        self.items.push((item, value));
+    /// Seeds an initial item value (placed by the directory). Accepts raw
+    /// `u64` item ids and anything convertible to a [`Value`].
+    pub fn item(mut self, item: impl Into<ItemId>, value: impl Into<Value>) -> Self {
+        self.items.push((item.into(), value.into()));
         self
     }
 
@@ -121,9 +126,40 @@ impl ClusterBuilder {
         self
     }
 
+    /// Adds `n` clients sharing one configuration; `workload_fn` builds the
+    /// workload for each client index.
+    pub fn clients(
+        mut self,
+        n: usize,
+        config: ClientConfig,
+        workload_fn: impl Fn(usize) -> Box<dyn Workload>,
+    ) -> Self {
+        for i in 0..n {
+            self.clients.push((config.clone(), workload_fn(i)));
+        }
+        self
+    }
+
+    /// Buffers a full protocol trace of the run, readable afterwards via
+    /// [`Cluster::trace`].
+    pub fn collect_trace(mut self) -> Self {
+        self.trace = Some(Trace::collecting());
+        self
+    }
+
+    /// Buffers a protocol trace and streams each record to `sink` as it is
+    /// emitted. Any `FnMut(&TraceRecord)` works as a sink.
+    pub fn trace(mut self, sink: impl TraceSink + Send + 'static) -> Self {
+        self.trace = Some(Trace::with_sink(sink));
+        self
+    }
+
     /// Builds the world: sites first (node ids `0..sites`), then clients.
     pub fn build(self) -> Cluster {
         let mut world = World::new(self.seed, self.net);
+        if let Some(trace) = self.trace {
+            world.set_trace(trace);
+        }
         for s in 0..self.sites {
             let mut site = Site::new(s as SiteId, self.engine.clone(), self.directory.clone());
             for (item, value) in &self.items {
@@ -170,18 +206,25 @@ impl Cluster {
     }
 
     /// Immutable access to a site.
-    pub fn site(&self, s: SiteId) -> &Site {
+    pub fn site(&self, s: SiteId) -> Result<&Site, EngineError> {
+        if s >= self.sites {
+            return Err(EngineError::UnknownSite(s));
+        }
         match self.world.actor(site_node(s)) {
-            Node::Site(site) => site,
-            Node::Client(_) => panic!("node {s} is a client"),
+            Node::Site(site) => Ok(site),
+            Node::Client(_) => Err(EngineError::UnknownSite(s)),
         }
     }
 
     /// Immutable access to a client by index.
-    pub fn client(&self, idx: usize) -> &Client {
-        match self.world.actor(self.client_nodes[idx]) {
-            Node::Client(c) => c,
-            Node::Site(_) => panic!("client index {idx} resolves to a site"),
+    pub fn client(&self, idx: usize) -> Result<&Client, EngineError> {
+        let node = *self
+            .client_nodes
+            .get(idx)
+            .ok_or(EngineError::UnknownClient(idx))?;
+        match self.world.actor(node) {
+            Node::Client(c) => Ok(c),
+            Node::Site(_) => Err(EngineError::UnknownClient(idx)),
         }
     }
 
@@ -190,11 +233,17 @@ impl Cluster {
         self.world.run_until(t);
     }
 
+    /// The run's protocol trace (empty unless the builder enabled one via
+    /// [`ClusterBuilder::collect_trace`] or [`ClusterBuilder::trace`]).
+    pub fn trace(&self) -> &Trace {
+        self.world.trace()
+    }
+
     /// Total number of items holding polyvalues across all sites — the
     /// paper's `P(t)` for the engine-level system.
     pub fn total_poly_count(&self) -> usize {
         (0..self.sites)
-            .map(|s| self.site(s as SiteId).poly_count())
+            .map(|s| self.site(s as SiteId).expect("site ids in range").poly_count())
             .sum()
     }
 
@@ -206,31 +255,39 @@ impl Cluster {
     }
 
     /// The current entry of an item, wherever it lives.
-    pub fn item_entry(&self, item: ItemId) -> Option<Entry<Value>> {
-        let site = self.directory.site_of(item)?;
-        self.site(site).store().get(item).cloned()
+    pub fn item_entry(&self, item: ItemId) -> Result<Entry<Value>, EngineError> {
+        let site = self
+            .directory
+            .site_of(item)
+            .ok_or(EngineError::UnplacedItem(item))?;
+        self.site(site)?
+            .store()
+            .get(item)
+            .cloned()
+            .ok_or(EngineError::MissingItem(item))
     }
 
     /// Whether every site is fully quiescent: no in-flight protocol state,
     /// no staged transactions, no tracked outcomes.
     pub fn all_quiescent(&self) -> bool {
-        (0..self.sites).all(|s| self.site(s as SiteId).is_quiescent())
+        (0..self.sites).all(|s| {
+            self.site(s as SiteId)
+                .expect("site ids in range")
+                .is_quiescent()
+        })
     }
 
     /// Sums an integer item range (consistency checks, e.g. conservation of
-    /// money). Panics if any item is missing or uncertain.
-    pub fn sum_items(&self, items: impl Iterator<Item = ItemId>) -> i64 {
-        items
-            .map(|item| {
-                let entry = self
-                    .item_entry(item)
-                    .unwrap_or_else(|| panic!("missing {item}"));
-                match entry {
-                    Entry::Simple(Value::Int(n)) => n,
-                    other => panic!("{item} is not a simple int: {other}"),
-                }
-            })
-            .sum()
+    /// money). Fails if any item is missing, polyvalued, or not an integer.
+    pub fn sum_items(&self, items: impl Iterator<Item = ItemId>) -> Result<i64, EngineError> {
+        let mut total = 0i64;
+        for item in items {
+            match self.item_entry(item)? {
+                Entry::Simple(Value::Int(n)) => total += n,
+                _ => return Err(EngineError::NotAnInt(item)),
+            }
+        }
+        Ok(total)
     }
 }
 
@@ -246,13 +303,13 @@ mod tests {
             .uniform_items(9, 7)
             .build();
         for s in 0..3u32 {
-            assert_eq!(cluster.site(s).store().item_count(), 3);
+            assert_eq!(cluster.site(s).unwrap().store().item_count(), 3);
         }
         assert_eq!(
             cluster.item_entry(ItemId(4)),
-            Some(Entry::Simple(Value::Int(7)))
+            Ok(Entry::Simple(Value::Int(7)))
         );
-        assert_eq!(cluster.sum_items((0..9).map(ItemId)), 63);
+        assert_eq!(cluster.sum_items((0..9).map(ItemId)), Ok(63));
         assert!(cluster.all_quiescent());
         assert_eq!(cluster.total_poly_count(), 0);
         assert_eq!(cluster.site_count(), 3);
@@ -267,18 +324,62 @@ mod tests {
             )
             .build();
         assert_eq!(cluster.client_nodes(), &[NodeId(2)]);
-        assert_eq!(cluster.client(0).outstanding_count(), 0);
+        assert_eq!(cluster.client(0).unwrap().outstanding_count(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "is a client")]
-    fn site_accessor_rejects_clients() {
+    fn accessors_reject_bad_ids_without_panicking() {
         let cluster = ClusterBuilder::new(1, Directory::Mod(1))
             .client(
                 ClientConfig::default(),
                 Box::new(Script::new(vec![], SimDuration::from_millis(1))),
             )
             .build();
-        let _ = cluster.site(1);
+        assert_eq!(cluster.site(1).err(), Some(EngineError::UnknownSite(1)));
+        assert_eq!(
+            cluster.client(5).err(),
+            Some(EngineError::UnknownClient(5))
+        );
+        assert_eq!(
+            cluster.item_entry(ItemId(0)).err(),
+            Some(EngineError::MissingItem(ItemId(0)))
+        );
+        assert_eq!(
+            cluster.sum_items([ItemId(9)].into_iter()).err(),
+            Some(EngineError::MissingItem(ItemId(9)))
+        );
+    }
+
+    #[test]
+    fn clients_helper_adds_n_clients() {
+        let cluster = ClusterBuilder::new(2, Directory::Mod(2))
+            .clients(3, ClientConfig::default(), |_| {
+                Box::new(Script::new(vec![], SimDuration::from_millis(1)))
+            })
+            .build();
+        assert_eq!(cluster.client_nodes().len(), 3);
+        assert_eq!(cluster.client_nodes()[0], NodeId(2));
+    }
+
+    #[test]
+    fn builder_accepts_protocol_and_raw_item_ids() {
+        let cluster = ClusterBuilder::new(1, Directory::Mod(1))
+            .engine(crate::config::CommitProtocol::Blocking2pc)
+            .item(3u64, 42i64)
+            .build();
+        assert_eq!(
+            cluster.item_entry(ItemId(3)),
+            Ok(Entry::Simple(Value::Int(42)))
+        );
+    }
+
+    #[test]
+    fn trace_is_disabled_by_default_and_collectable() {
+        let quiet = ClusterBuilder::new(1, Directory::Mod(1)).build();
+        assert!(!quiet.trace().is_enabled());
+        let traced = ClusterBuilder::new(1, Directory::Mod(1))
+            .collect_trace()
+            .build();
+        assert!(traced.trace().is_enabled());
     }
 }

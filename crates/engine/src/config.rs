@@ -120,6 +120,14 @@ impl EngineConfig {
     }
 }
 
+/// A bare protocol converts to a default-everything-else configuration, so
+/// builders can take `impl Into<EngineConfig>` and accept either.
+impl From<CommitProtocol> for EngineConfig {
+    fn from(protocol: CommitProtocol) -> Self {
+        EngineConfig::with_protocol(protocol)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,71 @@
+//! The engine's unified error type.
+//!
+//! Every fallible public operation — simulated-cluster accessors, live-cluster
+//! calls, consistency checks — returns [`EngineError`] instead of panicking,
+//! so embedding code can react to a bad site id or an unsettled item the same
+//! way it reacts to a live-runtime timeout.
+
+use pv_core::ItemId;
+use pv_store::SiteId;
+use std::fmt;
+
+/// Anything that can go wrong when interacting with a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// No reply arrived within the deadline (live runtime).
+    Timeout,
+    /// The cluster is shutting down (live runtime).
+    Disconnected,
+    /// The given site id does not name a site of this cluster.
+    UnknownSite(SiteId),
+    /// The given client index does not name a client of this cluster.
+    UnknownClient(usize),
+    /// The directory places this item at no site.
+    UnplacedItem(ItemId),
+    /// The item's home site does not hold it.
+    MissingItem(ItemId),
+    /// The item was expected to be a settled integer but is not (it is
+    /// polyvalued, or holds a different type).
+    NotAnInt(ItemId),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Timeout => write!(f, "no reply within the deadline"),
+            EngineError::Disconnected => write!(f, "cluster is shut down"),
+            EngineError::UnknownSite(s) => write!(f, "no such site: s{s}"),
+            EngineError::UnknownClient(i) => write!(f, "no such client: index {i}"),
+            EngineError::UnplacedItem(item) => write!(f, "{item} is placed at no site"),
+            EngineError::MissingItem(item) => write!(f, "{item} is absent from its home site"),
+            EngineError::NotAnInt(item) => write!(f, "{item} is not a settled integer"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_subject() {
+        assert_eq!(
+            EngineError::UnknownSite(3).to_string(),
+            "no such site: s3"
+        );
+        assert_eq!(
+            EngineError::MissingItem(ItemId(7)).to_string(),
+            "item7 is absent from its home site"
+        );
+        assert_eq!(EngineError::Timeout.to_string(), "no reply within the deadline");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&EngineError::Disconnected);
+    }
+}

@@ -26,6 +26,7 @@ pub mod client;
 pub mod cluster;
 pub mod config;
 pub mod directory;
+pub mod error;
 pub mod ids;
 pub mod live;
 pub mod locks;
@@ -38,8 +39,11 @@ pub use client::{Client, ClientConfig};
 pub use cluster::{Cluster, ClusterBuilder, Node};
 pub use config::{CommitProtocol, EngineConfig, LockPolicy, UncertainOutputPolicy};
 pub use directory::Directory;
+pub use error::EngineError;
 pub use ids::{coordinator_of, encode_txn};
-pub use live::{LiveCluster, LiveError, SiteSnapshot};
+#[allow(deprecated)]
+pub use live::LiveError;
+pub use live::{LiveBuilder, LiveCluster, SiteSnapshot};
 pub use messages::{AbortReason, AccessMode, Msg, TxnResult};
 pub use site::{site_node, Site};
 pub use workload::{RandomTransfers, Script, UniformRmw, Workload};

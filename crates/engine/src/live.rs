@@ -13,12 +13,13 @@
 
 use crate::config::EngineConfig;
 use crate::directory::Directory;
+use crate::error::EngineError;
 use crate::messages::{Msg, TxnResult};
 use crate::site::Site;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use pv_core::{ItemId, Value};
-use pv_simnet::{Actor, Ctx, Effect, Metrics, NodeId, SimRng, SimTime};
+use pv_simnet::{Actor, Ctx, Effect, Metrics, NodeId, SimRng, SimTime, Trace, TraceRecord, TraceSink};
 use pv_store::SiteId;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::sync::Arc;
@@ -89,6 +90,7 @@ struct SiteThread {
     peers: Vec<Sender<Envelope>>,
     clients: ClientRegistry,
     metrics: Arc<Mutex<Metrics>>,
+    trace: Arc<Mutex<Trace>>,
     rng: SimRng,
     next_timer_id: u64,
     timers: BinaryHeap<PendingTimer>,
@@ -105,15 +107,18 @@ impl SiteThread {
     /// Runs one actor callback and applies its effects.
     fn callback(&mut self, f: impl FnOnce(&mut Site, &mut Ctx<Msg>)) {
         let mut metrics = self.metrics.lock();
+        let mut trace = self.trace.lock();
         let mut ctx = Ctx::external(
             self.now(),
             self.me,
             &mut self.rng,
             &mut metrics,
+            &mut trace,
             &mut self.next_timer_id,
         );
         f(&mut self.site, &mut ctx);
         let effects = ctx.drain_effects();
+        drop(trace);
         drop(metrics);
         let now = self.now();
         for effect in effects {
@@ -216,25 +221,69 @@ impl SiteThread {
     }
 }
 
-/// Errors from interacting with a live cluster.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum LiveError {
-    /// No reply arrived within the deadline.
-    Timeout,
-    /// The cluster is shutting down.
-    Disconnected,
+/// Former live-runtime error type, since unified into [`EngineError`].
+#[deprecated(note = "use EngineError; the live runtime shares the engine-wide error type")]
+pub type LiveError = EngineError;
+
+/// Configures and starts a [`LiveCluster`].
+///
+/// Obtained from [`LiveCluster::builder`]; call [`LiveBuilder::start`] to
+/// spawn the site threads.
+pub struct LiveBuilder {
+    sites: u32,
+    directory: Directory,
+    config: EngineConfig,
+    items: Vec<(ItemId, Value)>,
+    trace: Option<Trace>,
 }
 
-impl std::fmt::Display for LiveError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            LiveError::Timeout => write!(f, "no reply within the deadline"),
-            LiveError::Disconnected => write!(f, "live cluster is shut down"),
-        }
+impl LiveBuilder {
+    /// Sets the engine configuration (protocol, timeouts). Accepts a full
+    /// [`EngineConfig`] or a bare [`crate::CommitProtocol`].
+    pub fn engine(mut self, config: impl Into<EngineConfig>) -> Self {
+        self.config = config.into();
+        self
+    }
+
+    /// Seeds an initial item value (placed by the directory). Accepts raw
+    /// `u64` item ids and anything convertible to a [`Value`].
+    pub fn item(mut self, item: impl Into<ItemId>, value: impl Into<Value>) -> Self {
+        self.items.push((item.into(), value.into()));
+        self
+    }
+
+    /// Seeds many items at once.
+    pub fn items(mut self, items: impl IntoIterator<Item = (ItemId, Value)>) -> Self {
+        self.items.extend(items);
+        self
+    }
+
+    /// Buffers a full protocol trace, readable via
+    /// [`LiveCluster::trace_text`] / [`LiveCluster::trace_records`]. Live
+    /// traces are timestamped with wall-clock microseconds since cluster
+    /// start, so unlike simulation traces they are not run-to-run identical.
+    pub fn collect_trace(mut self) -> Self {
+        self.trace = Some(Trace::collecting());
+        self
+    }
+
+    /// Buffers a protocol trace and streams each record to `sink`.
+    pub fn trace(mut self, sink: impl TraceSink + Send + 'static) -> Self {
+        self.trace = Some(Trace::with_sink(sink));
+        self
+    }
+
+    /// Spawns the site threads and returns the running cluster.
+    pub fn start(self) -> LiveCluster {
+        LiveCluster::spawn(
+            self.sites,
+            self.directory,
+            self.config,
+            self.items,
+            self.trace.unwrap_or_default(),
+        )
     }
 }
-
-impl std::error::Error for LiveError {}
 
 /// A running thread-per-site deployment of the engine.
 ///
@@ -246,12 +295,11 @@ impl std::error::Error for LiveError {}
 /// use pv_engine::{Directory, EngineConfig};
 /// use std::time::Duration;
 ///
-/// let cluster = LiveCluster::start(
-///     2,
-///     Directory::Mod(2),
-///     EngineConfig::default(),
-///     vec![(ItemId(0), Value::Int(100)), (ItemId(1), Value::Int(0))],
-/// );
+/// let cluster = LiveCluster::builder(2, Directory::Mod(2))
+///     .engine(EngineConfig::default())
+///     .item(ItemId(0), Value::Int(100))
+///     .item(ItemId(1), Value::Int(0))
+///     .start();
 /// let transfer = TransactionSpec::new()
 ///     .guard(Expr::read(ItemId(0)).ge(Expr::int(40)))
 ///     .update(ItemId(0), Expr::read(ItemId(0)).sub(Expr::int(40)))
@@ -265,21 +313,46 @@ pub struct LiveCluster {
     handles: Vec<std::thread::JoinHandle<Site>>,
     clients: ClientRegistry,
     metrics: Arc<Mutex<Metrics>>,
+    trace: Arc<Mutex<Trace>>,
     client_rx: Receiver<(u64, TxnResult)>,
     client_node: u32,
     next_req: Mutex<u64>,
 }
 
 impl LiveCluster {
+    /// Starts configuring a live cluster of `sites` site threads.
+    pub fn builder(sites: u32, directory: Directory) -> LiveBuilder {
+        assert!(sites > 0, "a cluster needs at least one site");
+        LiveBuilder {
+            sites,
+            directory,
+            config: EngineConfig::default(),
+            items: Vec::new(),
+            trace: None,
+        }
+    }
+
     /// Spawns `sites` site threads, seeds `items`, and returns the handle.
+    #[deprecated(note = "use LiveCluster::builder(sites, directory)...start()")]
     pub fn start(
         sites: u32,
         directory: Directory,
         config: EngineConfig,
         items: Vec<(ItemId, Value)>,
     ) -> Self {
+        LiveCluster::spawn(sites, directory, config, items, Trace::disabled())
+    }
+
+    fn spawn(
+        sites: u32,
+        directory: Directory,
+        config: EngineConfig,
+        items: Vec<(ItemId, Value)>,
+        trace: Trace,
+    ) -> Self {
         assert!(sites > 0);
         let metrics = Arc::new(Mutex::new(Metrics::new()));
+        let trace = Arc::new(Mutex::new(trace));
         let clients = Arc::new(Mutex::new(BTreeMap::new()));
         let epoch = Instant::now();
         let mut senders = Vec::with_capacity(sites as usize);
@@ -304,6 +377,7 @@ impl LiveCluster {
                 peers: senders.clone(),
                 clients: Arc::clone(&clients),
                 metrics: Arc::clone(&metrics),
+                trace: Arc::clone(&trace),
                 rng: SimRng::new(0xC0FFEE + s as u64),
                 next_timer_id: 0,
                 timers: BinaryHeap::new(),
@@ -327,6 +401,7 @@ impl LiveCluster {
             handles,
             clients,
             metrics,
+            trace,
             client_rx,
             client_node,
             next_req: Mutex::new(1),
@@ -339,14 +414,14 @@ impl LiveCluster {
         coordinator: SiteId,
         spec: &pv_core::TransactionSpec,
         deadline: Duration,
-    ) -> Result<TxnResult, LiveError> {
+    ) -> Result<TxnResult, EngineError> {
         let req_id = {
             let mut next = self.next_req.lock();
             let id = *next;
             *next += 1;
             id
         };
-        self.senders[coordinator as usize]
+        self.sender(coordinator)?
             .send(Envelope::Deliver {
                 from: NodeId(self.client_node),
                 msg: Msg::Submit {
@@ -354,46 +429,54 @@ impl LiveCluster {
                     spec: spec.clone(),
                 },
             })
-            .map_err(|_| LiveError::Disconnected)?;
+            .map_err(|_| EngineError::Disconnected)?;
         let limit = Instant::now() + deadline;
         loop {
             let remaining = limit.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
-                return Err(LiveError::Timeout);
+                return Err(EngineError::Timeout);
             }
             match self.client_rx.recv_timeout(remaining) {
                 Ok((id, result)) if id == req_id => return Ok(result),
                 Ok(_) => continue, // stale reply from an abandoned request
-                Err(RecvTimeoutError::Timeout) => return Err(LiveError::Timeout),
-                Err(RecvTimeoutError::Disconnected) => return Err(LiveError::Disconnected),
+                Err(RecvTimeoutError::Timeout) => return Err(EngineError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(EngineError::Disconnected),
             }
         }
     }
 
+    fn sender(&self, site: SiteId) -> Result<&Sender<Envelope>, EngineError> {
+        self.senders
+            .get(site as usize)
+            .ok_or(EngineError::UnknownSite(site))
+    }
+
     /// Crashes a site (volatile state lost; the WAL survives).
-    pub fn crash(&self, site: SiteId) {
-        let _ = self.senders[site as usize].send(Envelope::Crash);
+    pub fn crash(&self, site: SiteId) -> Result<(), EngineError> {
+        let _ = self.sender(site)?.send(Envelope::Crash);
+        Ok(())
     }
 
     /// Recovers a crashed site.
-    pub fn recover(&self, site: SiteId) {
-        let _ = self.senders[site as usize].send(Envelope::Recover);
+    pub fn recover(&self, site: SiteId) -> Result<(), EngineError> {
+        let _ = self.sender(site)?.send(Envelope::Recover);
+        Ok(())
     }
 
     /// Snapshots a site's state.
-    pub fn inspect(&self, site: SiteId, deadline: Duration) -> Result<SiteSnapshot, LiveError> {
+    pub fn inspect(&self, site: SiteId, deadline: Duration) -> Result<SiteSnapshot, EngineError> {
         let (tx, rx) = channel::bounded(1);
-        self.senders[site as usize]
+        self.sender(site)?
             .send(Envelope::Inspect(tx))
-            .map_err(|_| LiveError::Disconnected)?;
+            .map_err(|_| EngineError::Disconnected)?;
         rx.recv_timeout(deadline).map_err(|e| match e {
-            RecvTimeoutError::Timeout => LiveError::Timeout,
-            RecvTimeoutError::Disconnected => LiveError::Disconnected,
+            RecvTimeoutError::Timeout => EngineError::Timeout,
+            RecvTimeoutError::Disconnected => EngineError::Disconnected,
         })
     }
 
     /// Total polyvalued items across live sites.
-    pub fn total_poly_count(&self, deadline: Duration) -> Result<usize, LiveError> {
+    pub fn total_poly_count(&self, deadline: Duration) -> Result<usize, EngineError> {
         let mut total = 0;
         for s in 0..self.senders.len() {
             total += self.inspect(s as SiteId, deadline)?.poly_count;
@@ -404,6 +487,17 @@ impl LiveCluster {
     /// A copy of the shared metrics registry.
     pub fn metrics(&self) -> Metrics {
         self.metrics.lock().clone()
+    }
+
+    /// The buffered trace records so far (empty unless the builder enabled
+    /// tracing).
+    pub fn trace_records(&self) -> Vec<TraceRecord> {
+        self.trace.lock().records().to_vec()
+    }
+
+    /// The buffered trace in the stable line format.
+    pub fn trace_text(&self) -> String {
+        self.trace.lock().to_text()
     }
 
     /// Number of sites.
@@ -451,12 +545,10 @@ mod tests {
     }
 
     fn two_site_cluster() -> LiveCluster {
-        LiveCluster::start(
-            2,
-            Directory::Mod(2),
-            fast_config(),
-            vec![(ItemId(0), Value::Int(100)), (ItemId(1), Value::Int(100))],
-        )
+        LiveCluster::builder(2, Directory::Mod(2))
+            .engine(fast_config())
+            .items(vec![(ItemId(0), Value::Int(100)), (ItemId(1), Value::Int(100))])
+            .start()
     }
 
     #[test]
@@ -493,11 +585,11 @@ mod tests {
         cluster
             .submit(0, &transfer(0, 1, 10), Duration::from_secs(5))
             .unwrap();
-        cluster.crash(1);
+        cluster.crash(1).unwrap();
         std::thread::sleep(Duration::from_millis(50));
         let down = cluster.inspect(1, Duration::from_secs(1)).unwrap();
         assert!(!down.up);
-        cluster.recover(1);
+        cluster.recover(1).unwrap();
         std::thread::sleep(Duration::from_millis(50));
         let up = cluster.inspect(1, Duration::from_secs(1)).unwrap();
         assert!(up.up);
@@ -508,17 +600,17 @@ mod tests {
     #[test]
     fn live_transaction_during_crash_times_out_or_aborts() {
         let cluster = two_site_cluster();
-        cluster.crash(1);
+        cluster.crash(1).unwrap();
         std::thread::sleep(Duration::from_millis(20));
         // Coordinator 0 cannot reach site 1: the attempt must not hang
         // forever and must not commit.
         let result = cluster.submit(0, &transfer(0, 1, 10), Duration::from_secs(3));
         match result {
             Ok(r) => assert!(!r.is_committed()),
-            Err(LiveError::Timeout) => {}
+            Err(EngineError::Timeout) => {}
             Err(other) => panic!("unexpected {other:?}"),
         }
-        cluster.recover(1);
+        cluster.recover(1).unwrap();
         // After recovery the system settles with no residual uncertainty.
         std::thread::sleep(Duration::from_millis(400));
         assert_eq!(cluster.total_poly_count(Duration::from_secs(1)).unwrap(), 0);
@@ -531,6 +623,39 @@ mod tests {
             .map(|(_, e)| e.as_simple().and_then(Value::as_int).expect("settled"))
             .sum::<i64>();
         assert_eq!(total, 200);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn live_unknown_site_is_an_error_not_a_panic() {
+        let cluster = two_site_cluster();
+        assert_eq!(cluster.crash(9).err(), Some(EngineError::UnknownSite(9)));
+        assert_eq!(cluster.recover(9).err(), Some(EngineError::UnknownSite(9)));
+        let submitted = cluster.submit(9, &transfer(0, 1, 1), Duration::from_secs(1));
+        assert_eq!(submitted.err(), Some(EngineError::UnknownSite(9)));
+        assert_eq!(
+            cluster.inspect(9, Duration::from_secs(1)).err(),
+            Some(EngineError::UnknownSite(9))
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn live_trace_records_protocol_transitions() {
+        let cluster = LiveCluster::builder(2, Directory::Mod(2))
+            .engine(fast_config())
+            .item(0u64, 100i64)
+            .item(1u64, 100i64)
+            .collect_trace()
+            .start();
+        let result = cluster
+            .submit(0, &transfer(0, 1, 30), Duration::from_secs(5))
+            .unwrap();
+        assert!(result.is_committed());
+        let text = cluster.trace_text();
+        assert!(text.contains("prepared"), "trace:\n{text}");
+        assert!(text.contains("decided"), "trace:\n{text}");
+        assert_eq!(text.lines().count(), cluster.trace_records().len());
         cluster.shutdown();
     }
 

@@ -17,7 +17,7 @@ use crate::locks::LockTable;
 use crate::messages::{AbortReason, AccessMode, Msg, TxnResult};
 use pv_core::expr::evaluate;
 use pv_core::{Entry, ItemId, TransactionSpec, TxnId, Value};
-use pv_simnet::{Actor, Ctx, NodeId};
+use pv_simnet::{Actor, Ctx, Metrics, NodeId, SimTime, TraceEvent};
 use pv_store::{SiteId, SiteStore};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -48,6 +48,10 @@ struct Coord {
     write_sites: BTreeSet<SiteId>,
     readies: BTreeSet<SiteId>,
     pending_result: Option<TxnResult>,
+    /// When the client's submit reached this coordinator (phase metrics).
+    submitted_at: SimTime,
+    /// When the prepare phase began, if it did.
+    prepared_at: Option<SimTime>,
 }
 
 /// Participant-side volatile state for one transaction.
@@ -111,6 +115,9 @@ pub struct Site {
     withheld: Vec<(NodeId, u64, TxnResult)>,
     /// Wound-wait: read requests parked behind current lock holders.
     read_queue: Vec<QueuedRead>,
+    /// When this site installed polyvalues for an in-doubt transaction
+    /// (volatile; feeds the install→collapse lifetime histogram).
+    poly_installed_at: BTreeMap<TxnId, SimTime>,
 }
 
 impl Site {
@@ -132,6 +139,7 @@ impl Site {
             inquire_armed: false,
             withheld: Vec::new(),
             read_queue: Vec::new(),
+            poly_installed_at: BTreeMap::new(),
         }
     }
 
@@ -253,6 +261,8 @@ impl Site {
             write_sites: BTreeSet::new(),
             readies: BTreeSet::new(),
             pending_result: None,
+            submitted_at: ctx.now(),
+            prepared_at: None,
         };
         self.coords.insert(txn, coord);
         let ts = ctx.now().as_micros();
@@ -300,6 +310,10 @@ impl Site {
             ctx.metrics().inc("txn.polytransactions");
             ctx.metrics()
                 .observe("txn.alternatives", out.alts.len() as f64);
+            ctx.trace(TraceEvent::AltSplit {
+                txn: txn.raw(),
+                alternatives: out.alts.len() as u32,
+            });
         }
         let collated = match (
             out.collate_writes(&coord.entries),
@@ -324,6 +338,7 @@ impl Site {
             // so participants release their read locks.
             self.store.record_decision(txn, true);
             let coord = self.coords.remove(&txn).expect("checked above");
+            self.note_decided(ctx, txn, &coord, true);
             for &site in coord.expected_reads.keys() {
                 ctx.send(
                     site_node(site),
@@ -343,6 +358,9 @@ impl Site {
         coord.phase = CoordPhase::Preparing;
         coord.write_sites = groups.keys().copied().collect();
         coord.pending_result = Some(result);
+        coord.prepared_at = Some(ctx.now());
+        let read_phase = ctx.now().since(coord.submitted_at).as_secs_f64();
+        ctx.metrics().observe("phase.submit_prepared", read_phase);
         // §3.3: record which sites we are sending uncertainty to, so learned
         // outcomes are forwarded to them.
         let mut sent: Vec<(TxnId, SiteId)> = Vec::new();
@@ -385,6 +403,7 @@ impl Site {
         // Decide complete, durably, then notify everyone and the client.
         self.store.record_decision(txn, true);
         let coord = self.coords.remove(&txn).expect("checked above");
+        self.note_decided(ctx, txn, &coord, true);
         let mut all_sites: BTreeSet<SiteId> = coord.expected_reads.keys().copied().collect();
         all_sites.extend(coord.write_sites.iter().copied());
         for site in all_sites {
@@ -423,6 +442,32 @@ impl Site {
         ctx.send(client, Msg::Reply { req_id, result });
     }
 
+    /// Records a coordinator decision in the trace and the phase-latency
+    /// histograms (submit→decided always; prepared→decided when the prepare
+    /// phase was reached).
+    fn note_decided(&self, ctx: &mut Ctx<Msg>, txn: TxnId, coord: &Coord, completed: bool) {
+        ctx.trace(TraceEvent::Decided {
+            txn: txn.raw(),
+            completed,
+        });
+        let total = ctx.now().since(coord.submitted_at).as_secs_f64();
+        ctx.metrics().observe("phase.submit_decided", total);
+        if let Some(prepared_at) = coord.prepared_at {
+            let vote_phase = ctx.now().since(prepared_at).as_secs_f64();
+            ctx.metrics().observe("phase.prepared_decided", vote_phase);
+        }
+        let by_protocol = Metrics::with_label(
+            if completed {
+                "txn.decided.complete"
+            } else {
+                "txn.decided.abort"
+            },
+            "protocol",
+            self.config.protocol.label(),
+        );
+        ctx.metrics().inc(&by_protocol);
+    }
+
     fn note_commit_metrics(&self, ctx: &mut Ctx<Msg>, result: &TxnResult) {
         ctx.metrics().inc("txn.committed");
         if result.has_uncertain_output() {
@@ -440,6 +485,7 @@ impl Site {
             return;
         };
         self.store.record_decision(txn, false);
+        self.note_decided(ctx, txn, &coord, false);
         let mut all_sites: BTreeSet<SiteId> = coord.expected_reads.keys().copied().collect();
         all_sites.extend(coord.write_sites.iter().copied());
         for site in all_sites {
@@ -621,6 +667,10 @@ impl Site {
         };
         part.staged = true;
         self.store.stage(txn, from, writes);
+        ctx.trace(TraceEvent::Prepared {
+            txn: txn.raw(),
+            site: self.id,
+        });
         self.arm(ctx, self.config.wait_timeout, Purpose::PartWait(txn));
         ctx.send(site_node(from), Msg::Ready { txn });
     }
@@ -665,10 +715,31 @@ impl Site {
                 ctx.metrics().inc("relaxed.violations");
             }
         }
+        // A formerly in-doubt transaction resolving closes the uncertainty
+        // window here: its polyvalues collapse and the lifetime is recorded.
+        if let Some(installed_at) = self.poly_installed_at.remove(&txn) {
+            let lifetime = ctx.now().since(installed_at);
+            ctx.trace(TraceEvent::OutcomeLearned {
+                txn: txn.raw(),
+                site: self.id,
+                completed,
+            });
+            ctx.metrics().observe("poly.lifetime", lifetime.as_secs_f64());
+            ctx.trace(TraceEvent::PolyvalueCollapsed {
+                txn: txn.raw(),
+                site: self.id,
+                lifetime_us: lifetime.as_micros(),
+            });
+        }
         let dep = self.store.apply_decision(txn, completed);
         for site in dep.sent_to {
             if site != self.id {
                 ctx.metrics().inc("outcome.forwarded");
+                ctx.trace(TraceEvent::OutcomeForwarded {
+                    txn: txn.raw(),
+                    site: self.id,
+                    to: site,
+                });
                 ctx.send(site_node(site), Msg::OutcomeNotify { txn, completed });
             }
         }
@@ -683,6 +754,10 @@ impl Site {
             return;
         }
         ctx.metrics().inc("txn.in_doubt");
+        ctx.trace(TraceEvent::WaitTimedOut {
+            txn: txn.raw(),
+            site: self.id,
+        });
         match self.config.protocol {
             CommitProtocol::Polyvalue => {
                 // Figure 1's wait → idle edge: install in-doubt polyvalues
@@ -690,6 +765,19 @@ impl Site {
                 let installed = self.store.install_in_doubt(txn);
                 ctx.metrics()
                     .inc_by("poly.installed_items", installed.len() as u64);
+                ctx.trace(TraceEvent::PolyvalueInstalled {
+                    txn: txn.raw(),
+                    site: self.id,
+                    items: installed.len() as u32,
+                });
+                self.poly_installed_at.insert(txn, ctx.now());
+                let now = ctx.now();
+                for item in &installed {
+                    if let Some(entry) = self.store.get(*item) {
+                        ctx.metrics().gauge("poly.depth", now, entry.deps().len() as f64);
+                        ctx.metrics().gauge("poly.width", now, entry.pair_count() as f64);
+                    }
+                }
                 self.locks.release_all(txn);
                 self.parts.remove(&txn);
                 self.ensure_inquire(ctx);
@@ -845,6 +933,7 @@ impl Actor for Site {
         self.inquire_armed = false;
         self.withheld.clear();
         self.read_queue.clear();
+        self.poly_installed_at.clear();
         self.store.crash_and_recover();
     }
 

@@ -53,13 +53,13 @@ fn transfer_commits_and_moves_money() {
     run_secs(&mut cluster, 2);
     assert_eq!(
         cluster.item_entry(ItemId(0)),
-        Some(Entry::Simple(Value::Int(70)))
+        Ok(Entry::Simple(Value::Int(70)))
     );
     assert_eq!(
         cluster.item_entry(ItemId(1)),
-        Some(Entry::Simple(Value::Int(130)))
+        Ok(Entry::Simple(Value::Int(130)))
     );
-    let results = cluster.client(0).results();
+    let results = cluster.client(0).unwrap().results();
     assert_eq!(results.len(), 1);
     assert!(results[0].1.is_committed());
     assert!(results[0].1.fully_granted());
@@ -74,13 +74,13 @@ fn insufficient_funds_is_denied_not_aborted() {
     run_secs(&mut cluster, 2);
     assert_eq!(
         cluster.item_entry(ItemId(0)),
-        Some(Entry::Simple(Value::Int(100)))
+        Ok(Entry::Simple(Value::Int(100)))
     );
     assert_eq!(
         cluster.item_entry(ItemId(1)),
-        Some(Entry::Simple(Value::Int(100)))
+        Ok(Entry::Simple(Value::Int(100)))
     );
-    let results = cluster.client(0).results();
+    let results = cluster.client(0).unwrap().results();
     assert_eq!(results.len(), 1);
     assert!(
         results[0].1.is_committed(),
@@ -95,7 +95,7 @@ fn insufficient_funds_is_denied_not_aborted() {
 fn read_only_query_returns_balance() {
     let mut cluster = two_site_cluster(vec![balance_query(1)], CommitProtocol::Polyvalue);
     run_secs(&mut cluster, 2);
-    let results = cluster.client(0).results();
+    let results = cluster.client(0).unwrap().results();
     assert_eq!(results.len(), 1);
     match &results[0].1 {
         TxnResult::Committed { outputs, .. } => {
@@ -120,7 +120,7 @@ fn sequential_transfers_conserve_money() {
     ];
     let mut cluster = two_site_cluster(specs, CommitProtocol::Polyvalue);
     run_secs(&mut cluster, 5);
-    assert_eq!(cluster.sum_items((0..2).map(ItemId)), 200);
+    assert_eq!(cluster.sum_items((0..2).map(ItemId)).unwrap(), 200);
     assert!(cluster.all_quiescent());
 }
 
@@ -143,7 +143,7 @@ fn in_doubt_scenario(protocol: CommitProtocol, after_decision: bool) -> Cluster 
             if cluster.world.metrics().counter("txn.committed") >= 1 {
                 break;
             }
-        } else if !cluster.site(1).store().pending_txns().is_empty() {
+        } else if !cluster.site(1).unwrap().store().pending_txns().is_empty() {
             break;
         }
     }
@@ -157,7 +157,7 @@ fn partition_before_ready_installs_polyvalue_then_aborts_on_heal() {
     let mut cluster = in_doubt_scenario(CommitProtocol::Polyvalue, false);
     // Let the wait timeout fire at site 1: the in-doubt polyvalue appears.
     run_secs(&mut cluster, 1);
-    assert_eq!(cluster.site(1).poly_count(), 1, "item 1 should be in doubt");
+    assert_eq!(cluster.site(1).unwrap().poly_count(), 1, "item 1 should be in doubt");
     let entry = cluster.item_entry(ItemId(1)).unwrap();
     let poly = entry.as_poly().expect("polyvalue installed");
     let values: Vec<&Value> = poly.values().collect();
@@ -165,7 +165,7 @@ fn partition_before_ready_installs_polyvalue_then_aborts_on_heal() {
     // Coordinator timed out on ready and aborted; item 0 is unchanged.
     assert_eq!(
         cluster.item_entry(ItemId(0)),
-        Some(Entry::Simple(Value::Int(100)))
+        Ok(Entry::Simple(Value::Int(100)))
     );
     // Heal; the inquiry protocol resolves the polyvalue to the old value.
     let now = cluster.world.now();
@@ -173,11 +173,11 @@ fn partition_before_ready_installs_polyvalue_then_aborts_on_heal() {
     run_secs(&mut cluster, 5);
     assert_eq!(
         cluster.item_entry(ItemId(1)),
-        Some(Entry::Simple(Value::Int(100)))
+        Ok(Entry::Simple(Value::Int(100)))
     );
     assert_eq!(cluster.total_poly_count(), 0);
     assert!(cluster.all_quiescent());
-    assert_eq!(cluster.sum_items((0..2).map(ItemId)), 200);
+    assert_eq!(cluster.sum_items((0..2).map(ItemId)).unwrap(), 200);
 }
 
 #[test]
@@ -188,10 +188,10 @@ fn partition_after_decision_installs_polyvalue_then_completes_on_heal() {
     // has its reply, and item 1 is in doubt.
     assert_eq!(
         cluster.item_entry(ItemId(0)),
-        Some(Entry::Simple(Value::Int(70)))
+        Ok(Entry::Simple(Value::Int(70)))
     );
-    assert!(cluster.client(0).results()[0].1.is_committed());
-    assert_eq!(cluster.site(1).poly_count(), 1);
+    assert!(cluster.client(0).unwrap().results()[0].1.is_committed());
+    assert_eq!(cluster.site(1).unwrap().poly_count(), 1);
     // During the failure, processing at site 1 continues: a credit check
     // against the uncertain balance still yields a *simple* answer (§3.4).
     let entry = cluster.item_entry(ItemId(1)).unwrap();
@@ -203,18 +203,18 @@ fn partition_after_decision_installs_polyvalue_then_completes_on_heal() {
     run_secs(&mut cluster, 5);
     assert_eq!(
         cluster.item_entry(ItemId(1)),
-        Some(Entry::Simple(Value::Int(130)))
+        Ok(Entry::Simple(Value::Int(130)))
     );
     assert_eq!(cluster.total_poly_count(), 0);
     assert!(cluster.all_quiescent());
-    assert_eq!(cluster.sum_items((0..2).map(ItemId)), 200);
+    assert_eq!(cluster.sum_items((0..2).map(ItemId)).unwrap(), 200);
 }
 
 #[test]
 fn polytransaction_processes_in_doubt_item_during_partition() {
     let mut cluster = in_doubt_scenario(CommitProtocol::Polyvalue, true);
     run_secs(&mut cluster, 1);
-    assert_eq!(cluster.site(1).poly_count(), 1);
+    assert_eq!(cluster.site(1).unwrap().poly_count(), 1);
     // While the partition is up, submit a transaction that *updates* the
     // in-doubt item: a deposit of 7 into item 1, coordinated at site 1.
     // It must proceed (that is the whole point of polyvalues).
@@ -242,7 +242,7 @@ fn polytransaction_processes_in_doubt_item_during_partition() {
     run_secs(&mut cluster, 5);
     assert_eq!(
         cluster.item_entry(ItemId(1)),
-        Some(Entry::Simple(Value::Int(137)))
+        Ok(Entry::Simple(Value::Int(137)))
     );
     assert_eq!(cluster.total_poly_count(), 0);
     assert!(cluster.all_quiescent());
@@ -253,7 +253,7 @@ fn blocking_protocol_keeps_item_locked_during_doubt() {
     let mut cluster = in_doubt_scenario(CommitProtocol::Blocking2pc, true);
     run_secs(&mut cluster, 1);
     // No polyvalue is installed; the item stays at its old value and locked.
-    assert_eq!(cluster.site(1).poly_count(), 0);
+    assert_eq!(cluster.site(1).unwrap().poly_count(), 0);
     assert!(cluster.world.metrics().counter("blocking.stalls") >= 1);
     // A deposit against the blocked item cannot proceed.
     let deposit = TransactionSpec::new().update(ItemId(1), Expr::read(ItemId(1)).add(Expr::int(7)));
@@ -276,7 +276,7 @@ fn blocking_protocol_keeps_item_locked_during_doubt() {
     run_secs(&mut cluster, 5);
     assert_eq!(
         cluster.item_entry(ItemId(1)),
-        Some(Entry::Simple(Value::Int(130)))
+        Ok(Entry::Simple(Value::Int(130)))
     );
     assert!(cluster.all_quiescent());
 }
@@ -287,7 +287,7 @@ fn relaxed_protocol_can_violate_atomicity() {
     let mut cluster = in_doubt_scenario(CommitProtocol::Relaxed { complete_prob: 0.0 }, true);
     run_secs(&mut cluster, 1);
     assert_eq!(
-        cluster.site(1).poly_count(),
+        cluster.site(1).unwrap().poly_count(),
         0,
         "relaxed never makes polyvalues"
     );
@@ -298,13 +298,13 @@ fn relaxed_protocol_can_violate_atomicity() {
     // Money vanished: 70 + 100 ≠ 200.
     assert_eq!(
         cluster.item_entry(ItemId(0)),
-        Some(Entry::Simple(Value::Int(70)))
+        Ok(Entry::Simple(Value::Int(70)))
     );
     assert_eq!(
         cluster.item_entry(ItemId(1)),
-        Some(Entry::Simple(Value::Int(100)))
+        Ok(Entry::Simple(Value::Int(100)))
     );
-    assert_eq!(cluster.sum_items((0..2).map(ItemId)), 170);
+    assert_eq!(cluster.sum_items((0..2).map(ItemId)).unwrap(), 170);
     assert!(cluster.world.metrics().counter("relaxed.violations") >= 1);
 }
 
@@ -322,16 +322,16 @@ fn participant_crash_recovers_staging_from_wal() {
     run_secs(&mut cluster, 1);
     // After recovery the staged transaction resumed and (still partitioned)
     // timed out into a polyvalue.
-    assert_eq!(cluster.site(1).poly_count(), 1);
+    assert_eq!(cluster.site(1).unwrap().poly_count(), 1);
     let now = cluster.world.now();
     cluster.world.schedule_heal(now, NodeId(0), NodeId(1));
     run_secs(&mut cluster, 5);
     assert_eq!(
         cluster.item_entry(ItemId(1)),
-        Some(Entry::Simple(Value::Int(130)))
+        Ok(Entry::Simple(Value::Int(130)))
     );
     assert!(cluster.all_quiescent());
-    assert_eq!(cluster.sum_items((0..2).map(ItemId)), 200);
+    assert_eq!(cluster.sum_items((0..2).map(ItemId)).unwrap(), 200);
 }
 
 #[test]
@@ -352,11 +352,11 @@ fn coordinator_crash_leads_to_presumed_abort() {
     run_secs(&mut cluster, 6);
     assert_eq!(
         cluster.item_entry(ItemId(0)),
-        Some(Entry::Simple(Value::Int(100)))
+        Ok(Entry::Simple(Value::Int(100)))
     );
     assert_eq!(
         cluster.item_entry(ItemId(1)),
-        Some(Entry::Simple(Value::Int(100)))
+        Ok(Entry::Simple(Value::Int(100)))
     );
     assert_eq!(cluster.total_poly_count(), 0);
     assert!(cluster.all_quiescent());
@@ -438,15 +438,15 @@ fn withhold_policy_delays_uncertain_replies_until_resolution() {
     assert_eq!(cluster.world.metrics().counter("txn.withheld"), 1);
     assert_eq!(cluster.world.metrics().counter("txn.withheld_released"), 0);
     // The client has its transfer result but is still waiting on the query.
-    assert_eq!(cluster.client(0).results().len(), 1);
-    assert_eq!(cluster.client(0).outstanding_count(), 1);
+    assert_eq!(cluster.client(0).unwrap().results().len(), 1);
+    assert_eq!(cluster.client(0).unwrap().outstanding_count(), 1);
     // Heal: the outcome resolves the balance, the withheld reply releases
     // with a *simple* value.
     let now = cluster.world.now();
     cluster.world.schedule_heal(now, NodeId(0), NodeId(1));
     cluster.run_until(now + SimDuration::from_secs(5));
     assert_eq!(cluster.world.metrics().counter("txn.withheld_released"), 1);
-    let results = cluster.client(0).results();
+    let results = cluster.client(0).unwrap().results();
     assert_eq!(results.len(), 2);
     match &results[1].1 {
         TxnResult::Committed { outputs, .. } => {

@@ -22,7 +22,7 @@ fn transfer(from: u64, to: u64, amt: i64) -> TransactionSpec {
 fn settle_and_check(cluster: &mut Cluster, until_secs: u64) {
     cluster.run_until(SimTime::from_secs(until_secs));
     assert_eq!(
-        cluster.sum_items((0..ACCOUNTS).map(ItemId)),
+        cluster.sum_items((0..ACCOUNTS).map(ItemId)).unwrap(),
         ACCOUNTS as i64 * INITIAL,
         "conservation violated"
     );
@@ -155,13 +155,13 @@ fn expired_read_lease_forces_prepare_nack() {
     // Prepare was nacked after the expired lease — never a stale commit.
     assert_eq!(
         cluster.item_entry(ItemId(0)),
-        Some(pv_core::Entry::Simple(Value::Int(INITIAL)))
+        Ok(pv_core::Entry::Simple(Value::Int(INITIAL)))
     );
     assert_eq!(
         cluster.item_entry(ItemId(1)),
-        Some(pv_core::Entry::Simple(Value::Int(INITIAL)))
+        Ok(pv_core::Entry::Simple(Value::Int(INITIAL)))
     );
-    assert_eq!(cluster.sum_items((0..2).map(ItemId)), 2 * INITIAL);
+    assert_eq!(cluster.sum_items((0..2).map(ItemId)).unwrap(), 2 * INITIAL);
     assert!(cluster.all_quiescent());
 }
 
@@ -234,5 +234,5 @@ fn duplicate_decisions_and_notifies_are_idempotent() {
     cluster.run_until(SimTime::from_secs(2));
     assert_eq!(cluster.item_entry(ItemId(0)), before0);
     assert_eq!(cluster.item_entry(ItemId(1)), before1);
-    assert_eq!(cluster.sum_items((0..2).map(ItemId)), 2 * INITIAL);
+    assert_eq!(cluster.sum_items((0..2).map(ItemId)).unwrap(), 2 * INITIAL);
 }

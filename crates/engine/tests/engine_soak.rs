@@ -82,7 +82,7 @@ fn polyvalue_protocol_converges_and_conserves_money() {
     assert!(cluster.all_quiescent(), "no protocol state may linger");
     // …with atomicity intact.
     assert_eq!(
-        cluster.sum_items((0..ACCOUNTS).map(ItemId)),
+        cluster.sum_items((0..ACCOUNTS).map(ItemId)).unwrap(),
         ACCOUNTS as i64 * INITIAL,
         "money must be conserved exactly"
     );
@@ -102,7 +102,7 @@ fn blocking_protocol_also_conserves_but_blocks() {
     assert_eq!(m.counter("poly.installed_items"), 0);
     assert!(cluster.all_quiescent());
     assert_eq!(
-        cluster.sum_items((0..ACCOUNTS).map(ItemId)),
+        cluster.sum_items((0..ACCOUNTS).map(ItemId)).unwrap(),
         ACCOUNTS as i64 * INITIAL
     );
 }

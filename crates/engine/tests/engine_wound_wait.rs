@@ -36,7 +36,7 @@ fn wound_wait_conserves_under_contention() {
     let mut cluster = contended_cluster(LockPolicy::WoundWait, 91);
     cluster.run_until(SimTime::from_secs(40));
     assert_eq!(
-        cluster.sum_items((0..ACCOUNTS).map(ItemId)),
+        cluster.sum_items((0..ACCOUNTS).map(ItemId)).unwrap(),
         ACCOUNTS as i64 * INITIAL
     );
     assert_eq!(cluster.total_poly_count(), 0);
@@ -80,11 +80,11 @@ fn wound_wait_reduces_client_visible_aborts() {
     );
     // Both conserve.
     assert_eq!(
-        nowait.sum_items((0..ACCOUNTS).map(ItemId)),
+        nowait.sum_items((0..ACCOUNTS).map(ItemId)).unwrap(),
         ACCOUNTS as i64 * INITIAL
     );
     assert_eq!(
-        woundwait.sum_items((0..ACCOUNTS).map(ItemId)),
+        woundwait.sum_items((0..ACCOUNTS).map(ItemId)).unwrap(),
         ACCOUNTS as i64 * INITIAL
     );
 }
@@ -104,7 +104,7 @@ fn wound_wait_survives_chaos() {
     .apply(&mut cluster.world);
     cluster.run_until(SimTime::from_secs(50));
     assert_eq!(
-        cluster.sum_items((0..ACCOUNTS).map(ItemId)),
+        cluster.sum_items((0..ACCOUNTS).map(ItemId)).unwrap(),
         ACCOUNTS as i64 * INITIAL
     );
     assert_eq!(cluster.total_poly_count(), 0);
@@ -131,7 +131,7 @@ fn wound_wait_never_wounds_staged_transactions() {
         .apply(&mut cluster.world);
         cluster.run_until(SimTime::from_secs(45));
         assert_eq!(
-            cluster.sum_items((0..ACCOUNTS).map(ItemId)),
+            cluster.sum_items((0..ACCOUNTS).map(ItemId)).unwrap(),
             ACCOUNTS as i64 * INITIAL,
             "seed {seed}"
         );

@@ -96,7 +96,7 @@ proptest! {
     ) {
         let cluster = run_case(specs, &chaos, seed);
         prop_assert_eq!(
-            cluster.sum_items((0..ACCOUNTS).map(ItemId)),
+            cluster.sum_items((0..ACCOUNTS).map(ItemId)).unwrap(),
             ACCOUNTS as i64 * INITIAL,
             "conservation violated"
         );

@@ -3,6 +3,7 @@
 use crate::metrics::Metrics;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent};
 use std::fmt;
 
 /// Identifies a node (an actor instance) in the simulated system.
@@ -94,6 +95,7 @@ pub struct Ctx<'a, M> {
     pub(crate) effects: Vec<Effect<M>>,
     pub(crate) rng: &'a mut SimRng,
     pub(crate) metrics: &'a mut Metrics,
+    pub(crate) trace: &'a mut Trace,
     pub(crate) next_timer_id: &'a mut u64,
 }
 
@@ -107,6 +109,7 @@ impl<'a, M> Ctx<'a, M> {
         me: NodeId,
         rng: &'a mut SimRng,
         metrics: &'a mut Metrics,
+        trace: &'a mut Trace,
         next_timer_id: &'a mut u64,
     ) -> Self {
         Ctx {
@@ -115,6 +118,7 @@ impl<'a, M> Ctx<'a, M> {
             effects: Vec::new(),
             rng,
             metrics,
+            trace,
             next_timer_id,
         }
     }
@@ -170,6 +174,12 @@ impl<'a, M> Ctx<'a, M> {
     pub fn metrics(&mut self) -> &mut Metrics {
         self.metrics
     }
+
+    /// Records a protocol trace event at the current time, attributed to
+    /// this node. No-op unless tracing was enabled for the run.
+    pub fn trace(&mut self, event: TraceEvent) {
+        self.trace.record(self.now, self.me, event);
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +196,7 @@ mod tests {
     fn ctx_accumulates_effects() {
         let mut rng = SimRng::new(1);
         let mut metrics = Metrics::new();
+        let mut trace = Trace::collecting();
         let mut next = 0u64;
         let mut ctx: Ctx<'_, u32> = Ctx {
             now: SimTime::from_secs(1),
@@ -193,6 +204,7 @@ mod tests {
             effects: Vec::new(),
             rng: &mut rng,
             metrics: &mut metrics,
+            trace: &mut trace,
             next_timer_id: &mut next,
         };
         assert_eq!(ctx.now(), SimTime::from_secs(1));
@@ -202,7 +214,13 @@ mod tests {
         ctx.cancel_timer(t);
         ctx.rng().unit();
         ctx.metrics().inc("x");
+        ctx.trace(TraceEvent::Decided {
+            txn: 1,
+            completed: true,
+        });
         assert_eq!(ctx.effects.len(), 3);
         assert_eq!(next, 1);
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.records()[0].at, SimTime::from_secs(1));
     }
 }

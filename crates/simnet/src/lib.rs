@@ -19,12 +19,14 @@ mod metrics;
 mod net;
 mod rng;
 mod time;
+mod trace;
 mod world;
 
 pub use actor::{Actor, Ctx, Effect, NodeId, TimerId};
 pub use failure::{FailureConfig, FailurePlan, Outage};
-pub use metrics::{Histogram, Metrics};
+pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot};
 pub use net::{LinkState, NetConfig};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent, TraceRecord, TraceSink};
 pub use world::World;

@@ -55,6 +55,201 @@ impl Histogram {
     pub fn values(&self) -> &[f64] {
         &self.values
     }
+
+    /// Point-in-time summary statistics, or `None` if empty.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(HistogramSummary {
+            count: self.count(),
+            sum: self.values.iter().sum(),
+            mean: self.mean().expect("non-empty"),
+            min: self.min().expect("non-empty"),
+            p50: self.quantile(0.5).expect("non-empty"),
+            p90: self.quantile(0.9).expect("non-empty"),
+            p99: self.quantile(0.99).expect("non-empty"),
+            max: self.max().expect("non-empty"),
+        })
+    }
+}
+
+/// Summary statistics of one histogram, captured by [`Metrics::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// An immutable point-in-time capture of a [`Metrics`] registry, exportable
+/// as JSON or Prometheus text exposition.
+///
+/// Gauges are captured at their latest sample; histograms as
+/// [`HistogramSummary`]. Map iteration order (and therefore export output)
+/// is the registries' name order, so exports are deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Latest gauge sample by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name (empty histograms are omitted).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Splits a metric name into its base and an optional embedded Prometheus
+/// label block: `"txn.committed{protocol=\"polyvalue\"}"` →
+/// `("txn.committed", Some("protocol=\"polyvalue\""))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match (name.find('{'), name.ends_with('}')) {
+        (Some(i), true) => (&name[..i], Some(&name[i + 1..name.len() - 1])),
+        _ => (name, None),
+    }
+}
+
+/// Maps a metric base name to a valid Prometheus identifier: dots and any
+/// other non-`[a-zA-Z0-9_:]` characters become underscores.
+fn prom_ident(base: &str) -> String {
+    base.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Formats an f64 as a JSON-safe number (non-finite becomes `null`).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot as a stable, human-readable JSON document.
+    pub fn to_json(&self) -> String {
+        use fmt::Write;
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            write!(out, "{}\n    {:?}: {v}", if first { "" } else { "," }, k).unwrap();
+            first = false;
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (k, v) in &self.gauges {
+            write!(
+                out,
+                "{}\n    {:?}: {}",
+                if first { "" } else { "," },
+                k,
+                json_num(*v)
+            )
+            .unwrap();
+            first = false;
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (k, h) in &self.histograms {
+            write!(
+                out,
+                "{}\n    {:?}: {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"min\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+                if first { "" } else { "," },
+                k,
+                h.count,
+                json_num(h.sum),
+                json_num(h.mean),
+                json_num(h.min),
+                json_num(h.p50),
+                json_num(h.p90),
+                json_num(h.p99),
+                json_num(h.max),
+            )
+            .unwrap();
+            first = false;
+        }
+        out.push_str(if first { "}\n}" } else { "\n  }\n}" });
+        out.push('\n');
+        out
+    }
+
+    /// Serializes the snapshot in the Prometheus text exposition format.
+    ///
+    /// Metric names gain a `pv_` prefix and have dots mapped to underscores;
+    /// a label block embedded in the name (see [`Metrics::with_label`])
+    /// passes through: `txn.committed{protocol="polyvalue"}` becomes
+    /// `pv_txn_committed{protocol="polyvalue"}`. Histograms export as
+    /// Prometheus summaries (quantiles + `_sum` + `_count`).
+    pub fn to_prometheus(&self) -> String {
+        use fmt::Write;
+        use std::collections::BTreeSet;
+        let mut out = String::new();
+        let mut typed: BTreeSet<String> = BTreeSet::new();
+        let mut type_line = |out: &mut String, ident: &str, kind: &str| {
+            if typed.insert(ident.to_owned()) {
+                writeln!(out, "# TYPE {ident} {kind}").unwrap();
+            }
+        };
+        for (name, v) in &self.counters {
+            let (base, labels) = split_labels(name);
+            let ident = format!("pv_{}", prom_ident(base));
+            type_line(&mut out, &ident, "counter");
+            match labels {
+                Some(l) => writeln!(out, "{ident}{{{l}}} {v}").unwrap(),
+                None => writeln!(out, "{ident} {v}").unwrap(),
+            }
+        }
+        for (name, v) in &self.gauges {
+            let (base, labels) = split_labels(name);
+            let ident = format!("pv_{}", prom_ident(base));
+            type_line(&mut out, &ident, "gauge");
+            match labels {
+                Some(l) => writeln!(out, "{ident}{{{l}}} {v}").unwrap(),
+                None => writeln!(out, "{ident} {v}").unwrap(),
+            }
+        }
+        for (name, h) in &self.histograms {
+            let (base, labels) = split_labels(name);
+            let ident = format!("pv_{}", prom_ident(base));
+            type_line(&mut out, &ident, "summary");
+            let with = |extra: &str| match labels {
+                Some(l) => format!("{{{l},{extra}}}"),
+                None => format!("{{{extra}}}"),
+            };
+            let plain = match labels {
+                Some(l) => format!("{{{l}}}"),
+                None => String::new(),
+            };
+            writeln!(out, "{ident}{} {}", with("quantile=\"0.5\""), h.p50).unwrap();
+            writeln!(out, "{ident}{} {}", with("quantile=\"0.9\""), h.p90).unwrap();
+            writeln!(out, "{ident}{} {}", with("quantile=\"0.99\""), h.p99).unwrap();
+            writeln!(out, "{ident}_sum{plain} {}", h.sum).unwrap();
+            writeln!(out, "{ident}_count{plain} {}", h.count).unwrap();
+        }
+        out
+    }
 }
 
 /// A named registry of counters, gauges, and histograms for one run.
@@ -148,6 +343,32 @@ impl Metrics {
     /// Iterates over all counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Composes a metric name carrying a Prometheus-style label, e.g.
+    /// `Metrics::with_label("txn.committed", "protocol", "polyvalue")` →
+    /// `txn.committed{protocol="polyvalue"}`. The exporters understand the
+    /// embedded block; every other accessor treats it as an opaque name.
+    pub fn with_label(name: &str, key: &str, value: &str) -> String {
+        format!("{name}{{{key}={value:?}}}")
+    }
+
+    /// Captures a point-in-time [`MetricsSnapshot`] (latest gauge values,
+    /// histogram summaries) for export as JSON or Prometheus text.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter_map(|(k, s)| s.last().map(|&(_, v)| (k.clone(), v)))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter_map(|(k, h)| h.summary().map(|s| (k.clone(), s)))
+                .collect(),
+        }
     }
 
     /// Merges another registry into this one (counters add, gauge series and
@@ -296,6 +517,74 @@ mod tests {
         assert_eq!(a.counter("c"), 3);
         assert_eq!(a.histogram("h").unwrap().count(), 2);
         assert_eq!(a.gauge_series("g").len(), 2);
+    }
+
+    #[test]
+    fn snapshot_captures_each_kind() {
+        let mut m = Metrics::new();
+        m.inc_by("c", 3);
+        m.gauge("g", SimTime::ZERO, 1.0);
+        m.gauge("g", SimTime::from_secs(1), 2.5);
+        m.observe("h", 1.0);
+        m.observe("h", 3.0);
+        let s = m.snapshot();
+        assert_eq!(s.counters.get("c"), Some(&3));
+        assert_eq!(s.gauges.get("g"), Some(&2.5));
+        let h = s.histograms.get("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 4.0);
+        assert_eq!(h.mean, 2.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+    }
+
+    #[test]
+    fn json_export_is_valid_and_stable() {
+        let mut m = Metrics::new();
+        m.inc("b.count");
+        m.inc("a.count");
+        m.gauge("g", SimTime::ZERO, 1.5);
+        m.observe("h", 2.0);
+        let j = m.snapshot().to_json();
+        // Name-ordered, quoted keys, balanced braces.
+        assert!(j.find("\"a.count\"").unwrap() < j.find("\"b.count\"").unwrap());
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"g\": 1.5"));
+        assert!(j.contains("\"count\": 1"));
+        // Empty registry still produces balanced output.
+        let empty = Metrics::new().snapshot().to_json();
+        assert_eq!(empty.matches('{').count(), empty.matches('}').count());
+    }
+
+    #[test]
+    fn prometheus_export_sanitizes_and_types() {
+        let mut m = Metrics::new();
+        m.inc_by("net.delivered", 7);
+        m.gauge("poly.depth", SimTime::ZERO, 2.0);
+        m.observe("phase.submit_decided", 0.25);
+        let p = m.snapshot().to_prometheus();
+        assert!(p.contains("# TYPE pv_net_delivered counter"));
+        assert!(p.contains("pv_net_delivered 7"));
+        assert!(p.contains("# TYPE pv_poly_depth gauge"));
+        assert!(p.contains("# TYPE pv_phase_submit_decided summary"));
+        assert!(p.contains("pv_phase_submit_decided{quantile=\"0.99\"} 0.25"));
+        assert!(p.contains("pv_phase_submit_decided_count 1"));
+    }
+
+    #[test]
+    fn labels_pass_through_exports() {
+        let name = Metrics::with_label("txn.committed", "protocol", "polyvalue");
+        assert_eq!(name, "txn.committed{protocol=\"polyvalue\"}");
+        let mut m = Metrics::new();
+        m.inc_by(&name, 2);
+        let p = m.snapshot().to_prometheus();
+        assert!(p.contains("# TYPE pv_txn_committed counter"));
+        assert!(p.contains("pv_txn_committed{protocol=\"polyvalue\"} 2"));
+        let mut lm = Metrics::new();
+        lm.observe(&Metrics::with_label("lat", "protocol", "relaxed"), 1.0);
+        let lp = lm.snapshot().to_prometheus();
+        assert!(lp.contains("pv_lat{protocol=\"relaxed\",quantile=\"0.5\"} 1"));
+        assert!(lp.contains("pv_lat_count{protocol=\"relaxed\"} 1"));
     }
 
     #[test]

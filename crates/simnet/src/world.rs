@@ -5,6 +5,7 @@ use crate::metrics::Metrics;
 use crate::net::{LinkState, NetConfig};
 use crate::rng::SimRng;
 use crate::time::SimTime;
+use crate::trace::Trace;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 
@@ -96,6 +97,7 @@ pub struct World<A: Actor> {
     net: NetConfig,
     rng: SimRng,
     metrics: Metrics,
+    trace: Trace,
     started: bool,
 }
 
@@ -115,6 +117,7 @@ impl<A: Actor> World<A> {
             net,
             rng: SimRng::new(seed),
             metrics: Metrics::new(),
+            trace: Trace::disabled(),
             started: false,
         }
     }
@@ -166,6 +169,28 @@ impl<A: Actor> World<A> {
     /// Mutable access to the metrics registry.
     pub fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
+    }
+
+    /// The run's protocol trace (disabled unless [`World::set_trace`] armed
+    /// one before the run).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the trace (e.g. for recording driver-level events).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Installs a trace recorder; pass [`Trace::collecting`] to capture the
+    /// run's protocol transitions.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// Removes and returns the trace, leaving a disabled one behind.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
     }
 
     /// The master random stream (e.g. for workload generation).
@@ -325,6 +350,7 @@ impl<A: Actor> World<A> {
             effects: Vec::new(),
             rng: &mut node_rng,
             metrics: &mut self.metrics,
+            trace: &mut self.trace,
             next_timer_id: &mut self.next_timer_id,
         };
         f(&mut self.actors[idx], &mut ctx);

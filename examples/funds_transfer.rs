@@ -8,11 +8,8 @@
 //! Run with `cargo run --example funds_transfer`.
 
 use polyvalues::apps::FundsApp;
-use polyvalues::core::ItemId;
-use polyvalues::engine::{
-    ClientConfig, ClusterBuilder, CommitProtocol, EngineConfig, RandomTransfers,
-};
-use polyvalues::simnet::{FailureConfig, FailurePlan, NetConfig, SimRng, SimTime};
+use polyvalues::prelude::*;
+use polyvalues::simnet::{FailureConfig, FailurePlan, SimRng};
 
 const SITES: u32 = 4;
 const ACCOUNTS: u64 = 32;
@@ -91,7 +88,11 @@ fn main() {
     }
     // Show the accounts ended in a plausible spread.
     let balances: Vec<i64> = (0..ACCOUNTS)
-        .map(|a| cluster.sum_items(std::iter::once(ItemId(a))))
+        .map(|a| {
+            cluster
+                .sum_items(std::iter::once(ItemId(a)))
+                .expect("balance settled")
+        })
         .collect();
     println!(
         "balance spread: min {} / max {}",

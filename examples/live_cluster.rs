@@ -7,10 +7,7 @@
 //!
 //! Run with `cargo run --example live_cluster`.
 
-use polyvalues::core::{Expr, ItemId, TransactionSpec, Value};
-use polyvalues::engine::live::LiveCluster;
-use polyvalues::engine::{CommitProtocol, Directory, EngineConfig};
-use polyvalues::simnet::SimDuration;
+use polyvalues::prelude::*;
 use std::time::Duration;
 
 fn transfer(from: u64, to: u64, amount: i64) -> TransactionSpec {
@@ -29,12 +26,11 @@ fn main() {
         inquire_interval: SimDuration::from_millis(150),
         ..EngineConfig::with_protocol(CommitProtocol::Polyvalue)
     };
-    let cluster = LiveCluster::start(
-        3,
-        Directory::Mod(3),
-        config,
-        (0..3).map(|i| (ItemId(i), Value::Int(100))).collect(),
-    );
+    let cluster = LiveCluster::builder(3, Directory::Mod(3))
+        .engine(config)
+        .items((0..3).map(|i| (ItemId(i), Value::Int(100))))
+        .collect_trace()
+        .start();
     println!("three site threads up; account i lives at site i");
 
     // A few cross-site transfers through different coordinators.
@@ -56,14 +52,14 @@ fn main() {
     // transaction needing it fails cleanly rather than hanging.
     println!();
     println!("crashing site 2 …");
-    cluster.crash(2);
+    cluster.crash(2).expect("site 2 exists");
     std::thread::sleep(Duration::from_millis(50));
     match cluster.submit(0, &transfer(0, 2, 5), Duration::from_secs(2)) {
         Ok(r) => println!("transfer during outage: committed={}", r.is_committed()),
         Err(e) => println!("transfer during outage: {e}"),
     }
     println!("recovering site 2 …");
-    cluster.recover(2);
+    cluster.recover(2).expect("site 2 exists");
     std::thread::sleep(Duration::from_millis(300));
 
     let snap = cluster
@@ -96,6 +92,17 @@ fn main() {
         metrics.counter("txn.aborted.timeout"),
         metrics.counter("live.crashes"),
     );
+
+    // The same trace vocabulary the simulator emits, from real threads.
+    let records = cluster.trace_records();
+    let decided = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::Decided { .. }))
+        .count();
+    println!("trace: {} protocol events, {decided} decisions; last five:", records.len());
+    for r in records.iter().rev().take(5).rev() {
+        println!("  {r}");
+    }
     cluster.shutdown();
     println!("clean shutdown.");
 }

@@ -9,11 +9,8 @@
 //! Run with `cargo run --example process_control`.
 
 use polyvalues::apps::{InventoryApp, ProductionTraffic};
-use polyvalues::core::{Entry, ItemId, Value};
-use polyvalues::engine::{
-    ClientConfig, ClusterBuilder, CommitProtocol, EngineConfig, Msg, TxnResult,
-};
-use polyvalues::simnet::{NetConfig, NodeId, SimDuration, SimTime};
+use polyvalues::engine::{Msg, TxnResult};
+use polyvalues::prelude::*;
 
 fn main() {
     let app = InventoryApp::new(8, 200, 60);
@@ -87,7 +84,7 @@ fn main() {
     );
 
     // Summarise the day.
-    let results = cluster.client(0).results();
+    let results = cluster.client(0).expect("client 0 exists").results();
     let (mut consumed_ok, mut denied, mut reorder_alerts) = (0u64, 0u64, 0u64);
     for (_, result) in results {
         if let TxnResult::Committed {

@@ -6,11 +6,7 @@
 //! Run with `cargo run --example quickstart`.
 
 use polyvalues::core::expr::{evaluate, SplitMode};
-use polyvalues::core::{Entry, Expr, ItemId, TransactionSpec, TxnId, Value};
-use polyvalues::engine::{
-    ClientConfig, ClusterBuilder, CommitProtocol, Directory, EngineConfig, Script,
-};
-use polyvalues::simnet::{NetConfig, NodeId, SimDuration, SimTime};
+use polyvalues::prelude::*;
 use std::collections::BTreeMap;
 
 fn main() {

@@ -14,11 +14,8 @@
 //! Run with `cargo run --example reservations`.
 
 use polyvalues::apps::{Decision, ReservationsApp};
-use polyvalues::core::ItemId;
-use polyvalues::engine::{
-    ClientConfig, ClusterBuilder, CommitProtocol, EngineConfig, Msg, Script, TxnResult,
-};
-use polyvalues::simnet::{NetConfig, NodeId, SimDuration, SimTime};
+use polyvalues::engine::{Msg, TxnResult};
+use polyvalues::prelude::*;
 
 fn main() {
     // One flight with 5 seats, stored at site 1.
@@ -76,6 +73,7 @@ fn main() {
         let entry = cluster.item_entry(ItemId(flight)).unwrap();
         let decision = cluster
             .client(0)
+            .expect("client 0 exists")
             .results()
             .get(k as usize - 1)
             .map(|(_, r)| match r {
@@ -99,6 +97,7 @@ fn main() {
     app.assert_no_overbooking(&cluster);
     let granted = cluster
         .client(0)
+        .expect("client 0 exists")
         .results()
         .iter()
         .filter(|(_, r)| r.fully_granted())

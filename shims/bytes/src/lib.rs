@@ -1,0 +1,212 @@
+//! Vendored offline stand-in for the `bytes` crate.
+//!
+//! Provides the little-endian `Buf`/`BufMut` accessors and the
+//! `Bytes`/`BytesMut` pair used by the WAL codec. `Bytes` is a cheaply
+//! clonable immutable buffer (`Arc<[u8]>`); `BytesMut` is a growable buffer
+//! that freezes into one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Sequential little-endian reads from the front of a buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skips `n` bytes. Panics if fewer remain.
+    fn advance(&mut self, n: usize);
+    /// Copies out the next `n` bytes. Panics if fewer remain.
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8>;
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_bytes(1)[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.copy_bytes(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.copy_bytes(8).try_into().expect("8 bytes"))
+    }
+
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.copy_bytes(8).try_into().expect("8 bytes"))
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8> {
+        let (head, rest) = self.split_at(n);
+        let out = head.to_vec();
+        *self = rest;
+        out
+    }
+}
+
+/// Sequential little-endian writes to the back of a buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(42);
+        b.put_i64_le(-9);
+        b.put_slice(b"hi");
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_i64_le(), -9);
+        assert_eq!(r, b"hi");
+    }
+
+    #[test]
+    fn bytes_equality_and_clone() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(&a[..], &[1, 2, 3]);
+    }
+}

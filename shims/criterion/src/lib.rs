@@ -1,0 +1,171 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Implements the macro and builder surface the benches use, backed by a
+//! deliberately simple harness: each benchmark is timed over a short
+//! wall-clock window and the mean iteration time is printed. No statistics,
+//! no HTML reports — just enough to keep `cargo bench` meaningful offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark label of the form `function/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id labelled `{function}/{parameter}`.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    /// Total time spent in measured iterations.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+    /// Wall-clock budget for the measurement loop.
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly within the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up once outside the measurement.
+        black_box(routine());
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim's sample count is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim uses a fixed time budget.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I, R>(&mut self, id: BenchmarkId, input: &I, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: self.criterion.budget,
+        };
+        routine(&mut b, input);
+        self.report(&id.name, &b);
+        self
+    }
+
+    /// Benchmarks a routine with no parameter.
+    pub fn bench_function<R>(&mut self, name: &str, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: self.criterion.budget,
+        };
+        routine(&mut b);
+        self.report(name, &b);
+        self
+    }
+
+    fn report(&self, name: &str, b: &Bencher) {
+        if b.iters == 0 {
+            println!("{}/{name}: no iterations completed", self.name);
+            return;
+        }
+        let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!(
+            "{}/{name}: {:.1} ns/iter ({} iters)",
+            self.name, per_iter, b.iters
+        );
+    }
+
+    /// Ends the group (prints nothing extra in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,219 @@
+//! Vendored offline stand-in for `crossbeam`.
+//!
+//! Provides the `channel` module surface the live runtime uses: clonable
+//! multi-producer multi-consumer channels with `recv_timeout`. Backed by a
+//! mutex-and-condvar queue; `bounded` is accepted but does not apply
+//! backpressure (the workspace only uses it for single-reply channels).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::Duration;
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Error from [`Sender::send`]: every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error from [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message available.
+        Timeout,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error from [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.0.lock();
+            s.senders -= 1;
+            if s.senders == 0 {
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.lock().receivers -= 1;
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut s = self.0.lock();
+            if s.receivers == 0 {
+                return Err(SendError(value));
+            }
+            s.queue.push_back(value);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues a message, waiting up to `timeout` for one to arrive.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let mut s = self.0.lock();
+            loop {
+                if let Some(v) = s.queue.pop_front() {
+                    return Ok(v);
+                }
+                if s.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let (next, result) = self
+                    .0
+                    .ready
+                    .wait_timeout(s, timeout)
+                    .unwrap_or_else(PoisonError::into_inner);
+                s = next;
+                if result.timed_out() {
+                    return match s.queue.pop_front() {
+                        Some(v) => Ok(v),
+                        None if s.senders == 0 => Err(RecvTimeoutError::Disconnected),
+                        None => Err(RecvTimeoutError::Timeout),
+                    };
+                }
+            }
+        }
+
+        /// Dequeues a message if one is ready.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut s = self.0.lock();
+            match s.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if s.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    fn make<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    /// Creates a channel with unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make()
+    }
+
+    /// Creates a channel with nominal capacity `_cap`.
+    ///
+    /// The shim does not apply backpressure; the capacity is advisory.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        make()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+    }
+
+    #[test]
+    fn timeout_when_empty() {
+        let (_tx, rx) = channel::unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn disconnected_when_senders_dropped() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (tx, rx) = channel::unbounded();
+        let t = std::thread::spawn(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(42));
+        t.join().unwrap();
+    }
+}

@@ -51,3 +51,31 @@ pub use pv_model as model;
 pub use pv_simnet as simnet;
 pub use pv_stochsim as stochsim;
 pub use pv_store as store;
+
+pub mod prelude {
+    //! The one-stop import for embedding the engine: the value and
+    //! polyvalue types, the cluster builders (simulated and live), the
+    //! protocol knobs, and the observability surface (trace events and
+    //! metric snapshots).
+    //!
+    //! ```
+    //! use polyvalues::prelude::*;
+    //!
+    //! let cluster = ClusterBuilder::new(2, Directory::Mod(2))
+    //!     .seed(7)
+    //!     .item(0u64, 100i64)
+    //!     .build();
+    //! assert_eq!(cluster.item_entry(ItemId(0)).unwrap(), Entry::Simple(Value::Int(100)));
+    //! ```
+
+    pub use pv_core::{Entry, Expr, ItemId, Polyvalue, TransactionSpec, TxnId, Value};
+    pub use pv_engine::{
+        Client, ClientConfig, Cluster, ClusterBuilder, CommitProtocol, Directory, EngineConfig,
+        EngineError, LiveBuilder, LiveCluster, LockPolicy, RandomTransfers, Script, UniformRmw,
+        Workload,
+    };
+    pub use pv_simnet::{
+        Histogram, HistogramSummary, Metrics, MetricsSnapshot, NetConfig, NodeId, SimDuration,
+        SimTime, Trace, TraceEvent, TraceRecord, TraceSink,
+    };
+}

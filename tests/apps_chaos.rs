@@ -97,11 +97,14 @@ fn reservations_bounded_by_capacity_in_aggregate() {
     // Exactly min(grants, capacity) seats are taken once settled.
     let granted = cluster
         .client(0)
+        .expect("client 0 exists")
         .results()
         .iter()
         .filter(|(_, r)| r.fully_granted())
         .count() as i64;
-    let booked = cluster.sum_items(std::iter::once(ItemId(0)));
+    let booked = cluster
+        .sum_items(std::iter::once(ItemId(0)))
+        .expect("flight settled");
     assert!(booked <= app.capacity);
     assert!(
         granted <= booked,

@@ -1,0 +1,107 @@
+//! Integration tests for the observability layer: trace determinism and
+//! the agreement between trace events and phase-latency histograms.
+
+use polyvalues::prelude::*;
+
+/// Builds a two-site cluster, commits a cross-site transfer at site 0, cuts
+/// the link before site 1 hears the decision (installing a polyvalue on its
+/// wait timeout), then heals and settles. Crash-free, so every installed
+/// polyvalue is collapsed by outcome propagation.
+fn traced_in_doubt_run(seed: u64) -> Cluster {
+    let transfer = TransactionSpec::new()
+        .guard(Expr::read(ItemId(0)).ge(Expr::int(30)))
+        .update(ItemId(0), Expr::read(ItemId(0)).sub(Expr::int(30)))
+        .update(ItemId(1), Expr::read(ItemId(1)).add(Expr::int(30)));
+    let mut cluster = ClusterBuilder::new(2, Directory::Mod(2))
+        .seed(seed)
+        .net(NetConfig::default())
+        .engine(CommitProtocol::Polyvalue)
+        .item(0u64, 100i64)
+        .item(1u64, 100i64)
+        .collect_trace()
+        .client(
+            ClientConfig {
+                max_retries: 0,
+                ..ClientConfig::default()
+            },
+            Box::new(Script::new(vec![transfer], SimDuration::from_millis(1))),
+        )
+        .build();
+    // Step one microsecond at a time until the coordinator decides, then
+    // partition before the decision reaches the participant.
+    while cluster.world.metrics().counter("txn.committed") < 1 {
+        let next = SimTime(cluster.world.now().as_micros() + 1);
+        cluster.run_until(next);
+    }
+    let now = cluster.world.now();
+    cluster.world.schedule_partition(now, NodeId(0), NodeId(1));
+    cluster.run_until(now + SimDuration::from_secs(1));
+    let now = cluster.world.now();
+    cluster.world.schedule_heal(now, NodeId(0), NodeId(1));
+    cluster.run_until(now + SimDuration::from_secs(5));
+    cluster
+}
+
+#[test]
+fn same_seed_runs_produce_byte_identical_traces() {
+    let a = traced_in_doubt_run(42);
+    let b = traced_in_doubt_run(42);
+    let text_a = a.trace().to_text();
+    let text_b = b.trace().to_text();
+    assert!(!text_a.is_empty(), "the run must emit trace events");
+    assert_eq!(
+        text_a.as_bytes(),
+        text_b.as_bytes(),
+        "same-seed runs must serialize to identical trace streams"
+    );
+    // A different seed perturbs network timing, so the streams diverge —
+    // the equality above is not vacuous.
+    let c = traced_in_doubt_run(43);
+    assert_ne!(text_a, c.trace().to_text());
+}
+
+#[test]
+fn poly_lifetime_histogram_matches_trace_events() {
+    let cluster = traced_in_doubt_run(7);
+    assert_eq!(cluster.total_poly_count(), 0, "uncertainty must resolve");
+    let trace = cluster.trace();
+    let installed = trace.count(|e| matches!(e, TraceEvent::PolyvalueInstalled { .. }));
+    let collapsed = trace.count(|e| matches!(e, TraceEvent::PolyvalueCollapsed { .. }));
+    assert!(installed > 0, "the partition must have left a polyvalue");
+    assert_eq!(installed, collapsed, "crash-free: every install collapses");
+    let lifetimes = cluster
+        .world
+        .metrics()
+        .histogram("poly.lifetime")
+        .expect("lifetime histogram populated");
+    assert_eq!(
+        lifetimes.count(),
+        installed,
+        "one lifetime observation per installed polyvalue"
+    );
+    // Collapse events carry the same lifetime the histogram observed.
+    for r in trace.records() {
+        if let TraceEvent::PolyvalueCollapsed { lifetime_us, .. } = r.event {
+            assert!(lifetime_us > 0);
+        }
+    }
+}
+
+#[test]
+fn trace_stream_orders_protocol_transitions() {
+    let cluster = traced_in_doubt_run(11);
+    let records = cluster.trace().records();
+    let pos = |pred: &dyn Fn(&TraceEvent) -> bool| records.iter().position(|r| pred(&r.event));
+    let submitted = pos(&|e| matches!(e, TraceEvent::TxnSubmitted { .. })).unwrap();
+    let prepared = pos(&|e| matches!(e, TraceEvent::Prepared { .. })).unwrap();
+    let decided = pos(&|e| matches!(e, TraceEvent::Decided { .. })).unwrap();
+    let installed = pos(&|e| matches!(e, TraceEvent::PolyvalueInstalled { .. })).unwrap();
+    let collapsed = pos(&|e| matches!(e, TraceEvent::PolyvalueCollapsed { .. })).unwrap();
+    assert!(submitted < prepared && prepared < decided);
+    assert!(decided < installed, "install happens after the lost decision");
+    assert!(installed < collapsed);
+    // Sequence numbers are dense and ordered.
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.seq, i as u64);
+    }
+}
