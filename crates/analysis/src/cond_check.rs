@@ -1,0 +1,321 @@
+//! Pass 2: symbolic verification of polyvalue condition algebra.
+//!
+//! A polyvalue's conditions must be *complete* (their disjunction is a
+//! tautology) and *pairwise disjoint* (no two can hold at once) — the §3.1
+//! invariant. The runtime enforces this per-construction; this pass proves
+//! it symbolically for a *planned* condition set before any polyvalue is
+//! installed, using the same DNF machinery (`pv_core::cond`), and flags
+//! unreachable alternatives whose condition is equivalent to `false`.
+//!
+//! The pass also bounds polytransaction splitting ahead of time: given the
+//! uncertainty of the items a transaction reads, [`explosion_bound`]
+//! computes the worst-case number of alternative transactions the
+//! evaluator could produce (§3.2), and [`check_explosion`] turns an
+//! excessive bound into a `PV013` warning.
+
+use crate::diag::{Code, Report, Span};
+use pv_core::cond::Condition;
+use pv_core::expr::ItemId;
+use pv_core::poly::Polyvalue;
+use pv_core::spec::TransactionSpec;
+use pv_core::txn::TxnId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Verifies that a family of conditions is complete, pairwise disjoint, and
+/// free of unreachable (constantly false) members.
+pub fn check_condition_set(conds: &[Condition]) -> Report {
+    let mut report = Report::new();
+    for (i, c) in conds.iter().enumerate() {
+        if c.is_false() {
+            report.push(
+                Code::UnreachableAlt,
+                Span::Pair(i),
+                format!("condition #{i} is equivalent to false (unreachable alternative)"),
+            );
+        }
+    }
+    for (i, a) in conds.iter().enumerate() {
+        for (j, b) in conds.iter().enumerate().skip(i + 1) {
+            if !a.disjoint_with(b) {
+                let both = a.and(b);
+                report.push(
+                    Code::Overlap,
+                    Span::Pair(j),
+                    format!("conditions #{i} ({a}) and #{j} ({b}) can hold together, e.g. under {both}"),
+                );
+            }
+        }
+    }
+    let mut union = Condition::fls();
+    for c in conds {
+        union = union.or(c);
+    }
+    if !union.is_true() {
+        let gap = union.not();
+        let example = gap
+            .products()
+            .first()
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "⊥".to_owned());
+        report.push(
+            Code::Incomplete,
+            Span::Whole,
+            format!("no condition covers the outcome {example}"),
+        );
+    }
+    report
+}
+
+/// Verifies a constructed polyvalue: minimality (distinct values) plus the
+/// full condition-set check.
+pub fn check_polyvalue<V: Clone + Eq + fmt::Display>(poly: &Polyvalue<V>) -> Report {
+    let mut report = Report::new();
+    let pairs = poly.pairs();
+    for (i, (v, _)) in pairs.iter().enumerate() {
+        for (j, (w, _)) in pairs.iter().enumerate().skip(i + 1) {
+            if v == w {
+                report.push(
+                    Code::DuplicateValue,
+                    Span::Pair(j),
+                    format!("pairs #{i} and #{j} both carry value {v} (not minimal)"),
+                );
+            }
+        }
+    }
+    let conds: Vec<Condition> = pairs.iter().map(|(_, c)| c.clone()).collect();
+    report.merge(check_condition_set(&conds));
+    report
+}
+
+/// How uncertain one database item is: the number of `⟨value, condition⟩`
+/// pairs it holds and the transactions those conditions depend on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ItemUncertainty {
+    /// Number of alternative values (≥ 2 for a polyvalue; 1 for simple).
+    pub pairs: usize,
+    /// Transactions whose outcomes the item's conditions mention.
+    pub deps: BTreeSet<TxnId>,
+}
+
+impl ItemUncertainty {
+    /// The uncertainty of a constructed polyvalue.
+    pub fn of<V: Clone + Eq>(poly: &Polyvalue<V>) -> Self {
+        ItemUncertainty {
+            pairs: poly.len(),
+            deps: poly.deps(),
+        }
+    }
+}
+
+/// Worst-case number of alternative transactions a polytransaction over
+/// `spec` could split into, given the uncertainty of the items it reads.
+///
+/// Two bounds compose: the product of per-item pair counts (each read of a
+/// distinct uncertain item multiplies the alternatives), and `2^v` where
+/// `v` is the number of distinct transactions involved (conditions over the
+/// same transactions are correlated — §3.2's observation that consistent
+/// combinations, not raw cross-products, bound the split). The tighter of
+/// the two is returned.
+pub fn explosion_bound(
+    spec: &TransactionSpec,
+    uncertainty: &BTreeMap<ItemId, ItemUncertainty>,
+) -> u128 {
+    let mut product: u128 = 1;
+    let mut vars: BTreeSet<TxnId> = BTreeSet::new();
+    for item in spec.read_set() {
+        if let Some(u) = uncertainty.get(&item) {
+            if u.pairs > 1 {
+                product = product.saturating_mul(u.pairs as u128);
+                vars.extend(u.deps.iter().copied());
+            }
+        }
+    }
+    let by_vars: u128 = if vars.len() >= 128 {
+        u128::MAX
+    } else {
+        1u128 << vars.len()
+    };
+    product.min(by_vars)
+}
+
+/// Warns (`PV013`) when the worst-case alternative count of a planned
+/// polytransaction exceeds `limit`.
+pub fn check_explosion(
+    spec: &TransactionSpec,
+    uncertainty: &BTreeMap<ItemId, ItemUncertainty>,
+    limit: u128,
+) -> Report {
+    let mut report = Report::new();
+    let bound = explosion_bound(spec, uncertainty);
+    if bound > limit {
+        report.push(
+            Code::AltExplosion,
+            Span::Whole,
+            format!(
+                "worst-case polytransaction split is {bound} alternatives (limit {limit})"
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_core::entry::Entry;
+    use pv_core::expr::Expr;
+    use pv_core::value::Value;
+
+    fn v(n: u64) -> Condition {
+        Condition::var(TxnId(n))
+    }
+
+    fn nv(n: u64) -> Condition {
+        Condition::not_var(TxnId(n))
+    }
+
+    #[test]
+    fn in_doubt_pair_is_accepted() {
+        let report = check_condition_set(&[v(1), nv(1)]);
+        assert!(report.is_clean(), "unexpected: {report}");
+    }
+
+    #[test]
+    fn incomplete_set_flagged_with_counterexample() {
+        // {T1∧T2, ¬T1} misses the outcome T1∧¬T2.
+        let report = check_condition_set(&[v(1).and(&v(2)), nv(1)]);
+        assert!(report.has_code(Code::Incomplete));
+        let d = &report.diagnostics()[0];
+        assert!(d.message.contains("T1"), "counterexample missing: {d}");
+    }
+
+    #[test]
+    fn overlapping_set_flagged() {
+        let report = check_condition_set(&[v(1), v(1).and(&v(2)), nv(1)]);
+        assert!(report.has_code(Code::Overlap));
+    }
+
+    #[test]
+    fn unreachable_alternative_flagged() {
+        let report = check_condition_set(&[v(1), nv(1), Condition::fls()]);
+        assert!(report.has_code(Code::UnreachableAlt));
+        // The false member also leaves completeness intact, so only the
+        // unreachable finding (an error) should appear.
+        assert!(!report.has_code(Code::Incomplete));
+    }
+
+    #[test]
+    fn three_way_shannon_split_is_accepted() {
+        // {T1, ¬T1∧T2, ¬T1∧¬T2}: complete and disjoint.
+        let conds = [v(1), nv(1).and(&v(2)), nv(1).and(&nv(2))];
+        assert!(check_condition_set(&conds).is_clean());
+    }
+
+    #[test]
+    fn polyvalue_checker_accepts_runtime_built_polys() {
+        let e = Entry::in_doubt(
+            Entry::Simple(Value::Int(90)),
+            Entry::Simple(Value::Int(100)),
+            TxnId(9),
+        );
+        let p = e.as_poly().unwrap();
+        assert!(check_polyvalue(p).is_clean());
+    }
+
+    #[test]
+    fn explosion_bound_multiplies_independent_items() {
+        let spec = TransactionSpec::new().output(
+            "sum",
+            Expr::read(ItemId(0)).add(Expr::read(ItemId(1))),
+        );
+        let mut unc = BTreeMap::new();
+        unc.insert(
+            ItemId(0),
+            ItemUncertainty {
+                pairs: 2,
+                deps: [TxnId(1)].into_iter().collect(),
+            },
+        );
+        unc.insert(
+            ItemId(1),
+            ItemUncertainty {
+                pairs: 2,
+                deps: [TxnId(2)].into_iter().collect(),
+            },
+        );
+        assert_eq!(explosion_bound(&spec, &unc), 4);
+    }
+
+    #[test]
+    fn explosion_bound_tightens_on_shared_deps() {
+        // Both items depend on the same transaction: only 2 consistent
+        // combinations exist, not 4.
+        let spec = TransactionSpec::new().output(
+            "sum",
+            Expr::read(ItemId(0)).add(Expr::read(ItemId(1))),
+        );
+        let mut unc = BTreeMap::new();
+        let shared = ItemUncertainty {
+            pairs: 2,
+            deps: [TxnId(1)].into_iter().collect(),
+        };
+        unc.insert(ItemId(0), shared.clone());
+        unc.insert(ItemId(1), shared);
+        assert_eq!(explosion_bound(&spec, &unc), 2);
+    }
+
+    #[test]
+    fn explosion_ignores_unread_and_simple_items() {
+        let spec = TransactionSpec::new().output("v", Expr::read(ItemId(0)));
+        let mut unc = BTreeMap::new();
+        unc.insert(
+            ItemId(0),
+            ItemUncertainty {
+                pairs: 1,
+                deps: BTreeSet::new(),
+            },
+        );
+        unc.insert(
+            ItemId(9),
+            ItemUncertainty {
+                pairs: 8,
+                deps: [TxnId(4)].into_iter().collect(),
+            },
+        );
+        assert_eq!(explosion_bound(&spec, &unc), 1);
+    }
+
+    #[test]
+    fn check_explosion_warns_over_limit() {
+        let spec = TransactionSpec::new().output(
+            "sum",
+            Expr::read(ItemId(0)).add(Expr::read(ItemId(1))),
+        );
+        let mut unc = BTreeMap::new();
+        for i in 0..2u64 {
+            unc.insert(
+                ItemId(i),
+                ItemUncertainty {
+                    pairs: 4,
+                    deps: (0..2).map(|k| TxnId(i * 2 + k)).collect(),
+                },
+            );
+        }
+        let report = check_explosion(&spec, &unc, 8);
+        assert!(report.has_code(Code::AltExplosion));
+        assert!(check_explosion(&spec, &unc, 100).is_clean());
+    }
+
+    #[test]
+    fn uncertainty_of_reads_poly() {
+        let e = Entry::in_doubt(
+            Entry::Simple(Value::Int(1)),
+            Entry::Simple(Value::Int(2)),
+            TxnId(3),
+        );
+        let u = ItemUncertainty::of(e.as_poly().unwrap());
+        assert_eq!(u.pairs, 2);
+        assert!(u.deps.contains(&TxnId(3)));
+    }
+}

@@ -1,0 +1,322 @@
+//! The shared diagnostic vocabulary of every analysis pass.
+//!
+//! All three passes — the expression checker, the condition-algebra
+//! verifier, and the trace-conformance checker — report their findings as
+//! [`Diagnostic`]s collected into a [`Report`]. A diagnostic carries a
+//! stable `PV0xx` [`Code`] (documented in DESIGN.md §8), a [`Severity`],
+//! and a [`Span`] locating the finding inside the analyzed artifact.
+
+use pv_core::ItemId;
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// `Error`-severity findings mean the artifact is certainly wrong (an
+/// ill-typed expression, an incomplete condition set, a protocol-invariant
+/// violation); the engine's opt-in submit gate rejects on these. Warnings
+/// flag suspicious-but-legal constructs; infos are observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// An observation, not a problem.
+    Info,
+    /// Suspicious but not certainly wrong.
+    Warning,
+    /// Certainly wrong; the submit gate rejects on these.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The stable diagnostic codes. `PV00x` come from the expression checker,
+/// `PV01x` from the condition-algebra verifier, `PV02x` from the
+/// trace-conformance checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// PV001 — operands of an operator have incompatible types.
+    TypeMismatch,
+    /// PV002 — a guard or condition position is not boolean.
+    NotBool,
+    /// PV003 — division whose divisor is a constant zero.
+    DivByConstZero,
+    /// PV004 — the guard is a compile-time constant (vacuous or unsatisfiable).
+    ConstantGuard,
+    /// PV005 — a guarded update writes an item the guard never reads.
+    UnguardedWrite,
+    /// PV006 — the transaction has no updates and no outputs.
+    EmptySpec,
+    /// PV010 — the condition set does not cover every outcome assignment.
+    Incomplete,
+    /// PV011 — two conditions in the set can hold simultaneously.
+    Overlap,
+    /// PV012 — a condition is equivalent to `false` (unreachable alternative).
+    UnreachableAlt,
+    /// PV013 — the worst-case alternative count exceeds the configured bound.
+    AltExplosion,
+    /// PV014 — two pairs of a polyvalue carry the same value.
+    DuplicateValue,
+    /// PV020 — a transaction was decided before any site prepared it.
+    DecideBeforePrepare,
+    /// PV021 — a site installed polyvalues without a wait-phase timeout.
+    InstallWithoutTimeout,
+    /// PV022 — polyvalues collapsed at a site that never learned the outcome.
+    CollapseBeforeOutcome,
+    /// PV023 — a learned or repeated outcome contradicts the decision.
+    OutcomeMismatch,
+    /// PV024 — trace sequence numbers are not strictly increasing.
+    NonMonotonicSeq,
+}
+
+impl Code {
+    /// The stable `PV0xx` rendering of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::TypeMismatch => "PV001",
+            Code::NotBool => "PV002",
+            Code::DivByConstZero => "PV003",
+            Code::ConstantGuard => "PV004",
+            Code::UnguardedWrite => "PV005",
+            Code::EmptySpec => "PV006",
+            Code::Incomplete => "PV010",
+            Code::Overlap => "PV011",
+            Code::UnreachableAlt => "PV012",
+            Code::AltExplosion => "PV013",
+            Code::DuplicateValue => "PV014",
+            Code::DecideBeforePrepare => "PV020",
+            Code::InstallWithoutTimeout => "PV021",
+            Code::CollapseBeforeOutcome => "PV022",
+            Code::OutcomeMismatch => "PV023",
+            Code::NonMonotonicSeq => "PV024",
+        }
+    }
+
+    /// The severity this code is reported at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::TypeMismatch
+            | Code::NotBool
+            | Code::DivByConstZero
+            | Code::Incomplete
+            | Code::Overlap
+            | Code::UnreachableAlt
+            | Code::DuplicateValue
+            | Code::DecideBeforePrepare
+            | Code::InstallWithoutTimeout
+            | Code::CollapseBeforeOutcome
+            | Code::OutcomeMismatch => Severity::Error,
+            Code::ConstantGuard | Code::UnguardedWrite | Code::AltExplosion => Severity::Warning,
+            Code::EmptySpec | Code::NonMonotonicSeq => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Where inside the analyzed artifact a finding points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Span {
+    /// The whole artifact.
+    Whole,
+    /// The transaction's guard expression.
+    Guard,
+    /// The update expression for an item.
+    Update(ItemId),
+    /// The named output expression.
+    Output(String),
+    /// The `idx`-th condition (or pair) of a condition set / polyvalue.
+    Pair(usize),
+    /// The trace record with this sequence number.
+    Trace(u64),
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Whole => write!(f, "spec"),
+            Span::Guard => write!(f, "guard"),
+            Span::Update(item) => write!(f, "update {item}"),
+            Span::Output(name) => write!(f, "output {name}"),
+            Span::Pair(idx) => write!(f, "pair #{idx}"),
+            Span::Trace(seq) => write!(f, "trace seq {seq}"),
+        }
+    }
+}
+
+/// One finding of an analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity (derived from the code).
+    pub severity: Severity,
+    /// The stable `PV0xx` code.
+    pub code: Code,
+    /// Where the finding points.
+    pub span: Span,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic at the code's default severity.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: code.severity(),
+            code,
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {}: {}",
+            self.severity, self.code, self.span, self.message
+        )
+    }
+}
+
+/// A collection of diagnostics from one or more passes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Records a finding.
+    pub fn push(&mut self, code: Code, span: Span, message: impl Into<String>) {
+        self.diags.push(Diagnostic::new(code, span, message));
+    }
+
+    /// Appends every diagnostic of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    /// All findings, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Whether any finding has `Error` severity.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of `Error`-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Whether the report is empty (a clean artifact).
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Whether any finding carries `code`.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// Renders the report one diagnostic per line (empty string when clean).
+    pub fn render(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        for d in &self.diags {
+            writeln!(out, "{d}").expect("writing to String cannot fail");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let codes = [
+            Code::TypeMismatch,
+            Code::NotBool,
+            Code::DivByConstZero,
+            Code::ConstantGuard,
+            Code::UnguardedWrite,
+            Code::EmptySpec,
+            Code::Incomplete,
+            Code::Overlap,
+            Code::UnreachableAlt,
+            Code::AltExplosion,
+            Code::DuplicateValue,
+            Code::DecideBeforePrepare,
+            Code::InstallWithoutTimeout,
+            Code::CollapseBeforeOutcome,
+            Code::OutcomeMismatch,
+            Code::NonMonotonicSeq,
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for c in codes {
+            assert!(c.as_str().starts_with("PV"));
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+        }
+    }
+
+    #[test]
+    fn report_error_accounting() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        assert!(!r.has_errors());
+        r.push(Code::EmptySpec, Span::Whole, "nothing to do");
+        assert!(!r.has_errors());
+        r.push(Code::TypeMismatch, Span::Guard, "int vs bool");
+        assert!(r.has_errors());
+        assert_eq!(r.error_count(), 1);
+        assert!(r.has_code(Code::TypeMismatch));
+        assert!(!r.has_code(Code::Overlap));
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = Diagnostic::new(Code::DivByConstZero, Span::Update(ItemId(3)), "x / 0");
+        assert_eq!(d.to_string(), "error[PV003] at update item3: x / 0");
+        let mut r = Report::new();
+        r.push(Code::UnguardedWrite, Span::Update(ItemId(1)), "blind");
+        assert!(r.render().contains("warning[PV005]"));
+        assert_eq!(r.to_string(), r.render());
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Report::new();
+        a.push(Code::EmptySpec, Span::Whole, "a");
+        let mut b = Report::new();
+        b.push(Code::Overlap, Span::Pair(1), "b");
+        a.merge(b);
+        assert_eq!(a.diagnostics().len(), 2);
+    }
+}

@@ -1,0 +1,552 @@
+//! Pass 1: static checking of transaction expressions.
+//!
+//! Infers a type (int/bool/str) for every expression in a
+//! [`TransactionSpec`] *before* it runs, unifying the types of database
+//! items across the guard, updates, and outputs. Hazards that the runtime
+//! evaluator would only hit mid-transaction — incompatible operands,
+//! non-boolean guards, division by a constant zero — surface here as
+//! `PV00x` diagnostics instead of runtime aborts.
+//!
+//! Items are dynamically typed at runtime, so the checker works by
+//! *usage-based* inference: the first typed use of an item fixes its type,
+//! and every later use must agree. Inference runs two passes over the spec
+//! so constraints discovered late (e.g. an output that fixes an item's
+//! type) still apply to earlier expressions.
+
+use crate::diag::{Code, Report, Span};
+use pv_core::expr::{BinOp, Expr, ItemId};
+use pv_core::spec::TransactionSpec;
+use pv_core::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The static types of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    Str,
+}
+
+impl Ty {
+    /// The type of a constant value.
+    pub fn of(v: &Value) -> Ty {
+        match v {
+            Value::Int(_) => Ty::Int,
+            Value::Bool(_) => Ty::Bool,
+            Value::Str(_) => Ty::Str,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Str => write!(f, "str"),
+        }
+    }
+}
+
+/// Everything pass 1 learns about a transaction spec.
+#[derive(Debug, Clone)]
+pub struct SpecAnalysis {
+    /// The findings.
+    pub report: Report,
+    /// Items the spec could read (static over-approximation).
+    pub read_set: std::collections::BTreeSet<ItemId>,
+    /// Items the spec writes.
+    pub write_set: std::collections::BTreeSet<ItemId>,
+    /// The inferred type of every item whose type the spec constrains.
+    pub item_types: BTreeMap<ItemId, Ty>,
+}
+
+/// Evaluates an expression that depends on no database item, if possible.
+///
+/// Constant folding is *pure*: reads stop it, and any value-level fault
+/// (overflow, type mismatch) simply yields `None` — faults are reported by
+/// the type checker, not the folder. Short-circuit operators fold when
+/// their left operand decides the result.
+pub fn const_eval(expr: &Expr) -> Option<Value> {
+    match expr {
+        Expr::Const(v) => Some(v.clone()),
+        Expr::Read(_) => None,
+        Expr::Bin(BinOp::And, a, b) => match const_eval(a)?.as_bool()? {
+            false => Some(Value::Bool(false)),
+            true => const_eval(b).filter(|v| v.as_bool().is_some()),
+        },
+        Expr::Bin(BinOp::Or, a, b) => match const_eval(a)?.as_bool()? {
+            true => Some(Value::Bool(true)),
+            false => const_eval(b).filter(|v| v.as_bool().is_some()),
+        },
+        Expr::Bin(op, a, b) => {
+            let (a, b) = (const_eval(a)?, const_eval(b)?);
+            match op {
+                BinOp::Add => a.add(&b).ok(),
+                BinOp::Sub => a.sub(&b).ok(),
+                BinOp::Mul => a.mul(&b).ok(),
+                BinOp::Div => a.div(&b).ok(),
+                BinOp::Min => a.min_v(&b).ok(),
+                BinOp::Max => a.max_v(&b).ok(),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+        Expr::Cmp(op, a, b) => const_eval(a)?.compare(*op, &const_eval(b)?).ok(),
+        Expr::Neg(a) => const_eval(a)?.neg().ok(),
+        Expr::Not(a) => const_eval(a)?.not().ok(),
+        Expr::If(c, t, e) => {
+            if const_eval(c)?.as_bool()? {
+                const_eval(t)
+            } else {
+                const_eval(e)
+            }
+        }
+    }
+}
+
+/// An expectation imposed on a subexpression by its context: the type it
+/// must have and the code to report if it does not.
+#[derive(Clone, Copy)]
+struct Expect {
+    ty: Ty,
+    code: Code,
+}
+
+impl Expect {
+    fn op(ty: Ty) -> Option<Expect> {
+        Some(Expect {
+            ty,
+            code: Code::TypeMismatch,
+        })
+    }
+
+    fn cond() -> Option<Expect> {
+        Some(Expect {
+            ty: Ty::Bool,
+            code: Code::NotBool,
+        })
+    }
+}
+
+/// The inference engine: a type environment for items plus a report.
+/// Diagnostics are suppressed on the first (constraint-gathering) pass and
+/// emitted on the second.
+struct Infer {
+    items: BTreeMap<ItemId, Ty>,
+    report: Report,
+    emit: bool,
+}
+
+impl Infer {
+    fn new() -> Self {
+        Infer {
+            items: BTreeMap::new(),
+            report: Report::new(),
+            emit: false,
+        }
+    }
+
+    fn diag(&mut self, code: Code, span: &Span, message: String) {
+        if self.emit {
+            self.report.push(code, span.clone(), message);
+        }
+    }
+
+    /// Checks an inferred type against the context's expectation, reporting
+    /// a mismatch and returning the type the context will assume.
+    fn meet(&mut self, found: Option<Ty>, expect: Option<Expect>, span: &Span, what: &str) -> Option<Ty> {
+        match (found, expect) {
+            (Some(f), Some(e)) if f != e.ty => {
+                self.diag(e.code, span, format!("{what} has type {f}, expected {}", e.ty));
+                Some(e.ty)
+            }
+            (Some(f), _) => Some(f),
+            (None, Some(e)) => Some(e.ty),
+            (None, None) => None,
+        }
+    }
+
+    /// Infers the type of `expr` under `expect`, recording item types as
+    /// they are discovered.
+    fn infer(&mut self, expr: &Expr, expect: Option<Expect>, span: &Span) -> Option<Ty> {
+        match expr {
+            Expr::Const(v) => {
+                let t = Ty::of(v);
+                self.meet(Some(t), expect, span, &format!("constant {v}"))
+            }
+            Expr::Read(item) => {
+                if let Some(&known) = self.items.get(item) {
+                    self.meet(Some(known), expect, span, &format!("{item}"))
+                } else if let Some(e) = expect {
+                    self.items.insert(*item, e.ty);
+                    Some(e.ty)
+                } else {
+                    None
+                }
+            }
+            Expr::Bin(op @ (BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div), a, b) => {
+                self.infer(a, Expect::op(Ty::Int), span);
+                self.infer(b, Expect::op(Ty::Int), span);
+                if *op == BinOp::Div && const_eval(b) == Some(Value::Int(0)) {
+                    self.diag(
+                        Code::DivByConstZero,
+                        span,
+                        format!("divisor of ({expr}) is constantly zero"),
+                    );
+                }
+                self.meet(Some(Ty::Int), expect, span, "arithmetic result")
+            }
+            Expr::Bin(BinOp::And | BinOp::Or, a, b) => {
+                self.infer(a, Expect::op(Ty::Bool), span);
+                self.infer(b, Expect::op(Ty::Bool), span);
+                self.meet(Some(Ty::Bool), expect, span, "boolean result")
+            }
+            Expr::Bin(BinOp::Min | BinOp::Max, a, b) => {
+                let ta = self.infer(a, expect, span);
+                let expect_b = ta.map(|t| Expect {
+                    ty: t,
+                    code: Code::TypeMismatch,
+                });
+                let tb = self.infer(b, expect_b.or(expect), span);
+                // Symmetric constraint: a type learned only from the right
+                // operand also binds the left one.
+                if ta.is_none() {
+                    if let Some(t) = tb {
+                        self.infer(a, Expect::op(t), span);
+                    }
+                }
+                ta.or(tb)
+            }
+            Expr::Cmp(_, a, b) => {
+                let ta = self.infer(a, None, span);
+                let expect_b = ta.and_then(Expect::op);
+                let tb = self.infer(b, expect_b, span);
+                // The constraint is symmetric: if only the right side was
+                // typed, re-run the left side against it.
+                if ta.is_none() {
+                    if let Some(t) = tb {
+                        self.infer(a, Expect::op(t), span);
+                    }
+                }
+                self.meet(Some(Ty::Bool), expect, span, "comparison result")
+            }
+            Expr::Neg(a) => {
+                self.infer(a, Expect::op(Ty::Int), span);
+                self.meet(Some(Ty::Int), expect, span, "negation result")
+            }
+            Expr::Not(a) => {
+                self.infer(a, Expect::op(Ty::Bool), span);
+                self.meet(Some(Ty::Bool), expect, span, "logical-not result")
+            }
+            Expr::If(c, t, e) => {
+                self.infer(c, Expect::cond(), span);
+                let tt = self.infer(t, expect, span);
+                let expect_e = tt.and_then(Expect::op).or(expect);
+                let te = self.infer(e, expect_e, span);
+                if tt.is_none() {
+                    if let Some(ty) = te {
+                        self.infer(t, Expect::op(ty), span);
+                    }
+                }
+                tt.or(te)
+            }
+        }
+    }
+
+    fn run_spec(&mut self, spec: &TransactionSpec) {
+        if let Some(g) = &spec.guard {
+            self.infer(g, Expect::cond(), &Span::Guard);
+        }
+        for (item, expr) in &spec.updates {
+            let span = Span::Update(*item);
+            let expect = self.items.get(item).map(|&t| Expect {
+                ty: t,
+                code: Code::TypeMismatch,
+            });
+            let t = self.infer(expr, expect, &span);
+            if let Some(t) = t {
+                self.items.entry(*item).or_insert(t);
+            }
+        }
+        for (name, expr) in &spec.outputs {
+            let span = Span::Output(name.clone());
+            self.infer(expr, None, &span);
+        }
+    }
+}
+
+/// Checks a whole transaction spec: type inference plus spec-level hazards.
+pub fn check_spec(spec: &TransactionSpec) -> SpecAnalysis {
+    let mut infer = Infer::new();
+    // Pass 1 gathers item-type constraints silently; pass 2 reports against
+    // the full environment.
+    infer.run_spec(spec);
+    infer.emit = true;
+    infer.run_spec(spec);
+
+    let mut report = std::mem::take(&mut infer.report);
+
+    if let Some(g) = &spec.guard {
+        if let Some(v) = const_eval(g) {
+            if let Some(b) = v.as_bool() {
+                report.push(
+                    Code::ConstantGuard,
+                    Span::Guard,
+                    if b {
+                        "guard is constantly true (vacuous)".to_owned()
+                    } else {
+                        "guard is constantly false (the transaction can never be granted)"
+                            .to_owned()
+                    },
+                );
+            }
+        }
+        // A guarded update that blindly overwrites an item — reading neither
+        // the item itself (increment-style, self-constrained) nor anything
+        // the guard checks — is unconstrained by the guard: the guard cannot
+        // be protecting the value being destroyed.
+        let guard_reads = g.read_set();
+        if !guard_reads.is_empty() {
+            for (item, expr) in &spec.updates {
+                let update_reads = expr.read_set();
+                let constrained = guard_reads.contains(item)
+                    || update_reads.contains(item)
+                    || update_reads.iter().any(|i| guard_reads.contains(i));
+                if !constrained {
+                    report.push(
+                        Code::UnguardedWrite,
+                        Span::Update(*item),
+                        format!("update of {item} reads neither {item} nor anything the guard checks"),
+                    );
+                }
+            }
+        }
+    }
+    if spec.updates.is_empty() && spec.outputs.is_empty() {
+        report.push(
+            Code::EmptySpec,
+            Span::Whole,
+            "transaction has no updates and no outputs".to_owned(),
+        );
+    }
+
+    SpecAnalysis {
+        report,
+        read_set: spec.read_set(),
+        write_set: spec.write_set(),
+        item_types: infer.items,
+    }
+}
+
+/// Checks one standalone expression, returning its inferred type (if the
+/// expression constrains it) alongside the findings.
+pub fn check_expr(expr: &Expr) -> (Report, Option<Ty>) {
+    let mut infer = Infer::new();
+    let span = Span::Whole;
+    infer.infer(expr, None, &span);
+    infer.emit = true;
+    let ty = infer.infer(expr, None, &span);
+    (infer.report, ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_core::expr::Expr;
+
+    fn read(i: u64) -> Expr {
+        Expr::read(ItemId(i))
+    }
+
+    #[test]
+    fn well_typed_transfer_is_clean() {
+        let spec = TransactionSpec::new()
+            .guard(read(0).ge(Expr::int(10)))
+            .update(ItemId(0), read(0).sub(Expr::int(10)))
+            .update(ItemId(1), read(1).add(Expr::int(10)))
+            .output("granted", read(0).ge(Expr::int(10)));
+        let out = check_spec(&spec);
+        assert!(out.report.is_clean(), "unexpected: {}", out.report);
+        assert_eq!(out.item_types[&ItemId(0)], Ty::Int);
+        assert_eq!(out.item_types[&ItemId(1)], Ty::Int);
+        assert_eq!(out.write_set.len(), 2);
+        assert_eq!(out.read_set.len(), 2);
+    }
+
+    #[test]
+    fn ill_typed_operands_flagged() {
+        // 1 + true: PV001.
+        let spec = TransactionSpec::new().output("v", Expr::int(1).add(Expr::bool(true)));
+        let out = check_spec(&spec);
+        assert!(out.report.has_code(Code::TypeMismatch));
+        assert!(out.report.has_errors());
+    }
+
+    #[test]
+    fn non_bool_guard_flagged() {
+        let spec = TransactionSpec::new()
+            .guard(read(0).add(Expr::int(1)))
+            .update(ItemId(0), Expr::int(0));
+        let out = check_spec(&spec);
+        assert!(out.report.has_code(Code::NotBool));
+    }
+
+    #[test]
+    fn if_condition_must_be_bool() {
+        let spec =
+            TransactionSpec::new().output("v", Expr::ite(Expr::int(1), Expr::int(2), Expr::int(3)));
+        let out = check_spec(&spec);
+        assert!(out.report.has_code(Code::NotBool));
+    }
+
+    #[test]
+    fn division_by_constant_zero_flagged() {
+        let spec = TransactionSpec::new().output("v", read(0).div(Expr::int(0)));
+        let out = check_spec(&spec);
+        assert!(out.report.has_code(Code::DivByConstZero));
+        // Even when the zero is computed, constant folding sees through it.
+        let spec2 =
+            TransactionSpec::new().output("v", read(0).div(Expr::int(2).sub(Expr::int(2))));
+        let out2 = check_spec(&spec2);
+        assert!(out2.report.has_code(Code::DivByConstZero));
+        // A non-zero constant divisor is fine.
+        let spec3 = TransactionSpec::new().output("v", read(0).div(Expr::int(2)));
+        assert!(!check_spec(&spec3).report.has_code(Code::DivByConstZero));
+    }
+
+    #[test]
+    fn item_types_unify_across_positions() {
+        // Item 0 used as int in the guard but as bool in an output: PV001.
+        let spec = TransactionSpec::new()
+            .guard(read(0).ge(Expr::int(10)))
+            .update(ItemId(0), read(0).sub(Expr::int(1)))
+            .output("flag", read(0).and(Expr::bool(true)));
+        let out = check_spec(&spec);
+        assert!(out.report.has_code(Code::TypeMismatch));
+    }
+
+    #[test]
+    fn late_constraint_reaches_early_use() {
+        // The output fixes item 0 to bool; the earlier guard uses it as int.
+        // The two-pass inference catches the conflict regardless of order.
+        let spec = TransactionSpec::new()
+            .guard(read(0).ge(Expr::int(10)))
+            .update(ItemId(1), Expr::int(1))
+            .output("flag", read(0).not());
+        let out = check_spec(&spec);
+        assert!(out.report.has_code(Code::TypeMismatch));
+    }
+
+    #[test]
+    fn constant_guard_warns() {
+        let spec = TransactionSpec::new()
+            .guard(Expr::bool(true))
+            .update(ItemId(0), Expr::int(1));
+        let out = check_spec(&spec);
+        assert!(out.report.has_code(Code::ConstantGuard));
+        assert!(!out.report.has_errors());
+        let denied = TransactionSpec::new()
+            .guard(Expr::int(1).gt(Expr::int(2)))
+            .update(ItemId(0), Expr::int(1));
+        assert!(check_spec(&denied).report.has_code(Code::ConstantGuard));
+    }
+
+    #[test]
+    fn unguarded_write_warns() {
+        // Guard checks item 0 but the update blindly overwrites item 5.
+        let spec = TransactionSpec::new()
+            .guard(read(0).ge(Expr::int(10)))
+            .update(ItemId(0), read(0).sub(Expr::int(10)))
+            .update(ItemId(5), Expr::int(7));
+        let out = check_spec(&spec);
+        assert!(out.report.has_code(Code::UnguardedWrite));
+        let d = out
+            .report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == Code::UnguardedWrite)
+            .unwrap();
+        assert_eq!(d.span, Span::Update(ItemId(5)));
+    }
+
+    #[test]
+    fn empty_spec_is_an_info() {
+        let out = check_spec(&TransactionSpec::new());
+        assert!(out.report.has_code(Code::EmptySpec));
+        assert!(!out.report.has_errors());
+    }
+
+    #[test]
+    fn min_max_unify_operands() {
+        let spec = TransactionSpec::new().output("v", read(0).min(Expr::int(3)).max(read(1)));
+        let out = check_spec(&spec);
+        assert!(out.report.is_clean(), "unexpected: {}", out.report);
+        assert_eq!(out.item_types[&ItemId(0)], Ty::Int);
+        assert_eq!(out.item_types[&ItemId(1)], Ty::Int);
+        let bad = TransactionSpec::new().output("v", Expr::str("a").min(Expr::int(3)));
+        assert!(check_spec(&bad).report.has_code(Code::TypeMismatch));
+    }
+
+    #[test]
+    fn cmp_constrains_both_sides() {
+        // Right-to-left propagation: `read(0)` is only typed by the rhs.
+        let spec = TransactionSpec::new().output("v", read(0).eq_v(Expr::str("open")));
+        let out = check_spec(&spec);
+        assert_eq!(out.item_types[&ItemId(0)], Ty::Str);
+        // And a conflicting later use is reported.
+        let spec2 = TransactionSpec::new()
+            .output("v", read(0).eq_v(Expr::str("open")))
+            .output("w", read(0).add(Expr::int(1)));
+        assert!(check_spec(&spec2).report.has_code(Code::TypeMismatch));
+    }
+
+    #[test]
+    fn if_branches_must_agree() {
+        let e = Expr::ite(Expr::bool(true), Expr::int(1), Expr::str("x"));
+        let (report, _) = check_expr(&e);
+        assert!(report.has_code(Code::TypeMismatch));
+        let ok = Expr::ite(Expr::bool(true), Expr::int(1), Expr::int(2));
+        let (report, ty) = check_expr(&ok);
+        assert!(report.is_clean());
+        assert_eq!(ty, Some(Ty::Int));
+    }
+
+    #[test]
+    fn const_eval_folds_pure_expressions() {
+        assert_eq!(
+            const_eval(&Expr::int(2).add(Expr::int(3)).mul(Expr::int(4))),
+            Some(Value::Int(20))
+        );
+        assert_eq!(
+            const_eval(&Expr::bool(false).and(read(0).gt(Expr::int(0)))),
+            Some(Value::Bool(false))
+        );
+        assert_eq!(
+            const_eval(&Expr::bool(true).or(read(0).gt(Expr::int(0)))),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(const_eval(&read(0)), None);
+        // Faulting folds yield None rather than a panic.
+        assert_eq!(const_eval(&Expr::int(1).div(Expr::int(0))), None);
+        assert_eq!(
+            const_eval(&Expr::ite(
+                Expr::int(1).lt(Expr::int(2)),
+                Expr::str("y"),
+                Expr::str("n")
+            )),
+            Some(Value::Str("y".into()))
+        );
+    }
+
+    #[test]
+    fn untyped_expression_reports_no_type() {
+        // A bare read constrains nothing.
+        let (report, ty) = check_expr(&read(0));
+        assert!(report.is_clean());
+        assert_eq!(ty, None);
+    }
+}

@@ -1,0 +1,434 @@
+//! Pass 3: protocol-trace conformance checking.
+//!
+//! Replays a recorded [`TraceEvent`] stream (from the observability layer)
+//! and reports transitions the protocol can never legally make:
+//!
+//! * a site voting *prepared* after the coordinator already decided the
+//!   transaction **complete** — the decision cannot have gathered that vote
+//!   (`PV020`); a late prepare after an *abort* decision is a legal race
+//!   (the participant had not yet heard the coordinator gave up on it);
+//! * polyvalues installed without the wait-phase timeout that justifies
+//!   them (`PV021`);
+//! * polyvalues collapsing at a site that never learned the outcome they
+//!   depend on (`PV022`);
+//! * contradictory outcomes for one transaction across `decided` and
+//!   `outcome_learned` events (`PV023`).
+//!
+//! Traces are accepted either as in-memory [`TraceRecord`]s or as the
+//! stable text format `Trace::to_text` emits, which [`parse_trace_text`]
+//! reads back.
+
+use crate::diag::{Code, Report, Span};
+use pv_simnet::{NodeId, SimTime, TraceEvent, TraceRecord};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A failure reading the textual trace format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parses one `key=value` field, stripping an optional site/node prefix.
+fn field(fields: &BTreeMap<&str, &str>, key: &str, line: usize) -> Result<u64, TraceParseError> {
+    let raw = fields.get(key).ok_or_else(|| TraceParseError {
+        line,
+        message: format!("missing field {key}"),
+    })?;
+    let raw = raw.trim_start_matches('s');
+    raw.parse().map_err(|_| TraceParseError {
+        line,
+        message: format!("field {key} is not a number: {raw}"),
+    })
+}
+
+fn bool_field(
+    fields: &BTreeMap<&str, &str>,
+    key: &str,
+    line: usize,
+) -> Result<bool, TraceParseError> {
+    match fields.get(key) {
+        Some(&"true") => Ok(true),
+        Some(&"false") => Ok(false),
+        Some(other) => Err(TraceParseError {
+            line,
+            message: format!("field {key} is not a boolean: {other}"),
+        }),
+        None => Err(TraceParseError {
+            line,
+            message: format!("missing field {key}"),
+        }),
+    }
+}
+
+/// Reads back the stable line format emitted by `Trace::to_text`:
+/// `{seq:06} {time_us} {node} {label} {key=value}...`. Blank lines and
+/// lines starting with `#` are skipped.
+pub fn parse_trace_text(text: &str) -> Result<Vec<TraceRecord>, TraceParseError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let raw = raw.trim();
+        if raw.is_empty() || raw.starts_with('#') {
+            continue;
+        }
+        let mut parts = raw.split_whitespace();
+        let err = |message: String| TraceParseError { line, message };
+        let seq: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("missing sequence number".into()))?;
+        let at: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("missing timestamp".into()))?;
+        let node = parts
+            .next()
+            .and_then(|s| s.strip_prefix('n'))
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(|| err("missing node (expected nN)".into()))?;
+        let label = parts.next().ok_or_else(|| err("missing event label".into()))?;
+        let fields: BTreeMap<&str, &str> = parts
+            .filter_map(|kv| kv.split_once('='))
+            .collect();
+        let event = match label {
+            "txn_submitted" => TraceEvent::TxnSubmitted {
+                req_id: field(&fields, "req", line)?,
+                coordinator: field(&fields, "coord", line)? as u32,
+            },
+            "txn_retried" => TraceEvent::TxnRetried {
+                req_id: field(&fields, "req", line)?,
+                attempt: field(&fields, "attempt", line)? as u32,
+            },
+            "alt_split" => TraceEvent::AltSplit {
+                txn: field(&fields, "txn", line)?,
+                alternatives: field(&fields, "alts", line)? as u32,
+            },
+            "prepared" => TraceEvent::Prepared {
+                txn: field(&fields, "txn", line)?,
+                site: field(&fields, "site", line)? as u32,
+            },
+            "decided" => TraceEvent::Decided {
+                txn: field(&fields, "txn", line)?,
+                completed: bool_field(&fields, "completed", line)?,
+            },
+            "wait_timed_out" => TraceEvent::WaitTimedOut {
+                txn: field(&fields, "txn", line)?,
+                site: field(&fields, "site", line)? as u32,
+            },
+            "polyvalue_installed" => TraceEvent::PolyvalueInstalled {
+                txn: field(&fields, "txn", line)?,
+                site: field(&fields, "site", line)? as u32,
+                items: field(&fields, "items", line)? as u32,
+            },
+            "outcome_learned" => TraceEvent::OutcomeLearned {
+                txn: field(&fields, "txn", line)?,
+                site: field(&fields, "site", line)? as u32,
+                completed: bool_field(&fields, "completed", line)?,
+            },
+            "outcome_forwarded" => TraceEvent::OutcomeForwarded {
+                txn: field(&fields, "txn", line)?,
+                site: field(&fields, "site", line)? as u32,
+                to: field(&fields, "to", line)? as u32,
+            },
+            "polyvalue_collapsed" => TraceEvent::PolyvalueCollapsed {
+                txn: field(&fields, "txn", line)?,
+                site: field(&fields, "site", line)? as u32,
+                lifetime_us: field(&fields, "lifetime_us", line)?,
+            },
+            other => {
+                return Err(err(format!("unknown event label {other}")));
+            }
+        };
+        out.push(TraceRecord {
+            at: SimTime(at),
+            node: NodeId(node),
+            seq,
+            event,
+        });
+    }
+    Ok(out)
+}
+
+/// Replays `records` and reports every protocol-invariant violation.
+pub fn check_trace(records: &[TraceRecord]) -> Report {
+    let mut report = Report::new();
+    // Per-transaction protocol state accumulated over the replay.
+    let mut committed: BTreeMap<u64, u64> = BTreeMap::new(); // txn -> seq of complete decision
+    let mut outcomes: BTreeMap<u64, (bool, u64)> = BTreeMap::new(); // txn -> (outcome, seq)
+    let mut timed_out: BTreeSet<(u64, u32)> = BTreeSet::new(); // (txn, site)
+    let mut learned: BTreeSet<(u64, u32)> = BTreeSet::new(); // (txn, site)
+    let mut last_seq: Option<u64> = None;
+
+    for r in records {
+        if let Some(prev) = last_seq {
+            if r.seq <= prev {
+                report.push(
+                    Code::NonMonotonicSeq,
+                    Span::Trace(r.seq),
+                    format!("sequence number {} follows {prev}", r.seq),
+                );
+            }
+        }
+        last_seq = Some(r.seq);
+
+        match r.event {
+            TraceEvent::Prepared { txn, site } => {
+                if let Some(&decided_seq) = committed.get(&txn) {
+                    report.push(
+                        Code::DecideBeforePrepare,
+                        Span::Trace(r.seq),
+                        format!(
+                            "site s{site} prepared txn {txn} after it was decided complete \
+                             at seq {decided_seq}"
+                        ),
+                    );
+                }
+            }
+            TraceEvent::Decided { txn, completed } => {
+                if completed {
+                    committed.entry(txn).or_insert(r.seq);
+                }
+                record_outcome(&mut report, &mut outcomes, txn, completed, r.seq, "decided");
+            }
+            TraceEvent::WaitTimedOut { txn, site } => {
+                timed_out.insert((txn, site));
+            }
+            TraceEvent::PolyvalueInstalled { txn, site, .. } => {
+                if !timed_out.contains(&(txn, site)) {
+                    report.push(
+                        Code::InstallWithoutTimeout,
+                        Span::Trace(r.seq),
+                        format!(
+                            "site s{site} installed polyvalues for txn {txn} without a \
+                             wait-phase timeout"
+                        ),
+                    );
+                }
+            }
+            TraceEvent::OutcomeLearned {
+                txn,
+                site,
+                completed,
+            } => {
+                learned.insert((txn, site));
+                record_outcome(
+                    &mut report,
+                    &mut outcomes,
+                    txn,
+                    completed,
+                    r.seq,
+                    "outcome_learned",
+                );
+            }
+            TraceEvent::PolyvalueCollapsed { txn, site, .. } => {
+                if !learned.contains(&(txn, site)) {
+                    report.push(
+                        Code::CollapseBeforeOutcome,
+                        Span::Trace(r.seq),
+                        format!(
+                            "polyvalues for txn {txn} collapsed at site s{site} before the \
+                             site learned the outcome"
+                        ),
+                    );
+                }
+            }
+            TraceEvent::TxnSubmitted { .. }
+            | TraceEvent::TxnRetried { .. }
+            | TraceEvent::AltSplit { .. }
+            | TraceEvent::OutcomeForwarded { .. } => {}
+        }
+    }
+    report
+}
+
+/// Records one observed outcome for `txn`, reporting `PV023` when it
+/// contradicts an earlier observation.
+fn record_outcome(
+    report: &mut Report,
+    outcomes: &mut BTreeMap<u64, (bool, u64)>,
+    txn: u64,
+    completed: bool,
+    seq: u64,
+    what: &str,
+) {
+    match outcomes.get(&txn) {
+        Some(&(prev, prev_seq)) if prev != completed => {
+            report.push(
+                Code::OutcomeMismatch,
+                Span::Trace(seq),
+                format!(
+                    "{what} reports txn {txn} {} but seq {prev_seq} recorded {}",
+                    outcome_name(completed),
+                    outcome_name(prev)
+                ),
+            );
+        }
+        Some(_) => {}
+        None => {
+            outcomes.insert(txn, (completed, seq));
+        }
+    }
+}
+
+fn outcome_name(completed: bool) -> &'static str {
+    if completed {
+        "complete"
+    } else {
+        "abort"
+    }
+}
+
+/// Parses the textual trace format and checks it in one step.
+pub fn check_trace_text(text: &str) -> Result<Report, TraceParseError> {
+    Ok(check_trace(&parse_trace_text(text)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            at: SimTime(seq * 100),
+            node: NodeId(0),
+            seq,
+            event,
+        }
+    }
+
+    fn healthy_records() -> Vec<TraceRecord> {
+        vec![
+            rec(0, TraceEvent::TxnSubmitted { req_id: 1, coordinator: 0 }),
+            rec(1, TraceEvent::Prepared { txn: 7, site: 1 }),
+            rec(2, TraceEvent::WaitTimedOut { txn: 7, site: 1 }),
+            rec(3, TraceEvent::PolyvalueInstalled { txn: 7, site: 1, items: 2 }),
+            rec(4, TraceEvent::Decided { txn: 7, completed: true }),
+            rec(5, TraceEvent::OutcomeLearned { txn: 7, site: 1, completed: true }),
+            rec(
+                6,
+                TraceEvent::PolyvalueCollapsed { txn: 7, site: 1, lifetime_us: 400 },
+            ),
+            rec(7, TraceEvent::OutcomeForwarded { txn: 7, site: 1, to: 2 }),
+        ]
+    }
+
+    #[test]
+    fn healthy_trace_is_clean() {
+        let report = check_trace(&healthy_records());
+        assert!(report.is_clean(), "unexpected: {report}");
+    }
+
+    #[test]
+    fn decide_before_prepare_flagged() {
+        let records = vec![
+            rec(0, TraceEvent::Decided { txn: 7, completed: true }),
+            rec(1, TraceEvent::Prepared { txn: 7, site: 1 }),
+        ];
+        let report = check_trace(&records);
+        assert!(report.has_code(Code::DecideBeforePrepare));
+    }
+
+    #[test]
+    fn late_prepare_after_abort_is_legal() {
+        // The coordinator gave up (abort) while the prepare was in flight:
+        // a legal race, not a violation.
+        let records = vec![
+            rec(0, TraceEvent::Decided { txn: 7, completed: false }),
+            rec(1, TraceEvent::Prepared { txn: 7, site: 1 }),
+        ];
+        assert!(check_trace(&records).is_clean());
+    }
+
+    #[test]
+    fn install_without_timeout_flagged() {
+        let records = vec![rec(
+            0,
+            TraceEvent::PolyvalueInstalled { txn: 7, site: 1, items: 2 },
+        )];
+        let report = check_trace(&records);
+        assert!(report.has_code(Code::InstallWithoutTimeout));
+        // A timeout at a *different* site does not justify the install.
+        let records = vec![
+            rec(0, TraceEvent::WaitTimedOut { txn: 7, site: 2 }),
+            rec(1, TraceEvent::PolyvalueInstalled { txn: 7, site: 1, items: 2 }),
+        ];
+        assert!(check_trace(&records).has_code(Code::InstallWithoutTimeout));
+    }
+
+    #[test]
+    fn collapse_before_outcome_flagged() {
+        let records = vec![rec(
+            0,
+            TraceEvent::PolyvalueCollapsed { txn: 7, site: 1, lifetime_us: 10 },
+        )];
+        let report = check_trace(&records);
+        assert!(report.has_code(Code::CollapseBeforeOutcome));
+    }
+
+    #[test]
+    fn outcome_mismatch_flagged() {
+        let records = vec![
+            rec(0, TraceEvent::Decided { txn: 7, completed: true }),
+            rec(1, TraceEvent::OutcomeLearned { txn: 7, site: 1, completed: false }),
+        ];
+        let report = check_trace(&records);
+        assert!(report.has_code(Code::OutcomeMismatch));
+    }
+
+    #[test]
+    fn non_monotonic_seq_noted() {
+        let records = vec![
+            rec(5, TraceEvent::TxnSubmitted { req_id: 1, coordinator: 0 }),
+            rec(5, TraceEvent::TxnSubmitted { req_id: 2, coordinator: 0 }),
+        ];
+        let report = check_trace(&records);
+        assert!(report.has_code(Code::NonMonotonicSeq));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        use pv_simnet::Trace;
+        let mut t = Trace::collecting();
+        for r in healthy_records() {
+            t.record(r.at, r.node, r.event);
+        }
+        let text = t.to_text();
+        let parsed = parse_trace_text(&text).unwrap();
+        assert_eq!(parsed.len(), 8);
+        for (p, h) in parsed.iter().zip(healthy_records()) {
+            assert_eq!(p.event, h.event);
+            assert_eq!(p.at, h.at);
+        }
+        assert!(check_trace_text(&text).unwrap().is_clean());
+    }
+
+    #[test]
+    fn parser_reports_bad_lines() {
+        assert!(parse_trace_text("garbage").is_err());
+        assert!(parse_trace_text("000000 10 n0 unknown_event txn=1").is_err());
+        assert!(parse_trace_text("000000 10 n0 decided txn=1").is_err()); // missing completed
+        assert!(parse_trace_text("000000 10 n0 decided txn=1 completed=maybe").is_err());
+        // Comments and blank lines are fine.
+        let ok = "# a comment\n\n000000 10 n0 decided txn=1 completed=true\n";
+        assert_eq!(parse_trace_text(ok).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let e = parse_trace_text("oops").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+}

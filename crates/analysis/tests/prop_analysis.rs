@@ -1,0 +1,321 @@
+//! Property tests tying the static passes to the runtime they predict.
+//!
+//! 1. Well-typed-by-construction random expressions: the checker finds no
+//!    type errors, and `pv_core::evaluate` never hits a runtime type fault
+//!    on them (value faults — overflow, division by zero — remain possible
+//!    and legal).
+//! 2. Checker-clean arbitrary expressions evaluate without type faults
+//!    under a valuation matching the inferred item types (soundness).
+//! 3. Condition families the symbolic verifier accepts as complete and
+//!    disjoint are exactly those the runtime `Entry::assemble` invariant
+//!    check accepts, and the two agree on *why* corrupted families fail.
+
+use proptest::prelude::*;
+use pv_analysis::diag::Code;
+use pv_analysis::expr_check::{check_spec, Ty};
+use pv_analysis::{check_condition_set, Report};
+use pv_core::cond::Condition;
+use pv_core::value::ValueError;
+use pv_core::{
+    evaluate, Entry, EvalOutcome, Expr, ItemId, PolyError, SplitMode, TransactionSpec, TxnId,
+    Value,
+};
+use std::collections::BTreeMap;
+
+// ---- generators -----------------------------------------------------------
+
+/// A type environment being built up while generating an expression: items
+/// get a type on first use and keep it.
+type ItemTys = BTreeMap<u64, Ty>;
+
+fn pick(rng: &mut TestRng, n: u64) -> u64 {
+    rng.next_u64() % n
+}
+
+/// A read of an item compatible with `want`, or a constant when the drawn
+/// item is already fixed to another type.
+fn gen_read(rng: &mut TestRng, want: Ty, items: &mut ItemTys) -> Expr {
+    let id = pick(rng, 6);
+    match items.get(&id) {
+        Some(&t) if t != want => gen_const(rng, want),
+        _ => {
+            items.insert(id, want);
+            Expr::read(ItemId(id))
+        }
+    }
+}
+
+fn gen_const(rng: &mut TestRng, want: Ty) -> Expr {
+    match want {
+        Ty::Int => Expr::int(pick(rng, 41) as i64 - 20),
+        Ty::Bool => Expr::bool(rng.next_u64() & 1 == 1),
+        Ty::Str => Expr::str(if rng.next_u64() & 1 == 1 { "a" } else { "b" }),
+    }
+}
+
+/// A well-typed expression of type `want`, by construction.
+fn gen_expr(rng: &mut TestRng, want: Ty, depth: u32, items: &mut ItemTys) -> Expr {
+    if depth == 0 {
+        return if rng.next_u64() & 1 == 1 {
+            gen_read(rng, want, items)
+        } else {
+            gen_const(rng, want)
+        };
+    }
+    let d = depth - 1;
+    match want {
+        Ty::Int => match pick(rng, 8) {
+            0 => gen_expr(rng, Ty::Int, d, items).add(gen_expr(rng, Ty::Int, d, items)),
+            1 => gen_expr(rng, Ty::Int, d, items).sub(gen_expr(rng, Ty::Int, d, items)),
+            2 => gen_expr(rng, Ty::Int, d, items).mul(gen_expr(rng, Ty::Int, d, items)),
+            3 => {
+                // Divisors are reads or non-zero constants, so the checker's
+                // PV003 (constant zero divisor) never fires; runtime
+                // DivideByZero through a zero-valued *item* remains possible.
+                let divisor = if rng.next_u64() & 1 == 1 {
+                    gen_read(rng, Ty::Int, items)
+                } else {
+                    Expr::int(pick(rng, 5) as i64 + 1)
+                };
+                gen_expr(rng, Ty::Int, d, items).div(divisor)
+            }
+            4 => gen_expr(rng, Ty::Int, d, items).min(gen_expr(rng, Ty::Int, d, items)),
+            5 => gen_expr(rng, Ty::Int, d, items).max(gen_expr(rng, Ty::Int, d, items)),
+            6 => gen_expr(rng, Ty::Int, d, items).neg(),
+            _ => Expr::ite(
+                gen_expr(rng, Ty::Bool, d, items),
+                gen_expr(rng, Ty::Int, d, items),
+                gen_expr(rng, Ty::Int, d, items),
+            ),
+        },
+        Ty::Bool => match pick(rng, 5) {
+            0 => gen_expr(rng, Ty::Bool, d, items).and(gen_expr(rng, Ty::Bool, d, items)),
+            1 => gen_expr(rng, Ty::Bool, d, items).or(gen_expr(rng, Ty::Bool, d, items)),
+            2 => gen_expr(rng, Ty::Bool, d, items).not(),
+            3 => {
+                let operand_ty = if rng.next_u64() & 1 == 1 { Ty::Int } else { Ty::Str };
+                let a = gen_expr(rng, operand_ty, d, items);
+                let b = gen_expr(rng, operand_ty, d, items);
+                match pick(rng, 4) {
+                    0 => a.lt(b),
+                    1 => a.le(b),
+                    2 => a.eq_v(b),
+                    _ => a.ge(b),
+                }
+            }
+            _ => Expr::ite(
+                gen_expr(rng, Ty::Bool, d, items),
+                gen_expr(rng, Ty::Bool, d, items),
+                gen_expr(rng, Ty::Bool, d, items),
+            ),
+        },
+        Ty::Str => Expr::ite(
+            gen_expr(rng, Ty::Bool, d, items),
+            gen_read(rng, Ty::Str, items),
+            gen_const(rng, Ty::Str),
+        ),
+    }
+}
+
+/// An arbitrary, frequently ill-typed expression.
+fn gen_junk(rng: &mut TestRng, depth: u32) -> Expr {
+    if depth == 0 {
+        return match pick(rng, 3) {
+            0 => Expr::int(pick(rng, 9) as i64 - 4),
+            1 => Expr::bool(rng.next_u64() & 1 == 1),
+            _ => Expr::read(ItemId(pick(rng, 4))),
+        };
+    }
+    let d = depth - 1;
+    match pick(rng, 7) {
+        0 => gen_junk(rng, d).add(gen_junk(rng, d)),
+        1 => gen_junk(rng, d).div(gen_junk(rng, d)),
+        2 => gen_junk(rng, d).and(gen_junk(rng, d)),
+        3 => gen_junk(rng, d).lt(gen_junk(rng, d)),
+        4 => gen_junk(rng, d).not(),
+        5 => Expr::ite(gen_junk(rng, d), gen_junk(rng, d), gen_junk(rng, d)),
+        _ => gen_junk(rng, 0),
+    }
+}
+
+/// A valuation agreeing with the type environment (unconstrained items are
+/// free: default them to ints).
+fn valuation(rng: &mut TestRng, items: &ItemTys) -> BTreeMap<ItemId, Value> {
+    let mut out = BTreeMap::new();
+    for id in 0..6u64 {
+        let v = match items.get(&id) {
+            Some(Ty::Int) | None => Value::Int(pick(rng, 11) as i64 - 5),
+            Some(Ty::Bool) => Value::Bool(rng.next_u64() & 1 == 1),
+            Some(Ty::Str) => Value::Str(if rng.next_u64() & 1 == 1 { "a" } else { "b" }.into()),
+        };
+        out.insert(ItemId(id), v);
+    }
+    out
+}
+
+fn has_type_error(report: &Report) -> bool {
+    report.has_code(Code::TypeMismatch) || report.has_code(Code::NotBool)
+}
+
+/// Whether `err` is a runtime *type* fault (as opposed to a legal value
+/// fault like overflow or a zero-valued divisor item).
+fn is_type_fault(err: &pv_core::expr::EvalError) -> bool {
+    use pv_core::expr::EvalError;
+    match err {
+        EvalError::Value(ValueError::TypeMismatch { .. }) => true,
+        EvalError::Value(_) => false,
+        _ => true, // GuardNotBool / OperandNotBool / ConditionNotBool / MissingItem
+    }
+}
+
+/// A complete + pairwise-disjoint condition family built by iterated
+/// Shannon splits of {true}.
+fn gen_family(rng: &mut TestRng, splits: u32) -> Vec<Condition> {
+    let mut family = vec![Condition::tru()];
+    for _ in 0..splits {
+        let idx = pick(rng, family.len() as u64) as usize;
+        let member = family[idx].clone();
+        // Split on a transaction the member does not already mention, so
+        // neither half is false.
+        let txn = (0..16)
+            .map(|_| TxnId(pick(rng, 8)))
+            .find(|t| !member.vars().contains(t));
+        let Some(txn) = txn else { continue };
+        let on = member.and(&Condition::var(txn));
+        let off = member.and(&Condition::not_var(txn));
+        family[idx] = on;
+        family.push(off);
+    }
+    family
+}
+
+/// Runs the family through the runtime invariant check by assembling an
+/// entry with a distinct value per alternative.
+fn runtime_accepts(family: &[Condition]) -> Result<Entry<Value>, PolyError> {
+    let alts = family
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (Entry::Simple(Value::Int(i as i64)), c.clone()))
+        .collect();
+    Entry::assemble(alts)
+}
+
+// ---- properties -----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn well_typed_expressions_check_clean_and_eval_without_type_faults(seed: u64) {
+        let mut rng = TestRng::new(seed);
+        let mut items = ItemTys::new();
+        let want = match pick(&mut rng, 3) {
+            0 => Ty::Int,
+            1 => Ty::Bool,
+            _ => Ty::Str,
+        };
+        let expr = gen_expr(&mut rng, want, 4, &mut items);
+        let spec = TransactionSpec::new().output("v", expr);
+        let analysis = check_spec(&spec);
+        prop_assert!(
+            !has_type_error(&analysis.report),
+            "false positive on well-typed expr: {}\nspec: {spec:?}",
+            analysis.report
+        );
+        // Inferred types can only agree with the generator's assignments.
+        for (id, ty) in &analysis.item_types {
+            prop_assert_eq!(items.get(&id.0), Some(ty), "inference disagrees for {id}");
+        }
+        let source = valuation(&mut rng, &items);
+        match evaluate(&spec, &source, SplitMode::Lazy) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(
+                !is_type_fault(&e),
+                "well-typed expr hit runtime type fault {e:?}\nspec: {spec:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn checker_clean_junk_evaluates_without_type_faults(seed: u64) {
+        let mut rng = TestRng::new(seed);
+        let expr = gen_junk(&mut rng, 4);
+        let spec = TransactionSpec::new().output("v", expr);
+        let analysis = check_spec(&spec);
+        if analysis.report.has_errors() {
+            return; // only clean verdicts make a soundness claim
+        }
+        // Give every item the inferred type (unconstrained ones are ints).
+        let typed: ItemTys = analysis.item_types.iter().map(|(k, v)| (k.0, *v)).collect();
+        let source = valuation(&mut rng, &typed);
+        match evaluate(&spec, &source, SplitMode::Lazy) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(
+                !is_type_fault(&e),
+                "checker-clean expr hit type fault {e:?}\nspec: {spec:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn shannon_families_accepted_by_verifier_and_runtime(seed: u64, splits in 0u32..6) {
+        let mut rng = TestRng::new(seed);
+        let family = gen_family(&mut rng, splits);
+        let report = check_condition_set(&family);
+        prop_assert!(report.is_clean(), "verifier rejects Shannon family: {report}");
+        let entry = runtime_accepts(&family);
+        prop_assert!(entry.is_ok(), "runtime rejects Shannon family: {entry:?}");
+    }
+
+    #[test]
+    fn corrupted_families_rejected_by_both_for_the_same_reason(seed: u64, splits in 2u32..6) {
+        let mut rng = TestRng::new(seed);
+        let family = gen_family(&mut rng, splits);
+        if family.len() < 2 {
+            return;
+        }
+        // Dropping a member leaves a gap: symbolic PV010, runtime NotComplete.
+        let mut incomplete = family.clone();
+        incomplete.remove(pick(&mut rng, incomplete.len() as u64) as usize);
+        let report = check_condition_set(&incomplete);
+        prop_assert!(report.has_code(Code::Incomplete), "missed gap: {report}");
+        prop_assert_eq!(runtime_accepts(&incomplete).err(), Some(PolyError::NotComplete));
+
+        // Duplicating a member makes two conditions overlap: symbolic PV011,
+        // runtime NotDisjoint.
+        let mut overlapping = family.clone();
+        let dup = overlapping[pick(&mut rng, overlapping.len() as u64) as usize].clone();
+        overlapping.push(dup);
+        let report = check_condition_set(&overlapping);
+        prop_assert!(report.has_code(Code::Overlap), "missed overlap: {report}");
+        prop_assert_eq!(runtime_accepts(&overlapping).err(), Some(PolyError::NotDisjoint));
+    }
+
+    #[test]
+    fn evaluator_outcomes_respect_the_condition_invariant(seed: u64) {
+        // End-to-end: a polytransaction over an in-doubt item produces
+        // outputs whose polyvalues the symbolic verifier accepts.
+        let mut rng = TestRng::new(seed);
+        let base = pick(&mut rng, 50) as i64;
+        let delta = pick(&mut rng, 20) as i64 + 1;
+        let item = ItemId(0);
+        let in_doubt = Entry::in_doubt(
+            Entry::Simple(Value::Int(base + delta)),
+            Entry::Simple(Value::Int(base)),
+            TxnId(pick(&mut rng, 8)),
+        );
+        let mut source: BTreeMap<ItemId, Entry<Value>> = BTreeMap::new();
+        source.insert(item, in_doubt);
+        let spec = TransactionSpec::new()
+            .guard(Expr::read(item).ge(Expr::int(base)))
+            .output("v", Expr::read(item).add(Expr::int(delta)));
+        let out: EvalOutcome = evaluate(&spec, &source, SplitMode::Lazy).expect("evaluates");
+        let outputs = out.collate_outputs().expect("collates");
+        for (_, entry) in outputs {
+            if let Entry::Poly(p) = entry {
+                let report = pv_analysis::check_polyvalue(&p);
+                prop_assert!(report.is_clean(), "runtime-built polyvalue flagged: {report}");
+            }
+        }
+    }
+}

@@ -105,6 +105,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Turns on the static submit gate: every submitted transaction runs
+    /// the `pv-analysis` checks first, and `Error`-severity findings abort
+    /// it (non-retryably) before any protocol work.
+    pub fn static_checks(mut self) -> Self {
+        self.engine.static_checks = true;
+        self
+    }
+
     /// Seeds an initial item value (placed by the directory). Accepts raw
     /// `u64` item ids and anything convertible to a [`Value`].
     pub fn item(mut self, item: impl Into<ItemId>, value: impl Into<Value>) -> Self {

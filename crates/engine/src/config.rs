@@ -92,6 +92,11 @@ pub struct EngineConfig {
     pub uncertain_outputs: UncertainOutputPolicy,
     /// Participant lock-conflict resolution.
     pub lock_policy: LockPolicy,
+    /// Run the `pv-analysis` static checks on every submitted transaction
+    /// and reject (non-retryably) those with `Error`-severity findings
+    /// before evaluation starts. Off by default: well-tested workloads
+    /// need not pay the analysis cost on every submit.
+    pub static_checks: bool,
 }
 
 impl Default for EngineConfig {
@@ -106,6 +111,7 @@ impl Default for EngineConfig {
             inquire_interval: SimDuration::from_millis(500),
             uncertain_outputs: UncertainOutputPolicy::Present,
             lock_policy: LockPolicy::NoWait,
+            static_checks: false,
         }
     }
 }
@@ -152,6 +158,7 @@ mod tests {
     fn default_is_polyvalue_lazy() {
         let c = EngineConfig::default();
         assert_eq!(c.protocol, CommitProtocol::Polyvalue);
+        assert!(!c.static_checks);
         assert_eq!(c.lock_policy, LockPolicy::NoWait);
         assert_eq!(c.split_mode, SplitMode::Lazy);
         assert!(c.wait_timeout > SimDuration::ZERO);

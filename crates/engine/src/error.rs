@@ -28,6 +28,9 @@ pub enum EngineError {
     /// The item was expected to be a settled integer but is not (it is
     /// polyvalued, or holds a different type).
     NotAnInt(ItemId),
+    /// The static checks rejected the transaction before submission (the
+    /// `static_checks` gate). Carries the rendered diagnostics.
+    Rejected(String),
 }
 
 impl fmt::Display for EngineError {
@@ -40,6 +43,9 @@ impl fmt::Display for EngineError {
             EngineError::UnplacedItem(item) => write!(f, "{item} is placed at no site"),
             EngineError::MissingItem(item) => write!(f, "{item} is absent from its home site"),
             EngineError::NotAnInt(item) => write!(f, "{item} is not a settled integer"),
+            EngineError::Rejected(report) => {
+                write!(f, "rejected by static checks: {report}")
+            }
         }
     }
 }

@@ -41,8 +41,6 @@ pub use config::{CommitProtocol, EngineConfig, LockPolicy, UncertainOutputPolicy
 pub use directory::Directory;
 pub use error::EngineError;
 pub use ids::{coordinator_of, encode_txn};
-#[allow(deprecated)]
-pub use live::LiveError;
 pub use live::{LiveBuilder, LiveCluster, SiteSnapshot};
 pub use messages::{AbortReason, AccessMode, Msg, TxnResult};
 pub use site::{site_node, Site};

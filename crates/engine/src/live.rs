@@ -221,10 +221,6 @@ impl SiteThread {
     }
 }
 
-/// Former live-runtime error type, since unified into [`EngineError`].
-#[deprecated(note = "use EngineError; the live runtime shares the engine-wide error type")]
-pub type LiveError = EngineError;
-
 /// Configures and starts a [`LiveCluster`].
 ///
 /// Obtained from [`LiveCluster::builder`]; call [`LiveBuilder::start`] to
@@ -255,6 +251,15 @@ impl LiveBuilder {
     /// Seeds many items at once.
     pub fn items(mut self, items: impl IntoIterator<Item = (ItemId, Value)>) -> Self {
         self.items.extend(items);
+        self
+    }
+
+    /// Turns on the static submit gate: [`LiveCluster::submit`] runs the
+    /// `pv-analysis` checks client-side and returns
+    /// [`EngineError::Rejected`] for specs with `Error`-severity findings,
+    /// without a network round trip; sites also enforce the gate.
+    pub fn static_checks(mut self) -> Self {
+        self.config.static_checks = true;
         self
     }
 
@@ -317,6 +322,7 @@ pub struct LiveCluster {
     client_rx: Receiver<(u64, TxnResult)>,
     client_node: u32,
     next_req: Mutex<u64>,
+    static_checks: bool,
 }
 
 impl LiveCluster {
@@ -332,17 +338,6 @@ impl LiveCluster {
         }
     }
 
-    /// Spawns `sites` site threads, seeds `items`, and returns the handle.
-    #[deprecated(note = "use LiveCluster::builder(sites, directory)...start()")]
-    pub fn start(
-        sites: u32,
-        directory: Directory,
-        config: EngineConfig,
-        items: Vec<(ItemId, Value)>,
-    ) -> Self {
-        LiveCluster::spawn(sites, directory, config, items, Trace::disabled())
-    }
-
     fn spawn(
         sites: u32,
         directory: Directory,
@@ -351,6 +346,7 @@ impl LiveCluster {
         trace: Trace,
     ) -> Self {
         assert!(sites > 0);
+        let static_checks = config.static_checks;
         let metrics = Arc::new(Mutex::new(Metrics::new()));
         let trace = Arc::new(Mutex::new(trace));
         let clients = Arc::new(Mutex::new(BTreeMap::new()));
@@ -405,6 +401,7 @@ impl LiveCluster {
             client_rx,
             client_node,
             next_req: Mutex::new(1),
+            static_checks,
         }
     }
 
@@ -415,6 +412,11 @@ impl LiveCluster {
         spec: &pv_core::TransactionSpec,
         deadline: Duration,
     ) -> Result<TxnResult, EngineError> {
+        if self.static_checks {
+            if let Err(report) = pv_analysis::gate_spec(spec) {
+                return Err(EngineError::Rejected(report));
+            }
+        }
         let req_id = {
             let mut next = self.next_req.lock();
             let id = *next;
@@ -656,6 +658,29 @@ mod tests {
         assert!(text.contains("prepared"), "trace:\n{text}");
         assert!(text.contains("decided"), "trace:\n{text}");
         assert_eq!(text.lines().count(), cluster.trace_records().len());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn live_static_checks_reject_before_submission() {
+        let cluster = LiveCluster::builder(2, Directory::Mod(2))
+            .engine(fast_config())
+            .items(vec![(ItemId(0), Value::Int(100)), (ItemId(1), Value::Int(100))])
+            .static_checks()
+            .start();
+        // An ill-typed spec never reaches a site.
+        let bad = TransactionSpec::new().update(ItemId(0), Expr::int(1).add(Expr::bool(true)));
+        match cluster.submit(0, &bad, Duration::from_secs(5)) {
+            Err(EngineError::Rejected(report)) => {
+                assert!(report.contains("PV001"), "report: {report}")
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // A well-typed spec still commits.
+        let result = cluster
+            .submit(0, &transfer(0, 1, 30), Duration::from_secs(5))
+            .unwrap();
+        assert!(result.is_committed());
         cluster.shutdown();
     }
 

@@ -23,6 +23,10 @@ pub enum AbortReason {
     /// The transaction's expressions failed to evaluate (type error, missing
     /// item, arithmetic fault).
     Eval(String),
+    /// The static checks rejected the transaction at submit time (the
+    /// `EngineConfig::static_checks` gate); not worth retrying — the spec
+    /// itself is wrong. Carries the rendered diagnostics.
+    Rejected(String),
 }
 
 impl fmt::Display for AbortReason {
@@ -31,6 +35,7 @@ impl fmt::Display for AbortReason {
             AbortReason::LockConflict => write!(f, "lock conflict"),
             AbortReason::Timeout => write!(f, "timeout"),
             AbortReason::Eval(e) => write!(f, "evaluation error: {e}"),
+            AbortReason::Rejected(report) => write!(f, "rejected by static checks: {report}"),
         }
     }
 }
@@ -255,5 +260,7 @@ mod tests {
         assert_eq!(AbortReason::LockConflict.to_string(), "lock conflict");
         assert_eq!(AbortReason::Timeout.to_string(), "timeout");
         assert!(AbortReason::Eval("bad".into()).to_string().contains("bad"));
+        let rejected = AbortReason::Rejected("error[PV001] at guard: int vs bool".into());
+        assert!(rejected.to_string().contains("PV001"));
     }
 }

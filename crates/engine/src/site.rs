@@ -202,6 +202,19 @@ impl Site {
         spec: TransactionSpec,
     ) {
         ctx.metrics().inc("txn.submitted");
+        // The opt-in submit gate: reject statically wrong transactions
+        // before burning protocol work on them. Rejections are final (the
+        // spec itself is wrong), so clients do not retry them.
+        if self.config.static_checks {
+            if let Err(report) = pv_analysis::gate_spec(&spec) {
+                ctx.metrics().inc("txn.rejected.static");
+                let result = TxnResult::Aborted {
+                    reason: AbortReason::Rejected(report),
+                };
+                ctx.send(client, Msg::Reply { req_id, result });
+                return;
+            }
+        }
         let txn = self.new_txn();
         let writes = spec.write_set();
         let mut modes: BTreeMap<ItemId, AccessMode> = BTreeMap::new();
@@ -501,6 +514,9 @@ impl Site {
             AbortReason::LockConflict => ctx.metrics().inc("txn.aborted.lock"),
             AbortReason::Timeout => ctx.metrics().inc("txn.aborted.timeout"),
             AbortReason::Eval(_) => ctx.metrics().inc("txn.aborted.eval"),
+            // Static rejections are counted at the submit gate and never
+            // reach this mid-protocol abort path.
+            AbortReason::Rejected(_) => ctx.metrics().inc("txn.rejected.static"),
         }
         ctx.send(
             coord.client,

@@ -459,3 +459,49 @@ fn withhold_policy_delays_uncertain_replies_until_resolution() {
     }
     assert!(cluster.all_quiescent());
 }
+
+#[test]
+fn static_checks_gate_rejects_ill_typed_specs() {
+    use pv_engine::AbortReason;
+    // First spec is statically wrong (int + bool), second is fine: the gate
+    // must reject the first without protocol work and pass the second.
+    let bad = TransactionSpec::new().update(ItemId(0), Expr::int(1).add(Expr::bool(true)));
+    let mut cluster = ClusterBuilder::new(2, Directory::Mod(2))
+        .seed(7)
+        .net(NetConfig::instant())
+        .static_checks()
+        .item(ItemId(0), Value::Int(100))
+        .item(ItemId(1), Value::Int(100))
+        .client(
+            ClientConfig {
+                max_retries: 3,
+                ..ClientConfig::default()
+            },
+            Box::new(Script::new(
+                vec![bad, transfer(0, 1, 30)],
+                SimDuration::from_millis(10),
+            )),
+        )
+        .build();
+    run_secs(&mut cluster, 2);
+    let results = cluster.client(0).unwrap().results();
+    assert_eq!(results.len(), 2);
+    match &results[0].1 {
+        TxnResult::Aborted {
+            reason: AbortReason::Rejected(report),
+        } => assert!(report.contains("PV001"), "report: {report}"),
+        other => panic!("expected static rejection, got {other:?}"),
+    }
+    assert!(results[1].1.is_committed());
+    // The rejection is not retried (it is final) and never reaches
+    // evaluation: exactly one commit, one rejection, no eval aborts.
+    assert_eq!(cluster.world.metrics().counter("txn.rejected.static"), 1);
+    assert_eq!(cluster.world.metrics().counter("txn.committed"), 1);
+    assert_eq!(cluster.world.metrics().counter("txn.aborted.eval"), 0);
+    assert_eq!(cluster.world.metrics().counter("client.retries"), 0);
+    assert_eq!(
+        cluster.item_entry(ItemId(0)),
+        Ok(Entry::Simple(Value::Int(70)))
+    );
+    assert!(cluster.all_quiescent());
+}

@@ -1,0 +1,95 @@
+//! Regenerates the trace fixtures under `results/`:
+//!
+//! * `results/trace_in_doubt.txt` — a healthy recorded run: a cross-site
+//!   transfer whose decision is lost to a partition, installing an in-doubt
+//!   polyvalue that outcome propagation later collapses. Deterministic
+//!   (fixed seed), so regeneration is byte-stable until the protocol or the
+//!   trace format changes.
+//! * `results/trace_decide_before_prepare.txt` — the same run corrupted:
+//!   the first `prepared` record is moved after the commit decision, a
+//!   transition the protocol can never make. `pv-lint trace` must flag it
+//!   as PV020.
+//!
+//! Run from the repository root: `cargo run --bin gen-trace-fixture`.
+
+use polyvalues::prelude::*;
+
+fn traced_in_doubt_run(seed: u64) -> Cluster {
+    let transfer = TransactionSpec::new()
+        .guard(Expr::read(ItemId(0)).ge(Expr::int(30)))
+        .update(ItemId(0), Expr::read(ItemId(0)).sub(Expr::int(30)))
+        .update(ItemId(1), Expr::read(ItemId(1)).add(Expr::int(30)));
+    let mut cluster = ClusterBuilder::new(2, Directory::Mod(2))
+        .seed(seed)
+        .net(NetConfig::default())
+        .engine(CommitProtocol::Polyvalue)
+        .item(0u64, 100i64)
+        .item(1u64, 100i64)
+        .collect_trace()
+        .client(
+            ClientConfig {
+                max_retries: 0,
+                ..ClientConfig::default()
+            },
+            Box::new(Script::new(vec![transfer], SimDuration::from_millis(1))),
+        )
+        .build();
+    // Run to the commit decision, cut the link before the participant hears
+    // it, then heal and settle.
+    while cluster.world.metrics().counter("txn.committed") < 1 {
+        let next = SimTime(cluster.world.now().as_micros() + 1);
+        cluster.run_until(next);
+    }
+    let now = cluster.world.now();
+    cluster.world.schedule_partition(now, NodeId(0), NodeId(1));
+    cluster.run_until(now + SimDuration::from_secs(1));
+    let now = cluster.world.now();
+    cluster.world.schedule_heal(now, NodeId(0), NodeId(1));
+    cluster.run_until(now + SimDuration::from_secs(5));
+    cluster
+}
+
+/// Moves the first `prepared` record after the first commit decision and
+/// renumbers, seeding exactly the decide-before-prepare defect.
+fn corrupt_decide_before_prepare(records: &[TraceRecord]) -> String {
+    let prepared = records
+        .iter()
+        .position(|r| matches!(r.event, TraceEvent::Prepared { .. }))
+        .expect("run contains a prepared event");
+    let decided = records
+        .iter()
+        .position(|r| matches!(r.event, TraceEvent::Decided { completed: true, .. }))
+        .expect("run contains a commit decision");
+    assert!(prepared < decided, "healthy runs prepare before deciding");
+    let mut reordered: Vec<TraceRecord> = records.to_vec();
+    let moved = reordered.remove(prepared);
+    reordered.insert(decided, moved);
+    let mut out = String::new();
+    for (seq, r) in reordered.iter().enumerate() {
+        out.push_str(&format!("{:06} {:>10} {} {}\n", seq, r.at.as_micros(), r.node, r.event));
+    }
+    out
+}
+
+fn main() {
+    let cluster = traced_in_doubt_run(42);
+    let records = cluster.trace().records().to_vec();
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::PolyvalueInstalled { .. })),
+        "the partition must have installed a polyvalue"
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/trace_in_doubt.txt", cluster.trace().to_text())
+        .expect("write healthy fixture");
+    std::fs::write(
+        "results/trace_decide_before_prepare.txt",
+        corrupt_decide_before_prepare(&records),
+    )
+    .expect("write corrupted fixture");
+    println!(
+        "wrote results/trace_in_doubt.txt ({} records) and results/trace_decide_before_prepare.txt",
+        records.len()
+    );
+}

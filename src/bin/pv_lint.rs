@@ -1,0 +1,154 @@
+//! `pv-lint` — the static-analysis front end.
+//!
+//! Runs the `pv-analysis` passes from the command line:
+//!
+//! ```text
+//! pv-lint examples                    # check every example app's transaction specs
+//! pv-lint cond "T1 | !T1" ...         # verify a condition set (one condition per arg)
+//! pv-lint trace results/trace.txt     # conformance-check a recorded trace file
+//! ```
+//!
+//! Exit status is 0 when no `Error`-severity diagnostics were found, 1 when
+//! any were, and 2 on usage or I/O errors — so CI can gate on it directly.
+
+use polyvalues::analysis::{check_condition_set, check_spec, check_trace_text, Report};
+use polyvalues::apps::{FundsApp, InventoryApp, Replicated, ReservationsApp};
+use polyvalues::core::cond::parse_condition;
+use polyvalues::core::{Expr, ItemId, TransactionSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pv-lint <command>
+
+commands:
+  examples              analyze the transaction specs of every example application
+  cond <cond>...        verify a condition set (one condition per argument, e.g. 'T1 & !T2')
+  trace <file>...       conformance-check recorded trace files (format of Trace::to_text)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "examples" => lint_examples(),
+            "cond" => lint_conds(rest),
+            "trace" => lint_traces(rest),
+            "-h" | "--help" | "help" => {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            other => {
+                eprintln!("pv-lint: unknown command {other}\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Every transaction spec the example applications submit, by name.
+fn example_specs() -> Vec<(&'static str, TransactionSpec)> {
+    let funds = FundsApp::new(4, 1_000);
+    let seats = ReservationsApp::new(3, 100);
+    let parts = InventoryApp::new(3, 500, 100);
+    let copies = Replicated::new((0..3).map(ItemId).collect());
+    vec![
+        ("funds::transfer", funds.transfer(0, 1, 50)),
+        ("funds::deposit", funds.deposit(2, 25)),
+        ("funds::withdraw", funds.withdraw(3, 10)),
+        ("funds::authorize", funds.authorize(0, 75)),
+        ("funds::balance", funds.balance(1)),
+        ("reservations::reserve", seats.reserve(0)),
+        ("reservations::cancel", seats.cancel(1)),
+        ("reservations::seats_left", seats.seats_left(2)),
+        ("inventory::consume", parts.consume(0, 5)),
+        ("inventory::restock", parts.restock(1, 50)),
+        ("inventory::reorder_due", parts.reorder_due(2)),
+        ("replication::update_all", copies.update_all(|v| v.add(Expr::int(1)))),
+        (
+            "replication::update_all_if",
+            copies.update_all_if(|v| v.ge(Expr::int(0)), |v| v.add(Expr::int(1))),
+        ),
+        ("replication::read_copy", copies.read_copy(1)),
+        ("replication::audit", copies.audit()),
+    ]
+}
+
+fn lint_examples() -> ExitCode {
+    let mut failed = false;
+    for (name, spec) in example_specs() {
+        let report = check_spec(&spec).report;
+        print_report(name, &report);
+        failed |= report.has_errors();
+    }
+    verdict(failed)
+}
+
+fn lint_conds(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("pv-lint: cond needs at least one condition argument\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut conds = Vec::new();
+    for raw in args {
+        match parse_condition(raw) {
+            Ok(c) => conds.push(c),
+            Err(e) => {
+                eprintln!("pv-lint: cannot parse condition {raw:?}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = check_condition_set(&conds);
+    print_report("condition set", &report);
+    verdict(report.has_errors())
+}
+
+fn lint_traces(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("pv-lint: trace needs at least one file argument\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pv-lint: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match check_trace_text(&text) {
+            Ok(report) => {
+                print_report(path, &report);
+                failed |= report.has_errors();
+            }
+            Err(e) => {
+                eprintln!("pv-lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    verdict(failed)
+}
+
+fn print_report(name: &str, report: &Report) {
+    if report.is_clean() {
+        println!("{name}: clean");
+    } else {
+        for d in report.diagnostics() {
+            println!("{name}: {d}");
+        }
+    }
+}
+
+fn verdict(failed: bool) -> ExitCode {
+    if failed {
+        eprintln!("pv-lint: errors found");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

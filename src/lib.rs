@@ -7,6 +7,9 @@
 //! * [`core`] (`pv-core`) — the polyvalue mechanism itself: the condition
 //!   algebra over transaction identifiers, polyvalues with the paper's
 //!   simplification rules, and the polytransaction evaluator (§3);
+//! * [`analysis`] (`pv-analysis`) — ahead-of-time static analysis:
+//!   transaction type checking, condition-algebra verification, and
+//!   protocol-trace conformance, surfaced by the `pv-lint` binary;
 //! * [`simnet`] (`pv-simnet`) — a deterministic discrete-event simulation
 //!   substrate with network and failure models;
 //! * [`store`] (`pv-store`) — per-site durable storage: WAL, item table, and
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use pv_analysis as analysis;
 pub use pv_apps as apps;
 pub use pv_core as core;
 pub use pv_engine as engine;
@@ -68,6 +72,7 @@ pub mod prelude {
     //! assert_eq!(cluster.item_entry(ItemId(0)).unwrap(), Entry::Simple(Value::Int(100)));
     //! ```
 
+    pub use pv_analysis::{Code, Diagnostic, Report, Severity};
     pub use pv_core::{Entry, Expr, ItemId, Polyvalue, TransactionSpec, TxnId, Value};
     pub use pv_engine::{
         Client, ClientConfig, Cluster, ClusterBuilder, CommitProtocol, Directory, EngineConfig,
