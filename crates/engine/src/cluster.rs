@@ -9,7 +9,7 @@ use crate::site::{site_node, Site};
 use crate::workload::Workload;
 use pv_core::{Entry, ItemId, Value};
 use pv_simnet::{NetConfig, NodeId, SimTime, Trace, TraceSink, World};
-use pv_store::SiteId;
+use pv_store::{SiteId, SiteStore, Storage};
 
 /// The node type of an engine world: either a database site or a client.
 pub enum Node {
@@ -58,6 +58,9 @@ impl pv_simnet::Actor for Node {
     }
 }
 
+/// A per-site factory for pluggable storage backends.
+type StorageFactory = Box<dyn Fn(SiteId) -> Box<dyn Storage>>;
+
 /// Builder for a simulated cluster.
 pub struct ClusterBuilder {
     seed: u64,
@@ -68,6 +71,7 @@ pub struct ClusterBuilder {
     items: Vec<(ItemId, Value)>,
     clients: Vec<(ClientConfig, Box<dyn Workload>)>,
     trace: Option<Trace>,
+    storage: Option<StorageFactory>,
 }
 
 impl ClusterBuilder {
@@ -83,6 +87,7 @@ impl ClusterBuilder {
             items: Vec::new(),
             clients: Vec::new(),
             trace: None,
+            storage: None,
         }
     }
 
@@ -148,6 +153,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Backs every site's store with storage built by `factory` — e.g. a
+    /// [`pv_store::FaultyStorage`] for storage-fault injection runs, or a
+    /// [`pv_store::DiskWal`] for durability experiments. The default is a
+    /// plain in-memory WAL.
+    pub fn storage(mut self, factory: impl Fn(SiteId) -> Box<dyn Storage> + 'static) -> Self {
+        self.storage = Some(Box::new(factory));
+        self
+    }
+
     /// Buffers a full protocol trace of the run, readable afterwards via
     /// [`Cluster::trace`].
     pub fn collect_trace(mut self) -> Self {
@@ -169,12 +183,25 @@ impl ClusterBuilder {
             world.set_trace(trace);
         }
         for s in 0..self.sites {
-            let mut site = Site::new(s as SiteId, self.engine.clone(), self.directory.clone());
+            let store = match &self.storage {
+                Some(factory) => SiteStore::with_storage(factory(s as SiteId)),
+                None => SiteStore::new(),
+            };
+            let mut site = Site::with_store(
+                s as SiteId,
+                self.engine.clone(),
+                self.directory.clone(),
+                store,
+            );
             for (item, value) in &self.items {
                 if self.directory.site_of(*item) == Some(s as SiteId) {
                     site.seed_item(*item, value.clone());
                 }
             }
+            // The initial database population is durable before the run
+            // starts; only records appended during the run are at the mercy
+            // of the fsync policy.
+            site.sync_store();
             let id = world.add_node(Node::Site(Box::new(site)));
             debug_assert_eq!(id, site_node(s as SiteId));
         }

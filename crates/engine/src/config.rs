@@ -97,6 +97,9 @@ pub struct EngineConfig {
     /// before evaluation starts. Off by default: well-tested workloads
     /// need not pay the analysis cost on every submit.
     pub static_checks: bool,
+    /// WAL length (in records) above which a site compacts its log into a
+    /// snapshot after applying a decision.
+    pub compact_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -112,6 +115,7 @@ impl Default for EngineConfig {
             uncertain_outputs: UncertainOutputPolicy::Present,
             lock_policy: LockPolicy::NoWait,
             static_checks: false,
+            compact_threshold: 4096,
         }
     }
 }

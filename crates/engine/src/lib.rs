@@ -25,6 +25,7 @@
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod crashpoint;
 pub mod directory;
 pub mod error;
 pub mod ids;
@@ -37,6 +38,7 @@ pub mod workload;
 
 pub use client::{Client, ClientConfig};
 pub use cluster::{Cluster, ClusterBuilder, Node};
+pub use crashpoint::{CrashPointConfig, CrashPointReport, Violation};
 pub use config::{CommitProtocol, EngineConfig, LockPolicy, UncertainOutputPolicy};
 pub use directory::Directory;
 pub use error::EngineError;

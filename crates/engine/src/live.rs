@@ -20,13 +20,34 @@ use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use pv_core::{ItemId, Value};
 use pv_simnet::{Actor, Ctx, Effect, Metrics, NodeId, SimRng, SimTime, Trace, TraceRecord, TraceSink};
-use pv_store::SiteId;
+use pv_store::{DiskWal, FsyncPolicy, SiteId, SiteStore};
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The shared registry of client reply channels, keyed by client node id.
 type ClientRegistry = Arc<Mutex<BTreeMap<u32, Sender<(u64, TxnResult)>>>>;
+
+/// Shared fault state of the live network: cut site pairs and a loss
+/// probability applied to every site-to-site send. Mirrors the simulation's
+/// [`pv_simnet::NetConfig`] knobs, but mutable at runtime.
+#[derive(Debug, Default)]
+struct LiveLinks {
+    blocked: BTreeSet<(u32, u32)>,
+    drop_prob: f64,
+}
+
+impl LiveLinks {
+    /// Normalises a pair so `(a, b)` and `(b, a)` are the same link.
+    fn key(a: u32, b: u32) -> (u32, u32) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
 
 /// What flows over a site thread's inbox.
 enum Envelope {
@@ -91,12 +112,16 @@ struct SiteThread {
     clients: ClientRegistry,
     metrics: Arc<Mutex<Metrics>>,
     trace: Arc<Mutex<Trace>>,
+    links: Arc<Mutex<LiveLinks>>,
     rng: SimRng,
     next_timer_id: u64,
     timers: BinaryHeap<PendingTimer>,
     cancelled: BTreeSet<u64>,
     epoch: Instant,
     up: bool,
+    /// Whether the site opened a non-empty durable image and must replay
+    /// recovery (epoch bump, lock re-acquisition) before serving traffic.
+    recovered: bool,
 }
 
 impl SiteThread {
@@ -133,6 +158,26 @@ impl SiteThread {
                         }
                         continue;
                     }
+                    // Injected network faults apply to site-to-site links
+                    // only (client replies above stay reliable, like the
+                    // simulation's loopback).
+                    if to != self.me {
+                        let (blocked, drop_prob) = {
+                            let links = self.links.lock();
+                            (
+                                links.blocked.contains(&LiveLinks::key(self.me.0, to.0)),
+                                links.drop_prob,
+                            )
+                        };
+                        if blocked {
+                            self.metrics.lock().inc("live.dropped_partition");
+                            continue;
+                        }
+                        if drop_prob > 0.0 && self.rng.chance(drop_prob) {
+                            self.metrics.lock().inc("live.dropped_loss");
+                            continue;
+                        }
+                    }
                     if let Some(peer) = self.peers.get(to.0 as usize) {
                         let _ = peer.send(Envelope::Deliver { from: self.me, msg });
                     }
@@ -154,6 +199,13 @@ impl SiteThread {
     }
 
     fn run(mut self) -> Site {
+        // A site rebuilt from a non-empty durable image replays recovery
+        // before touching any traffic: epoch bump, write-lock re-acquisition
+        // for staged transactions, and the inquiry timer.
+        if self.recovered {
+            self.callback(|site, ctx| site.on_recover(ctx));
+            self.metrics.lock().inc("live.cold_recoveries");
+        }
         loop {
             // Fire due timers (only while up; a crash voids the wheel).
             while self.up {
@@ -213,9 +265,15 @@ impl SiteThread {
                     };
                     let _ = reply.send(snapshot);
                 }
-                Ok(Envelope::Stop) => return self.site,
+                Ok(Envelope::Stop) => {
+                    self.site.sync_store();
+                    return self.site;
+                }
                 Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return self.site,
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.site.sync_store();
+                    return self.site;
+                }
             }
         }
     }
@@ -231,6 +289,8 @@ pub struct LiveBuilder {
     config: EngineConfig,
     items: Vec<(ItemId, Value)>,
     trace: Option<Trace>,
+    data_dir: Option<PathBuf>,
+    fsync_policy: FsyncPolicy,
 }
 
 impl LiveBuilder {
@@ -263,6 +323,24 @@ impl LiveBuilder {
         self
     }
 
+    /// Persists each site's WAL to a real directory: site `s` writes
+    /// append-only segments under `<dir>/site-<s>`. A site whose directory
+    /// already holds a WAL image *recovers* from it — items, staged
+    /// transactions, outcome-dependency tables, and decisions are replayed,
+    /// the epoch is bumped, and seeded items already present on disk are
+    /// left untouched. Without a data dir, sites keep their WAL in memory.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the fsync policy of disk-backed sites (default: per-decision,
+    /// the cheapest policy that keeps the §3.1 protocol crash-safe).
+    pub fn fsync_policy(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync_policy = policy;
+        self
+    }
+
     /// Buffers a full protocol trace, readable via
     /// [`LiveCluster::trace_text`] / [`LiveCluster::trace_records`]. Live
     /// traces are timestamped with wall-clock microseconds since cluster
@@ -286,6 +364,8 @@ impl LiveBuilder {
             self.config,
             self.items,
             self.trace.unwrap_or_default(),
+            self.data_dir,
+            self.fsync_policy,
         )
     }
 }
@@ -319,6 +399,7 @@ pub struct LiveCluster {
     clients: ClientRegistry,
     metrics: Arc<Mutex<Metrics>>,
     trace: Arc<Mutex<Trace>>,
+    links: Arc<Mutex<LiveLinks>>,
     client_rx: Receiver<(u64, TxnResult)>,
     client_node: u32,
     next_req: Mutex<u64>,
@@ -335,6 +416,8 @@ impl LiveCluster {
             config: EngineConfig::default(),
             items: Vec::new(),
             trace: None,
+            data_dir: None,
+            fsync_policy: FsyncPolicy::PerDecision,
         }
     }
 
@@ -344,12 +427,15 @@ impl LiveCluster {
         config: EngineConfig,
         items: Vec<(ItemId, Value)>,
         trace: Trace,
+        data_dir: Option<PathBuf>,
+        fsync_policy: FsyncPolicy,
     ) -> Self {
         assert!(sites > 0);
         let static_checks = config.static_checks;
         let metrics = Arc::new(Mutex::new(Metrics::new()));
         let trace = Arc::new(Mutex::new(trace));
         let clients = Arc::new(Mutex::new(BTreeMap::new()));
+        let links = Arc::new(Mutex::new(LiveLinks::default()));
         let epoch = Instant::now();
         let mut senders = Vec::with_capacity(sites as usize);
         let mut inboxes = Vec::with_capacity(sites as usize);
@@ -360,12 +446,27 @@ impl LiveCluster {
         }
         let mut handles = Vec::with_capacity(sites as usize);
         for (s, inbox) in inboxes.into_iter().enumerate() {
-            let mut site = Site::new(s as SiteId, config.clone(), directory.clone());
+            let store = match &data_dir {
+                Some(dir) => {
+                    let wal = DiskWal::open(dir.join(format!("site-{s}")), fsync_policy)
+                        .expect("open site WAL directory");
+                    SiteStore::open(Box::new(wal))
+                }
+                None => SiteStore::new(),
+            };
+            let recovered = !store.wal().is_empty();
+            let mut site =
+                Site::with_store(s as SiteId, config.clone(), directory.clone(), store);
+            site.enable_wall_clock_metrics();
             for (item, value) in &items {
-                if directory.site_of(*item) == Some(s as SiteId) {
+                if directory.site_of(*item) == Some(s as SiteId)
+                    && !site.store().contains(*item)
+                {
                     site.seed_item(*item, value.clone());
                 }
             }
+            // Initial population is durable before the site serves traffic.
+            site.sync_store();
             let thread = SiteThread {
                 site,
                 me: NodeId(s as u32),
@@ -374,12 +475,14 @@ impl LiveCluster {
                 clients: Arc::clone(&clients),
                 metrics: Arc::clone(&metrics),
                 trace: Arc::clone(&trace),
+                links: Arc::clone(&links),
                 rng: SimRng::new(0xC0FFEE + s as u64),
                 next_timer_id: 0,
                 timers: BinaryHeap::new(),
                 cancelled: BTreeSet::new(),
                 epoch,
                 up: true,
+                recovered,
             };
             handles.push(
                 std::thread::Builder::new()
@@ -398,6 +501,7 @@ impl LiveCluster {
             clients,
             metrics,
             trace,
+            links,
             client_rx,
             client_node,
             next_req: Mutex::new(1),
@@ -463,6 +567,34 @@ impl LiveCluster {
     pub fn recover(&self, site: SiteId) -> Result<(), EngineError> {
         let _ = self.sender(site)?.send(Envelope::Recover);
         Ok(())
+    }
+
+    /// Cuts the link between sites `a` and `b` (both directions): every
+    /// message either sends to the other is silently dropped until healed.
+    pub fn partition(&self, a: SiteId, b: SiteId) -> Result<(), EngineError> {
+        self.check_site(a)?;
+        self.check_site(b)?;
+        self.links.lock().blocked.insert(LiveLinks::key(a, b));
+        Ok(())
+    }
+
+    /// Heals a previously cut link.
+    pub fn heal(&self, a: SiteId, b: SiteId) -> Result<(), EngineError> {
+        self.check_site(a)?;
+        self.check_site(b)?;
+        self.links.lock().blocked.remove(&LiveLinks::key(a, b));
+        Ok(())
+    }
+
+    /// Sets the probability that any site-to-site message is lost in
+    /// transit, mirroring the simulation's `NetConfig::drop_prob`.
+    pub fn set_drop_prob(&self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.links.lock().drop_prob = p;
+    }
+
+    fn check_site(&self, site: SiteId) -> Result<(), EngineError> {
+        self.sender(site).map(|_| ())
     }
 
     /// Snapshots a site's state.
@@ -681,6 +813,191 @@ mod tests {
             .submit(0, &transfer(0, 1, 30), Duration::from_secs(5))
             .unwrap();
         assert!(result.is_committed());
+        cluster.shutdown();
+    }
+
+    /// A scratch directory under the workspace `target/` (tests must not
+    /// write outside the repository), wiped before use.
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp/live-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Polls `f` until it holds or `deadline` passes; returns the final
+    /// verdict.
+    fn wait_until(deadline: Duration, mut f: impl FnMut() -> bool) -> bool {
+        let limit = Instant::now() + deadline;
+        while Instant::now() < limit {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        f()
+    }
+
+    fn live_total(cluster: &LiveCluster) -> i64 {
+        (0..cluster.site_count())
+            .map(|s| {
+                cluster
+                    .inspect(s as SiteId, Duration::from_secs(1))
+                    .unwrap()
+                    .items
+                    .iter()
+                    .map(|(_, e)| e.as_simple().and_then(Value::as_int).expect("settled"))
+                    .sum::<i64>()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn live_partition_blocks_and_heal_restores() {
+        let cluster = two_site_cluster();
+        cluster.partition(0, 1).unwrap();
+        // The coordinator cannot reach site 1: the transfer must fail
+        // without hanging, and must not half-apply.
+        match cluster.submit(0, &transfer(0, 1, 10), Duration::from_secs(3)) {
+            Ok(r) => assert!(!r.is_committed()),
+            Err(EngineError::Timeout) => {}
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+        assert!(cluster.metrics().counter("live.dropped_partition") > 0);
+        cluster.heal(0, 1).unwrap();
+        let result = cluster
+            .submit(0, &transfer(0, 1, 10), Duration::from_secs(5))
+            .unwrap();
+        assert!(result.is_committed());
+        assert!(wait_until(Duration::from_secs(5), || {
+            cluster.total_poly_count(Duration::from_secs(1)).unwrap() == 0
+        }));
+        assert_eq!(live_total(&cluster), 200, "conservation across partition");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn live_partition_rejects_unknown_sites() {
+        let cluster = two_site_cluster();
+        assert_eq!(
+            cluster.partition(0, 9).err(),
+            Some(EngineError::UnknownSite(9))
+        );
+        assert_eq!(cluster.heal(9, 0).err(), Some(EngineError::UnknownSite(9)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn live_lossy_links_converge_after_reset() {
+        let cluster = two_site_cluster();
+        cluster.set_drop_prob(0.25);
+        // Many submissions fail under 25 % loss; whatever commits must stay
+        // atomic once the loss stops and inquiries settle the rest.
+        for k in 0..8 {
+            let _ = cluster.submit(0, &transfer(k % 2, (k + 1) % 2, 5), Duration::from_secs(2));
+        }
+        assert!(cluster.metrics().counter("live.dropped_loss") > 0);
+        cluster.set_drop_prob(0.0);
+        assert!(
+            wait_until(Duration::from_secs(10), || {
+                cluster.total_poly_count(Duration::from_secs(1)).unwrap() == 0
+                    && (0..2).all(|s| {
+                        cluster.inspect(s, Duration::from_secs(1)).unwrap().quiescent
+                    })
+            }),
+            "uncertainty must drain once the network is clean"
+        );
+        assert_eq!(live_total(&cluster), 200, "conservation under loss");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn live_disk_backed_cluster_survives_restart() {
+        let dir = scratch("restart");
+        let build = || {
+            LiveCluster::builder(2, Directory::Mod(2))
+                .engine(fast_config())
+                .items(vec![(ItemId(0), Value::Int(100)), (ItemId(1), Value::Int(100))])
+                .data_dir(&dir)
+                .start()
+        };
+        let first = build();
+        let result = first
+            .submit(0, &transfer(0, 1, 30), Duration::from_secs(5))
+            .unwrap();
+        assert!(result.is_committed());
+        first.shutdown(); // syncs every site's WAL
+        // A brand-new process image over the same directories: balances must
+        // come back from disk, not from the builder's seeds.
+        let second = build();
+        assert!(wait_until(Duration::from_secs(5), || {
+            second
+                .inspect(0, Duration::from_secs(1))
+                .unwrap()
+                .items
+                .first()
+                .map(|(_, e)| e == &Entry::Simple(Value::Int(70)))
+                .unwrap_or(false)
+        }));
+        let s1 = second.inspect(1, Duration::from_secs(1)).unwrap();
+        assert_eq!(s1.items[0].1, Entry::Simple(Value::Int(130)));
+        assert_eq!(second.metrics().counter("live.cold_recoveries"), 2);
+        // And the recovered cluster still processes transactions.
+        let again = second
+            .submit(1, &transfer(1, 0, 5), Duration::from_secs(5))
+            .unwrap();
+        assert!(again.is_committed());
+        assert_eq!(live_total(&second), 200);
+        second.shutdown();
+    }
+
+    #[test]
+    fn live_restart_resolves_stranded_polyvalue() {
+        use pv_core::Entry;
+        use pv_store::{DiskWal, FsyncPolicy, SiteStore};
+        // Craft on-disk images of a cluster that died mid-uncertainty: the
+        // coordinator (site 0) durably decided *complete* and applied its own
+        // write, but the participant (site 1) crashed staged, never having
+        // learned the outcome.
+        let dir = scratch("stranded");
+        let txn = crate::ids::encode_txn(0, 0, 1);
+        {
+            let wal = DiskWal::open(dir.join("site-0"), FsyncPolicy::PerDecision).unwrap();
+            let mut coord = SiteStore::open(Box::new(wal));
+            coord.seed_item(ItemId(0), Value::Int(70));
+            coord.record_decision(txn, true);
+            coord.sync();
+        }
+        {
+            let wal = DiskWal::open(dir.join("site-1"), FsyncPolicy::PerDecision).unwrap();
+            let mut part = SiteStore::open(Box::new(wal));
+            part.seed_item(ItemId(1), Value::Int(100));
+            part.stage(txn, 0, vec![(ItemId(1), Entry::Simple(Value::Int(130)))]);
+            part.sync();
+        }
+        let cluster = LiveCluster::builder(2, Directory::Mod(2))
+            .engine(fast_config())
+            .items(vec![(ItemId(0), Value::Int(100)), (ItemId(1), Value::Int(100))])
+            .data_dir(&dir)
+            .start();
+        // Recovery re-stages the pending transaction, times out its wait
+        // phase (installing an in-doubt polyvalue), inquires at the
+        // coordinator, learns *complete*, and collapses the polyvalue into
+        // the staged value.
+        assert!(
+            wait_until(Duration::from_secs(10), || {
+                let s1 = cluster.inspect(1, Duration::from_secs(1)).unwrap();
+                s1.poly_count == 0
+                    && s1.items.first().map(|(_, e)| e == &Entry::Simple(Value::Int(130)))
+                        == Some(true)
+                    && s1.quiescent
+            }),
+            "stranded polyvalue must collapse to the decided outcome"
+        );
+        let s0 = cluster.inspect(0, Duration::from_secs(1)).unwrap();
+        assert_eq!(s0.items[0].1, Entry::Simple(Value::Int(70)));
+        assert_eq!(live_total(&cluster), 200, "conservation after restart");
         cluster.shutdown();
     }
 

@@ -118,16 +118,34 @@ pub struct Site {
     /// When this site installed polyvalues for an in-doubt transaction
     /// (volatile; feeds the install→collapse lifetime histogram).
     poly_installed_at: BTreeMap<TxnId, SimTime>,
+    /// Whether wall-clock storage observations (recovery durations) flow
+    /// into the metrics. Off in the simulation, which must keep its metric
+    /// exports byte-deterministic under a seed; the live runtime opts in.
+    wall_clock_metrics: bool,
 }
 
 impl Site {
     /// Creates a site with an empty store.
     pub fn new(id: SiteId, config: EngineConfig, directory: Directory) -> Self {
+        let store = SiteStore::new();
+        Site::with_store(id, config, directory, store)
+    }
+
+    /// Creates a site over an existing store — typically one opened from a
+    /// durable [`pv_store::Storage`] backend, possibly holding a recovered
+    /// image from a previous incarnation of this site.
+    pub fn with_store(
+        id: SiteId,
+        config: EngineConfig,
+        directory: Directory,
+        store: SiteStore,
+    ) -> Self {
+        let store = store.with_compact_threshold(config.compact_threshold);
         Site {
             id,
             config,
             directory,
-            store: SiteStore::new(),
+            store,
             locks: LockTable::new(),
             coords: BTreeMap::new(),
             parts: BTreeMap::new(),
@@ -140,6 +158,7 @@ impl Site {
             withheld: Vec::new(),
             read_queue: Vec::new(),
             poly_installed_at: BTreeMap::new(),
+            wall_clock_metrics: false,
         }
     }
 
@@ -157,6 +176,20 @@ impl Site {
     /// Read access to the site's store (assertions, polyvalue census).
     pub fn store(&self) -> &SiteStore {
         &self.store
+    }
+
+    /// Forces the store's storage backend to persist everything buffered —
+    /// the clean-shutdown path of a live deployment.
+    pub fn sync_store(&mut self) {
+        self.store.sync();
+    }
+
+    /// Opts into wall-clock storage metrics (the `recovery.duration`
+    /// histogram). Only a real-time runtime should enable this: the
+    /// simulation leaves it off so same-seed metric exports stay
+    /// byte-identical.
+    pub fn enable_wall_clock_metrics(&mut self) {
+        self.wall_clock_metrics = true;
     }
 
     /// Number of items currently holding polyvalues at this site.
@@ -681,6 +714,13 @@ impl Site {
             ctx.send(site_node(from), Msg::PrepareNack { txn });
             return;
         };
+        // A duplicated Prepare (network-level duplication, or a coordinator
+        // retry) must be idempotent: the writes are already staged, so just
+        // re-affirm readiness without re-staging or re-tracing.
+        if part.staged && self.store.pending(txn).is_some() {
+            ctx.send(site_node(from), Msg::Ready { txn });
+            return;
+        }
         part.staged = true;
         self.store.stage(txn, from, writes);
         ctx.trace(TraceEvent::Prepared {
@@ -876,6 +916,31 @@ impl Site {
         ctx.send(site_node(from), Msg::OutcomeNotify { txn, completed });
     }
 
+    /// Drains the store's accumulated storage/recovery statistics into the
+    /// shared metrics registry. Called after every actor callback so the
+    /// counters track the WAL in near-real time without the store needing a
+    /// metrics handle of its own.
+    fn flush_storage_metrics(&mut self, ctx: &mut Ctx<Msg>) {
+        let stats = self.store.take_stats();
+        if stats.is_empty() {
+            return;
+        }
+        ctx.metrics().inc_by("wal.bytes", stats.wal_bytes);
+        ctx.metrics().inc_by("wal.appends", stats.wal_appends);
+        ctx.metrics().inc_by("wal.syncs", stats.wal_syncs);
+        ctx.metrics().inc_by("wal.segments", stats.wal_segments);
+        ctx.metrics().inc_by("wal.compactions", stats.wal_compactions);
+        ctx.metrics()
+            .inc_by("recovery.replay_records", stats.recovery_replay_records);
+        ctx.metrics()
+            .inc_by("recovery.truncations", stats.recovery_truncations);
+        if self.wall_clock_metrics {
+            for d in stats.recovery_durations {
+                ctx.metrics().observe("recovery.duration", d);
+            }
+        }
+    }
+
     fn on_outcome_notify(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId, completed: bool) {
         // A blocked (or still-waiting) participant is released by the news.
         if self.parts.remove(&txn).is_some() {
@@ -906,6 +971,7 @@ impl Actor for Site {
                 debug_assert!(false, "sites do not receive replies");
             }
         }
+        self.flush_storage_metrics(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<Msg>, key: u64) {
@@ -936,6 +1002,7 @@ impl Actor for Site {
             Purpose::QueueExpire(txn) => self.on_queue_expired(ctx, txn),
             Purpose::Inquire => self.on_inquire_tick(ctx),
         }
+        self.flush_storage_metrics(ctx);
     }
 
     fn on_crash(&mut self) {
@@ -991,6 +1058,7 @@ impl Actor for Site {
         if self.store.has_tracked_txns() || !self.store.pending_txns().is_empty() {
             self.ensure_inquire(ctx);
         }
+        self.flush_storage_metrics(ctx);
     }
 }
 

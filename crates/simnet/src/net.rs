@@ -16,6 +16,13 @@ pub struct NetConfig {
     pub local_delay: SimDuration,
     /// Probability that any remote message is lost in transit.
     pub drop_prob: f64,
+    /// Probability that any remote message is delivered twice (the duplicate
+    /// gets its own independently sampled latency and reorder offset).
+    pub dup_prob: f64,
+    /// Extra uniformly distributed latency added per remote message, on top
+    /// of `min_delay + jitter`. A non-zero window lets later sends overtake
+    /// earlier ones — i.e. genuine reordering.
+    pub reorder_window: SimDuration,
 }
 
 impl Default for NetConfig {
@@ -25,6 +32,8 @@ impl Default for NetConfig {
             jitter: SimDuration::from_millis(5),
             local_delay: SimDuration::from_micros(10),
             drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_window: SimDuration::ZERO,
         }
     }
 }
@@ -37,6 +46,8 @@ impl NetConfig {
             jitter: SimDuration::ZERO,
             local_delay: SimDuration::from_micros(1),
             drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_window: SimDuration::ZERO,
         }
     }
 
@@ -108,7 +119,7 @@ mod tests {
             min_delay: SimDuration::from_millis(10),
             jitter: SimDuration::from_millis(5),
             local_delay: SimDuration::from_micros(1),
-            drop_prob: 0.0,
+            ..NetConfig::instant()
         };
         let mut rng = SimRng::new(3);
         for _ in 0..200 {

@@ -369,15 +369,36 @@ impl<A: Actor> World<A> {
                         self.metrics.inc("net.dropped_loss");
                         continue;
                     }
-                    let delay = self.net.sample_delay(node, to, &mut self.rng);
-                    self.push(
-                        self.now + delay,
-                        EventKind::Deliver {
-                            from: node,
-                            to,
-                            msg,
-                        },
-                    );
+                    // Duplication and reordering only ever draw from the RNG
+                    // when enabled, so zero-configured runs stay bit-for-bit
+                    // identical to runs predating these knobs.
+                    let copies = if node != to
+                        && self.net.dup_prob > 0.0
+                        && self.rng.chance(self.net.dup_prob)
+                    {
+                        self.metrics.inc("net.duplicated");
+                        2
+                    } else {
+                        1
+                    };
+                    for _ in 0..copies {
+                        let mut delay = self.net.sample_delay(node, to, &mut self.rng);
+                        if node != to && self.net.reorder_window > crate::time::SimDuration::ZERO {
+                            delay = delay
+                                + crate::time::SimDuration::from_micros(
+                                    self.rng
+                                        .below(self.net.reorder_window.as_micros().max(1)),
+                                );
+                        }
+                        self.push(
+                            self.now + delay,
+                            EventKind::Deliver {
+                                from: node,
+                                to,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
                 }
                 Effect::SetTimer { id, key, at } => {
                     self.push(
@@ -570,6 +591,8 @@ mod tests {
                     jitter: SimDuration::from_millis(10),
                     local_delay: SimDuration::from_micros(1),
                     drop_prob: 0.2,
+                    dup_prob: 0.1,
+                    reorder_window: SimDuration::from_millis(5),
                 },
             );
             let a = w.add_node(Node::default());
@@ -621,6 +644,82 @@ mod tests {
         w.run_until(SimTime::from_millis(10));
         assert_eq!(w.actor(a).crashed, 1);
         assert_eq!(w.actor(a).recovered, 1);
+    }
+
+    #[test]
+    fn duplicating_network_delivers_some_messages_twice() {
+        let mut w: World<Node> = World::new(
+            5,
+            NetConfig {
+                dup_prob: 0.5,
+                ..NetConfig::instant()
+            },
+        );
+        let a = w.add_node(Node::default());
+        let b = w.add_node(Node::default());
+        for i in 0..100 {
+            w.send_from_env(a, Msg::PingTo(b, i));
+        }
+        w.run_until(SimTime::from_secs(1));
+        let got = w.actor(b).received.len();
+        assert!(got > 100, "expected duplicates, got {got}");
+        assert_eq!(w.metrics().counter("net.duplicated"), got as u64 - 100);
+        // Self-sends are never duplicated.
+        let mut w: World<Node> = World::new(
+            5,
+            NetConfig {
+                dup_prob: 1.0,
+                ..NetConfig::instant()
+            },
+        );
+        let a = w.add_node(Node::default());
+        w.send_from_env(a, Msg::PingTo(a, 1));
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.actor(a).received.len(), 1);
+    }
+
+    #[test]
+    fn reorder_window_shuffles_delivery_order() {
+        let mut w: World<Node> = World::new(
+            9,
+            NetConfig {
+                reorder_window: SimDuration::from_millis(50),
+                ..NetConfig::instant()
+            },
+        );
+        let a = w.add_node(Node::default());
+        let b = w.add_node(Node::default());
+        for i in 0..50 {
+            w.send_from_env(a, Msg::PingTo(b, i));
+        }
+        w.run_until(SimTime::from_secs(1));
+        let got: Vec<u32> = w.actor(b).received.iter().map(|&(_, v)| v).collect();
+        assert_eq!(got.len(), 50, "reordering must not lose messages");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_ne!(got, sorted, "expected at least one out-of-order delivery");
+    }
+
+    #[test]
+    fn dup_and_reorder_are_deterministic_under_seed() {
+        let run = |seed: u64| {
+            let mut w: World<Node> = World::new(
+                seed,
+                NetConfig {
+                    dup_prob: 0.3,
+                    reorder_window: SimDuration::from_millis(20),
+                    ..NetConfig::instant()
+                },
+            );
+            let a = w.add_node(Node::default());
+            let b = w.add_node(Node::default());
+            for i in 0..50 {
+                w.send_from_env(a, Msg::PingTo(b, i));
+            }
+            w.run_until(SimTime::from_secs(1));
+            w.actor(b).received.clone()
+        };
+        assert_eq!(run(3), run(3));
     }
 
     #[test]

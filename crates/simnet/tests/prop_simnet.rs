@@ -79,7 +79,7 @@ fn run(injections: &[Inject], seed: u64, jitter_us: u64) -> Vec<Vec<(u64, u32, u
             min_delay: SimDuration::from_micros(50),
             jitter: SimDuration::from_micros(jitter_us),
             local_delay: SimDuration::from_micros(5),
-            drop_prob: 0.0,
+            ..NetConfig::instant()
         },
     );
     for _ in 0..3 {

@@ -334,19 +334,31 @@ pub fn decode_wal(mut data: &[u8]) -> Result<Wal, CodecError> {
 /// Deserialises a possibly torn log image: returns every intact record and
 /// the error that stopped decoding (if any). This is the crash-recovery
 /// path — a torn tail is expected, not fatal.
-pub fn decode_wal_lossy(mut data: &[u8]) -> (Wal, Option<CodecError>) {
+pub fn decode_wal_lossy(data: &[u8]) -> (Wal, Option<CodecError>) {
+    let (wal, _, error) = decode_wal_prefix(data);
+    (wal, error)
+}
+
+/// Like [`decode_wal_lossy`], but also reports how many bytes the valid
+/// prefix spans, so recovery can truncate stable storage at exactly the
+/// first torn or corrupt frame.
+pub fn decode_wal_prefix(data: &[u8]) -> (Wal, usize, Option<CodecError>) {
+    let mut rest = data;
     let mut records = Vec::new();
     let mut error = None;
-    while !data.is_empty() {
-        match decode_record(&mut data) {
+    while !rest.is_empty() {
+        let before = rest;
+        match decode_record(&mut rest) {
             Ok(r) => records.push(r),
             Err(e) => {
                 error = Some(e);
+                rest = before;
                 break;
             }
         }
     }
-    (Wal::from_records(records), error)
+    let consumed = data.len() - rest.len();
+    (Wal::from_records(records), consumed, error)
 }
 
 #[cfg(test)]
@@ -452,6 +464,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn prefix_decode_reports_consumed_bytes() {
+        let wal = wal_of(sample_records());
+        let bytes = encode_wal(&wal);
+        let (full, consumed, err) = decode_wal_prefix(&bytes);
+        assert_eq!(consumed, bytes.len());
+        assert!(err.is_none());
+        assert_eq!(full.len(), wal.len());
+        // A torn tail: consumed stops at the last intact frame boundary, and
+        // re-decoding exactly that prefix is clean.
+        let torn = &bytes[..bytes.len() - 2];
+        let (some, consumed, err) = decode_wal_prefix(torn);
+        assert!(err.is_some());
+        assert!(consumed < torn.len());
+        let (again, consumed2, err2) = decode_wal_prefix(&torn[..consumed]);
+        assert_eq!(consumed2, consumed);
+        assert!(err2.is_none());
+        assert_eq!(again.len(), some.len());
     }
 
     #[test]

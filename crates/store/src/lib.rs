@@ -13,11 +13,16 @@
 pub mod codec;
 mod outcomes;
 mod site_store;
+pub mod storage;
 mod table;
 mod wal;
 
 pub use codec::CodecError;
 pub use outcomes::{DepEntry, OutcomeTable};
-pub use site_store::{PendingTxn, SiteStore};
+pub use site_store::{PendingTxn, SiteStore, StoreStats};
+pub use storage::{
+    DiskWal, FaultConfig, FaultyStorage, FsyncPolicy, MemStorage, Storage, StorageError,
+    StorageStats,
+};
 pub use table::ItemTable;
 pub use wal::{Record, SiteId, Wal};

@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use pv_core::{Entry, ItemId, TxnId, Value};
-use pv_store::SiteStore;
+use pv_store::{FaultConfig, FaultyStorage, FsyncPolicy, SiteStore};
 
 /// Operations a site can perform against its store.
 #[derive(Debug, Clone)]
@@ -173,6 +173,65 @@ proptest! {
         for (got, want) in partial.wal().iter().zip(store.wal().iter()) {
             prop_assert_eq!(got, want);
         }
+    }
+
+    /// Arbitrarily truncated AND bit-flipped images never panic the decoder
+    /// and always yield a valid prefix: the consumed bytes re-decode
+    /// strictly, and importing the corrupt image into a store is safe.
+    #[test]
+    fn corrupted_images_never_panic(
+        ops in prop::collection::vec(op_strategy(), 0..20),
+        cut_frac in 0.0f64..1.0,
+        flips in prop::collection::vec((any::<usize>(), 0u32..8), 0..4),
+    ) {
+        let mut store = seeded_store();
+        for op in &ops {
+            apply(&mut store, op);
+        }
+        let image = store.export_wal();
+        let cut = ((image.len() as f64) * cut_frac) as usize;
+        let mut bytes = image[..cut].to_vec();
+        for &(pos, bit) in &flips {
+            if !bytes.is_empty() {
+                let i = pos % bytes.len();
+                bytes[i] ^= 1 << bit;
+            }
+        }
+        let (wal, consumed, _err) = pv_store::codec::decode_wal_prefix(&bytes);
+        prop_assert!(consumed <= bytes.len());
+        // The consumed prefix is itself a fully valid image.
+        let strict = pv_store::codec::decode_wal(&bytes[..consumed]);
+        prop_assert!(strict.is_ok());
+        prop_assert_eq!(strict.unwrap().len(), wal.len());
+        // And a store rebuilt from the corrupt image never panics.
+        let (recovered, _) = SiteStore::import_wal_lossy(&bytes);
+        prop_assert_eq!(recovered.wal().len(), wal.len());
+    }
+
+    /// Any op sequence over `FaultyStorage` — crashes with torn tails and
+    /// bit flips interleaved — never panics, and every recovery leaves a
+    /// strictly-decodable image behind.
+    #[test]
+    fn faulty_storage_ops_never_panic(
+        ops in prop::collection::vec(op_strategy(), 0..24),
+        seed in any::<u64>(),
+    ) {
+        let storage = FaultyStorage::with_policy(
+            FaultConfig { seed, torn_tail_prob: 0.5, bit_flip_prob: 0.25 },
+            FsyncPolicy::EveryN(4),
+        );
+        let mut store = SiteStore::with_storage(Box::new(storage));
+        for item in 0..ITEMS {
+            store.seed_item(ItemId(item), Value::Int(item as i64));
+        }
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut store, op);
+            if i % 5 == 4 {
+                store.crash_and_recover();
+            }
+        }
+        store.crash_and_recover();
+        prop_assert!(pv_store::codec::decode_wal(&store.export_wal()).is_ok());
     }
 
     /// Compaction preserves observable state and shrinks (or keeps) the log.
