@@ -1,0 +1,441 @@
+//! `hotpath` — the machine-readable hot-path benchmark suite.
+//!
+//! Unlike the Criterion benches (which print human-oriented ns/iter lines),
+//! this binary measures the repository's profiled hot paths and writes the
+//! results to `BENCH_core.json` and `BENCH_engine.json` at the repository
+//! root, so the performance trajectory is committed alongside the code.
+//!
+//! Micro benches (→ `BENCH_core.json`):
+//!   * `condition_substitution` — outcome substitution ([`Condition::assign`])
+//!     swept over a family of DNF conditions, the §3.3 failure-recovery path.
+//!   * `condition_simplify`     — DNF canonicalisation (Blake form) of raw
+//!     product collections ([`Condition::from_products`]).
+//!   * `entry_assemble`         — the §3.1 flatten/merge/drop rules
+//!     ([`Entry::assemble`]) over nested polyvalue alternatives.
+//!   * `partitioning`           — polytransaction evaluation (§3.2) in both
+//!     split modes, including write collation.
+//!
+//! Macro benches (→ `BENCH_engine.json`): wall-clock of an end-to-end seeded
+//! [`Cluster`](pv_engine::Cluster) run (polyvalue protocol, lossy network) at
+//! 3, 10, and 50 sites.
+//!
+//! Modes:
+//!   * default             — re-measure, keep the committed `baseline` column,
+//!     update `current` and `speedup` (baseline ÷ current).
+//!   * `--record-baseline` — overwrite the `baseline` column too (run this
+//!     *before* an optimisation to lock in the "before" numbers).
+//!   * `--test`            — smoke mode for CI: one iteration per bench, and
+//!     the JSON goes to `target/bench-smoke/` instead of the repo root so a
+//!     smoke run never dirties the committed baselines.
+
+use pv_core::cond::{Condition, Literal, Product};
+use pv_core::expr::{evaluate, Expr, SplitMode};
+use pv_core::spec::TransactionSpec;
+use pv_core::{Entry, ItemId, TxnId, Value};
+use pv_engine::{ClientConfig, ClusterBuilder, CommitProtocol, Directory, EngineConfig, RandomTransfers};
+use pv_simnet::{NetConfig, SimTime};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One measured benchmark row.
+struct BenchResult {
+    name: &'static str,
+    description: &'static str,
+    unit: &'static str,
+    value: f64,
+}
+
+/// A tiny deterministic generator so workloads are identical across runs.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let record_baseline = args.iter().any(|a| a == "--record-baseline");
+    let root = repo_root();
+    let out_dir = if test_mode {
+        let d = root.join("target/bench-smoke");
+        std::fs::create_dir_all(&d).expect("create bench-smoke dir");
+        d
+    } else {
+        root.clone()
+    };
+
+    println!(
+        "hotpath: mode = {}",
+        if test_mode {
+            "smoke (--test)"
+        } else if record_baseline {
+            "record-baseline"
+        } else {
+            "measure vs baseline"
+        }
+    );
+
+    let core = vec![
+        micro(
+            "condition_substitution",
+            "Condition::assign sweep over a 12-condition DNF family (ns per full sweep)",
+            test_mode,
+            bench_condition_substitution,
+        ),
+        micro(
+            "condition_simplify",
+            "Condition::from_products canonicalisation of raw product sets (ns per batch)",
+            test_mode,
+            bench_condition_simplify,
+        ),
+        micro(
+            "entry_assemble",
+            "Entry::assemble flatten/merge/drop over nested alternatives (ns per batch)",
+            test_mode,
+            bench_entry_assemble,
+        ),
+        micro(
+            "partitioning",
+            "polytransaction evaluate + collate, lazy and eager modes (ns per evaluation pair)",
+            test_mode,
+            bench_partitioning,
+        ),
+    ];
+    write_suite(
+        &out_dir.join("BENCH_core.json"),
+        &root.join("BENCH_core.json"),
+        "pv-core hot paths",
+        &core,
+        record_baseline,
+    );
+
+    let engine = vec![
+        macro_run("cluster_3_sites", 3, 24, 150, test_mode),
+        macro_run("cluster_10_sites", 10, 80, 400, test_mode),
+        macro_run("cluster_50_sites", 50, 200, 500, test_mode),
+    ];
+    write_suite(
+        &out_dir.join("BENCH_engine.json"),
+        &root.join("BENCH_engine.json"),
+        "pv-engine end-to-end seeded cluster runs",
+        &engine,
+        record_baseline,
+    );
+}
+
+/// The repository root, resolved relative to this crate's manifest so the
+/// binary works from any working directory.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+/// Times `f` (which returns a sink value so the optimiser cannot elide it).
+/// Smoke mode runs a single iteration; otherwise iterations repeat until a
+/// 300 ms budget elapses and the mean ns/iter is reported.
+fn micro(
+    name: &'static str,
+    description: &'static str,
+    test_mode: bool,
+    mut f: impl FnMut() -> u64,
+) -> BenchResult {
+    let mut sink = 0u64;
+    let value = if test_mode {
+        let start = Instant::now();
+        sink ^= f();
+        start.elapsed().as_nanos() as f64
+    } else {
+        // Warm up (fills caches, triggers lazy allocation).
+        let warm = Instant::now();
+        while warm.elapsed().as_millis() < 50 {
+            sink ^= f();
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed().as_millis() < 300 || iters == 0 {
+            sink ^= f();
+            iters += 1;
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    };
+    black_box(sink);
+    println!("  {name}: {value:.0} ns/iter");
+    BenchResult {
+        name,
+        description,
+        unit: "ns/iter",
+        value,
+    }
+}
+
+/// Wall-clock of one seeded cluster run (minimum of 3 runs, 1 in smoke mode).
+fn macro_run(
+    name: &'static str,
+    sites: u32,
+    items: u64,
+    transfers: u64,
+    test_mode: bool,
+) -> BenchResult {
+    let reps = if test_mode { 1 } else { 3 };
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let commits = run_cluster(sites, items, transfers);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(commits > 0, "{name}: the seeded run must commit work");
+        best = best.min(ms);
+    }
+    println!("  {name}: {best:.2} ms/run");
+    BenchResult {
+        name,
+        description: match sites {
+            3 => "seed-42 polyvalue cluster, 3 sites, 150 transfers (ms wall-clock)",
+            10 => "seed-42 polyvalue cluster, 10 sites, 400 transfers (ms wall-clock)",
+            _ => "seed-42 polyvalue cluster, 50 sites, 500 transfers (ms wall-clock)",
+        },
+        unit: "ms/run",
+        value: best,
+    }
+}
+
+fn run_cluster(sites: u32, items: u64, transfers: u64) -> u64 {
+    let mut cluster = ClusterBuilder::new(sites, Directory::Mod(sites))
+        .seed(42)
+        .net(NetConfig::default())
+        .engine(EngineConfig::with_protocol(CommitProtocol::Polyvalue))
+        .uniform_items(items, 1_000)
+        .client(
+            ClientConfig {
+                record_results: false,
+                ..ClientConfig::default()
+            },
+            Box::new(RandomTransfers::new(items, 200.0, 50).with_limit(transfers)),
+        )
+        .build();
+    cluster.run_until(SimTime::from_secs(60));
+    cluster.world.metrics().counter("txn.committed")
+}
+
+// ---------------------------------------------------------------------------
+// Micro bench bodies
+// ---------------------------------------------------------------------------
+
+/// A deterministic family of moderate DNF conditions over 12 variables.
+fn condition_family() -> Vec<Condition> {
+    let mut lcg = Lcg(0x5eed);
+    let mut conds = Vec::with_capacity(12);
+    for _ in 0..12 {
+        let mut products = Vec::new();
+        for _ in 0..6 {
+            let width = 2 + (lcg.next() % 3) as usize;
+            let lits: Vec<Literal> = (0..width)
+                .map(|_| {
+                    let var = TxnId(lcg.next() % 12);
+                    if lcg.next().is_multiple_of(2) {
+                        Literal::positive(var)
+                    } else {
+                        Literal::negative(var)
+                    }
+                })
+                .collect();
+            if let Some(p) = Product::from_literals(lits) {
+                products.push(p);
+            }
+        }
+        conds.push(Condition::from_products(products));
+    }
+    conds
+}
+
+/// Sweeps outcome substitution over the family: each condition learns the
+/// outcome of every variable in turn, exactly what a site does when decisions
+/// propagate after a failure.
+fn bench_condition_substitution() -> u64 {
+    let conds = condition_family();
+    let mut sink = 0u64;
+    for c in &conds {
+        let mut c = c.clone();
+        for v in 0..12u64 {
+            c = c.assign(TxnId(v), v % 2 == 0);
+            sink = sink.wrapping_add(c.literal_count() as u64);
+            if c.is_false() || c.is_true() {
+                break;
+            }
+        }
+    }
+    sink
+}
+
+/// Canonicalises raw (unsorted, overlapping, redundant) product collections.
+fn bench_condition_simplify() -> u64 {
+    let mut lcg = Lcg(0xbeef);
+    let mut sink = 0u64;
+    for _ in 0..8 {
+        let mut products = Vec::new();
+        for _ in 0..10 {
+            let width = 1 + (lcg.next() % 4) as usize;
+            let lits: Vec<Literal> = (0..width)
+                .map(|_| {
+                    let var = TxnId(lcg.next() % 8);
+                    if lcg.next().is_multiple_of(2) {
+                        Literal::positive(var)
+                    } else {
+                        Literal::negative(var)
+                    }
+                })
+                .collect();
+            if let Some(p) = Product::from_literals(lits) {
+                products.push(p);
+            }
+        }
+        let c = Condition::from_products(products);
+        sink = sink.wrapping_add(c.products().len() as u64);
+    }
+    sink
+}
+
+/// Assembles nested alternatives: in-doubt entries stacked two deep plus
+/// duplicate values whose conditions must merge (§3.1 rules 1–3).
+fn bench_entry_assemble() -> u64 {
+    let mut sink = 0u64;
+    for base in 0..8u64 {
+        let t1 = TxnId(base * 3 + 1);
+        let t2 = TxnId(base * 3 + 2);
+        let t3 = TxnId(base * 3 + 3);
+        let inner = Entry::in_doubt(
+            Entry::Simple(Value::Int(10)),
+            Entry::Simple(Value::Int(20)),
+            t1,
+        );
+        let nested = Entry::in_doubt(inner, Entry::Simple(Value::Int(30)), t2);
+        let pairs = vec![
+            (nested, Condition::var(t3)),
+            (Entry::Simple(Value::Int(10)), Condition::not_var(t3)),
+        ];
+        let e = Entry::assemble(pairs).expect("valid alternatives");
+        sink = sink.wrapping_add(e.pair_count() as u64);
+    }
+    sink
+}
+
+/// Evaluates a guarded multi-item transaction against a database with three
+/// in-doubt items, in both split modes, and collates the writes.
+fn bench_partitioning() -> u64 {
+    let mut db: BTreeMap<ItemId, Entry<Value>> = BTreeMap::new();
+    for i in 0..6u64 {
+        let entry = if i % 2 == 0 {
+            Entry::in_doubt(
+                Entry::Simple(Value::Int(100 + i as i64)),
+                Entry::Simple(Value::Int(50 + i as i64)),
+                TxnId(100 + i),
+            )
+        } else {
+            Entry::Simple(Value::Int(75))
+        };
+        db.insert(ItemId(i), entry);
+    }
+    let mut spec = TransactionSpec::new().guard(
+        Expr::read(ItemId(0))
+            .add(Expr::read(ItemId(2)))
+            .add(Expr::read(ItemId(4)))
+            .ge(Expr::int(200)),
+    );
+    for i in 0..6u64 {
+        spec = spec.update(ItemId(i), Expr::read(ItemId(i)).add(Expr::int(1)));
+    }
+    let mut sink = 0u64;
+    for mode in [SplitMode::Lazy, SplitMode::Eager] {
+        let out = evaluate(&spec, &db, mode).expect("evaluation succeeds");
+        let writes = out.collate_writes(&db).expect("collation succeeds");
+        sink = sink.wrapping_add(out.stats.alternatives as u64 + writes.len() as u64);
+    }
+    sink
+}
+
+// ---------------------------------------------------------------------------
+// JSON emit / baseline merge
+// ---------------------------------------------------------------------------
+
+/// Writes the suite JSON to `out_path`, merging the `baseline` column from
+/// `baseline_path` (the committed file) unless `record_baseline` is set.
+fn write_suite(
+    out_path: &Path,
+    baseline_path: &Path,
+    suite: &str,
+    results: &[BenchResult],
+    record_baseline: bool,
+) {
+    let committed = std::fs::read_to_string(baseline_path).unwrap_or_default();
+    let baselines = parse_baselines(&committed);
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!("  \"suite\": \"{suite}\",\n"));
+    body.push_str(
+        "  \"invocation\": \"cargo run --release -p pv-bench --bin hotpath\",\n",
+    );
+    body.push_str("  \"benches\": [\n");
+    for (idx, r) in results.iter().enumerate() {
+        let baseline = if record_baseline {
+            r.value
+        } else {
+            baselines
+                .iter()
+                .find(|(n, _)| n == r.name)
+                .map(|(_, b)| *b)
+                .unwrap_or(r.value)
+        };
+        let speedup = if r.value > 0.0 { baseline / r.value } else { 1.0 };
+        body.push_str("    {\n");
+        body.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        body.push_str(&format!("      \"description\": \"{}\",\n", r.description));
+        body.push_str(&format!("      \"unit\": \"{}\",\n", r.unit));
+        body.push_str(&format!("      \"baseline\": {:.2},\n", baseline));
+        body.push_str(&format!("      \"current\": {:.2},\n", r.value));
+        body.push_str(&format!("      \"speedup\": {:.3}\n", speedup));
+        body.push_str(if idx + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(out_path, body).expect("write bench json");
+    println!("wrote {}", out_path.display());
+}
+
+/// Extracts `(name, baseline)` pairs from a previously written suite file.
+/// The format is our own, so a two-key scan is exact — no JSON library needed.
+fn parse_baselines(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(i) = rest.find("\"name\": \"") {
+        rest = &rest[i + 9..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        let Some(j) = rest.find("\"baseline\": ") else { break };
+        rest = &rest[j + 12..];
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}

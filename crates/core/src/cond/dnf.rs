@@ -10,8 +10,33 @@
 use super::literal::Literal;
 use super::product::Product;
 use crate::txn::TxnId;
-use std::collections::{BTreeMap, BTreeSet};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+
+/// Per-outcome memo table: condition → substituted condition.
+type AssignMemo = HashMap<Condition, Condition>;
+
+/// Cap on conditions memoized per `(txn, outcome)` key; the table is cleared
+/// when full, so a pathological workload degrades to the uncached path
+/// instead of growing without bound.
+const ASSIGN_MEMO_CONDS: usize = 1024;
+
+/// Cap on distinct `(txn, outcome)` keys kept; decided transactions stop
+/// being substituted once their outcome has propagated, so old keys are dead
+/// weight and the whole cache is dropped when this many accumulate.
+const ASSIGN_MEMO_KEYS: usize = 256;
+
+thread_local! {
+    /// Memo for [`Condition::assign`]. Outcome substitution is the engine's
+    /// hottest condition operation — when a decision propagates, a site
+    /// substitutes the same `(txn, outcome)` into every entry it holds, and
+    /// entries overwhelmingly share conditions — so a hit rate near 1 is
+    /// typical. Thread-local (no locks) and bounded; purely a speed cache,
+    /// results are identical to [`Condition::assign_uncached`].
+    static ASSIGN_MEMO: RefCell<HashMap<(TxnId, bool), AssignMemo>> =
+        RefCell::new(HashMap::new());
+}
 
 /// A boolean predicate over transaction identifiers, kept in canonical
 /// sum-of-products form.
@@ -153,7 +178,43 @@ impl Condition {
     }
 
     /// Substitutes a known outcome for transaction `txn` and re-simplifies.
+    ///
+    /// Memoized per thread: repeated substitution of the same outcome into
+    /// the same condition (the shape of outcome propagation across a site's
+    /// entries) is answered from a bounded cache. Semantically identical to
+    /// [`Condition::assign_uncached`].
     pub fn assign(&self, txn: TxnId, completed: bool) -> Condition {
+        // Constants and conditions that don't mention the variable are
+        // returned directly — cheaper than hashing into the memo.
+        if self.is_false() || self.is_true() {
+            return self.clone();
+        }
+        if !self.products.iter().any(|p| p.polarity_of(txn).is_some()) {
+            return self.clone();
+        }
+        ASSIGN_MEMO.with(|memo| {
+            let mut memo = memo.borrow_mut();
+            if memo.len() >= ASSIGN_MEMO_KEYS {
+                memo.clear();
+            }
+            let table = memo.entry((txn, completed)).or_default();
+            if let Some(hit) = table.get(self) {
+                return hit.clone();
+            }
+            let result = self.assign_uncached(txn, completed);
+            if table.len() >= ASSIGN_MEMO_CONDS {
+                table.clear();
+            }
+            table.insert(self.clone(), result.clone());
+            result
+        })
+    }
+
+    /// The uncached reference implementation of [`Condition::assign`].
+    ///
+    /// Exposed so differential tests can check the memoized path against a
+    /// direct recomputation; production code should call `assign`.
+    pub fn assign_uncached(&self, txn: TxnId, completed: bool) -> Condition {
         let products = self
             .products
             .iter()
@@ -249,12 +310,23 @@ impl Condition {
     fn absorb(&mut self) {
         self.products.sort();
         self.products.dedup();
+        // After dedup, subsumption is a strict partial order, so checking
+        // only against *kept* products is exact: anything that subsumed a
+        // dropped product is itself subsumed by a kept one (transitivity).
         let ps = std::mem::take(&mut self.products);
+        let mut keep = vec![true; ps.len()];
+        for i in 0..ps.len() {
+            for (j, q) in ps.iter().enumerate() {
+                if i != j && keep[j] && q.subsumes(&ps[i]) {
+                    keep[i] = false;
+                    break;
+                }
+            }
+        }
         self.products = ps
-            .iter()
-            .enumerate()
-            .filter(|(i, p)| !ps.iter().enumerate().any(|(j, q)| *i != j && q.subsumes(p)))
-            .map(|(_, p)| p.clone())
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(p, k)| k.then_some(p))
             .collect();
     }
 }

@@ -2,8 +2,96 @@
 
 use super::literal::Literal;
 use crate::txn::TxnId;
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// How many literals a product stores inline before spilling to the heap.
+///
+/// Real polyvalue conditions are tiny — an in-doubt pair is one literal, and
+/// even chained uncertainty rarely conjoins more than three — so four inline
+/// slots make the overwhelmingly common case allocation-free.
+const INLINE: usize = 4;
+
+/// The literal storage: a sorted, duplicate-free run of `(variable,
+/// polarity)` pairs, inline up to [`INLINE`] entries.
+///
+/// The pair order is ascending by variable, which makes slice comparison
+/// agree with the lexicographic `(key, value)` order a `BTreeMap` would give
+/// — the canonical product order is therefore representation-independent.
+#[derive(Debug, Clone)]
+enum Lits {
+    /// Up to [`INLINE`] literals stored in place.
+    Inline {
+        /// Number of live pairs in `buf`.
+        len: u8,
+        /// The pairs; only `buf[..len]` is meaningful.
+        buf: [(TxnId, bool); INLINE],
+    },
+    /// More than [`INLINE`] literals, spilled to a heap vector.
+    Heap(Vec<(TxnId, bool)>),
+}
+
+const EMPTY_BUF: [(TxnId, bool); INLINE] = [(TxnId(0), false); INLINE];
+
+impl Lits {
+    fn empty() -> Lits {
+        Lits::Inline {
+            len: 0,
+            buf: EMPTY_BUF,
+        }
+    }
+
+    fn as_slice(&self) -> &[(TxnId, bool)] {
+        match self {
+            Lits::Inline { len, buf } => &buf[..*len as usize],
+            Lits::Heap(v) => v,
+        }
+    }
+}
+
+/// Accumulates sorted pairs, staying inline while they fit.
+struct Builder {
+    len: usize,
+    buf: [(TxnId, bool); INLINE],
+    spill: Vec<(TxnId, bool)>,
+}
+
+impl Builder {
+    fn new() -> Builder {
+        Builder {
+            len: 0,
+            buf: EMPTY_BUF,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends a pair; the caller pushes in ascending variable order.
+    fn push(&mut self, pair: (TxnId, bool)) {
+        if self.spill.is_empty() && self.len < INLINE {
+            self.buf[self.len] = pair;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.reserve(self.len + 4);
+                self.spill.extend_from_slice(&self.buf[..self.len]);
+            }
+            self.spill.push(pair);
+        }
+    }
+
+    fn finish(self) -> Lits {
+        if self.spill.is_empty() {
+            Lits::Inline {
+                len: self.len as u8,
+                buf: self.buf,
+            }
+        } else {
+            Lits::Heap(self.spill)
+        }
+    }
+}
 
 /// A conjunction of literals, each over a distinct transaction variable.
 ///
@@ -12,6 +100,10 @@ use std::fmt;
 /// contain both a variable and its negation: conjunction with a complementary
 /// literal yields `None` (the constant `false`), so contradictory products are
 /// unrepresentable.
+///
+/// Literals are kept as a sorted small-vector (inline up to four pairs), so
+/// the common one- and two-literal products of in-doubt conditions are
+/// allocation-free and all set operations are linear merges.
 ///
 /// # Examples
 ///
@@ -26,23 +118,59 @@ use std::fmt;
 /// // Conjoining with ¬T1 contradicts T1:
 /// assert!(p.and_literal(t1.negated()).is_none());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Debug, Clone)]
 pub struct Product {
-    /// Map from variable to polarity (`true` = positive literal).
-    literals: BTreeMap<TxnId, bool>,
+    /// Sorted `(variable, polarity)` pairs (`true` = positive literal).
+    literals: Lits,
+}
+
+impl PartialEq for Product {
+    fn eq(&self, other: &Self) -> bool {
+        self.pairs() == other.pairs()
+    }
+}
+
+impl Eq for Product {}
+
+impl PartialOrd for Product {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Product {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.pairs().cmp(other.pairs())
+    }
+}
+
+impl Hash for Product {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.pairs().hash(state);
+    }
+}
+
+impl Default for Product {
+    fn default() -> Self {
+        Product::top()
+    }
 }
 
 impl Product {
     /// The empty product, the constant `true`.
     pub fn top() -> Self {
-        Product::default()
+        Product {
+            literals: Lits::empty(),
+        }
     }
 
     /// A product consisting of a single literal.
     pub fn unit(lit: Literal) -> Self {
-        let mut literals = BTreeMap::new();
-        literals.insert(lit.txn(), lit.is_positive());
-        Product { literals }
+        let mut buf = EMPTY_BUF;
+        buf[0] = (lit.txn(), lit.is_positive());
+        Product {
+            literals: Lits::Inline { len: 1, buf },
+        }
     }
 
     /// Builds a product from literals; `None` if any pair is contradictory.
@@ -54,19 +182,24 @@ impl Product {
         Some(p)
     }
 
+    /// The sorted `(variable, polarity)` pairs.
+    fn pairs(&self) -> &[(TxnId, bool)] {
+        self.literals.as_slice()
+    }
+
     /// Number of literals in the product.
     pub fn len(&self) -> usize {
-        self.literals.len()
+        self.pairs().len()
     }
 
     /// Whether this is the empty product (the constant `true`).
     pub fn is_empty(&self) -> bool {
-        self.literals.is_empty()
+        self.pairs().is_empty()
     }
 
     /// Iterates over the literals in variable order.
     pub fn literals(&self) -> impl Iterator<Item = Literal> + '_ {
-        self.literals.iter().map(|(&txn, &pos)| {
+        self.pairs().iter().map(|&(txn, pos)| {
             if pos {
                 Literal::positive(txn)
             } else {
@@ -77,61 +210,114 @@ impl Product {
 
     /// The polarity of `txn` in this product, if present.
     pub fn polarity_of(&self, txn: TxnId) -> Option<bool> {
-        self.literals.get(&txn).copied()
+        let pairs = self.pairs();
+        pairs
+            .binary_search_by_key(&txn, |&(t, _)| t)
+            .ok()
+            .map(|i| pairs[i].1)
     }
 
     /// Conjoins a literal; `None` if the result is contradictory.
     pub fn and_literal(&self, lit: Literal) -> Option<Self> {
-        match self.literals.get(&lit.txn()) {
-            Some(&pos) if pos != lit.is_positive() => None,
-            Some(_) => Some(self.clone()),
-            None => {
-                let mut next = self.clone();
-                next.literals.insert(lit.txn(), lit.is_positive());
-                Some(next)
+        let pairs = self.pairs();
+        match pairs.binary_search_by_key(&lit.txn(), |&(t, _)| t) {
+            Ok(i) if pairs[i].1 != lit.is_positive() => None,
+            Ok(_) => Some(self.clone()),
+            Err(at) => {
+                let mut b = Builder::new();
+                for &p in &pairs[..at] {
+                    b.push(p);
+                }
+                b.push((lit.txn(), lit.is_positive()));
+                for &p in &pairs[at..] {
+                    b.push(p);
+                }
+                Some(Product {
+                    literals: b.finish(),
+                })
             }
         }
     }
 
     /// Conjoins two products; `None` if the result is contradictory.
     pub fn and(&self, other: &Product) -> Option<Self> {
-        // Iterate over the smaller product for efficiency.
-        let (small, large) = if self.len() <= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        let mut out = large.clone();
-        for (&txn, &pos) in &small.literals {
-            match out.literals.get(&txn) {
-                Some(&existing) if existing != pos => return None,
-                Some(_) => {}
-                None => {
-                    out.literals.insert(txn, pos);
+        let (a, b) = (self.pairs(), other.pairs());
+        if b.is_empty() {
+            return Some(self.clone());
+        }
+        if a.is_empty() {
+            return Some(other.clone());
+        }
+        // Sorted two-pointer merge; a polarity clash on a shared variable is
+        // the contradiction case.
+        let mut out = Builder::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    if a[i].1 != b[j].1 {
+                        return None;
+                    }
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
                 }
             }
         }
-        Some(out)
+        for &p in &a[i..] {
+            out.push(p);
+        }
+        for &p in &b[j..] {
+            out.push(p);
+        }
+        Some(Product {
+            literals: out.finish(),
+        })
     }
 
     /// Whether this product subsumes `other`: every literal of `self` appears
     /// in `other`, so `other` implies `self` and `self ∨ other = self`.
     pub fn subsumes(&self, other: &Product) -> bool {
-        if self.len() > other.len() {
+        let (a, b) = (self.pairs(), other.pairs());
+        if a.len() > b.len() {
             return false;
         }
-        self.literals
-            .iter()
-            .all(|(txn, pos)| other.literals.get(txn) == Some(pos))
+        // Sorted subset check, two pointers.
+        let mut j = 0;
+        'outer: for &(txn, pos) in a {
+            while j < b.len() {
+                match b[j].0.cmp(&txn) {
+                    Ordering::Less => j += 1,
+                    Ordering::Equal => {
+                        if b[j].1 != pos {
+                            return false;
+                        }
+                        j += 1;
+                        continue 'outer;
+                    }
+                    Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
     }
 
     /// Evaluates the product under a complete truth assignment.
     ///
     /// Variables missing from `assignment` are treated as `false` (aborted).
     pub fn eval(&self, assignment: &BTreeMap<TxnId, bool>) -> bool {
-        self.literals
+        self.pairs()
             .iter()
-            .all(|(txn, &pos)| assignment.get(txn).copied().unwrap_or(false) == pos)
+            .all(|&(txn, pos)| assignment.get(&txn).copied().unwrap_or(false) == pos)
     }
 
     /// Substitutes a truth value for `txn`.
@@ -139,20 +325,27 @@ impl Product {
     /// Returns `Some(product)` with the literal removed if the substitution is
     /// consistent, or `None` if it falsifies the product.
     pub fn assign(&self, txn: TxnId, value: bool) -> Option<Self> {
-        match self.literals.get(&txn) {
-            None => Some(self.clone()),
-            Some(&pos) if pos == value => {
-                let mut next = self.clone();
-                next.literals.remove(&txn);
-                Some(next)
+        let pairs = self.pairs();
+        match pairs.binary_search_by_key(&txn, |&(t, _)| t) {
+            Err(_) => Some(self.clone()),
+            Ok(i) if pairs[i].1 == value => {
+                let mut b = Builder::new();
+                for (k, &p) in pairs.iter().enumerate() {
+                    if k != i {
+                        b.push(p);
+                    }
+                }
+                Some(Product {
+                    literals: b.finish(),
+                })
             }
-            Some(_) => None,
+            Ok(_) => None,
         }
     }
 
     /// The set of variables mentioned by the product, in order.
     pub fn vars(&self) -> impl Iterator<Item = TxnId> + '_ {
-        self.literals.keys().copied()
+        self.pairs().iter().map(|&(txn, _)| txn)
     }
 
     /// The consensus of two products, if defined.
@@ -163,26 +356,67 @@ impl Product {
     /// yields the Blake canonical form (the set of all prime implicants),
     /// which [`super::Condition`] uses as its unique normal form.
     pub fn consensus(&self, other: &Product) -> Option<Product> {
+        let (a, b) = (self.pairs(), other.pairs());
+        // First pass: find the unique clashing variable, if any.
         let mut clash: Option<TxnId> = None;
-        for (txn, pos) in &self.literals {
-            if let Some(&opos) = other.literals.get(txn) {
-                if opos != *pos {
-                    if clash.is_some() {
-                        return None;
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    if a[i].1 != b[j].1 {
+                        if clash.is_some() {
+                            return None;
+                        }
+                        clash = Some(a[i].0);
                     }
-                    clash = Some(*txn);
+                    i += 1;
+                    j += 1;
                 }
             }
         }
         let clash = clash?;
-        let mut literals = self.literals.clone();
-        literals.remove(&clash);
-        for (&txn, &pos) in &other.literals {
-            if txn != clash {
-                literals.insert(txn, pos);
+        // Second pass: merge both sides, skipping the clash variable. No
+        // polarity conflicts remain by construction.
+        let mut out = Builder::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                Ordering::Less => {
+                    if a[i].0 != clash {
+                        out.push(a[i]);
+                    }
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    if b[j].0 != clash {
+                        out.push(b[j]);
+                    }
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    if a[i].0 != clash {
+                        out.push(a[i]);
+                    }
+                    i += 1;
+                    j += 1;
+                }
             }
         }
-        Some(Product { literals })
+        for &p in &a[i..] {
+            if p.0 != clash {
+                out.push(p);
+            }
+        }
+        for &p in &b[j..] {
+            if p.0 != clash {
+                out.push(p);
+            }
+        }
+        Some(Product {
+            literals: out.finish(),
+        })
     }
 }
 
@@ -278,5 +512,55 @@ mod tests {
     fn display_orders_by_variable() {
         let p = Product::from_literals([neg(2), pos(1)]).unwrap();
         assert_eq!(p.to_string(), "T1∧¬T2");
+    }
+
+    #[test]
+    fn spill_to_heap_preserves_semantics() {
+        // Six literals exceed the inline capacity; every operation must agree
+        // with the inline representation's behaviour.
+        let lits: Vec<Literal> = (0..6).map(|n| if n % 2 == 0 { pos(n) } else { neg(n) }).collect();
+        let p = Product::from_literals(lits.clone()).unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.polarity_of(TxnId(2)), Some(true));
+        assert_eq!(p.polarity_of(TxnId(3)), Some(false));
+        let q = p.assign(TxnId(0), true).unwrap();
+        assert_eq!(q.len(), 5);
+        assert!(p.assign(TxnId(0), false).is_none());
+        // Round-trip through literals() preserves order and content.
+        let round = Product::from_literals(p.literals()).unwrap();
+        assert_eq!(round, p);
+        // A small product subsumes the big one when its literals agree.
+        let small = Product::from_literals([pos(0), neg(1)]).unwrap();
+        assert!(small.subsumes(&p));
+        assert!(!p.subsumes(&small));
+    }
+
+    #[test]
+    fn ordering_matches_pairwise_lexicographic() {
+        // The canonical product order must be the (variable, polarity)
+        // lexicographic order a BTreeMap iteration would produce.
+        let a = Product::from_literals([pos(1)]).unwrap();
+        let b = Product::from_literals([pos(1), neg(2)]).unwrap();
+        let c = Product::from_literals([pos(2)]).unwrap();
+        assert!(a < b, "prefix sorts before its extension");
+        assert!(b < c, "variable order dominates");
+        let mut v = vec![c.clone(), b.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+
+    #[test]
+    fn consensus_on_heap_products() {
+        // (T0∧T1∧T2∧T3∧T4) and (¬T0∧T1∧T2∧T3∧T5) clash only on T0.
+        let a = Product::from_literals([pos(0), pos(1), pos(2), pos(3), pos(4)]).unwrap();
+        let b = Product::from_literals([neg(0), pos(1), pos(2), pos(3), pos(5)]).unwrap();
+        let c = a.consensus(&b).unwrap();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.polarity_of(TxnId(0)), None);
+        assert_eq!(c.polarity_of(TxnId(4)), Some(true));
+        assert_eq!(c.polarity_of(TxnId(5)), Some(true));
+        // Two clashes → no consensus.
+        let d = Product::from_literals([neg(0), neg(1), pos(2)]).unwrap();
+        assert!(a.consensus(&d).is_none());
     }
 }

@@ -176,6 +176,59 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
+    /// Differential: the memoized `assign` agrees with the uncached
+    /// reference path on arbitrary conditions. The memo is a pure speed
+    /// cache, so the two must be *structurally* identical, not just
+    /// semantically equivalent.
+    #[test]
+    fn memoized_assign_matches_uncached(f in formula(), var in 0..VARS, value: bool) {
+        let cond = f.to_condition();
+        let fast = cond.assign(TxnId(var), value);
+        let slow = cond.assign_uncached(TxnId(var), value);
+        prop_assert_eq!(&fast, &slow);
+        // Asking again must serve the (now cached) answer unchanged.
+        prop_assert_eq!(cond.assign(TxnId(var), value), slow);
+    }
+
+    /// Differential: chained substitution (the §3.3 outcome-propagation
+    /// pattern, where each result feeds the next lookup) stays in lockstep
+    /// with the uncached path for every prefix of the outcome sequence.
+    #[test]
+    fn memoized_assign_chain_matches_uncached(f in formula(), outcome_bits in 0u32..(1 << VARS)) {
+        let mut fast = f.to_condition();
+        let mut slow = fast.clone();
+        for v in 0..VARS {
+            let value = outcome_bits & (1 << v) != 0;
+            fast = fast.assign(TxnId(v), value);
+            slow = slow.assign_uncached(TxnId(v), value);
+            prop_assert_eq!(&fast, &slow, "diverged after assigning T{}", v);
+        }
+        // All variables substituted: the condition is now a constant.
+        prop_assert!(fast.is_true() || fast.is_false());
+    }
+
+    /// Differential: both assign paths agree with semantic restriction on
+    /// conditions wider than the inline literal capacity (exercising the
+    /// heap-spilled product representation).
+    #[test]
+    fn memoized_assign_matches_on_wide_products(bits in 0u64..(1 << 6), var in 0u64..6, value: bool) {
+        // One product of six literals (spills the inline small-vec) plus a
+        // couple of overlapping narrower products.
+        use pv_core::{Literal, Product};
+        let wide = Product::from_literals((0..6).map(|v| {
+            if bits & (1 << v) != 0 { Literal::positive(TxnId(v)) } else { Literal::negative(TxnId(v)) }
+        })).expect("distinct variables never contradict");
+        let narrow_a = Product::from_literals([Literal::positive(TxnId(0)), Literal::negative(TxnId(5))]);
+        let narrow_b = Product::from_literals([Literal::negative(TxnId(1))]);
+        let cond = Condition::from_products(
+            [Some(wide), narrow_a, narrow_b].into_iter().flatten(),
+        );
+        prop_assert_eq!(
+            cond.assign(TxnId(var), value),
+            cond.assign_uncached(TxnId(var), value)
+        );
+    }
+
     /// Rendering a condition and parsing it back yields the same condition
     /// (Display and the parser are inverse up to canonicalisation, which
     /// Display's input already has).

@@ -96,6 +96,135 @@ fn resolve_db(db: &Db, a: &BTreeMap<TxnId, bool>) -> BTreeMap<ItemId, Value> {
         .collect()
 }
 
+/// Replays of the shrunk inputs recorded in
+/// `prop_eval.proptest-regressions`. The vendored proptest shim does not
+/// read that file, so the historical failure cases are reconstructed here as
+/// plain tests — they run in CI regardless of `PROPTEST_CASES`.
+mod regressions {
+    use super::*;
+
+    /// Runs one (db, spec) pair through the invariants the property suite
+    /// checks: lazy/eager agreement, alternative-condition validity, and
+    /// commutation of polyevaluation with resolution.
+    fn check(db: &Db, spec: &TransactionSpec) {
+        let lazy = evaluate(spec, db, SplitMode::Lazy).unwrap();
+        let eager = evaluate(spec, db, SplitMode::Eager).unwrap();
+        assert_eq!(
+            lazy.collate_writes(db).unwrap(),
+            eager.collate_writes(db).unwrap()
+        );
+        assert_eq!(
+            lazy.collate_outputs().unwrap(),
+            eager.collate_outputs().unwrap()
+        );
+        let conds: Vec<&Condition> = lazy.alts.iter().map(|a| &a.cond).collect();
+        assert!(Condition::complete(conds.iter().copied()));
+        assert!(Condition::pairwise_disjoint(&conds));
+
+        let writes = lazy.collate_writes(db).unwrap();
+        let outputs = lazy.collate_outputs().unwrap();
+        for a in all_assignments() {
+            let plain = resolve_db(db, &a);
+            let plain_entries: Db = plain
+                .iter()
+                .map(|(i, v)| (*i, Entry::Simple(v.clone())))
+                .collect();
+            let reference = evaluate(spec, &plain_entries, SplitMode::Lazy).unwrap();
+            assert_eq!(reference.alts.len(), 1);
+            let ref_alt = &reference.alts[0];
+            for (item, entry) in &writes {
+                let expect = ref_alt
+                    .writes
+                    .get(item)
+                    .cloned()
+                    .unwrap_or_else(|| plain[item].clone());
+                assert_eq!(entry.resolve(&a), Some(&expect));
+            }
+            for (idx, (name, entry)) in outputs.iter().enumerate() {
+                let (ref_name, ref_val) = &ref_alt.outputs[idx];
+                assert_eq!(name, ref_name);
+                assert_eq!(entry.resolve(&a), Some(ref_val));
+            }
+        }
+    }
+
+    /// Shrunk input of `polyeval_commutes_with_resolution`: an output-only
+    /// transaction whose nested conditional reads two distinct polyvalued
+    /// items on different branches.
+    #[test]
+    fn nested_conditional_over_two_polyvalues() {
+        let db: Db = [
+            (ItemId(0), Entry::Simple(Value::Int(2))),
+            (ItemId(1), Entry::Simple(Value::Int(0))),
+            (
+                ItemId(2),
+                Entry::in_doubt(
+                    Entry::Simple(Value::Int(0)),
+                    Entry::Simple(Value::Int(2)),
+                    TxnId(1),
+                ),
+            ),
+            (
+                ItemId(3),
+                Entry::in_doubt(
+                    Entry::Simple(Value::Int(1)),
+                    Entry::Simple(Value::Int(0)),
+                    TxnId(0),
+                ),
+            ),
+        ]
+        .into();
+        let o0 = Expr::ite(
+            Expr::int(2).add(Expr::int(1)).lt(Expr::int(3)),
+            Expr::ite(
+                Expr::int(0).lt(Expr::int(3)),
+                Expr::read(ItemId(2)),
+                Expr::int(0),
+            ),
+            Expr::int(0).add(Expr::int(0).add(Expr::read(ItemId(3)))),
+        );
+        let spec = TransactionSpec::new().output("o0", o0);
+        check(&db, &spec);
+    }
+
+    /// Shrunk input of `polyeval_commutes_with_resolution`: a polyvalued
+    /// guard over items 0/2/3 gating updates that write a polyvalued item
+    /// and read another in the same transaction.
+    #[test]
+    fn polyvalued_guard_gating_updates() {
+        let db: Db = [
+            (ItemId(0), Entry::Simple(Value::Int(0))),
+            (
+                ItemId(1),
+                Entry::in_doubt(
+                    Entry::Simple(Value::Int(1)),
+                    Entry::Simple(Value::Int(0)),
+                    TxnId(0),
+                ),
+            ),
+            (ItemId(2), Entry::Simple(Value::Int(0))),
+            (
+                ItemId(3),
+                Entry::in_doubt(
+                    Entry::Simple(Value::Int(4)),
+                    Entry::Simple(Value::Int(2)),
+                    TxnId(1),
+                ),
+            ),
+        ]
+        .into();
+        let guard = Expr::read(ItemId(3))
+            .max(Expr::int(0))
+            .sub(Expr::read(ItemId(2)).sub(Expr::read(ItemId(0))))
+            .lt(Expr::int(4));
+        let spec = TransactionSpec::new()
+            .guard(guard)
+            .update(ItemId(1), Expr::int(2).max(Expr::int(0)))
+            .update(ItemId(2), Expr::read(ItemId(1)).min(Expr::int(0)));
+        check(&db, &spec);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 

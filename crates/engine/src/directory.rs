@@ -29,7 +29,7 @@ impl Directory {
     }
 
     /// Groups items by home site, preserving the input order within a site.
-    pub fn group_by_site<T: Copy, I: IntoIterator<Item = (ItemId, T)>>(
+    pub fn group_by_site<T, I: IntoIterator<Item = (ItemId, T)>>(
         &self,
         items: I,
     ) -> BTreeMap<SiteId, Vec<(ItemId, T)>> {

@@ -6,9 +6,72 @@
 //! with backoff. Under the polyvalue protocol locks are released as soon as
 //! the site installs in-doubt polyvalues — that early release is exactly the
 //! availability the paper buys; the blocking baseline keeps them.
+//!
+//! The table is *sharded*: items hash (with a deterministic, seed-free
+//! hasher) onto [`SHARDS`] independent hash maps, so a lookup touches one
+//! small map instead of one big ordered tree. Determinism note: no code path
+//! ever iterates a shard map — every multi-item answer ([`release_all`],
+//! [`conflicts`]) is produced from per-transaction `BTreeSet`s and is sorted
+//! — so the (unspecified) hash-map iteration order can never leak into
+//! engine behaviour.
+//!
+//! [`release_all`]: LockTable::release_all
+//! [`conflicts`]: LockTable::conflicts
 
 use pv_core::{ItemId, TxnId};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{BuildHasher, Hasher};
+
+/// Number of shards; a power of two so the shard index is a mask.
+const SHARDS: usize = 16;
+
+/// An FxHash-style multiply-rotate hasher. Deterministic across processes
+/// and platforms (unlike `RandomState`), so sharding and map layout are
+/// reproducible — and no per-process seed can perturb anything observable.
+#[derive(Debug, Clone, Default)]
+pub struct DetHasher(u64);
+
+impl Hasher for DetHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+impl DetHasher {
+    fn mix(&mut self, word: u64) {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+/// [`BuildHasher`] for [`DetHasher`] (zero state, fully deterministic).
+#[derive(Debug, Clone, Default)]
+pub struct DetState;
+
+impl BuildHasher for DetState {
+    type Hasher = DetHasher;
+
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher::default()
+    }
+}
+
+/// A hash map keyed with the deterministic hasher.
+type DetMap<K, V> = HashMap<K, V, DetState>;
 
 /// The lock state of one item.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,8 +85,15 @@ enum LockState {
 /// A site's lock table.
 #[derive(Debug, Clone, Default)]
 pub struct LockTable {
-    locks: BTreeMap<ItemId, LockState>,
-    held: BTreeMap<TxnId, BTreeSet<ItemId>>,
+    shards: [DetMap<ItemId, LockState>; SHARDS],
+    held: DetMap<TxnId, BTreeSet<ItemId>>,
+}
+
+/// The shard an item belongs to.
+fn shard_of(item: ItemId) -> usize {
+    let mut h = DetHasher::default();
+    h.write_u64(item.0);
+    (h.finish() as usize) & (SHARDS - 1)
 }
 
 impl LockTable {
@@ -32,12 +102,21 @@ impl LockTable {
         LockTable::default()
     }
 
+    fn shard(&self, item: ItemId) -> &DetMap<ItemId, LockState> {
+        &self.shards[shard_of(item)]
+    }
+
+    fn shard_mut(&mut self, item: ItemId) -> &mut DetMap<ItemId, LockState> {
+        &mut self.shards[shard_of(item)]
+    }
+
     /// Tries to acquire a shared lock; `false` on conflict (no-wait).
     /// Re-acquiring a lock the transaction already holds succeeds.
     pub fn try_read(&mut self, txn: TxnId, item: ItemId) -> bool {
-        match self.locks.get_mut(&item) {
+        match self.shard_mut(item).get_mut(&item) {
             None => {
-                self.locks.insert(item, LockState::Read([txn].into()));
+                self.shard_mut(item)
+                    .insert(item, LockState::Read([txn].into()));
             }
             Some(LockState::Read(readers)) => {
                 readers.insert(txn);
@@ -55,9 +134,9 @@ impl LockTable {
     /// Tries to acquire an exclusive lock; `false` on conflict. A
     /// transaction that is the *sole* reader of the item upgrades in place.
     pub fn try_write(&mut self, txn: TxnId, item: ItemId) -> bool {
-        match self.locks.get_mut(&item) {
+        match self.shard_mut(item).get_mut(&item) {
             None => {
-                self.locks.insert(item, LockState::Write(txn));
+                self.shard_mut(item).insert(item, LockState::Write(txn));
             }
             Some(LockState::Write(owner)) => {
                 if *owner != txn {
@@ -80,9 +159,10 @@ impl LockTable {
     }
 
     /// The transactions that would block `txn` from taking `item` in the
-    /// given mode (empty = acquirable). Used by wound-wait to pick victims.
+    /// given mode (empty = acquirable), in ascending order. Used by
+    /// wound-wait to pick victims.
     pub fn conflicts(&self, txn: TxnId, item: ItemId, exclusive: bool) -> Vec<TxnId> {
-        match self.locks.get(&item) {
+        match self.shard(item).get(&item) {
             None => Vec::new(),
             Some(LockState::Write(owner)) => {
                 if *owner == txn {
@@ -100,20 +180,21 @@ impl LockTable {
         }
     }
 
-    /// Releases every lock held by `txn`; returns the items released.
+    /// Releases every lock held by `txn`; returns the items released, in
+    /// ascending order.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<ItemId> {
         let Some(items) = self.held.remove(&txn) else {
             return Vec::new();
         };
         for &item in &items {
-            match self.locks.get_mut(&item) {
+            match self.shards[shard_of(item)].get_mut(&item) {
                 Some(LockState::Write(owner)) if *owner == txn => {
-                    self.locks.remove(&item);
+                    self.shards[shard_of(item)].remove(&item);
                 }
                 Some(LockState::Read(readers)) => {
                     readers.remove(&txn);
                     if readers.is_empty() {
-                        self.locks.remove(&item);
+                        self.shards[shard_of(item)].remove(&item);
                     }
                 }
                 _ => {}
@@ -129,17 +210,19 @@ impl LockTable {
 
     /// Whether `item` is locked at all.
     pub fn is_locked(&self, item: ItemId) -> bool {
-        self.locks.contains_key(&item)
+        self.shard(item).contains_key(&item)
     }
 
     /// Number of currently locked items.
     pub fn locked_count(&self) -> usize {
-        self.locks.len()
+        self.shards.iter().map(HashMap::len).sum()
     }
 
     /// Drops every lock (volatile state lost in a crash).
     pub fn clear(&mut self) {
-        self.locks.clear();
+        for shard in &mut self.shards {
+            shard.clear();
+        }
         self.held.clear();
     }
 }
@@ -259,6 +342,33 @@ mod tests {
             assert!(l.try_write(t(round), i(1)), "round {round}");
             l.release_all(t(round));
         }
+        assert_eq!(l.locked_count(), 0);
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_spreads_items() {
+        // The same item always lands on the same shard (the hasher has no
+        // per-process seed), and a run of item ids uses more than one shard.
+        let shards: Vec<usize> = (0..64).map(|n| shard_of(i(n))).collect();
+        let again: Vec<usize> = (0..64).map(|n| shard_of(i(n))).collect();
+        assert_eq!(shards, again);
+        let distinct: BTreeSet<usize> = shards.iter().copied().collect();
+        assert!(distinct.len() > SHARDS / 2, "64 items must spread widely");
+    }
+
+    #[test]
+    fn cross_shard_release_stays_sorted() {
+        // A transaction holding items on many shards must still release them
+        // in ascending item order, whatever the shard layout.
+        let mut l = LockTable::new();
+        let items: Vec<ItemId> = (0..40).rev().map(i).collect();
+        for &item in &items {
+            assert!(l.try_write(t(1), item));
+        }
+        assert_eq!(l.locked_count(), 40);
+        let released = l.release_all(t(1));
+        let expected: Vec<ItemId> = (0..40).map(i).collect();
+        assert_eq!(released, expected);
         assert_eq!(l.locked_count(), 0);
     }
 }

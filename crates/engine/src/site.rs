@@ -42,7 +42,10 @@ struct Coord {
     req_id: u64,
     spec: TransactionSpec,
     phase: CoordPhase,
-    expected_reads: BTreeMap<SiteId, Vec<(ItemId, AccessMode)>>,
+    /// The sites asked for reads (only the site set is needed after the
+    /// requests go out; keeping the per-site item lists would mean cloning
+    /// them once per transaction for no reader).
+    read_sites: BTreeSet<SiteId>,
     entries: BTreeMap<ItemId, Entry<Value>>,
     responded: BTreeSet<SiteId>,
     write_sites: BTreeSet<SiteId>,
@@ -301,7 +304,7 @@ impl Site {
             req_id,
             spec,
             phase: CoordPhase::Reading,
-            expected_reads: groups.clone(),
+            read_sites: groups.keys().copied().collect(),
             entries: BTreeMap::new(),
             responded: BTreeSet::new(),
             write_sites: BTreeSet::new(),
@@ -333,7 +336,7 @@ impl Site {
         }
         coord.entries.extend(entries);
         coord.responded.insert(from);
-        if coord.responded.len() == coord.expected_reads.len() {
+        if coord.responded.len() == coord.read_sites.len() {
             self.evaluate_and_prepare(ctx, txn);
         }
     }
@@ -385,7 +388,7 @@ impl Site {
             self.store.record_decision(txn, true);
             let coord = self.coords.remove(&txn).expect("checked above");
             self.note_decided(ctx, txn, &coord, true);
-            for &site in coord.expected_reads.keys() {
+            for &site in &coord.read_sites {
                 ctx.send(
                     site_node(site),
                     Msg::Decision {
@@ -398,9 +401,10 @@ impl Site {
             self.deliver_result(ctx, coord.client, coord.req_id, result);
             return;
         }
-        let groups = self
-            .directory
-            .group_by_site(writes.iter().map(|(&item, entry)| (item, entry)));
+        // Group the *owned* entries: each write is shipped to exactly one
+        // site, so moving them into the per-site groups skips an entry clone
+        // per prepared item.
+        let groups = self.directory.group_by_site(writes);
         coord.phase = CoordPhase::Preparing;
         coord.write_sites = groups.keys().copied().collect();
         coord.pending_result = Some(result);
@@ -422,13 +426,11 @@ impl Site {
             self.ensure_inquire(ctx);
         }
         for (site, items) in groups {
-            let writes_for_site: Vec<(ItemId, Entry<Value>)> =
-                items.into_iter().map(|(i, e)| (i, e.clone())).collect();
             ctx.send(
                 site_node(site),
                 Msg::Prepare {
                     txn,
-                    writes: writes_for_site,
+                    writes: items,
                 },
             );
         }
@@ -450,9 +452,8 @@ impl Site {
         self.store.record_decision(txn, true);
         let coord = self.coords.remove(&txn).expect("checked above");
         self.note_decided(ctx, txn, &coord, true);
-        let mut all_sites: BTreeSet<SiteId> = coord.expected_reads.keys().copied().collect();
-        all_sites.extend(coord.write_sites.iter().copied());
-        for site in all_sites {
+        // Sorted union without building a scratch set per decision.
+        for &site in coord.read_sites.union(&coord.write_sites) {
             ctx.send(
                 site_node(site),
                 Msg::Decision {
@@ -532,9 +533,7 @@ impl Site {
         };
         self.store.record_decision(txn, false);
         self.note_decided(ctx, txn, &coord, false);
-        let mut all_sites: BTreeSet<SiteId> = coord.expected_reads.keys().copied().collect();
-        all_sites.extend(coord.write_sites.iter().copied());
-        for site in all_sites {
+        for &site in coord.read_sites.union(&coord.write_sites) {
             ctx.send(
                 site_node(site),
                 Msg::Decision {

@@ -13,6 +13,19 @@ const SITES: u32 = 4;
 const ACCOUNTS: u64 = 40;
 const INITIAL: i64 = 1_000;
 
+// Soak seeds are pinned, not drawn from entropy: every run of a test here is
+// the *same* run (the simulator is deterministic), so the suite cannot
+// flake. Each constant was vetted to produce the chaos pattern its test
+// asserts on — crashes actually occur, in-doubt transactions actually
+// appear. Changing a seed requires re-vetting those assertions.
+const SEED_POLY_CONVERGES: u64 = 42;
+const SEED_BLOCKING_CONSERVES: u64 = 43;
+const SEED_AVAILABILITY_RACE: u64 = 44;
+const SEED_RELAXED_SETTLES: u64 = 45;
+const SEED_RMW_WORKLOAD: u64 = 7;
+const SEED_RMW_CHAOS: u64 = 99;
+const SEED_REPRODUCIBILITY: u64 = 46;
+
 fn chaos_cluster(protocol: CommitProtocol, seed: u64) -> Cluster {
     let mut builder = ClusterBuilder::new(SITES, Directory::Mod(SITES))
         .seed(seed)
@@ -61,7 +74,7 @@ fn run_chaos_then_settle(protocol: CommitProtocol, seed: u64) -> (Cluster, u64) 
 
 #[test]
 fn polyvalue_protocol_converges_and_conserves_money() {
-    let (cluster, _) = run_chaos_then_settle(CommitProtocol::Polyvalue, 42);
+    let (cluster, _) = run_chaos_then_settle(CommitProtocol::Polyvalue, SEED_POLY_CONVERGES);
     let m = cluster.world.metrics();
     assert!(
         m.counter("node.crashes") > 0,
@@ -91,7 +104,7 @@ fn polyvalue_protocol_converges_and_conserves_money() {
 
 #[test]
 fn blocking_protocol_also_conserves_but_blocks() {
-    let (cluster, _) = run_chaos_then_settle(CommitProtocol::Blocking2pc, 43);
+    let (cluster, _) = run_chaos_then_settle(CommitProtocol::Blocking2pc, SEED_BLOCKING_CONSERVES);
     let m = cluster.world.metrics();
     assert!(m.counter("node.crashes") > 0);
     assert_eq!(
@@ -112,8 +125,8 @@ fn polyvalue_beats_blocking_on_availability() {
     // Same seed, same chaos, same workload — only the protocol differs.
     // The comparison is *prompt* completions (by the end of the failure
     // window); given time, both protocols catch up.
-    let (poly, p_prompt) = run_chaos_then_settle(CommitProtocol::Polyvalue, 44);
-    let (blocking, b_prompt) = run_chaos_then_settle(CommitProtocol::Blocking2pc, 44);
+    let (poly, p_prompt) = run_chaos_then_settle(CommitProtocol::Polyvalue, SEED_AVAILABILITY_RACE);
+    let (blocking, b_prompt) = run_chaos_then_settle(CommitProtocol::Blocking2pc, SEED_AVAILABILITY_RACE);
     assert!(
         p_prompt >= b_prompt,
         "prompt commits: polyvalue {p_prompt} vs blocking {b_prompt}"
@@ -126,7 +139,7 @@ fn polyvalue_beats_blocking_on_availability() {
 
 #[test]
 fn relaxed_protocol_eventually_settles_even_if_inconsistent() {
-    let (cluster, _) = run_chaos_then_settle(CommitProtocol::Relaxed { complete_prob: 0.5 }, 45);
+    let (cluster, _) = run_chaos_then_settle(CommitProtocol::Relaxed { complete_prob: 0.5 }, SEED_RELAXED_SETTLES);
     let m = cluster.world.metrics();
     assert!(m.counter("node.crashes") > 0);
     assert_eq!(cluster.total_poly_count(), 0);
@@ -143,7 +156,7 @@ fn relaxed_protocol_eventually_settles_even_if_inconsistent() {
 fn rmw_workload_mirrors_paper_parameters_and_settles() {
     // The §4.2-shaped workload at engine level: updates with dependencies.
     let mut builder = ClusterBuilder::new(SITES, Directory::Mod(SITES))
-        .seed(7)
+        .seed(SEED_RMW_WORKLOAD)
         .net(NetConfig::default())
         .engine(EngineConfig::default())
         .uniform_items(64, 10);
@@ -155,7 +168,7 @@ fn rmw_workload_mirrors_paper_parameters_and_settles() {
         Box::new(UniformRmw::new(64, 30.0, 1.0, 0.0).with_limit(400)),
     );
     let mut cluster = builder.build();
-    inject_chaos(&mut cluster, 99);
+    inject_chaos(&mut cluster, SEED_RMW_CHAOS);
     cluster.run_until(SimTime::from_secs(20));
     cluster.run_until(SimTime::from_secs(40));
     assert_eq!(cluster.total_poly_count(), 0);
@@ -166,8 +179,8 @@ fn rmw_workload_mirrors_paper_parameters_and_settles() {
 
 #[test]
 fn chaos_runs_are_reproducible() {
-    let (a, _) = run_chaos_then_settle(CommitProtocol::Polyvalue, 46);
-    let (b, _) = run_chaos_then_settle(CommitProtocol::Polyvalue, 46);
+    let (a, _) = run_chaos_then_settle(CommitProtocol::Polyvalue, SEED_REPRODUCIBILITY);
+    let (b, _) = run_chaos_then_settle(CommitProtocol::Polyvalue, SEED_REPRODUCIBILITY);
     let (ma, mb) = (a.world.metrics(), b.world.metrics());
     for key in [
         "txn.committed",

@@ -113,6 +113,97 @@ fn wound_wait_survives_chaos() {
 }
 
 #[test]
+fn sharded_lock_decisions_are_deterministic() {
+    // The lock table shards items across seed-free hash maps. If shard-map
+    // iteration order ever leaked into wound-victim choice or queue service
+    // order, same-seed runs would diverge in their lock counters. Compare
+    // full metric exports byte-for-byte, and require that both the wound and
+    // the queue path actually ran (so the equality is not vacuous).
+    let run = |seed| {
+        let mut c = contended_cluster(LockPolicy::WoundWait, seed);
+        c.run_until(SimTime::from_secs(40));
+        let snapshot = c.world.metrics().snapshot();
+        let m = c.world.metrics();
+        assert!(m.counter("lock.queued") > 0, "workload must park requests");
+        assert!(m.counter("lock.wounds") > 0, "workload must wound");
+        snapshot.to_json()
+    };
+    assert_eq!(run(98), run(98));
+}
+
+#[test]
+fn queued_requests_are_never_lost() {
+    // No lost wakeups: every request parked in the wound-wait queue must
+    // eventually be served, expired, or withdrawn by its coordinator. A lost
+    // wakeup strands the coordinator forever, so the cluster would fail to
+    // quiesce; a mis-served one breaks conservation.
+    for seed in [101u64, 102, 103] {
+        let mut cluster = contended_cluster(LockPolicy::WoundWait, seed);
+        cluster.run_until(SimTime::from_secs(60));
+        let m = cluster.world.metrics();
+        assert!(
+            m.counter("lock.queued") > 0,
+            "seed {seed}: the contended workload must exercise the queue"
+        );
+        assert!(
+            m.counter("lock.queue_served") > 0,
+            "seed {seed}: releases must wake parked requests"
+        );
+        assert!(
+            cluster.all_quiescent(),
+            "seed {seed}: a lost wakeup leaves coordinators stuck"
+        );
+        assert_eq!(
+            cluster.sum_items((0..ACCOUNTS).map(ItemId)).unwrap(),
+            ACCOUNTS as i64 * INITIAL,
+            "seed {seed}"
+        );
+        assert_eq!(cluster.total_poly_count(), 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn lock_table_wakeups_cross_shards() {
+    // Table-level no-lost-wakeup check: a blocker's release must free every
+    // item it held — on every shard — so parked requesters can proceed, and
+    // `conflicts` must keep reporting blockers in ascending TxnId order (the
+    // order wound-wait uses to pick victims) regardless of shard layout.
+    use pv_core::TxnId;
+    use pv_engine::locks::LockTable;
+    let mut table = LockTable::new();
+    let blocker = TxnId(1);
+    let items: Vec<ItemId> = (0..48).map(ItemId).collect();
+    for &item in &items {
+        assert!(table.try_write(blocker, item));
+    }
+    // Every would-be requester sees exactly the blocker, on every item.
+    for &item in &items {
+        assert_eq!(table.conflicts(TxnId(9), item, true), vec![blocker]);
+        assert!(!table.try_read(TxnId(9), item));
+    }
+    // Shared readers on one item report in ascending order even when added
+    // out of order.
+    table.release_all(blocker);
+    for t in [7u64, 3, 5] {
+        assert!(table.try_read(TxnId(t), ItemId(0)));
+    }
+    assert_eq!(
+        table.conflicts(TxnId(9), ItemId(0), true),
+        vec![TxnId(3), TxnId(5), TxnId(7)]
+    );
+    for t in [3u64, 5, 7] {
+        table.release_all(TxnId(t));
+    }
+    // After the release sweep, every item on every shard is acquirable: no
+    // shard retained a stale lock that would strand a parked request.
+    for &item in &items {
+        assert!(table.conflicts(TxnId(9), item, true).is_empty());
+        assert!(table.try_write(TxnId(9), item), "item {item} stayed locked");
+    }
+    assert_eq!(table.release_all(TxnId(9)), items);
+}
+
+#[test]
 fn wound_wait_never_wounds_staged_transactions() {
     // Indirect but load-bearing check: under chaos + contention, wound-wait
     // must never break atomicity, which it would if a staged (wait-phase)

@@ -17,6 +17,17 @@ enum EventKind<M> {
         to: NodeId,
         msg: M,
     },
+    /// Several messages from one sender callback that share a delivery time
+    /// and destination, delivered back-to-back in send order. Produced by
+    /// the adjacent-send batching in [`World::run_callback`]; behaviourally
+    /// identical to the equivalent run of single `Deliver` events (which
+    /// would occupy consecutive `(at, seq)` slots anyway), but costs one
+    /// heap operation instead of one per message.
+    DeliverBatch {
+        from: NodeId,
+        to: NodeId,
+        msgs: Vec<M>,
+    },
     Timer {
         node: NodeId,
         id: u64,
@@ -53,6 +64,14 @@ impl<M> Ord for Scheduled<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
+}
+
+/// The in-progress run of staged sends from one callback: none, a single
+/// message, or a coalesced batch sharing a `(delivery time, destination)`.
+enum Pending<M> {
+    None,
+    One(SimTime, NodeId, M),
+    Many(SimTime, NodeId, Vec<M>),
 }
 
 /// A deterministic discrete-event simulation of a message-passing system.
@@ -263,6 +282,24 @@ impl<A: Actor> World<A> {
                     self.run_callback(to, |actor, ctx| actor.on_message(ctx, from, msg));
                 }
             }
+            EventKind::DeliverBatch { from, to, msgs } => {
+                // The destination's liveness and the link state cannot change
+                // between the batch's messages (both change only via events,
+                // and this batch occupies a single event slot), so the checks
+                // hoist out of the loop; metrics count per message, exactly
+                // as the unbatched path would.
+                let to_idx = to.0 as usize;
+                if to_idx >= self.actors.len() || !self.up[to_idx] {
+                    self.metrics.inc_by("net.dropped_dest_down", msgs.len() as u64);
+                } else if from != NodeId::ENV && from != to && !self.links.connected(from, to) {
+                    self.metrics.inc_by("net.dropped_partition", msgs.len() as u64);
+                } else {
+                    for msg in msgs {
+                        self.metrics.inc("net.delivered");
+                        self.run_callback(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                    }
+                }
+            }
             EventKind::Timer { node, id, key, gen } => {
                 if self.cancelled_timers.remove(&id) {
                     return true;
@@ -357,6 +394,13 @@ impl<A: Actor> World<A> {
         let effects = std::mem::take(&mut ctx.effects);
         // Refresh the master stream so successive callbacks differ.
         self.rng = self.rng.fork(0x5eed);
+        // Outgoing sends are staged so that *adjacent* sends sharing a
+        // delivery time and destination coalesce into one `DeliverBatch`
+        // event. The RNG is consumed per message in effect order (identical
+        // to the unbatched scheme), and a pending run is flushed before any
+        // event-pushing effect so the `(at, seq)` interleaving of deliveries
+        // against timers is preserved exactly.
+        let mut pending = Pending::None;
         for effect in effects {
             match effect {
                 Effect::Send { to, msg } => {
@@ -381,7 +425,8 @@ impl<A: Actor> World<A> {
                     } else {
                         1
                     };
-                    for _ in 0..copies {
+                    let mut msg = Some(msg);
+                    for k in 0..copies {
                         let mut delay = self.net.sample_delay(node, to, &mut self.rng);
                         if node != to && self.net.reorder_window > crate::time::SimDuration::ZERO {
                             delay = delay
@@ -390,17 +435,18 @@ impl<A: Actor> World<A> {
                                         .below(self.net.reorder_window.as_micros().max(1)),
                                 );
                         }
-                        self.push(
-                            self.now + delay,
-                            EventKind::Deliver {
-                                from: node,
-                                to,
-                                msg: msg.clone(),
-                            },
-                        );
+                        // The final copy moves the message; only duplicated
+                        // copies pay for a clone.
+                        let m = if k + 1 == copies {
+                            msg.take().expect("one move per send")
+                        } else {
+                            msg.clone().expect("copies pending")
+                        };
+                        self.stage(node, &mut pending, self.now + delay, to, m);
                     }
                 }
                 Effect::SetTimer { id, key, at } => {
+                    self.flush(node, &mut pending);
                     self.push(
                         at,
                         EventKind::Timer {
@@ -414,6 +460,52 @@ impl<A: Actor> World<A> {
                 Effect::CancelTimer(id) => {
                     self.cancelled_timers.insert(id);
                 }
+            }
+        }
+        self.flush(node, &mut pending);
+    }
+
+    /// Stages one outgoing message, coalescing it with the pending run when
+    /// the delivery slot matches, and flushing the run otherwise.
+    fn stage(
+        &mut self,
+        node: NodeId,
+        pending: &mut Pending<A::Msg>,
+        at: SimTime,
+        to: NodeId,
+        msg: A::Msg,
+    ) {
+        match std::mem::replace(pending, Pending::None) {
+            Pending::None => *pending = Pending::One(at, to, msg),
+            Pending::One(at0, to0, m0) => {
+                if at0 == at && to0 == to {
+                    *pending = Pending::Many(at, to, vec![m0, msg]);
+                } else {
+                    self.push(at0, EventKind::Deliver { from: node, to: to0, msg: m0 });
+                    *pending = Pending::One(at, to, msg);
+                }
+            }
+            Pending::Many(at0, to0, mut ms) => {
+                if at0 == at && to0 == to {
+                    ms.push(msg);
+                    *pending = Pending::Many(at0, to0, ms);
+                } else {
+                    self.push(at0, EventKind::DeliverBatch { from: node, to: to0, msgs: ms });
+                    *pending = Pending::One(at, to, msg);
+                }
+            }
+        }
+    }
+
+    /// Emits the pending delivery run, if any, as a single event.
+    fn flush(&mut self, node: NodeId, pending: &mut Pending<A::Msg>) {
+        match std::mem::replace(pending, Pending::None) {
+            Pending::None => {}
+            Pending::One(at, to, msg) => {
+                self.push(at, EventKind::Deliver { from: node, to, msg });
+            }
+            Pending::Many(at, to, msgs) => {
+                self.push(at, EventKind::DeliverBatch { from: node, to, msgs });
             }
         }
     }

@@ -116,6 +116,76 @@ fn run(injections: &[Inject], seed: u64, jitter_us: u64) -> Vec<Vec<(u64, u32, u
     (0..3).map(|n| world.actor(NodeId(n)).log.clone()).collect()
 }
 
+/// Replays of the shrunk inputs recorded in
+/// `prop_simnet.proptest-regressions`. The vendored proptest shim does not
+/// read that file, so the historical failure cases are reconstructed here as
+/// plain tests — they run in CI regardless of `PROPTEST_CASES`.
+mod regressions {
+    use super::*;
+
+    /// `no_delivery_during_outage` once failed with: node = 0, at_ms = 100,
+    /// down_ms = 100, sends = [(0, 200), (0, 100)], seed = 0 — a send landing
+    /// exactly on the crash boundary.
+    #[test]
+    fn outage_boundary_delivery() {
+        let injections = vec![
+            Inject::Crash {
+                node: 0,
+                at_ms: 100,
+                down_ms: 100,
+            },
+            Inject::Send {
+                to: 0,
+                payload: 0,
+                at_ms: 200,
+            },
+            Inject::Send {
+                to: 0,
+                payload: 0,
+                at_ms: 100,
+            },
+        ];
+        let logs = run(&injections, 0, 100);
+        let (lo, hi) = (100 * 1_000, 200 * 1_000);
+        for &(t, _, _) in &logs[0] {
+            assert!(
+                t < lo || t >= hi,
+                "node 0 recorded an event at {t}µs during its outage [{lo}, {hi})"
+            );
+        }
+    }
+
+    /// `observed_time_is_monotone` once failed with: injections =
+    /// [Send{to:2, payload:66, at_ms:883}, Send{to:0, payload:0, at_ms:884},
+    /// Send{to:0, payload:0, at_ms:0}], seed = 0 — an injection scheduled in
+    /// the past after `run_until` had already advanced the clock.
+    #[test]
+    fn past_injection_keeps_time_monotone() {
+        let injections = vec![
+            Inject::Send {
+                to: 2,
+                payload: 66,
+                at_ms: 883,
+            },
+            Inject::Send {
+                to: 0,
+                payload: 0,
+                at_ms: 884,
+            },
+            Inject::Send {
+                to: 0,
+                payload: 0,
+                at_ms: 0,
+            },
+        ];
+        for log in run(&injections, 0, 200) {
+            for w in log.windows(2) {
+                assert!(w[0].0 <= w[1].0, "time went backwards: {w:?}");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

@@ -107,6 +107,66 @@ fn seeded_store() -> SiteStore {
     store
 }
 
+/// Replays of the shrunk inputs recorded in
+/// `prop_store.proptest-regressions`. The vendored proptest shim does not
+/// read that file, so the historical failure cases are reconstructed here as
+/// plain tests — they run in CI regardless of `PROPTEST_CASES`.
+mod regressions {
+    use super::*;
+
+    /// Runs one op sequence through the replay and compaction invariants the
+    /// property suite checks.
+    fn replay_and_compact(ops: &[Op]) {
+        let mut store = seeded_store();
+        for op in ops {
+            apply(&mut store, op);
+        }
+        let before = observe(&store);
+        store.crash_and_recover();
+        assert_eq!(&before, &observe(&store), "replay must reproduce state");
+        store.crash_and_recover();
+        assert_eq!(&before, &observe(&store), "replay must be idempotent");
+        let mut compacted = store.clone();
+        compacted.compact();
+        assert_eq!(&before, &observe(&compacted), "compaction must be invisible");
+        compacted.crash_and_recover();
+        assert_eq!(&before, &observe(&compacted), "compacted log must replay");
+    }
+
+    /// Shrunk input: ops = [Stage{txn:1, item:1, value:2},
+    /// InstallInDoubt{txn:1}, Set{item:1, value:0}] — a direct overwrite of
+    /// an item holding an in-doubt polyvalue.
+    #[test]
+    fn overwrite_of_in_doubt_item() {
+        replay_and_compact(&[
+            Op::Stage {
+                txn: 1,
+                item: 1,
+                value: 2,
+            },
+            Op::InstallInDoubt { txn: 1 },
+            Op::Set { item: 1, value: 0 },
+        ]);
+    }
+
+    /// Shrunk input: ops = [Stage{txn:5, item:1, value:0},
+    /// InstallInDoubt{txn:5}, Set{item:1, value:0}, Compact] — the same
+    /// overwrite followed by a compaction of the still-tracked transaction.
+    #[test]
+    fn compaction_with_tracked_overwritten_txn() {
+        replay_and_compact(&[
+            Op::Stage {
+                txn: 5,
+                item: 1,
+                value: 0,
+            },
+            Op::InstallInDoubt { txn: 5 },
+            Op::Set { item: 1, value: 0 },
+            Op::Compact,
+        ]);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

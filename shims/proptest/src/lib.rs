@@ -12,7 +12,10 @@
 //!   exactly on re-run;
 //! * there is **no shrinking** — `prop_assert!` fails the case as-is;
 //! * weighted `prop_oneof!` arms are not supported (the workspace does not
-//!   use them).
+//!   use them);
+//! * the `PROPTEST_CASES` environment variable overrides the case count of
+//!   *every* config — including explicit `with_cases` — so CI can pin the
+//!   generated workload globally.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,16 +76,39 @@ pub struct ProptestConfig {
     pub cases: u32,
 }
 
+/// Parses a `PROPTEST_CASES`-style value; `None` when absent or malformed
+/// (a malformed value falls back to the in-code count rather than erroring,
+/// matching upstream's lenient env handling).
+fn parse_cases(raw: &str) -> Option<u32> {
+    let n: u32 = raw.trim().parse().ok()?;
+    (n > 0).then_some(n)
+}
+
+/// The process-wide case-count override from the `PROPTEST_CASES`
+/// environment variable, if set.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok().as_deref().and_then(parse_cases)
+}
+
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(64),
+        }
     }
 }
 
 impl ProptestConfig {
     /// Default configuration with a specific case count.
+    ///
+    /// Divergence from upstream, on purpose: `PROPTEST_CASES` overrides even
+    /// an explicit in-code count, so CI can pin the generated workload (and
+    /// with it the deterministic RNG streams) across every suite with one
+    /// environment variable.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
 }
 
@@ -527,6 +553,16 @@ macro_rules! __proptest_body {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn case_count_parsing() {
+        assert_eq!(crate::parse_cases("128"), Some(128));
+        assert_eq!(crate::parse_cases(" 16 "), Some(16));
+        assert_eq!(crate::parse_cases("0"), None, "zero cases would skip every body");
+        assert_eq!(crate::parse_cases(""), None);
+        assert_eq!(crate::parse_cases("lots"), None);
+        assert_eq!(crate::parse_cases("-3"), None);
+    }
 
     #[test]
     fn ranges_respect_bounds() {
