@@ -14,11 +14,22 @@
 //! * contradictory outcomes for one transaction across `decided` and
 //!   `outcome_learned` events (`PV023`).
 //!
+//! The `PV021` legality is not hand-coded: the checker replays a shadow
+//! [`PartPhase`] per (transaction, site) through the *same*
+//! [`pv_protocol::transition`] table the engine's participant runs
+//! (Figure 1 of the paper), and an install is legal exactly when that
+//! machine took the wait-phase `Timeout` edge whose action is
+//! `install polyvalues`. A coordinator decision deliberately does **not**
+//! advance the shadow phase — a participant may legally time out after the
+//! coordinator decided but before the decision reached it, and the table
+//! consult must see the wait phase in that race.
+//!
 //! Traces are accepted either as in-memory [`TraceRecord`]s or as the
 //! stable text format `Trace::to_text` emits, which [`parse_trace_text`]
 //! reads back.
 
 use crate::diag::{Code, Report, Span};
+use pv_protocol::{transition, PartAction, PartEvent, PartPhase};
 use pv_simnet::{NodeId, SimTime, TraceEvent, TraceRecord};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -167,7 +178,11 @@ pub fn check_trace(records: &[TraceRecord]) -> Report {
     // Per-transaction protocol state accumulated over the replay.
     let mut committed: BTreeMap<u64, u64> = BTreeMap::new(); // txn -> seq of complete decision
     let mut outcomes: BTreeMap<u64, (bool, u64)> = BTreeMap::new(); // txn -> (outcome, seq)
-    let mut timed_out: BTreeSet<(u64, u32)> = BTreeSet::new(); // (txn, site)
+    // Shadow Figure-1 machine per (txn, site); absent means idle.
+    let mut phases: BTreeMap<(u64, u32), PartPhase> = BTreeMap::new();
+    // (txn, site) pairs whose shadow machine took the timeout edge with the
+    // install-polyvalues action — the table-derived licence for `PV021`.
+    let mut may_install: BTreeSet<(u64, u32)> = BTreeSet::new();
     let mut learned: BTreeSet<(u64, u32)> = BTreeSet::new(); // (txn, site)
     let mut last_seq: Option<u64> = None;
 
@@ -195,6 +210,18 @@ pub fn check_trace(records: &[TraceRecord]) -> Report {
                         ),
                     );
                 }
+                // Drive the shadow machine the way the engine's participant
+                // does on a Prepare: staging is instantaneous, so begin and
+                // compute-done fire back-to-back and the part lands in the
+                // wait phase. (A trace replaying a crash may show Prepared
+                // again for a re-staged transaction; re-basing from idle is
+                // exactly what the recovered participant does too.)
+                let phase = transition(PartPhase::Idle, PartEvent::Begin)
+                    .map(|(p, _)| p)
+                    .and_then(|p| transition(p, PartEvent::ComputeDone))
+                    .map(|(p, _)| p)
+                    .expect("Figure 1 defines begin/compute-done from idle");
+                phases.insert((txn, site), phase);
             }
             TraceEvent::Decided { txn, completed } => {
                 if completed {
@@ -203,10 +230,19 @@ pub fn check_trace(records: &[TraceRecord]) -> Report {
                 record_outcome(&mut report, &mut outcomes, txn, completed, r.seq, "decided");
             }
             TraceEvent::WaitTimedOut { txn, site } => {
-                timed_out.insert((txn, site));
+                // Consult the Figure-1 table: from the shadow phase, does a
+                // timeout produce the install-polyvalues action? Only then is
+                // a later install at this (txn, site) licensed.
+                let phase = phases.get(&(txn, site)).copied().unwrap_or(PartPhase::Idle);
+                if let Some((next, action)) = transition(phase, PartEvent::Timeout) {
+                    if action == PartAction::InstallPolyvalues {
+                        may_install.insert((txn, site));
+                    }
+                    phases.insert((txn, site), next);
+                }
             }
             TraceEvent::PolyvalueInstalled { txn, site, .. } => {
-                if !timed_out.contains(&(txn, site)) {
+                if !may_install.contains(&(txn, site)) {
                     report.push(
                         Code::InstallWithoutTimeout,
                         Span::Trace(r.seq),
@@ -365,6 +401,32 @@ mod tests {
             rec(1, TraceEvent::PolyvalueInstalled { txn: 7, site: 1, items: 2 }),
         ];
         assert!(check_trace(&records).has_code(Code::InstallWithoutTimeout));
+    }
+
+    #[test]
+    fn timeout_without_prepare_does_not_license_install() {
+        // The legality comes from the Figure-1 table: with no Prepared the
+        // shadow machine is idle, idle has no timeout edge, so the timeout
+        // licenses nothing and the install is still a violation.
+        let records = vec![
+            rec(0, TraceEvent::WaitTimedOut { txn: 7, site: 1 }),
+            rec(1, TraceEvent::PolyvalueInstalled { txn: 7, site: 1, items: 2 }),
+        ];
+        assert!(check_trace(&records).has_code(Code::InstallWithoutTimeout));
+    }
+
+    #[test]
+    fn decided_then_timeout_install_is_legal() {
+        // The decision was in flight when the wait phase timed out: the
+        // shadow machine must still be in `wait` (a Decided event does not
+        // advance it), so the table licenses the install.
+        let records = vec![
+            rec(0, TraceEvent::Prepared { txn: 7, site: 1 }),
+            rec(1, TraceEvent::Decided { txn: 7, completed: true }),
+            rec(2, TraceEvent::WaitTimedOut { txn: 7, site: 1 }),
+            rec(3, TraceEvent::PolyvalueInstalled { txn: 7, site: 1, items: 2 }),
+        ];
+        assert!(check_trace(&records).is_clean());
     }
 
     #[test]

@@ -1,35 +1,14 @@
 //! Regenerates **Figure 1** of the paper: the update-protocol state diagram
 //! (idle / compute / wait), printed directly from the participant state
 //! machine the engine actually runs, as a transition table and as Graphviz
-//! DOT.
+//! DOT. The rendering lives beside the machine in `pv-protocol` so the
+//! table can never drift from the code; a golden test pins it to
+//! `results/figure1.txt`.
 //!
 //! Run with `cargo run -p pv-bench --bin figure1`.
 
-use pv_engine::participant::all_transitions;
+use pv_protocol::render_figure1;
 
 fn main() {
-    println!("Figure 1: The Update Protocol States");
-    println!();
-    println!("{:<8} | {:<32} | {:<8} | action", "state", "event", "next");
-    println!("{}", "-".repeat(80));
-    for (from, event, to, action) in all_transitions() {
-        // Pad via strings: Display impls that use `write!` ignore width.
-        println!(
-            "{:<8} | {:<32} | {:<8} | {}",
-            from.to_string(),
-            event.to_string(),
-            to.to_string(),
-            action
-        );
-    }
-    println!();
-    println!("digraph figure1 {{");
-    println!("  rankdir=LR;");
-    for state in ["idle", "compute", "wait"] {
-        println!("  {state} [shape=circle];");
-    }
-    for (from, event, to, action) in all_transitions() {
-        println!("  {from} -> {to} [label=\"{event}\\n({action})\"];");
-    }
-    println!("}}");
+    print!("{}", render_figure1());
 }

@@ -24,17 +24,16 @@
 
 pub mod client;
 pub mod cluster;
-pub mod config;
 pub mod crashpoint;
-pub mod directory;
 pub mod error;
-pub mod ids;
 pub mod live;
-pub mod locks;
-pub mod messages;
-pub mod participant;
 pub mod site;
 pub mod workload;
+
+// The protocol itself — configuration, directory, ids, locks, the message
+// vocabulary, and the Figure-1 participant machine — lives in the sans-IO
+// `pv-protocol` crate; re-export its modules under their historical paths.
+pub use pv_protocol::{config, directory, ids, locks, messages, participant};
 
 pub use client::{Client, ClientConfig};
 pub use cluster::{Cluster, ClusterBuilder, Node};

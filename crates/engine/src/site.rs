@@ -1,126 +1,35 @@
-//! The site actor: coordinator and participant roles of the §3.1 protocol.
+//! The site actor: a thin driver mapping the sans-IO [`SiteMachine`] onto
+//! the simulation substrate.
 //!
-//! Each site plays both roles: it coordinates transactions submitted to it by
-//! clients (read phase → evaluate → prepare phase → decision) and
-//! participates in transactions coordinated elsewhere (locking, staging,
-//! and — on a wait-phase timeout — acting per the configured
-//! [`CommitProtocol`]: installing in-doubt polyvalues, blocking, or deciding
-//! unilaterally). Outcome propagation after recovery follows §3.3.
+//! All protocol logic — both roles of the §3.1 protocol, Figure 1's
+//! participant machine, and the §3.3 recovery manager — lives in
+//! `pv-protocol`. This actor owns what the pure machine cannot: the durable
+//! [`SiteStore`] it lends to every step, the mapping of
+//! [`Output`](pv_protocol::Output) effects onto the actor `Ctx` (sends,
+//! timers, traces, metrics), the randomness for
+//! [`Output::NeedCoin`](pv_protocol::Output::NeedCoin), the opt-in static
+//! submit gate (which needs `pv-analysis`), and the storage-metrics flush.
+//! Timer keys cross the untyped `u64` timer facility via
+//! [`TimerKey::encode`]/[`TimerKey::decode`].
 //!
 //! Cluster convention: site `s` is simulation node `NodeId(s)`; clients use
 //! higher node ids.
 
-use crate::config::{CommitProtocol, EngineConfig, LockPolicy, UncertainOutputPolicy};
+use crate::config::EngineConfig;
 use crate::directory::Directory;
-use crate::ids::{coordinator_of, encode_txn};
-use crate::locks::LockTable;
-use crate::messages::{AbortReason, AccessMode, Msg, TxnResult};
-use pv_core::expr::evaluate;
-use pv_core::{Entry, ItemId, TransactionSpec, TxnId, Value};
-use pv_simnet::{Actor, Ctx, Metrics, NodeId, SimTime, TraceEvent};
+use crate::messages::{AbortReason, Msg, TxnResult};
+use pv_protocol::timer::TimerKey;
+use pv_protocol::{Input, MetricOp, Output, SiteMachine};
+use pv_simnet::{Actor, Ctx, NodeId};
 use pv_store::{SiteId, SiteStore};
-use std::collections::{BTreeMap, BTreeSet};
 
-/// Maps a site id to its simulation node (sites are added to the world
-/// first, in order).
-pub fn site_node(site: SiteId) -> NodeId {
-    NodeId(site)
-}
+pub use pv_protocol::site_node;
 
-/// The coordinator's phase for one transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CoordPhase {
-    Reading,
-    Preparing,
-}
-
-/// Coordinator-side state for one in-flight transaction (volatile: a
-/// coordinator crash aborts the transaction by presumption).
-#[derive(Debug)]
-struct Coord {
-    client: NodeId,
-    req_id: u64,
-    spec: TransactionSpec,
-    phase: CoordPhase,
-    /// The sites asked for reads (only the site set is needed after the
-    /// requests go out; keeping the per-site item lists would mean cloning
-    /// them once per transaction for no reader).
-    read_sites: BTreeSet<SiteId>,
-    entries: BTreeMap<ItemId, Entry<Value>>,
-    responded: BTreeSet<SiteId>,
-    write_sites: BTreeSet<SiteId>,
-    readies: BTreeSet<SiteId>,
-    pending_result: Option<TxnResult>,
-    /// When the client's submit reached this coordinator (phase metrics).
-    submitted_at: SimTime,
-    /// When the prepare phase began, if it did.
-    prepared_at: Option<SimTime>,
-}
-
-/// Participant-side volatile state for one transaction.
-#[derive(Debug)]
-struct Part {
-    staged: bool,
-    /// The transaction's coordinator (to notify on wound-wait eviction).
-    coordinator: SiteId,
-    /// Wound-wait age: the coordinator's clock at submission (0 = oldest,
-    /// used for post-recovery staged transactions, which are never wounded
-    /// anyway).
-    ts: u64,
-}
-
-/// A read request parked by the wound-wait policy until its conflicting
-/// holders finish.
-#[derive(Debug)]
-struct QueuedRead {
-    ts: u64,
-    txn: TxnId,
-    from: SiteId,
-    items: Vec<(ItemId, AccessMode)>,
-}
-
-/// How a read request was handled by the lock layer.
-enum ServeOutcome {
-    Served,
-    Refused,
-    Queued,
-}
-
-/// What a pending timer is for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Purpose {
-    CoordRead(TxnId),
-    CoordReady(TxnId),
-    PartWait(TxnId),
-    ReadLease(TxnId),
-    QueueExpire(TxnId),
-    Inquire,
-}
-
-/// One site of the distributed database.
+/// One site of the distributed database: the protocol machine plus its
+/// durable store and the driver glue.
 pub struct Site {
-    id: SiteId,
-    config: EngineConfig,
-    directory: Directory,
+    machine: SiteMachine,
     store: SiteStore,
-    // Volatile state (cleared on crash):
-    locks: LockTable,
-    coords: BTreeMap<TxnId, Coord>,
-    parts: BTreeMap<TxnId, Part>,
-    revoked: BTreeSet<TxnId>,
-    relaxed_actions: BTreeMap<TxnId, bool>,
-    txn_counter: u64,
-    timer_purposes: BTreeMap<u64, Purpose>,
-    next_token: u64,
-    inquire_armed: bool,
-    /// §3.4 Withhold policy: committed results whose outputs still depend on
-    /// in-doubt transactions, waiting for outcomes before replying.
-    withheld: Vec<(NodeId, u64, TxnResult)>,
-    /// Wound-wait: read requests parked behind current lock holders.
-    read_queue: Vec<QueuedRead>,
-    /// When this site installed polyvalues for an in-doubt transaction
-    /// (volatile; feeds the install→collapse lifetime histogram).
-    poly_installed_at: BTreeMap<TxnId, SimTime>,
     /// Whether wall-clock storage observations (recovery durations) flow
     /// into the metrics. Off in the simulation, which must keep its metric
     /// exports byte-deterministic under a seed; the live runtime opts in.
@@ -145,40 +54,31 @@ impl Site {
     ) -> Self {
         let store = store.with_compact_threshold(config.compact_threshold);
         Site {
-            id,
-            config,
-            directory,
+            machine: SiteMachine::new(id, config, directory),
             store,
-            locks: LockTable::new(),
-            coords: BTreeMap::new(),
-            parts: BTreeMap::new(),
-            revoked: BTreeSet::new(),
-            relaxed_actions: BTreeMap::new(),
-            txn_counter: 0,
-            timer_purposes: BTreeMap::new(),
-            next_token: 0,
-            inquire_armed: false,
-            withheld: Vec::new(),
-            read_queue: Vec::new(),
-            poly_installed_at: BTreeMap::new(),
             wall_clock_metrics: false,
         }
     }
 
     /// Loads an item this site is home to (initial database population).
-    pub fn seed_item(&mut self, item: ItemId, value: Value) {
-        debug_assert_eq!(self.directory.site_of(item), Some(self.id));
+    pub fn seed_item(&mut self, item: pv_core::ItemId, value: pv_core::Value) {
+        debug_assert_eq!(self.machine.directory().site_of(item), Some(self.machine.id()));
         self.store.seed_item(item, value);
     }
 
     /// This site's id.
     pub fn id(&self) -> SiteId {
-        self.id
+        self.machine.id()
     }
 
     /// Read access to the site's store (assertions, polyvalue census).
     pub fn store(&self) -> &SiteStore {
         &self.store
+    }
+
+    /// Read access to the protocol machine (tests, diagnostics).
+    pub fn machine(&self) -> &SiteMachine {
+        &self.machine
     }
 
     /// Forces the store's storage backend to persist everything buffered —
@@ -203,716 +103,57 @@ impl Site {
     /// Whether the site has any protocol state in flight (volatile or
     /// staged) — used by tests to check quiescence.
     pub fn is_quiescent(&self) -> bool {
-        self.coords.is_empty()
-            && self.parts.is_empty()
+        self.machine.is_idle()
             && self.store.pending_txns().is_empty()
             && !self.store.has_tracked_txns()
     }
 
-    fn new_txn(&mut self) -> TxnId {
-        self.txn_counter += 1;
-        encode_txn(self.id, self.store.epoch(), self.txn_counter)
-    }
-
-    fn arm(&mut self, ctx: &mut Ctx<Msg>, delay: pv_simnet::SimDuration, purpose: Purpose) {
-        let token = self.next_token;
-        self.next_token += 1;
-        self.timer_purposes.insert(token, purpose);
-        ctx.set_timer(delay, token);
-    }
-
-    fn ensure_inquire(&mut self, ctx: &mut Ctx<Msg>) {
-        if !self.inquire_armed {
-            self.inquire_armed = true;
-            self.arm(ctx, self.config.inquire_interval, Purpose::Inquire);
-        }
-    }
-
-    // ---- coordinator role ---------------------------------------------------
-
-    fn on_submit(
-        &mut self,
-        ctx: &mut Ctx<Msg>,
-        client: NodeId,
-        req_id: u64,
-        spec: TransactionSpec,
-    ) {
-        ctx.metrics().inc("txn.submitted");
-        // The opt-in submit gate: reject statically wrong transactions
-        // before burning protocol work on them. Rejections are final (the
-        // spec itself is wrong), so clients do not retry them.
-        if self.config.static_checks {
-            if let Err(report) = pv_analysis::gate_spec(&spec) {
-                ctx.metrics().inc("txn.rejected.static");
-                let result = TxnResult::Aborted {
-                    reason: AbortReason::Rejected(report),
-                };
-                ctx.send(client, Msg::Reply { req_id, result });
-                return;
-            }
-        }
-        let txn = self.new_txn();
-        let writes = spec.write_set();
-        let mut modes: BTreeMap<ItemId, AccessMode> = BTreeMap::new();
-        for item in spec.read_set() {
-            modes.insert(item, AccessMode::Read);
-        }
-        for item in &writes {
-            modes.insert(*item, AccessMode::Write);
-        }
-        // A transaction touching nothing evaluates immediately.
-        if modes.is_empty() {
-            let empty: BTreeMap<ItemId, Entry<Value>> = BTreeMap::new();
-            let result = match evaluate(&spec, &empty, self.config.split_mode) {
-                Ok(out) => {
-                    let outputs = out.collate_outputs().expect("no items, no polyvalues");
-                    let granted = out.collate_granted().expect("no items, no polyvalues");
-                    ctx.metrics().inc("txn.committed");
-                    TxnResult::Committed {
-                        granted,
-                        outputs,
-                        was_poly: false,
+    /// Advances the machine by one input and applies the resulting effects
+    /// to the `Ctx`, **in emission order** (the simulation draws network
+    /// randomness per send, so reordering would change behaviour under a
+    /// seed). A [`Output::NeedCoin`] request is answered from the node's RNG
+    /// and fed back into the machine at its position in the effect stream.
+    fn drive(&mut self, ctx: &mut Ctx<Msg>, input: Input) {
+        let mut out = Vec::new();
+        self.machine.step(ctx.now(), input, &mut self.store, &mut out);
+        let mut i = 0;
+        while i < out.len() {
+            match std::mem::replace(&mut out[i], Output::Metric(MetricOp::IncBy("", 0))) {
+                Output::Send { to, msg } => ctx.send(to, msg),
+                Output::ArmTimer { delay, key } => {
+                    ctx.set_timer(delay, key.encode());
+                }
+                Output::Trace(ev) => ctx.trace(ev),
+                Output::Metric(op) => match op {
+                    MetricOp::Inc(name) => ctx.metrics().inc(name),
+                    MetricOp::IncOwned(name) => ctx.metrics().inc(&name),
+                    MetricOp::IncBy(name, n) => {
+                        if !name.is_empty() {
+                            ctx.metrics().inc_by(name, n);
+                        }
                     }
-                }
-                Err(e) => {
-                    ctx.metrics().inc("txn.aborted.eval");
-                    TxnResult::Aborted {
-                        reason: AbortReason::Eval(e.to_string()),
+                    MetricOp::Observe(name, v) => ctx.metrics().observe(name, v),
+                    MetricOp::Gauge(name, v) => {
+                        let now = ctx.now();
+                        ctx.metrics().gauge(name, now, v);
                     }
-                }
-            };
-            ctx.send(client, Msg::Reply { req_id, result });
-            return;
-        }
-        // Validate placement before contacting anyone.
-        if modes
-            .keys()
-            .any(|item| self.directory.site_of(*item).is_none())
-        {
-            ctx.metrics().inc("txn.aborted.eval");
-            let result = TxnResult::Aborted {
-                reason: AbortReason::Eval("transaction touches an unplaced item".into()),
-            };
-            ctx.send(client, Msg::Reply { req_id, result });
-            return;
-        }
-        let groups = self
-            .directory
-            .group_by_site(modes.iter().map(|(&i, &m)| (i, m)));
-        let coord = Coord {
-            client,
-            req_id,
-            spec,
-            phase: CoordPhase::Reading,
-            read_sites: groups.keys().copied().collect(),
-            entries: BTreeMap::new(),
-            responded: BTreeSet::new(),
-            write_sites: BTreeSet::new(),
-            readies: BTreeSet::new(),
-            pending_result: None,
-            submitted_at: ctx.now(),
-            prepared_at: None,
-        };
-        self.coords.insert(txn, coord);
-        let ts = ctx.now().as_micros();
-        for (site, items) in groups {
-            ctx.send(site_node(site), Msg::ReadReq { txn, ts, items });
-        }
-        self.arm(ctx, self.config.read_timeout, Purpose::CoordRead(txn));
-    }
-
-    fn on_read_resp(
-        &mut self,
-        ctx: &mut Ctx<Msg>,
-        from: SiteId,
-        txn: TxnId,
-        entries: Vec<(ItemId, Entry<Value>)>,
-    ) {
-        let Some(coord) = self.coords.get_mut(&txn) else {
-            return;
-        };
-        if coord.phase != CoordPhase::Reading {
-            return;
-        }
-        coord.entries.extend(entries);
-        coord.responded.insert(from);
-        if coord.responded.len() == coord.read_sites.len() {
-            self.evaluate_and_prepare(ctx, txn);
-        }
-    }
-
-    /// All reads are in: run the (poly)evaluator, then either finish a
-    /// write-free transaction or ship computed writes to the write sites.
-    fn evaluate_and_prepare(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId) {
-        let Some(coord) = self.coords.get_mut(&txn) else {
-            return;
-        };
-        let out = match evaluate(&coord.spec, &coord.entries, self.config.split_mode) {
-            Ok(out) => out,
-            Err(e) => {
-                let reason = AbortReason::Eval(e.to_string());
-                self.finish_abort(ctx, txn, reason);
-                return;
-            }
-        };
-        if out.is_poly() {
-            ctx.metrics().inc("txn.polytransactions");
-            ctx.metrics()
-                .observe("txn.alternatives", out.alts.len() as f64);
-            ctx.trace(TraceEvent::AltSplit {
-                txn: txn.raw(),
-                alternatives: out.alts.len() as u32,
-            });
-        }
-        let collated = match (
-            out.collate_writes(&coord.entries),
-            out.collate_outputs(),
-            out.collate_granted(),
-        ) {
-            (Ok(w), Ok(o), Ok(g)) => (w, o, g),
-            (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
-                let reason = AbortReason::Eval(e.to_string());
-                self.finish_abort(ctx, txn, reason);
-                return;
-            }
-        };
-        let (writes, outputs, granted) = collated;
-        let result = TxnResult::Committed {
-            granted,
-            outputs,
-            was_poly: out.is_poly(),
-        };
-        if writes.is_empty() {
-            // Read-only, or denied in every alternative: complete trivially
-            // so participants release their read locks.
-            self.store.record_decision(txn, true);
-            let coord = self.coords.remove(&txn).expect("checked above");
-            self.note_decided(ctx, txn, &coord, true);
-            for &site in &coord.read_sites {
-                ctx.send(
-                    site_node(site),
-                    Msg::Decision {
-                        txn,
-                        completed: true,
-                    },
-                );
-            }
-            self.note_commit_metrics(ctx, &result);
-            self.deliver_result(ctx, coord.client, coord.req_id, result);
-            return;
-        }
-        // Group the *owned* entries: each write is shipped to exactly one
-        // site, so moving them into the per-site groups skips an entry clone
-        // per prepared item.
-        let groups = self.directory.group_by_site(writes);
-        coord.phase = CoordPhase::Preparing;
-        coord.write_sites = groups.keys().copied().collect();
-        coord.pending_result = Some(result);
-        coord.prepared_at = Some(ctx.now());
-        let read_phase = ctx.now().since(coord.submitted_at).as_secs_f64();
-        ctx.metrics().observe("phase.submit_prepared", read_phase);
-        // §3.3: record which sites we are sending uncertainty to, so learned
-        // outcomes are forwarded to them.
-        let mut sent: Vec<(TxnId, SiteId)> = Vec::new();
-        for (&site, items) in &groups {
-            for (_, entry) in items {
-                for dep in entry.deps() {
-                    sent.push((dep, site));
-                }
-            }
-        }
-        for (dep, site) in sent {
-            self.store.note_sent(dep, site);
-            self.ensure_inquire(ctx);
-        }
-        for (site, items) in groups {
-            ctx.send(
-                site_node(site),
-                Msg::Prepare {
-                    txn,
-                    writes: items,
                 },
-            );
-        }
-        self.arm(ctx, self.config.ready_timeout, Purpose::CoordReady(txn));
-    }
-
-    fn on_ready(&mut self, ctx: &mut Ctx<Msg>, from: SiteId, txn: TxnId) {
-        let Some(coord) = self.coords.get_mut(&txn) else {
-            return;
-        };
-        if coord.phase != CoordPhase::Preparing {
-            return;
-        }
-        coord.readies.insert(from);
-        if !coord.readies.is_superset(&coord.write_sites) {
-            return;
-        }
-        // Decide complete, durably, then notify everyone and the client.
-        self.store.record_decision(txn, true);
-        let coord = self.coords.remove(&txn).expect("checked above");
-        self.note_decided(ctx, txn, &coord, true);
-        // Sorted union without building a scratch set per decision.
-        for &site in coord.read_sites.union(&coord.write_sites) {
-            ctx.send(
-                site_node(site),
-                Msg::Decision {
-                    txn,
-                    completed: true,
-                },
-            );
-        }
-        let result = coord.pending_result.expect("set when preparing");
-        self.note_commit_metrics(ctx, &result);
-        self.deliver_result(ctx, coord.client, coord.req_id, result);
-    }
-
-    /// Sends (or withholds, per §3.4 policy) a committed result to the
-    /// client. Withheld results are released by [`Site::learn_outcome`] once
-    /// every output is certain; they are volatile, so a coordinator crash
-    /// surfaces to the client as a response timeout.
-    fn deliver_result(
-        &mut self,
-        ctx: &mut Ctx<Msg>,
-        client: NodeId,
-        req_id: u64,
-        result: TxnResult,
-    ) {
-        if self.config.uncertain_outputs == UncertainOutputPolicy::Withhold
-            && result.has_uncertain_output()
-        {
-            ctx.metrics().inc("txn.withheld");
-            self.withheld.push((client, req_id, result));
-            self.ensure_inquire(ctx);
-            return;
-        }
-        ctx.send(client, Msg::Reply { req_id, result });
-    }
-
-    /// Records a coordinator decision in the trace and the phase-latency
-    /// histograms (submit→decided always; prepared→decided when the prepare
-    /// phase was reached).
-    fn note_decided(&self, ctx: &mut Ctx<Msg>, txn: TxnId, coord: &Coord, completed: bool) {
-        ctx.trace(TraceEvent::Decided {
-            txn: txn.raw(),
-            completed,
-        });
-        let total = ctx.now().since(coord.submitted_at).as_secs_f64();
-        ctx.metrics().observe("phase.submit_decided", total);
-        if let Some(prepared_at) = coord.prepared_at {
-            let vote_phase = ctx.now().since(prepared_at).as_secs_f64();
-            ctx.metrics().observe("phase.prepared_decided", vote_phase);
-        }
-        let by_protocol = Metrics::with_label(
-            if completed {
-                "txn.decided.complete"
-            } else {
-                "txn.decided.abort"
-            },
-            "protocol",
-            self.config.protocol.label(),
-        );
-        ctx.metrics().inc(&by_protocol);
-    }
-
-    fn note_commit_metrics(&self, ctx: &mut Ctx<Msg>, result: &TxnResult) {
-        ctx.metrics().inc("txn.committed");
-        if result.has_uncertain_output() {
-            ctx.metrics().inc("txn.uncertain_output");
-        }
-        if let TxnResult::Committed { granted, .. } = result {
-            if granted == &Entry::Simple(Value::Bool(false)) {
-                ctx.metrics().inc("txn.denied");
-            }
-        }
-    }
-
-    fn finish_abort(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId, reason: AbortReason) {
-        let Some(coord) = self.coords.remove(&txn) else {
-            return;
-        };
-        self.store.record_decision(txn, false);
-        self.note_decided(ctx, txn, &coord, false);
-        for &site in coord.read_sites.union(&coord.write_sites) {
-            ctx.send(
-                site_node(site),
-                Msg::Decision {
-                    txn,
-                    completed: false,
-                },
-            );
-        }
-        match &reason {
-            AbortReason::LockConflict => ctx.metrics().inc("txn.aborted.lock"),
-            AbortReason::Timeout => ctx.metrics().inc("txn.aborted.timeout"),
-            AbortReason::Eval(_) => ctx.metrics().inc("txn.aborted.eval"),
-            // Static rejections are counted at the submit gate and never
-            // reach this mid-protocol abort path.
-            AbortReason::Rejected(_) => ctx.metrics().inc("txn.rejected.static"),
-        }
-        ctx.send(
-            coord.client,
-            Msg::Reply {
-                req_id: coord.req_id,
-                result: TxnResult::Aborted { reason },
-            },
-        );
-    }
-
-    // ---- participant role ---------------------------------------------------
-
-    fn on_read_req(
-        &mut self,
-        ctx: &mut Ctx<Msg>,
-        from: SiteId,
-        txn: TxnId,
-        ts: u64,
-        items: Vec<(ItemId, AccessMode)>,
-    ) {
-        if self.revoked.contains(&txn) || items.iter().any(|&(item, _)| !self.store.contains(item))
-        {
-            ctx.send(site_node(from), Msg::ReadNack { txn });
-            return;
-        }
-        match self.try_serve_read(ctx, from, txn, ts, &items) {
-            ServeOutcome::Served => {}
-            ServeOutcome::Refused => {
-                ctx.metrics().inc("lock.conflicts");
-                ctx.send(site_node(from), Msg::ReadNack { txn });
-            }
-            ServeOutcome::Queued => {
-                ctx.metrics().inc("lock.queued");
-                self.read_queue.push(QueuedRead {
-                    ts,
-                    txn,
-                    from,
-                    items,
-                });
-                self.arm(ctx, self.config.read_lease, Purpose::QueueExpire(txn));
-            }
-        }
-    }
-
-    /// Attempts to lock and answer a read request, applying the configured
-    /// conflict policy. All items are known to exist.
-    fn try_serve_read(
-        &mut self,
-        ctx: &mut Ctx<Msg>,
-        from: SiteId,
-        txn: TxnId,
-        ts: u64,
-        items: &[(ItemId, AccessMode)],
-    ) -> ServeOutcome {
-        let mut holders: BTreeSet<TxnId> = BTreeSet::new();
-        for &(item, mode) in items {
-            holders.extend(self.locks.conflicts(txn, item, mode == AccessMode::Write));
-        }
-        if !holders.is_empty() {
-            match self.config.lock_policy {
-                LockPolicy::NoWait => return ServeOutcome::Refused,
-                LockPolicy::WoundWait => {
-                    // An older requester wounds *all* of its blockers, but
-                    // only if every one is younger and not yet in the wait
-                    // phase (a staged transaction must never be aborted
-                    // unilaterally). Otherwise the requester queues.
-                    let can_wound = holders.iter().all(|h| {
-                        self.parts
-                            .get(h)
-                            .is_some_and(|p| !p.staged && (ts, txn) < (p.ts, *h))
-                    });
-                    if !can_wound {
-                        return ServeOutcome::Queued;
-                    }
-                    for victim in holders {
-                        self.wound(ctx, victim);
-                    }
-                }
-            }
-        }
-        for &(item, mode) in items {
-            let ok = match mode {
-                AccessMode::Read => self.locks.try_read(txn, item),
-                AccessMode::Write => self.locks.try_write(txn, item),
-            };
-            debug_assert!(ok, "acquisition after conflict resolution cannot fail");
-        }
-        let mut entries = Vec::with_capacity(items.len());
-        let mut sent: Vec<TxnId> = Vec::new();
-        for &(item, _) in items {
-            let entry = self.store.get(item).expect("existence checked").clone();
-            sent.extend(entry.deps());
-            entries.push((item, entry));
-        }
-        // §3.3: uncertainty is being shipped to the coordinator.
-        for dep in sent {
-            self.store.note_sent(dep, from);
-            self.ensure_inquire(ctx);
-        }
-        self.parts.insert(
-            txn,
-            Part {
-                staged: false,
-                coordinator: from,
-                ts,
-            },
-        );
-        self.arm(ctx, self.config.read_lease, Purpose::ReadLease(txn));
-        ctx.send(site_node(from), Msg::ReadResp { txn, entries });
-        ServeOutcome::Served
-    }
-
-    /// Wound-wait eviction: locally aborts a younger, not-yet-staged lock
-    /// holder and tells its coordinator to abort the transaction.
-    fn wound(&mut self, ctx: &mut Ctx<Msg>, victim: TxnId) {
-        let Some(part) = self.parts.remove(&victim) else {
-            return;
-        };
-        debug_assert!(!part.staged, "staged transactions are never wounded");
-        self.locks.release_all(victim);
-        self.revoked.insert(victim);
-        ctx.metrics().inc("lock.wounds");
-        ctx.send(
-            site_node(part.coordinator),
-            Msg::PrepareNack { txn: victim },
-        );
-    }
-
-    /// Retries parked read requests, oldest first, after locks were freed.
-    fn drain_read_queue(&mut self, ctx: &mut Ctx<Msg>) {
-        if self.read_queue.is_empty() {
-            return;
-        }
-        let mut queue = std::mem::take(&mut self.read_queue);
-        queue.sort_by_key(|q| (q.ts, q.txn));
-        for q in queue {
-            if self.revoked.contains(&q.txn) {
-                continue; // expired or aborted while parked
-            }
-            match self.try_serve_read(ctx, q.from, q.txn, q.ts, &q.items) {
-                ServeOutcome::Served => {
-                    ctx.metrics().inc("lock.queue_served");
-                }
-                ServeOutcome::Refused => {
-                    ctx.send(site_node(q.from), Msg::ReadNack { txn: q.txn });
-                }
-                ServeOutcome::Queued => self.read_queue.push(q),
-            }
-        }
-    }
-
-    fn on_prepare(
-        &mut self,
-        ctx: &mut Ctx<Msg>,
-        from: SiteId,
-        txn: TxnId,
-        writes: Vec<(ItemId, Entry<Value>)>,
-    ) {
-        // A prepare without a live read lease (crash, revocation) is refused:
-        // the values the coordinator computed may be stale.
-        let Some(part) = self.parts.get_mut(&txn) else {
-            ctx.send(site_node(from), Msg::PrepareNack { txn });
-            return;
-        };
-        // A duplicated Prepare (network-level duplication, or a coordinator
-        // retry) must be idempotent: the writes are already staged, so just
-        // re-affirm readiness without re-staging or re-tracing.
-        if part.staged && self.store.pending(txn).is_some() {
-            ctx.send(site_node(from), Msg::Ready { txn });
-            return;
-        }
-        part.staged = true;
-        self.store.stage(txn, from, writes);
-        ctx.trace(TraceEvent::Prepared {
-            txn: txn.raw(),
-            site: self.id,
-        });
-        self.arm(ctx, self.config.wait_timeout, Purpose::PartWait(txn));
-        ctx.send(site_node(from), Msg::Ready { txn });
-    }
-
-    fn on_decision(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId, completed: bool) {
-        self.locks.release_all(txn);
-        self.parts.remove(&txn);
-        // A decided transaction has nothing to wait for: drop any parked
-        // read request it still has (e.g. the coordinator aborted on timeout
-        // while the request sat in the wound-wait queue).
-        self.read_queue.retain(|q| q.txn != txn);
-        self.learn_outcome(ctx, txn, completed);
-        self.drain_read_queue(ctx);
-    }
-
-    /// Common path for Decision and OutcomeNotify: apply the outcome to the
-    /// store, forward along the §3.3 `sent_to` list, and account for any
-    /// unilateral relaxed action.
-    fn learn_outcome(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId, completed: bool) {
-        // Release withheld replies whose uncertainty this outcome resolves.
-        if !self.withheld.is_empty() {
-            let mut still_withheld = Vec::with_capacity(self.withheld.len());
-            for (client, req_id, result) in std::mem::take(&mut self.withheld) {
-                let reduced = result.reduce(txn, completed);
-                if reduced.has_uncertain_output() {
-                    still_withheld.push((client, req_id, reduced));
-                } else {
-                    ctx.metrics().inc("txn.withheld_released");
-                    ctx.send(
-                        client,
-                        Msg::Reply {
-                            req_id,
-                            result: reduced,
-                        },
+                Output::NeedCoin { txn, complete_prob } => {
+                    let completed = ctx.rng().chance(complete_prob);
+                    let mut follow = Vec::new();
+                    self.machine.step(
+                        ctx.now(),
+                        Input::Coin { txn, completed },
+                        &mut self.store,
+                        &mut follow,
                     );
+                    // Splice the follow-up effects in place of the request so
+                    // the overall effect order matches the machine's.
+                    out.splice(i + 1..i + 1, follow);
                 }
             }
-            self.withheld = still_withheld;
+            i += 1;
         }
-        if let Some(action) = self.relaxed_actions.remove(&txn) {
-            if action != completed {
-                ctx.metrics().inc("relaxed.violations");
-            }
-        }
-        // A formerly in-doubt transaction resolving closes the uncertainty
-        // window here: its polyvalues collapse and the lifetime is recorded.
-        if let Some(installed_at) = self.poly_installed_at.remove(&txn) {
-            let lifetime = ctx.now().since(installed_at);
-            ctx.trace(TraceEvent::OutcomeLearned {
-                txn: txn.raw(),
-                site: self.id,
-                completed,
-            });
-            ctx.metrics().observe("poly.lifetime", lifetime.as_secs_f64());
-            ctx.trace(TraceEvent::PolyvalueCollapsed {
-                txn: txn.raw(),
-                site: self.id,
-                lifetime_us: lifetime.as_micros(),
-            });
-        }
-        let dep = self.store.apply_decision(txn, completed);
-        for site in dep.sent_to {
-            if site != self.id {
-                ctx.metrics().inc("outcome.forwarded");
-                ctx.trace(TraceEvent::OutcomeForwarded {
-                    txn: txn.raw(),
-                    site: self.id,
-                    to: site,
-                });
-                ctx.send(site_node(site), Msg::OutcomeNotify { txn, completed });
-            }
-        }
-        self.store.maybe_compact();
-    }
-
-    fn on_wait_timeout(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId) {
-        let Some(part) = self.parts.get(&txn) else {
-            return;
-        };
-        if !part.staged || self.store.pending(txn).is_none() {
-            return;
-        }
-        ctx.metrics().inc("txn.in_doubt");
-        ctx.trace(TraceEvent::WaitTimedOut {
-            txn: txn.raw(),
-            site: self.id,
-        });
-        match self.config.protocol {
-            CommitProtocol::Polyvalue => {
-                // Figure 1's wait → idle edge: install in-doubt polyvalues
-                // and release everything.
-                let installed = self.store.install_in_doubt(txn);
-                ctx.metrics()
-                    .inc_by("poly.installed_items", installed.len() as u64);
-                ctx.trace(TraceEvent::PolyvalueInstalled {
-                    txn: txn.raw(),
-                    site: self.id,
-                    items: installed.len() as u32,
-                });
-                self.poly_installed_at.insert(txn, ctx.now());
-                let now = ctx.now();
-                for item in &installed {
-                    if let Some(entry) = self.store.get(*item) {
-                        ctx.metrics().gauge("poly.depth", now, entry.deps().len() as f64);
-                        ctx.metrics().gauge("poly.width", now, entry.pair_count() as f64);
-                    }
-                }
-                self.locks.release_all(txn);
-                self.parts.remove(&txn);
-                self.ensure_inquire(ctx);
-                self.drain_read_queue(ctx);
-            }
-            CommitProtocol::Blocking2pc => {
-                // Keep locks and staging; the items stay unavailable until
-                // the outcome is learned.
-                ctx.metrics().inc("blocking.stalls");
-                self.ensure_inquire(ctx);
-            }
-            CommitProtocol::Relaxed { complete_prob } => {
-                let completed = ctx.rng().chance(complete_prob);
-                ctx.metrics().inc("relaxed.unilateral");
-                self.store.apply_decision(txn, completed);
-                self.relaxed_actions.insert(txn, completed);
-                self.locks.release_all(txn);
-                self.parts.remove(&txn);
-                self.ensure_inquire(ctx);
-                self.drain_read_queue(ctx);
-            }
-        }
-    }
-
-    fn on_read_lease_expired(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId) {
-        let Some(part) = self.parts.get(&txn) else {
-            return;
-        };
-        if part.staged {
-            return; // the wait timer governs staged transactions
-        }
-        self.locks.release_all(txn);
-        self.parts.remove(&txn);
-        self.revoked.insert(txn);
-        self.drain_read_queue(ctx);
-    }
-
-    /// A parked read request waited too long: refuse it.
-    fn on_queue_expired(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId) {
-        let Some(pos) = self.read_queue.iter().position(|q| q.txn == txn) else {
-            return; // already served or dropped
-        };
-        let q = self.read_queue.remove(pos);
-        self.revoked.insert(txn);
-        ctx.metrics().inc("lock.queue_expired");
-        ctx.send(site_node(q.from), Msg::ReadNack { txn });
-    }
-
-    fn on_inquire_tick(&mut self, ctx: &mut Ctx<Msg>) {
-        self.inquire_armed = false;
-        let mut targets: BTreeSet<TxnId> = BTreeSet::new();
-        targets.extend(self.store.tracked_txns());
-        targets.extend(self.store.pending_txns());
-        targets.extend(self.relaxed_actions.keys().copied());
-        for (_, _, result) in &self.withheld {
-            targets.extend(result.deps());
-        }
-        if targets.is_empty() {
-            return;
-        }
-        for txn in targets {
-            ctx.metrics().inc("inquire.sent");
-            ctx.send(site_node(coordinator_of(txn)), Msg::Inquire { txn });
-        }
-        self.ensure_inquire(ctx);
-    }
-
-    fn on_inquire(&mut self, ctx: &mut Ctx<Msg>, from: SiteId, txn: TxnId) {
-        let completed = match self.store.decision_of(txn) {
-            Some(o) => o,
-            None => {
-                if self.coords.contains_key(&txn) {
-                    return; // still deciding; the asker will retry
-                }
-                // Presumed abort: no durable completion was recorded.
-                self.store.record_decision(txn, false);
-                false
-            }
-        };
-        ctx.send(site_node(from), Msg::OutcomeNotify { txn, completed });
     }
 
     /// Drains the store's accumulated storage/recovery statistics into the
@@ -939,124 +180,56 @@ impl Site {
             }
         }
     }
-
-    fn on_outcome_notify(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId, completed: bool) {
-        // A blocked (or still-waiting) participant is released by the news.
-        if self.parts.remove(&txn).is_some() {
-            self.locks.release_all(txn);
-        }
-        self.learn_outcome(ctx, txn, completed);
-        self.drain_read_queue(ctx);
-    }
 }
 
 impl Actor for Site {
     type Msg = Msg;
 
     fn on_message(&mut self, ctx: &mut Ctx<Msg>, from: NodeId, msg: Msg) {
-        let from_site: SiteId = from.0;
-        match msg {
-            Msg::Submit { req_id, spec } => self.on_submit(ctx, from, req_id, spec),
-            Msg::ReadReq { txn, ts, items } => self.on_read_req(ctx, from_site, txn, ts, items),
-            Msg::ReadResp { txn, entries } => self.on_read_resp(ctx, from_site, txn, entries),
-            Msg::ReadNack { txn } => self.finish_abort(ctx, txn, AbortReason::LockConflict),
-            Msg::Prepare { txn, writes } => self.on_prepare(ctx, from_site, txn, writes),
-            Msg::Ready { txn } => self.on_ready(ctx, from_site, txn),
-            Msg::PrepareNack { txn } => self.finish_abort(ctx, txn, AbortReason::LockConflict),
-            Msg::Decision { txn, completed } => self.on_decision(ctx, txn, completed),
-            Msg::Inquire { txn } => self.on_inquire(ctx, from_site, txn),
-            Msg::OutcomeNotify { txn, completed } => self.on_outcome_notify(ctx, txn, completed),
-            Msg::Reply { .. } => {
-                debug_assert!(false, "sites do not receive replies");
+        // The opt-in submit gate: reject statically wrong transactions
+        // before burning protocol work on them. Rejections are final (the
+        // spec itself is wrong), so clients do not retry them. The gate
+        // lives in the driver — the protocol crate must not depend on
+        // `pv-analysis` (which depends back on it for trace checking).
+        if let Msg::Submit { req_id, spec } = &msg {
+            if self.machine.config().static_checks {
+                if let Err(report) = pv_analysis::gate_spec(spec) {
+                    // The machine never sees the submission, so count it
+                    // (and the rejection) here.
+                    ctx.metrics().inc("txn.submitted");
+                    ctx.metrics().inc("txn.rejected.static");
+                    let result = TxnResult::Aborted {
+                        reason: AbortReason::Rejected(report),
+                    };
+                    let req_id = *req_id;
+                    ctx.send(from, Msg::Reply { req_id, result });
+                    self.flush_storage_metrics(ctx);
+                    return;
+                }
             }
         }
+        self.drive(ctx, Input::Msg { from, msg });
         self.flush_storage_metrics(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<Msg>, key: u64) {
-        let Some(purpose) = self.timer_purposes.remove(&key) else {
+        let Some(key) = TimerKey::decode(key) else {
+            debug_assert!(false, "undecodable timer key {key:#x}");
             return;
         };
-        match purpose {
-            Purpose::CoordRead(txn) => {
-                if self
-                    .coords
-                    .get(&txn)
-                    .is_some_and(|c| c.phase == CoordPhase::Reading)
-                {
-                    self.finish_abort(ctx, txn, AbortReason::Timeout);
-                }
-            }
-            Purpose::CoordReady(txn) => {
-                if self
-                    .coords
-                    .get(&txn)
-                    .is_some_and(|c| c.phase == CoordPhase::Preparing)
-                {
-                    self.finish_abort(ctx, txn, AbortReason::Timeout);
-                }
-            }
-            Purpose::PartWait(txn) => self.on_wait_timeout(ctx, txn),
-            Purpose::ReadLease(txn) => self.on_read_lease_expired(ctx, txn),
-            Purpose::QueueExpire(txn) => self.on_queue_expired(ctx, txn),
-            Purpose::Inquire => self.on_inquire_tick(ctx),
-        }
+        self.drive(ctx, Input::Timer(key));
         self.flush_storage_metrics(ctx);
     }
 
     fn on_crash(&mut self) {
-        // Volatile state is gone; the store survives via its WAL.
-        self.locks.clear();
-        self.coords.clear();
-        self.parts.clear();
-        self.revoked.clear();
-        self.relaxed_actions.clear();
-        self.timer_purposes.clear();
-        self.inquire_armed = false;
-        self.withheld.clear();
-        self.read_queue.clear();
-        self.poly_installed_at.clear();
+        // Volatile state is gone; the store survives via its WAL. Armed
+        // timers die with the node at the substrate level.
+        self.machine.crash();
         self.store.crash_and_recover();
     }
 
     fn on_recover(&mut self, ctx: &mut Ctx<Msg>) {
-        // Fresh epoch so new transaction ids cannot collide with pre-crash
-        // ones; fresh counter within the epoch.
-        self.store.bump_epoch();
-        self.txn_counter = 0;
-        // Staged wait-phase transactions survived in the WAL: re-acquire
-        // their write locks and resume waiting per Figure 1.
-        for txn in self.store.pending_txns() {
-            let writes: Vec<ItemId> = self
-                .store
-                .pending(txn)
-                .expect("listed as pending")
-                .writes
-                .iter()
-                .map(|(item, _)| *item)
-                .collect();
-            for item in writes {
-                let ok = self.locks.try_write(txn, item);
-                debug_assert!(ok, "locks are free right after recovery");
-            }
-            let coordinator = self
-                .store
-                .pending(txn)
-                .expect("listed as pending")
-                .coordinator;
-            self.parts.insert(
-                txn,
-                Part {
-                    staged: true,
-                    coordinator,
-                    ts: 0,
-                },
-            );
-            self.arm(ctx, self.config.wait_timeout, Purpose::PartWait(txn));
-        }
-        if self.store.has_tracked_txns() || !self.store.pending_txns().is_empty() {
-            self.ensure_inquire(ctx);
-        }
+        self.drive(ctx, Input::Recovered);
         self.flush_storage_metrics(ctx);
     }
 }
@@ -1064,7 +237,7 @@ impl Actor for Site {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pv_core::SplitMode;
+    use pv_core::{Entry, ItemId, SplitMode, Value};
 
     fn site() -> Site {
         Site::new(0, EngineConfig::default(), Directory::Mod(1))
@@ -1084,22 +257,12 @@ mod tests {
     }
 
     #[test]
-    fn txn_ids_are_unique_and_carry_site() {
-        let mut s = Site::new(3, EngineConfig::default(), Directory::Mod(4));
-        let a = s.new_txn();
-        let b = s.new_txn();
-        assert_ne!(a, b);
-        assert_eq!(coordinator_of(a), 3);
-        assert_eq!(coordinator_of(b), 3);
-    }
-
-    #[test]
     fn config_split_mode_is_respected_in_construction() {
         let cfg = EngineConfig {
             split_mode: SplitMode::Eager,
             ..EngineConfig::default()
         };
         let s = Site::new(0, cfg, Directory::Mod(1));
-        assert_eq!(s.config.split_mode, SplitMode::Eager);
+        assert_eq!(s.machine().config().split_mode, SplitMode::Eager);
     }
 }

@@ -14,7 +14,12 @@
 //!   substrate with network and failure models;
 //! * [`store`] (`pv-store`) — per-site durable storage: WAL, item table, and
 //!   the §3.3 outcome-dependency table;
-//! * [`engine`] (`pv-engine`) — the distributed transaction engine: 2PC with
+//! * [`protocol`] (`pv-protocol`) — the sans-IO commit protocol: pure
+//!   coordinator/participant/recovery state machines (typed events in,
+//!   typed effects out) plus the exhaustive interleaving explorer behind
+//!   the `pv-explore` binary;
+//! * [`engine`] (`pv-engine`) — the distributed transaction engine driving
+//!   the protocol machines over the simulation or live threads: 2PC with
 //!   polyvalue installation on wait-phase timeouts, plus the blocking and
 //!   relaxed baselines of §2;
 //! * [`model`] (`pv-model`) — the §4.1 analytic model (Table 1);
@@ -52,6 +57,7 @@ pub use pv_apps as apps;
 pub use pv_core as core;
 pub use pv_engine as engine;
 pub use pv_model as model;
+pub use pv_protocol as protocol;
 pub use pv_simnet as simnet;
 pub use pv_stochsim as stochsim;
 pub use pv_store as store;

@@ -1,0 +1,20 @@
+//! Golden test: the Figure-1 rendering produced from the *live*
+//! `pv-protocol` participant machine must match the checked-in
+//! `results/figure1.txt` byte for byte. If a transition changes, the figure
+//! must be regenerated (`cargo run -p pv-bench --bin figure1`) — the table
+//! in the paper reproduction can never silently drift from the code.
+
+#[test]
+fn figure1_matches_checked_in_results() {
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/results/figure1.txt"
+    ))
+    .expect("results/figure1.txt present");
+    let rendered = polyvalues::protocol::render_figure1();
+    assert_eq!(
+        rendered, golden,
+        "Figure 1 drifted from results/figure1.txt; regenerate with \
+         `cargo run -p pv-bench --bin figure1 > results/figure1.txt`"
+    );
+}

@@ -1,0 +1,67 @@
+//! Property tests over the sans-IO protocol machines.
+//!
+//! Each case drives a small cluster of `pv_protocol::SiteMachine`s through a
+//! random interleaving of deliveries, timer firings, and crash/recover
+//! events (`Explorer::random_walk`) and asserts:
+//!
+//! 1. the machines never panic and no protocol invariant is violated on any
+//!    step (agreement, install-only-after-timeout, collapse-only-after-
+//!    outcome, no install after the site knew the outcome, conservation at
+//!    quiescence);
+//! 2. the trace the machines themselves emitted, rendered in the stable
+//!    `Trace::to_text` line format, replays **clean** through the same
+//!    `pv-lint trace` conformance checker users run on recorded traces —
+//!    the machine can never emit a trace its own checker would reject.
+
+use polyvalues::protocol::{ExploreConfig, Explorer};
+use polyvalues::simnet::{NodeId, SimTime, Trace};
+use proptest::prelude::*;
+
+/// Walks `seed` through a scenario and returns the explorer's verdict plus
+/// the emitted trace in text form.
+fn walk(seed: u64, sites: u32, txns: u32, crashes: u32) -> (usize, String, usize) {
+    let cfg = ExploreConfig {
+        sites,
+        txns,
+        crashes,
+        ..ExploreConfig::default()
+    };
+    let result = Explorer::new(cfg).random_walk(seed, 80);
+    let mut trace = Trace::collecting();
+    for (site, event) in &result.trace {
+        trace.record(SimTime::ZERO, NodeId(*site), *event);
+    }
+    (result.steps, trace.to_text(), result.violations.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_walks_never_violate_invariants(seed: u64) {
+        // Vary the scenario shape with the seed: 2–3 sites, 1–2 txns,
+        // crash budget 0–2.
+        let sites = 2 + (seed % 2) as u32;
+        let txns = 1 + ((seed >> 1) % 2) as u32;
+        let crashes = ((seed >> 2) % 3) as u32;
+        let (steps, _, violations) = walk(seed, sites, txns, crashes);
+        prop_assert!(steps > 0, "walk made no progress");
+        prop_assert_eq!(violations, 0, "invariant violations on a random walk");
+    }
+
+    #[test]
+    fn emitted_traces_replay_clean_through_the_lint_checker(seed: u64) {
+        let sites = 2 + (seed % 2) as u32;
+        let crashes = (seed >> 1) % 2;
+        let (_, text, violations) = walk(seed, sites, 1, crashes as u32);
+        prop_assert_eq!(violations, 0);
+        let report = polyvalues::analysis::check_trace_text(&text)
+            .expect("machine-emitted trace must parse");
+        prop_assert!(
+            report.is_clean(),
+            "machine-emitted trace failed its own conformance checker:\n{}\n{}",
+            report,
+            text
+        );
+    }
+}
