@@ -6,10 +6,11 @@ use crate::directory::Directory;
 use crate::error::EngineError;
 use crate::messages::Msg;
 use crate::site::{site_node, Site};
+use crate::topology::Topology;
 use crate::workload::Workload;
 use pv_core::{Entry, ItemId, Value};
 use pv_simnet::{NetConfig, NodeId, SimTime, Trace, TraceSink, World};
-use pv_store::{SiteId, SiteStore, Storage};
+use pv_store::{DiskWal, SiteId, SiteStore, Storage};
 
 /// The node type of an engine world: either a database site or a client.
 pub enum Node {
@@ -62,13 +63,18 @@ impl pv_simnet::Actor for Node {
 type StorageFactory = Box<dyn Fn(SiteId) -> Box<dyn Storage>>;
 
 /// Builder for a simulated cluster.
+///
+/// The cluster *shape* — sites, placement, protocol, items, durability —
+/// lives in a [`Topology`], the configuration type shared with the live and
+/// networked runtimes; this builder adds what only the simulation has: a
+/// seed, a network model, simulated clients, and pluggable storage backends.
+/// Start from [`ClusterBuilder::from_topology`] to run a description that
+/// also deploys on `LiveCluster` / `pv-net`, or from [`ClusterBuilder::new`]
+/// for a fresh default topology.
 pub struct ClusterBuilder {
+    topo: Topology,
     seed: u64,
     net: NetConfig,
-    engine: EngineConfig,
-    sites: u32,
-    directory: Directory,
-    items: Vec<(ItemId, Value)>,
     clients: Vec<(ClientConfig, Box<dyn Workload>)>,
     trace: Option<Trace>,
     storage: Option<StorageFactory>,
@@ -77,14 +83,18 @@ pub struct ClusterBuilder {
 impl ClusterBuilder {
     /// Starts a builder for `sites` sites placed by `directory`.
     pub fn new(sites: u32, directory: Directory) -> Self {
-        assert!(sites > 0);
+        ClusterBuilder::from_topology(Topology::new(sites, directory))
+    }
+
+    /// Starts a builder over an existing cluster description. The
+    /// topology's items, engine configuration, data directory, fsync
+    /// policy, and trace flag all carry over; only simulation-specific
+    /// pieces (seed, network model, clients) remain to be set.
+    pub fn from_topology(topo: Topology) -> Self {
         ClusterBuilder {
+            topo,
             seed: 0,
             net: NetConfig::default(),
-            engine: EngineConfig::default(),
-            sites,
-            directory,
-            items: Vec::new(),
             clients: Vec::new(),
             trace: None,
             storage: None,
@@ -106,30 +116,31 @@ impl ClusterBuilder {
     /// Sets the engine configuration (protocol, timeouts). Accepts a full
     /// [`EngineConfig`] or a bare [`crate::CommitProtocol`].
     pub fn engine(mut self, engine: impl Into<EngineConfig>) -> Self {
-        self.engine = engine.into();
+        self.topo = self.topo.engine(engine);
         self
     }
 
-    /// Turns on the static submit gate: every submitted transaction runs
-    /// the `pv-analysis` checks first, and `Error`-severity findings abort
-    /// it (non-retryably) before any protocol work.
+    /// Turns on the static submit gate.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set it on the shared configuration: `Topology::static_checks` \
+                (then `ClusterBuilder::from_topology`)"
+    )]
     pub fn static_checks(mut self) -> Self {
-        self.engine.static_checks = true;
+        self.topo.engine.static_checks = true;
         self
     }
 
     /// Seeds an initial item value (placed by the directory). Accepts raw
     /// `u64` item ids and anything convertible to a [`Value`].
     pub fn item(mut self, item: impl Into<ItemId>, value: impl Into<Value>) -> Self {
-        self.items.push((item.into(), value.into()));
+        self.topo = self.topo.item(item, value);
         self
     }
 
     /// Seeds items `0..n` with the same integer value.
     pub fn uniform_items(mut self, n: u64, value: i64) -> Self {
-        for i in 0..n {
-            self.items.push((ItemId(i), Value::Int(value)));
-        }
+        self.topo = self.topo.uniform_items(n, value);
         self
     }
 
@@ -178,23 +189,36 @@ impl ClusterBuilder {
 
     /// Builds the world: sites first (node ids `0..sites`), then clients.
     pub fn build(self) -> Cluster {
+        let topo = self.topo;
         let mut world = World::new(self.seed, self.net);
         if let Some(trace) = self.trace {
             world.set_trace(trace);
+        } else if topo.collect_trace {
+            world.set_trace(Trace::collecting());
         }
-        for s in 0..self.sites {
-            let store = match &self.storage {
-                Some(factory) => SiteStore::with_storage(factory(s as SiteId)),
-                None => SiteStore::new(),
+        for s in 0..topo.sites {
+            // Precedence: an explicit storage factory wins; otherwise a
+            // topology data dir gets the same per-site DiskWal layout the
+            // live and networked runtimes use; otherwise memory.
+            let store = match (&self.storage, &topo.data_dir) {
+                (Some(factory), _) => SiteStore::with_storage(factory(s as SiteId)),
+                (None, Some(dir)) => {
+                    let wal = DiskWal::open(dir.join(format!("site-{s}")), topo.fsync_policy)
+                        .expect("open site WAL directory");
+                    SiteStore::open(Box::new(wal))
+                }
+                (None, None) => SiteStore::new(),
             };
             let mut site = Site::with_store(
                 s as SiteId,
-                self.engine.clone(),
-                self.directory.clone(),
+                topo.engine.clone(),
+                topo.directory.clone(),
                 store,
             );
-            for (item, value) in &self.items {
-                if self.directory.site_of(*item) == Some(s as SiteId) {
+            for (item, value) in &topo.items {
+                if topo.directory.site_of(*item) == Some(s as SiteId)
+                    && !site.store().contains(*item)
+                {
                     site.seed_item(*item, value.clone());
                 }
             }
@@ -207,14 +231,14 @@ impl ClusterBuilder {
         }
         let mut client_nodes = Vec::with_capacity(self.clients.len());
         for (config, workload) in self.clients {
-            let client = Client::new(config, self.directory.clone(), self.sites, workload);
+            let client = Client::new(config, topo.directory.clone(), topo.sites, workload);
             client_nodes.push(world.add_node(Node::Client(Box::new(client))));
         }
         Cluster {
             world,
-            sites: self.sites,
+            sites: topo.sites,
             client_nodes,
-            directory: self.directory,
+            directory: topo.directory,
         }
     }
 }

@@ -31,6 +31,22 @@ pub enum EngineError {
     /// The static checks rejected the transaction before submission (the
     /// `static_checks` gate). Carries the rendered diagnostics.
     Rejected(String),
+    /// A message failed to encode for the wire (networked runtime). Carries
+    /// the rendered `pv_net::wire::EncodeError`.
+    Encode(String),
+    /// Received bytes failed to decode as a wire frame (networked runtime).
+    /// Carries the rendered `pv_net::wire::DecodeError`.
+    Decode(String),
+    /// A socket operation failed in the networked runtime.
+    Io(String),
+    /// A peer site could not be reached within the configured retry budget
+    /// (networked runtime). Carries what was being attempted.
+    Unreachable {
+        /// The unreachable site.
+        site: SiteId,
+        /// What failed (address, attempt count, last OS error).
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -45,6 +61,12 @@ impl fmt::Display for EngineError {
             EngineError::NotAnInt(item) => write!(f, "{item} is not a settled integer"),
             EngineError::Rejected(report) => {
                 write!(f, "rejected by static checks: {report}")
+            }
+            EngineError::Encode(e) => write!(f, "wire encode failed: {e}"),
+            EngineError::Decode(e) => write!(f, "wire decode failed: {e}"),
+            EngineError::Io(e) => write!(f, "network I/O failed: {e}"),
+            EngineError::Unreachable { site, detail } => {
+                write!(f, "site s{site} unreachable: {detail}")
             }
         }
     }
@@ -67,6 +89,30 @@ mod tests {
             "item7 is absent from its home site"
         );
         assert_eq!(EngineError::Timeout.to_string(), "no reply within the deadline");
+    }
+
+    #[test]
+    fn wire_variants_display_their_detail() {
+        assert_eq!(
+            EngineError::Decode("bad magic 0xdead".into()).to_string(),
+            "wire decode failed: bad magic 0xdead"
+        );
+        assert_eq!(
+            EngineError::Encode("frame too large".into()).to_string(),
+            "wire encode failed: frame too large"
+        );
+        assert_eq!(
+            EngineError::Io("connection reset".into()).to_string(),
+            "network I/O failed: connection reset"
+        );
+        let e = EngineError::Unreachable {
+            site: 2,
+            detail: "127.0.0.1:7102 after 5 attempts".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "site s2 unreachable: 127.0.0.1:7102 after 5 attempts"
+        );
     }
 
     #[test]

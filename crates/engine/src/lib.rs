@@ -28,6 +28,7 @@ pub mod crashpoint;
 pub mod error;
 pub mod live;
 pub mod site;
+pub mod topology;
 pub mod workload;
 
 // The protocol itself — configuration, directory, ids, locks, the message
@@ -45,4 +46,5 @@ pub use ids::{coordinator_of, encode_txn};
 pub use live::{LiveBuilder, LiveCluster, SiteSnapshot};
 pub use messages::{AbortReason, AccessMode, Msg, TxnResult};
 pub use site::{site_node, Site};
+pub use topology::{RuntimeConfig, Topology};
 pub use workload::{RandomTransfers, Script, UniformRmw, Workload};

@@ -16,6 +16,7 @@ use crate::directory::Directory;
 use crate::error::EngineError;
 use crate::messages::{Msg, TxnResult};
 use crate::site::Site;
+use crate::topology::Topology;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use pv_core::{ItemId, Value};
@@ -281,63 +282,86 @@ impl SiteThread {
 
 /// Configures and starts a [`LiveCluster`].
 ///
-/// Obtained from [`LiveCluster::builder`]; call [`LiveBuilder::start`] to
-/// spawn the site threads.
+/// The cluster shape lives in a [`Topology`] — the configuration type shared
+/// with the simulation and the `pv-net` socket runtime — so the preferred
+/// entry point is [`LiveCluster::from_topology`]. This builder remains for
+/// what only the live runtime has (streaming trace sinks) and as the
+/// [`LiveCluster::builder`] compatibility surface; its duplicate
+/// configuration setters are deprecated in favour of the topology's.
 pub struct LiveBuilder {
-    sites: u32,
-    directory: Directory,
-    config: EngineConfig,
-    items: Vec<(ItemId, Value)>,
+    topo: Topology,
     trace: Option<Trace>,
-    data_dir: Option<PathBuf>,
-    fsync_policy: FsyncPolicy,
 }
 
 impl LiveBuilder {
-    /// Sets the engine configuration (protocol, timeouts). Accepts a full
-    /// [`EngineConfig`] or a bare [`crate::CommitProtocol`].
+    /// Starts a builder over an existing cluster description.
+    pub fn from_topology(topo: Topology) -> Self {
+        LiveBuilder { topo, trace: None }
+    }
+
+    /// Sets the engine configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set it on the shared configuration: `Topology::engine` \
+                (then `LiveCluster::from_topology`)"
+    )]
     pub fn engine(mut self, config: impl Into<EngineConfig>) -> Self {
-        self.config = config.into();
+        self.topo = self.topo.engine(config);
         self
     }
 
-    /// Seeds an initial item value (placed by the directory). Accepts raw
-    /// `u64` item ids and anything convertible to a [`Value`].
+    /// Seeds an initial item value (placed by the directory).
+    #[deprecated(
+        since = "0.1.0",
+        note = "set it on the shared configuration: `Topology::item` \
+                (then `LiveCluster::from_topology`)"
+    )]
     pub fn item(mut self, item: impl Into<ItemId>, value: impl Into<Value>) -> Self {
-        self.items.push((item.into(), value.into()));
+        self.topo = self.topo.item(item, value);
         self
     }
 
     /// Seeds many items at once.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set it on the shared configuration: `Topology::items` \
+                (then `LiveCluster::from_topology`)"
+    )]
     pub fn items(mut self, items: impl IntoIterator<Item = (ItemId, Value)>) -> Self {
-        self.items.extend(items);
+        self.topo = self.topo.items(items);
         self
     }
 
-    /// Turns on the static submit gate: [`LiveCluster::submit`] runs the
-    /// `pv-analysis` checks client-side and returns
-    /// [`EngineError::Rejected`] for specs with `Error`-severity findings,
-    /// without a network round trip; sites also enforce the gate.
+    /// Turns on the static submit gate.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set it on the shared configuration: `Topology::static_checks` \
+                (then `LiveCluster::from_topology`)"
+    )]
     pub fn static_checks(mut self) -> Self {
-        self.config.static_checks = true;
+        self.topo.engine.static_checks = true;
         self
     }
 
-    /// Persists each site's WAL to a real directory: site `s` writes
-    /// append-only segments under `<dir>/site-<s>`. A site whose directory
-    /// already holds a WAL image *recovers* from it — items, staged
-    /// transactions, outcome-dependency tables, and decisions are replayed,
-    /// the epoch is bumped, and seeded items already present on disk are
-    /// left untouched. Without a data dir, sites keep their WAL in memory.
+    /// Persists each site's WAL under `<dir>/site-<s>`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set it on the shared configuration: `Topology::data_dir` \
+                (then `LiveCluster::from_topology`)"
+    )]
     pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.data_dir = Some(dir.into());
+        self.topo = self.topo.data_dir(dir);
         self
     }
 
-    /// Sets the fsync policy of disk-backed sites (default: per-decision,
-    /// the cheapest policy that keeps the §3.1 protocol crash-safe).
+    /// Sets the fsync policy of disk-backed sites.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set it on the shared configuration: `Topology::fsync_policy` \
+                (then `LiveCluster::from_topology`)"
+    )]
     pub fn fsync_policy(mut self, policy: FsyncPolicy) -> Self {
-        self.fsync_policy = policy;
+        self.topo = self.topo.fsync_policy(policy);
         self
     }
 
@@ -350,22 +374,41 @@ impl LiveBuilder {
         self
     }
 
-    /// Buffers a protocol trace and streams each record to `sink`.
+    /// Buffers a protocol trace and streams each record to `sink`. Sinks
+    /// are live callbacks, so they stay builder-level rather than moving
+    /// into the (clonable, runtime-agnostic) [`Topology`].
     pub fn trace(mut self, sink: impl TraceSink + Send + 'static) -> Self {
         self.trace = Some(Trace::with_sink(sink));
         self
     }
 
     /// Spawns the site threads and returns the running cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a site's WAL directory cannot be opened; use
+    /// [`LiveBuilder::try_start`] (or [`LiveCluster::from_topology`]) to
+    /// get the error instead.
     pub fn start(self) -> LiveCluster {
+        self.try_start().expect("start live cluster")
+    }
+
+    /// Spawns the site threads, reporting WAL-directory failures as
+    /// [`EngineError::Io`] instead of panicking.
+    pub fn try_start(self) -> Result<LiveCluster, EngineError> {
+        let trace = match self.trace {
+            Some(trace) => trace,
+            None if self.topo.collect_trace => Trace::collecting(),
+            None => Trace::default(),
+        };
         LiveCluster::spawn(
-            self.sites,
-            self.directory,
-            self.config,
-            self.items,
-            self.trace.unwrap_or_default(),
-            self.data_dir,
-            self.fsync_policy,
+            self.topo.sites,
+            self.topo.directory,
+            self.topo.engine,
+            self.topo.items,
+            trace,
+            self.topo.data_dir,
+            self.topo.fsync_policy,
         )
     }
 }
@@ -377,14 +420,13 @@ impl LiveBuilder {
 /// ```
 /// use pv_core::{Expr, ItemId, TransactionSpec, Value};
 /// use pv_engine::live::LiveCluster;
-/// use pv_engine::{Directory, EngineConfig};
+/// use pv_engine::{Directory, Topology};
 /// use std::time::Duration;
 ///
-/// let cluster = LiveCluster::builder(2, Directory::Mod(2))
-///     .engine(EngineConfig::default())
+/// let topo = Topology::new(2, Directory::Mod(2))
 ///     .item(ItemId(0), Value::Int(100))
-///     .item(ItemId(1), Value::Int(0))
-///     .start();
+///     .item(ItemId(1), Value::Int(0));
+/// let cluster = LiveCluster::from_topology(topo).unwrap();
 /// let transfer = TransactionSpec::new()
 ///     .guard(Expr::read(ItemId(0)).ge(Expr::int(40)))
 ///     .update(ItemId(0), Expr::read(ItemId(0)).sub(Expr::int(40)))
@@ -409,16 +451,15 @@ pub struct LiveCluster {
 impl LiveCluster {
     /// Starts configuring a live cluster of `sites` site threads.
     pub fn builder(sites: u32, directory: Directory) -> LiveBuilder {
-        assert!(sites > 0, "a cluster needs at least one site");
-        LiveBuilder {
-            sites,
-            directory,
-            config: EngineConfig::default(),
-            items: Vec::new(),
-            trace: None,
-            data_dir: None,
-            fsync_policy: FsyncPolicy::PerDecision,
-        }
+        LiveBuilder::from_topology(Topology::new(sites, directory))
+    }
+
+    /// Spawns a live cluster described by a runtime-agnostic [`Topology`] —
+    /// the same value [`crate::ClusterBuilder::from_topology`] and
+    /// `pv_net::NetBuilder::from_topology` accept. Fails with
+    /// [`EngineError::Io`] when a site's WAL directory cannot be opened.
+    pub fn from_topology(topo: Topology) -> Result<Self, EngineError> {
+        LiveBuilder::from_topology(topo).try_start()
     }
 
     fn spawn(
@@ -429,7 +470,7 @@ impl LiveCluster {
         trace: Trace,
         data_dir: Option<PathBuf>,
         fsync_policy: FsyncPolicy,
-    ) -> Self {
+    ) -> Result<Self, EngineError> {
         assert!(sites > 0);
         let static_checks = config.static_checks;
         let metrics = Arc::new(Mutex::new(Metrics::new()));
@@ -448,8 +489,10 @@ impl LiveCluster {
         for (s, inbox) in inboxes.into_iter().enumerate() {
             let store = match &data_dir {
                 Some(dir) => {
-                    let wal = DiskWal::open(dir.join(format!("site-{s}")), fsync_policy)
-                        .expect("open site WAL directory");
+                    let path = dir.join(format!("site-{s}"));
+                    let wal = DiskWal::open(&path, fsync_policy).map_err(|e| {
+                        EngineError::Io(format!("open WAL at {}: {e}", path.display()))
+                    })?;
                     SiteStore::open(Box::new(wal))
                 }
                 None => SiteStore::new(),
@@ -495,7 +538,7 @@ impl LiveCluster {
         let client_node = sites;
         let (ctx_tx, client_rx) = channel::unbounded();
         clients.lock().insert(client_node, ctx_tx);
-        LiveCluster {
+        Ok(LiveCluster {
             senders,
             handles,
             clients,
@@ -506,7 +549,7 @@ impl LiveCluster {
             client_node,
             next_req: Mutex::new(1),
             static_checks,
-        }
+        })
     }
 
     /// Submits a transaction to `coordinator` and blocks for the result.
@@ -678,11 +721,14 @@ mod tests {
             .update(t, Expr::read(t).add(Expr::int(amount)))
     }
 
-    fn two_site_cluster() -> LiveCluster {
-        LiveCluster::builder(2, Directory::Mod(2))
+    fn two_site_topo() -> Topology {
+        Topology::new(2, Directory::Mod(2))
             .engine(fast_config())
             .items(vec![(ItemId(0), Value::Int(100)), (ItemId(1), Value::Int(100))])
-            .start()
+    }
+
+    fn two_site_cluster() -> LiveCluster {
+        LiveCluster::from_topology(two_site_topo()).unwrap()
     }
 
     #[test]
@@ -776,12 +822,11 @@ mod tests {
 
     #[test]
     fn live_trace_records_protocol_transitions() {
-        let cluster = LiveCluster::builder(2, Directory::Mod(2))
+        let topo = Topology::new(2, Directory::Mod(2))
             .engine(fast_config())
             .item(0u64, 100i64)
-            .item(1u64, 100i64)
-            .collect_trace()
-            .start();
+            .item(1u64, 100i64);
+        let cluster = LiveBuilder::from_topology(topo).collect_trace().start();
         let result = cluster
             .submit(0, &transfer(0, 1, 30), Duration::from_secs(5))
             .unwrap();
@@ -795,11 +840,7 @@ mod tests {
 
     #[test]
     fn live_static_checks_reject_before_submission() {
-        let cluster = LiveCluster::builder(2, Directory::Mod(2))
-            .engine(fast_config())
-            .items(vec![(ItemId(0), Value::Int(100)), (ItemId(1), Value::Int(100))])
-            .static_checks()
-            .start();
+        let cluster = LiveCluster::from_topology(two_site_topo().static_checks()).unwrap();
         // An ill-typed spec never reaches a site.
         let bad = TransactionSpec::new().update(ItemId(0), Expr::int(1).add(Expr::bool(true)));
         match cluster.submit(0, &bad, Duration::from_secs(5)) {
@@ -915,13 +956,7 @@ mod tests {
     #[test]
     fn live_disk_backed_cluster_survives_restart() {
         let dir = scratch("restart");
-        let build = || {
-            LiveCluster::builder(2, Directory::Mod(2))
-                .engine(fast_config())
-                .items(vec![(ItemId(0), Value::Int(100)), (ItemId(1), Value::Int(100))])
-                .data_dir(&dir)
-                .start()
-        };
+        let build = || LiveCluster::from_topology(two_site_topo().data_dir(&dir)).unwrap();
         let first = build();
         let result = first
             .submit(0, &transfer(0, 1, 30), Duration::from_secs(5))
@@ -976,11 +1011,7 @@ mod tests {
             part.stage(txn, 0, vec![(ItemId(1), Entry::Simple(Value::Int(130)))]);
             part.sync();
         }
-        let cluster = LiveCluster::builder(2, Directory::Mod(2))
-            .engine(fast_config())
-            .items(vec![(ItemId(0), Value::Int(100)), (ItemId(1), Value::Int(100))])
-            .data_dir(&dir)
-            .start();
+        let cluster = LiveCluster::from_topology(two_site_topo().data_dir(&dir)).unwrap();
         // Recovery re-stages the pending transaction, times out its wait
         // phase (installing an in-doubt polyvalue), inquires at the
         // coordinator, learns *complete*, and collapses the polyvalue into

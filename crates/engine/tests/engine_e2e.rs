@@ -466,10 +466,10 @@ fn static_checks_gate_rejects_ill_typed_specs() {
     // First spec is statically wrong (int + bool), second is fine: the gate
     // must reject the first without protocol work and pass the second.
     let bad = TransactionSpec::new().update(ItemId(0), Expr::int(1).add(Expr::bool(true)));
-    let mut cluster = ClusterBuilder::new(2, Directory::Mod(2))
+    let topo = pv_engine::Topology::new(2, Directory::Mod(2)).static_checks();
+    let mut cluster = ClusterBuilder::from_topology(topo)
         .seed(7)
         .net(NetConfig::instant())
-        .static_checks()
         .item(ItemId(0), Value::Int(100))
         .item(ItemId(1), Value::Int(100))
         .client(

@@ -1,0 +1,217 @@
+//! An in-process networked cluster: every site node runs its real socket
+//! event loop on its own thread, over real localhost TCP.
+//!
+//! This is the third consumer of the shared [`Topology`] — after
+//! `ClusterBuilder::from_topology` (simulation) and
+//! `LiveCluster::from_topology` (threads + channels) — and the test/bench
+//! harness for the `pv-node` binary's event loop: identical [`Node`] code,
+//! just hosted on threads instead of separate processes, so integration
+//! tests exercise the full wire path (codec, Hello routing, backpressure,
+//! reconnects) without process management.
+
+use crate::client::NetClient;
+use crate::node::{Node, NodeConfig, RetryBudget};
+use crate::wire::NodeSnapshot;
+use parking_lot::Mutex;
+use pv_core::TransactionSpec;
+use pv_engine::messages::TxnResult;
+use pv_engine::topology::Topology;
+use pv_engine::{EngineError, Site};
+use pv_simnet::Metrics;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+/// Configures and starts a [`NetCluster`] from a shared [`Topology`].
+pub struct NetBuilder {
+    topo: Topology,
+    retry: RetryBudget,
+}
+
+impl NetBuilder {
+    /// Starts a builder over an existing cluster description — the same
+    /// value `ClusterBuilder::from_topology` and `LiveCluster::from_topology`
+    /// accept.
+    pub fn from_topology(topo: Topology) -> Self {
+        NetBuilder {
+            topo,
+            retry: RetryBudget::default(),
+        }
+    }
+
+    /// Overrides the dial/reconnect budget (tests use
+    /// [`RetryBudget::fast_fail`]).
+    pub fn retry(mut self, retry: RetryBudget) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Binds every site on a loopback port, wires the peer tables, and
+    /// spawns one event-loop thread per site.
+    pub fn start(self) -> Result<NetCluster, EngineError> {
+        let sites = self.topo.sites;
+        let mut nodes = Vec::with_capacity(sites as usize);
+        for s in 0..sites {
+            let config = NodeConfig {
+                site: s,
+                topo: self.topo.clone(),
+                retry: self.retry,
+            };
+            nodes.push(Node::bind(config, "127.0.0.1:0".parse().expect("loopback"))?);
+        }
+        let addrs: Vec<SocketAddr> = nodes
+            .iter()
+            .map(|n| n.local_addr())
+            .collect::<Result<_, _>>()?;
+        let mut handles = Vec::with_capacity(sites as usize);
+        for (s, mut node) in nodes.into_iter().enumerate() {
+            node.set_peers(addrs.clone());
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pv-net-{s}"))
+                    .spawn(move || node.run())
+                    .expect("spawn node thread"),
+            );
+        }
+        Ok(NetCluster {
+            addrs,
+            handles,
+            topo: self.topo,
+            retry: self.retry,
+            next_client: AtomicU32::new(sites + 1),
+            control: Mutex::new(None),
+        })
+    }
+}
+
+/// A running socket cluster (one event-loop thread per site, real TCP).
+pub struct NetCluster {
+    addrs: Vec<SocketAddr>,
+    handles: Vec<std::thread::JoinHandle<Result<Site, EngineError>>>,
+    topo: Topology,
+    retry: RetryBudget,
+    next_client: AtomicU32,
+    /// One lazily-opened control connection per site, for
+    /// submit/inspect/metrics convenience calls.
+    control: Mutex<Option<Vec<NetClient>>>,
+}
+
+impl NetCluster {
+    /// Starts configuring a networked cluster (alias for
+    /// [`NetBuilder::from_topology`]).
+    pub fn builder(topo: Topology) -> NetBuilder {
+        NetBuilder::from_topology(topo)
+    }
+
+    /// Spawns a cluster with default connection budget.
+    pub fn from_topology(topo: Topology) -> Result<Self, EngineError> {
+        NetBuilder::from_topology(topo).start()
+    }
+
+    /// The listen address of every site (index = site id).
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Opens a new client connection to `site` with a fresh, unique client
+    /// node id. Independent connections can pipeline independently.
+    pub fn client(&self, site: u32) -> Result<NetClient, EngineError> {
+        let addr = *self
+            .addrs
+            .get(site as usize)
+            .ok_or(EngineError::UnknownSite(site))?;
+        let node = self.next_client.fetch_add(1, Ordering::Relaxed);
+        NetClient::connect(addr, node, self.retry)
+    }
+
+    /// Runs `f` with the cluster's cached control connection to `site`.
+    fn with_control<T>(
+        &self,
+        site: u32,
+        f: impl FnOnce(&mut NetClient) -> Result<T, EngineError>,
+    ) -> Result<T, EngineError> {
+        if site as usize >= self.addrs.len() {
+            return Err(EngineError::UnknownSite(site));
+        }
+        let mut guard = self.control.lock();
+        if guard.is_none() {
+            let mut clients = Vec::with_capacity(self.addrs.len());
+            for s in 0..self.addrs.len() as u32 {
+                clients.push(self.client(s)?);
+            }
+            *guard = Some(clients);
+        }
+        f(&mut guard.as_mut().expect("just filled")[site as usize])
+    }
+
+    /// Submits a transaction to `coordinator` and blocks for the result.
+    /// With `Topology::static_checks` on, the spec is gated client-side
+    /// first (same contract as `LiveCluster::submit`).
+    pub fn submit(
+        &self,
+        coordinator: u32,
+        spec: &TransactionSpec,
+        deadline: Duration,
+    ) -> Result<TxnResult, EngineError> {
+        if self.topo.engine.static_checks {
+            if let Err(report) = pv_analysis::gate_spec(spec) {
+                return Err(EngineError::Rejected(report));
+            }
+        }
+        self.with_control(coordinator, |c| c.submit(spec, deadline))
+    }
+
+    /// Snapshots a site's state.
+    pub fn inspect(&self, site: u32, deadline: Duration) -> Result<NodeSnapshot, EngineError> {
+        self.with_control(site, |c| c.inspect(deadline))
+    }
+
+    /// Total polyvalued items across sites.
+    pub fn total_poly_count(&self, deadline: Duration) -> Result<u64, EngineError> {
+        let mut total = 0;
+        for s in 0..self.addrs.len() as u32 {
+            total += self.inspect(s, deadline)?.poly_count;
+        }
+        Ok(total)
+    }
+
+    /// Fetches and merges every site's metrics registry.
+    pub fn metrics(&self, deadline: Duration) -> Result<Metrics, EngineError> {
+        let mut merged = Metrics::new();
+        for s in 0..self.addrs.len() as u32 {
+            let m = self.with_control(s, |c| c.metrics(deadline))?;
+            merged.merge(&m);
+        }
+        Ok(merged)
+    }
+
+    /// Sends every site a shutdown frame and joins the event-loop threads,
+    /// returning the final [`Site`] states.
+    pub fn shutdown(self) -> Result<Vec<Site>, EngineError> {
+        {
+            let mut guard = self.control.lock();
+            if guard.is_none() {
+                let mut clients = Vec::with_capacity(self.addrs.len());
+                for s in 0..self.addrs.len() as u32 {
+                    let addr = self.addrs[s as usize];
+                    let node = self.next_client.fetch_add(1, Ordering::Relaxed);
+                    clients.push(NetClient::connect(addr, node, self.retry)?);
+                }
+                *guard = Some(clients);
+            }
+            for client in guard.as_mut().expect("just filled") {
+                client.shutdown()?;
+            }
+        }
+        let mut sites = Vec::with_capacity(self.handles.len());
+        for handle in self.handles {
+            sites.push(handle.join().expect("node thread panicked")?);
+        }
+        Ok(sites)
+    }
+}

@@ -1,0 +1,34 @@
+//! # pv-net — socket deployment of the polyvalue engine
+//!
+//! The sans-IO `pv_protocol::SiteMachine` already runs under two runtimes:
+//! the deterministic simulation and the thread-per-site live runtime. This
+//! crate is the third: real TCP sockets between real processes.
+//!
+//! * [`wire`] — the versioned, checksummed binary frame format. Payload
+//!   encoding of values/conditions/entries is shared with the WAL codec
+//!   ([`pv_store::codec`]); this module adds framing and the protocol-level
+//!   message vocabulary.
+//! * [`node`] — the site process: a non-blocking event loop (accept, read,
+//!   decode, engine callback, write-backpressure flush) with a wall-clock
+//!   timer wheel and a bounded dial/reconnect budget.
+//! * [`client`] — a blocking client connection with pipelined submission.
+//! * [`cluster`] — [`NetCluster`]: every node's event loop hosted on an
+//!   in-process thread over real localhost TCP, consuming the same
+//!   [`pv_engine::Topology`] as the other two runtimes.
+//!
+//! The `pv-node` binary wraps [`node::Node`] for one-process-per-site
+//! deployment; `pv-loadgen` spawns or targets such a cluster and measures
+//! committed throughput and phase latencies (`BENCH_net.json`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod cluster;
+pub mod node;
+pub mod wire;
+
+pub use client::NetClient;
+pub use cluster::{NetBuilder, NetCluster};
+pub use node::{Node, NodeConfig, RetryBudget};
+pub use wire::{DecodeError, EncodeError, Frame, NodeSnapshot, PeerKind, WireMetrics};

@@ -1,0 +1,597 @@
+//! The site node: a single-process, single-threaded socket event loop
+//! driving one [`pv_engine::Site`].
+//!
+//! This is the third deployment of the identical sans-IO
+//! `pv_protocol::SiteMachine` — after the deterministic simulation and the
+//! thread-per-site live runtime — and it reuses the engine's driver contract
+//! verbatim: every callback runs under [`pv_simnet::Ctx::external`], effects
+//! apply in emission order, `NeedCoin` is answered locally inside
+//! [`Site::drive`](pv_engine::Site), and the storage-metrics flush rides the
+//! same hooks. What this module adds is real I/O: a non-blocking
+//! `std::net` readiness loop (accept, read, decode, write-backpressure
+//! flush), a wall-clock timer wheel feeding `on_timer`, and dial/reconnect
+//! handling with a bounded retry budget — a peer that stays unreachable past
+//! the budget is a structured [`EngineError::Unreachable`], never a hang.
+//!
+//! The loop polls with a short sleep rather than an OS readiness API: the
+//! workspace is hermetic (no `mio`/`libc`), and at cluster sizes of tens of
+//! sockets a sub-millisecond poll is indistinguishable from epoll for the
+//! paper's workloads.
+
+use crate::wire::{
+    decode_frame, encode_frame, Frame, NodeSnapshot, PeerKind, WireMetrics, MAX_FRAME_LEN,
+};
+use pv_engine::messages::Msg;
+use pv_engine::topology::Topology;
+use pv_engine::{EngineError, Site};
+use pv_simnet::{Actor, Ctx, Effect, Metrics, NodeId, SimRng, SimTime, Trace};
+use pv_store::{DiskWal, SiteId, SiteStore};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+
+/// How a [`Node`] dials peers: total attempts and the pause between them.
+/// The budget covers both the startup race (peers still binding) and
+/// mid-run drops; exhausting it is a fatal [`EngineError::Unreachable`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBudget {
+    /// Maximum connection attempts per peer before giving up.
+    pub attempts: u32,
+    /// Pause between attempts.
+    pub delay: Duration,
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget {
+            attempts: 50,
+            delay: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryBudget {
+    /// A tight budget for tests that want fast failure.
+    pub fn fast_fail() -> Self {
+        RetryBudget {
+            attempts: 3,
+            delay: Duration::from_millis(50),
+        }
+    }
+}
+
+/// One pending timer in the node's wheel (earliest-due pops first).
+struct PendingTimer {
+    due: Instant,
+    id: u64,
+    key: u64,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.id == other.id
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due).then(other.id.cmp(&self.id))
+    }
+}
+
+/// One live connection with read/write buffering. Writes that the socket
+/// will not take immediately stay queued in `wbuf` and drain as the peer
+/// reads — backpressure without blocking the loop.
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            dead: false,
+        })
+    }
+
+    /// Encodes `frame` onto the write queue and pushes what the socket
+    /// accepts right away.
+    fn queue(&mut self, frame: &Frame) -> Result<(), EngineError> {
+        let mut out = BytesMut::new();
+        encode_frame(frame, &mut out)?;
+        self.wbuf.extend_from_slice(&out);
+        self.flush();
+        Ok(())
+    }
+
+    /// Writes as much queued output as the socket accepts.
+    fn flush(&mut self) {
+        while !self.wbuf.is_empty() && !self.dead {
+            match self.stream.write(&self.wbuf) {
+                Ok(0) => {
+                    self.dead = true;
+                }
+                Ok(n) => {
+                    self.wbuf.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                }
+            }
+        }
+    }
+
+    /// Reads everything currently available; returns whether any bytes
+    /// arrived. EOF or a socket error marks the connection dead (already
+    /// buffered frames still parse).
+    fn fill(&mut self) -> bool {
+        let mut any = false;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    any = true;
+                    // Refuse unbounded buffering from a peer that floods
+                    // garbage faster than we parse.
+                    if self.rbuf.len() > 2 * MAX_FRAME_LEN as usize {
+                        self.dead = true;
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        any
+    }
+}
+
+/// Configuration of one site process.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Which site of the topology this process is.
+    pub site: SiteId,
+    /// The shared cluster description (same value the simulation and live
+    /// runtime consume).
+    pub topo: Topology,
+    /// Dial/reconnect budget for peer connections.
+    pub retry: RetryBudget,
+}
+
+/// A bound-but-not-yet-running site node.
+///
+/// Construction is two-phase so an in-process cluster can bind every
+/// listener on port 0 first, learn the real addresses, and only then hand
+/// each node the full peer table:
+///
+/// 1. [`Node::bind`] — open the listener (and the WAL, recovering if the
+///    image is non-empty);
+/// 2. [`Node::set_peers`] — provide every site's address;
+/// 3. [`Node::run`] — dial peers and serve until a `Shutdown` frame.
+pub struct Node {
+    me: NodeId,
+    sites: u32,
+    listener: TcpListener,
+    peers_addrs: Vec<SocketAddr>,
+    retry: RetryBudget,
+    site: Site,
+    recovered: bool,
+    metrics: Metrics,
+    trace: Trace,
+    rng: SimRng,
+    next_timer_id: u64,
+    timers: BinaryHeap<PendingTimer>,
+    cancelled: BTreeSet<u64>,
+    epoch: Instant,
+    /// Outbound site→site connections, indexed by peer site id.
+    peer_out: Vec<Option<Conn>>,
+    /// Inbound connections (slab; indices stay stable, dead slots are None).
+    conns: Vec<Option<Conn>>,
+    /// Reply routing: node id (from `Hello`) → inbound conn slot.
+    routes: BTreeMap<u32, usize>,
+    /// Messages a site sends to itself, applied in order within the loop.
+    loopback: VecDeque<Msg>,
+}
+
+impl Node {
+    /// Opens the listener on `listen` (use port 0 to let the OS pick) and
+    /// builds the site from the topology: disk-backed WAL under
+    /// `data_dir/site-<s>` when the topology has a data dir, recovery from a
+    /// non-empty image, seeded items durable before serving.
+    pub fn bind(config: NodeConfig, listen: SocketAddr) -> Result<Node, EngineError> {
+        let NodeConfig { site: s, topo, retry } = config;
+        if s >= topo.sites {
+            return Err(EngineError::UnknownSite(s));
+        }
+        let listener = TcpListener::bind(listen)
+            .map_err(|e| EngineError::Io(format!("bind {listen}: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| EngineError::Io(format!("set_nonblocking: {e}")))?;
+        let store = match &topo.data_dir {
+            Some(dir) => {
+                let path = dir.join(format!("site-{s}"));
+                let wal = DiskWal::open(&path, topo.fsync_policy).map_err(|e| {
+                    EngineError::Io(format!("open WAL at {}: {e}", path.display()))
+                })?;
+                SiteStore::open(Box::new(wal))
+            }
+            None => SiteStore::new(),
+        };
+        let recovered = !store.wal().is_empty();
+        let mut site = Site::with_store(s, topo.engine.clone(), topo.directory.clone(), store);
+        site.enable_wall_clock_metrics();
+        for (item, value) in &topo.items {
+            if topo.directory.site_of(*item) == Some(s) && !site.store().contains(*item) {
+                site.seed_item(*item, value.clone());
+            }
+        }
+        site.sync_store();
+        Ok(Node {
+            me: NodeId(s),
+            sites: topo.sites,
+            listener,
+            peers_addrs: Vec::new(),
+            retry,
+            site,
+            recovered,
+            metrics: Metrics::new(),
+            trace: Trace::default(),
+            rng: SimRng::new(0xBEEF_0000 + u64::from(s)),
+            next_timer_id: 0,
+            timers: BinaryHeap::new(),
+            cancelled: BTreeSet::new(),
+            epoch: Instant::now(),
+            peer_out: Vec::new(),
+            conns: Vec::new(),
+            routes: BTreeMap::new(),
+            loopback: VecDeque::new(),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, EngineError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| EngineError::Io(format!("local_addr: {e}")))
+    }
+
+    /// Provides the full site address table (index = site id). Must be
+    /// called before [`Node::run`].
+    pub fn set_peers(&mut self, addrs: Vec<SocketAddr>) {
+        self.peers_addrs = addrs;
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Dials one peer within the retry budget, sending the site `Hello`.
+    fn dial(&mut self, peer: SiteId) -> Result<Conn, EngineError> {
+        let addr = *self
+            .peers_addrs
+            .get(peer as usize)
+            .ok_or(EngineError::UnknownSite(peer))?;
+        let mut last = String::new();
+        for attempt in 0..self.retry.attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.retry.delay);
+            }
+            match TcpStream::connect_timeout(&addr, self.retry.delay.max(Duration::from_millis(250)))
+            {
+                Ok(stream) => {
+                    let mut conn = Conn::new(stream)
+                        .map_err(|e| EngineError::Io(format!("configure socket: {e}")))?;
+                    conn.queue(&Frame::Hello {
+                        node: self.me.0,
+                        kind: PeerKind::Site,
+                    })?;
+                    return Ok(conn);
+                }
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(EngineError::Unreachable {
+            site: peer,
+            detail: format!("{addr} after {} attempts: {last}", self.retry.attempts),
+        })
+    }
+
+    /// Dials every other site up front so startup failures surface as one
+    /// structured error instead of per-message drops.
+    fn connect_peers(&mut self) -> Result<(), EngineError> {
+        self.peer_out = (0..self.sites).map(|_| None).collect();
+        for peer in 0..self.sites {
+            if peer == self.me.0 {
+                continue;
+            }
+            let conn = self.dial(peer)?;
+            self.peer_out[peer as usize] = Some(conn);
+        }
+        Ok(())
+    }
+
+    /// Runs one engine callback and applies its effects in emission order —
+    /// identical contract to the live runtime's driver.
+    fn callback(
+        &mut self,
+        f: impl FnOnce(&mut Site, &mut Ctx<Msg>),
+    ) -> Result<(), EngineError> {
+        let mut ctx = Ctx::external(
+            self.now(),
+            self.me,
+            &mut self.rng,
+            &mut self.metrics,
+            &mut self.trace,
+            &mut self.next_timer_id,
+        );
+        f(&mut self.site, &mut ctx);
+        let effects = ctx.drain_effects();
+        let now = self.now();
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => self.send(to, msg)?,
+                Effect::SetTimer { id, key, at } => {
+                    let delay =
+                        Duration::from_micros(at.as_micros().saturating_sub(now.as_micros()));
+                    self.timers.push(PendingTimer {
+                        due: Instant::now() + delay,
+                        id,
+                        key,
+                    });
+                }
+                Effect::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes one outgoing message: loopback to self, a peer-site pipe, or a
+    /// client connection (by the node id its `Hello` registered). A missing
+    /// client route drops the message like a datagram — the protocol's
+    /// timers and inquiries already tolerate loss — but a peer site that
+    /// cannot be redialed within the budget is fatal.
+    fn send(&mut self, to: NodeId, msg: Msg) -> Result<(), EngineError> {
+        if to == self.me {
+            self.loopback.push_back(msg);
+            return Ok(());
+        }
+        if to.0 < self.sites {
+            let slot = to.0 as usize;
+            let dead = matches!(&self.peer_out[slot], Some(c) if c.dead)
+                || self.peer_out[slot].is_none();
+            if dead {
+                self.metrics.inc("net.reconnects");
+                let conn = self.dial(to.0)?;
+                self.peer_out[slot] = Some(conn);
+            }
+            let conn = self.peer_out[slot].as_mut().expect("just ensured");
+            conn.queue(&Frame::Proto {
+                from: self.me.0,
+                msg,
+            })?;
+            return Ok(());
+        }
+        if let Some(&slot) = self.routes.get(&to.0) {
+            if let Some(conn) = self.conns[slot].as_mut() {
+                conn.queue(&Frame::Proto {
+                    from: self.me.0,
+                    msg,
+                })?;
+                return Ok(());
+            }
+        }
+        self.metrics.inc("net.dropped_no_route");
+        Ok(())
+    }
+
+    /// Drains the self-send queue (a site messaging itself must see those
+    /// messages in order, before any socket traffic).
+    fn drain_loopback(&mut self) -> Result<(), EngineError> {
+        while let Some(msg) = self.loopback.pop_front() {
+            let me = self.me;
+            self.callback(|site, ctx| site.on_message(ctx, me, msg))?;
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            site: self.site.id(),
+            items: self
+                .site
+                .store()
+                .iter_items()
+                .map(|(i, e)| (i, e.clone()))
+                .collect(),
+            poly_count: self.site.poly_count() as u64,
+            quiescent: self.site.is_quiescent(),
+        }
+    }
+
+    /// Serves until a `Shutdown` frame arrives (returning the final
+    /// [`Site`]) or a fatal error occurs: listener failure, or a peer site
+    /// unreachable past the retry budget.
+    pub fn run(mut self) -> Result<Site, EngineError> {
+        if self.peers_addrs.len() != self.sites as usize {
+            return Err(EngineError::Io(format!(
+                "peer table has {} addresses for {} sites",
+                self.peers_addrs.len(),
+                self.sites
+            )));
+        }
+        self.connect_peers()?;
+        if self.recovered {
+            self.callback(|site, ctx| site.on_recover(ctx))?;
+            self.drain_loopback()?;
+            self.metrics.inc("net.cold_recoveries");
+        }
+        loop {
+            let mut progress = false;
+
+            // 1. Fire due timers.
+            loop {
+                match self.timers.peek() {
+                    Some(t) if t.due <= Instant::now() => {
+                        let t = self.timers.pop().expect("peeked");
+                        if self.cancelled.remove(&t.id) {
+                            continue;
+                        }
+                        let key = t.key;
+                        self.callback(|site, ctx| site.on_timer(ctx, key))?;
+                        self.drain_loopback()?;
+                        progress = true;
+                    }
+                    _ => break,
+                }
+            }
+
+            // 2. Accept new connections.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn = Conn::new(stream)
+                            .map_err(|e| EngineError::Io(format!("accept: {e}")))?;
+                        self.conns.push(Some(conn));
+                        self.metrics.inc("net.accepted");
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(EngineError::Io(format!("accept: {e}"))),
+                }
+            }
+
+            // 3. Read every connection and parse complete frames. IO and
+            // engine work are separate passes so the engine borrows cleanly.
+            let mut events: Vec<(usize, Frame)> = Vec::new();
+            for (i, slot) in self.conns.iter_mut().enumerate() {
+                let Some(conn) = slot else { continue };
+                if conn.fill() {
+                    progress = true;
+                }
+                loop {
+                    match decode_frame(&conn.rbuf) {
+                        Ok(Some((frame, n))) => {
+                            conn.rbuf.drain(..n);
+                            events.push((i, frame));
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            // A malformed stream cannot be resynchronised;
+                            // drop the connection. (Counted, not fatal: only
+                            // this peer is affected.)
+                            conn.dead = true;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // Also drain outbound peer sockets so EOF is noticed (peers
+            // never send frames back on our dialed pipe).
+            for slot in self.peer_out.iter_mut().flatten() {
+                slot.fill();
+            }
+
+            // 4. Process frames through the engine.
+            for (slot, frame) in events {
+                progress = true;
+                match frame {
+                    Frame::Hello { node, kind: _ } => {
+                        self.routes.insert(node, slot);
+                    }
+                    Frame::Proto { from, msg } => {
+                        let from = NodeId(from);
+                        self.callback(|site, ctx| site.on_message(ctx, from, msg))?;
+                        self.drain_loopback()?;
+                    }
+                    Frame::InspectReq => {
+                        let snap = self.snapshot();
+                        if let Some(conn) = self.conns[slot].as_mut() {
+                            conn.queue(&Frame::InspectResp(snap))?;
+                        }
+                    }
+                    Frame::MetricsReq => {
+                        // Storage metrics were flushed by the engine inside
+                        // the last callback; the registry is current.
+                        let wire = WireMetrics::from_metrics(&self.metrics);
+                        if let Some(conn) = self.conns[slot].as_mut() {
+                            conn.queue(&Frame::MetricsResp(wire))?;
+                        }
+                    }
+                    Frame::Shutdown => {
+                        self.site.sync_store();
+                        // Best-effort flush of queued replies before exit.
+                        for conn in self.conns.iter_mut().flatten() {
+                            conn.flush();
+                        }
+                        for conn in self.peer_out.iter_mut().flatten() {
+                            conn.flush();
+                        }
+                        return Ok(self.site);
+                    }
+                    // Responses are never addressed *to* a site.
+                    Frame::InspectResp(_) | Frame::MetricsResp(_) => {
+                        self.metrics.inc("net.unexpected_frame");
+                    }
+                }
+            }
+
+            // 5. Flush pending writes (write backpressure drain).
+            for conn in self.conns.iter_mut().flatten() {
+                conn.flush();
+            }
+            for conn in self.peer_out.iter_mut().flatten() {
+                conn.flush();
+            }
+
+            // 6. Reap dead inbound connections (slots stay; routes drop).
+            for (i, slot) in self.conns.iter_mut().enumerate() {
+                if matches!(slot, Some(c) if c.dead) {
+                    *slot = None;
+                    self.routes.retain(|_, &mut s| s != i);
+                    self.metrics.inc("net.conn_closed");
+                }
+            }
+
+            // 7. Idle: sleep until the next timer or a short poll tick.
+            if !progress {
+                let tick = self
+                    .timers
+                    .peek()
+                    .map(|t| t.due.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(1))
+                    .min(Duration::from_millis(1));
+                std::thread::sleep(tick.max(Duration::from_micros(200)));
+            }
+        }
+    }
+}

@@ -1,0 +1,983 @@
+//! The versioned binary wire format of the socket runtime.
+//!
+//! Every frame on a `pv-net` connection is
+//!
+//! ```text
+//! [magic: u32 LE] [version: u8] [kind: u8] [reserved: u16 = 0]
+//! [len: u32 LE]   [checksum: u32 LE over header prefix and payload]
+//! [payload: len bytes]
+//! ```
+//!
+//! a 16-byte header followed by the payload. The checksum is the same FNV-1a
+//! the WAL uses ([`pv_store::codec::checksum`]), computed over the twelve
+//! header bytes before the checksum field XORed with the payload's own
+//! digest — a single flipped bit anywhere in the frame (including the kind
+//! and length fields) fails validation. The payload encoding of
+//! values, conditions, and entries *is* the WAL codec's
+//! ([`pv_store::codec::put_entry`] and friends) — one binary vocabulary for
+//! bytes at rest and bytes in flight. What this module adds is the framing
+//! (magic/version/kind so a peer can reject foreign or future traffic
+//! before parsing) and the encoding of the protocol-level types the WAL
+//! never stores: [`Msg`], [`TransactionSpec`], expressions, and results.
+//!
+//! Decoding is incremental: [`decode_frame`] returns `Ok(None)` while the
+//! buffer holds less than one whole frame, so a reader can append socket
+//! bytes and retry. Every malformed input — bad magic, wrong version, torn
+//! length, checksum mismatch, unknown tags, over-deep expressions — is a
+//! typed [`DecodeError`], never a panic.
+
+use bytes::{BufMut, BytesMut};
+use pv_core::expr::BinOp;
+use pv_core::{CmpOp, Entry, Expr, ItemId, TransactionSpec, TxnId, Value};
+use pv_engine::messages::{AbortReason, AccessMode, Msg, TxnResult};
+use pv_engine::EngineError;
+use pv_simnet::Metrics;
+use pv_store::codec::{
+    checksum, get_entry, get_u32, get_u64, get_u8, put_entry, put_value, CodecError,
+};
+use std::fmt;
+
+/// Leading magic of every frame: `"PVW1"` little-endian.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"PVW1");
+
+/// Current wire-format version. Bump on any incompatible payload change;
+/// a node answers a foreign version with a clean [`DecodeError::BadVersion`]
+/// instead of misparsing.
+pub const VERSION: u8 = 1;
+
+/// Bytes in a frame header.
+pub const HEADER_LEN: usize = 16;
+
+/// Bytes of the header covered by the frame checksum (everything before
+/// the checksum field itself: magic, version, kind, reserved, length).
+const HEADER_PREFIX_LEN: usize = 12;
+
+/// Upper bound on a frame payload. Far above any legitimate message (specs
+/// and entry lists are small); its real job is to stop a corrupt or hostile
+/// length field from forcing a giant allocation.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Maximum expression nesting accepted by the decoder. Deeper input is
+/// rejected with [`DecodeError::TooDeep`] rather than recursing toward a
+/// stack overflow on untrusted bytes.
+pub const MAX_EXPR_DEPTH: u32 = 200;
+
+/// Why encoding failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The encoded payload exceeds [`MAX_FRAME_LEN`].
+    TooLarge {
+        /// The payload size that was attempted.
+        len: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::TooLarge { len } => {
+                write!(f, "payload of {len} bytes exceeds frame limit {MAX_FRAME_LEN}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+impl From<EncodeError> for EngineError {
+    fn from(e: EncodeError) -> Self {
+        EngineError::Encode(e.to_string())
+    }
+}
+
+/// Why decoding failed. These are all *fatal* for the connection; "not
+/// enough bytes yet" is not an error but [`decode_frame`]'s `Ok(None)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The header does not start with [`MAGIC`] — not a pv-net peer.
+    BadMagic(u32),
+    /// The peer speaks a different wire-format version.
+    BadVersion(u8),
+    /// The header's kind byte names no known frame kind.
+    BadKind(u8),
+    /// The header's length field exceeds [`MAX_FRAME_LEN`].
+    TooLarge(u32),
+    /// The payload checksum did not match (corruption in flight).
+    BadChecksum,
+    /// The payload ended inside a field, or had bytes left over, despite
+    /// the header's length — the frame is internally inconsistent.
+    Malformed,
+    /// An unknown tag inside the payload.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A decoded polyvalue violated the §3 invariant.
+    BadPolyvalue,
+    /// An expression nested deeper than [`MAX_EXPR_DEPTH`].
+    TooDeep,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            DecodeError::BadVersion(v) => {
+                write!(f, "wire version {v} (this build speaks {VERSION})")
+            }
+            DecodeError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            DecodeError::TooLarge(n) => {
+                write!(f, "declared payload of {n} bytes exceeds limit {MAX_FRAME_LEN}")
+            }
+            DecodeError::BadChecksum => write!(f, "payload checksum mismatch"),
+            DecodeError::Malformed => write!(f, "payload length inconsistent with content"),
+            DecodeError::BadTag(t) => write!(f, "unknown payload tag {t}"),
+            DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            DecodeError::BadPolyvalue => write!(f, "decoded polyvalue violates invariant"),
+            DecodeError::TooDeep => {
+                write!(f, "expression nests deeper than {MAX_EXPR_DEPTH}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for EngineError {
+    fn from(e: DecodeError) -> Self {
+        EngineError::Decode(e.to_string())
+    }
+}
+
+impl From<CodecError> for DecodeError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            // Inside a length-delimited payload, "truncated" means the
+            // header lied about the length — the frame is malformed.
+            CodecError::Truncated => DecodeError::Malformed,
+            CodecError::BadChecksum => DecodeError::BadChecksum,
+            CodecError::BadTag(t) => DecodeError::BadTag(t),
+            CodecError::BadUtf8 => DecodeError::BadUtf8,
+            CodecError::BadPolyvalue => DecodeError::BadPolyvalue,
+        }
+    }
+}
+
+/// What kind of node sits behind a [`Frame::Hello`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerKind {
+    /// Another site: the connection carries [`Frame::Proto`] traffic and the
+    /// sender's site id is authoritative for `from` routing.
+    Site,
+    /// A client: the connection carries `Submit`s in and `Reply`s out, plus
+    /// the control frames (inspect, metrics, shutdown).
+    Client,
+}
+
+/// A point-in-time view of one networked site, answering
+/// [`Frame::InspectReq`] — the socket analogue of
+/// [`pv_engine::live::SiteSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    /// The site's id.
+    pub site: u32,
+    /// Items the site holds.
+    pub items: Vec<(ItemId, Entry<Value>)>,
+    /// Items currently holding polyvalues.
+    pub poly_count: u64,
+    /// Whether any protocol state is still in flight.
+    pub quiescent: bool,
+}
+
+/// A site's metrics registry in wire form: counters plus every histogram's
+/// raw observations (as `f64` bit patterns), so the load generator can
+/// [`Metrics::merge`] per-site registries without losing distribution shape.
+/// Gauge series are wall-clock-indexed and site-local; they do not ship.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireMetrics {
+    /// Counter name/value pairs.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram names with raw observations as `f64::to_bits` values.
+    pub histograms: Vec<(String, Vec<u64>)>,
+}
+
+impl WireMetrics {
+    /// Captures a registry for the wire.
+    pub fn from_metrics(m: &Metrics) -> Self {
+        WireMetrics {
+            counters: m.counters().map(|(k, v)| (k.to_owned(), v)).collect(),
+            histograms: m
+                .histograms()
+                .map(|(k, h)| (k.to_owned(), h.values().iter().map(|v| v.to_bits()).collect()))
+                .collect(),
+        }
+    }
+
+    /// Replays this capture into a fresh [`Metrics`] registry.
+    pub fn to_metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        for (k, v) in &self.counters {
+            m.inc_by(k, *v);
+        }
+        for (k, bits) in &self.histograms {
+            for &b in bits {
+                m.observe(k, f64::from_bits(b));
+            }
+        }
+        m
+    }
+}
+
+/// Everything that can travel on a `pv-net` connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// First frame on every connection: who is dialing. A site identifies
+    /// itself so the receiver can route subsequent [`Frame::Proto`] traffic;
+    /// a client receives `Reply` frames on the same connection.
+    Hello {
+        /// The dialer's node id (site id, or a client's node id).
+        node: u32,
+        /// Whether the dialer is a site or a client.
+        kind: PeerKind,
+    },
+    /// A protocol message between nodes — the entire [`Msg`] vocabulary of
+    /// §3.1/§3.3, carried verbatim.
+    Proto {
+        /// The sending node (site id, or a client node id for `Submit`).
+        from: u32,
+        /// The protocol message.
+        msg: Msg,
+    },
+    /// Control: ask the site for a state snapshot.
+    InspectReq,
+    /// Control: the snapshot.
+    InspectResp(NodeSnapshot),
+    /// Control: ask the site for its metrics registry.
+    MetricsReq,
+    /// Control: the metrics.
+    MetricsResp(WireMetrics),
+    /// Control: ask the site process to flush its WAL and exit cleanly.
+    Shutdown,
+}
+
+impl Frame {
+    fn kind_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0,
+            Frame::Proto { .. } => 1,
+            Frame::InspectReq => 2,
+            Frame::InspectResp(_) => 3,
+            Frame::MetricsReq => 4,
+            Frame::MetricsResp(_) => 5,
+            Frame::Shutdown => 6,
+        }
+    }
+}
+
+// ---- encoding ---------------------------------------------------------------
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_expr(buf: &mut BytesMut, e: &Expr) {
+    match e {
+        Expr::Const(v) => {
+            buf.put_u8(0);
+            put_value(buf, v);
+        }
+        Expr::Read(item) => {
+            buf.put_u8(1);
+            buf.put_u64_le(item.0);
+        }
+        Expr::Bin(op, l, r) => {
+            buf.put_u8(2);
+            buf.put_u8(match op {
+                BinOp::Add => 0,
+                BinOp::Sub => 1,
+                BinOp::Mul => 2,
+                BinOp::Div => 3,
+                BinOp::Min => 4,
+                BinOp::Max => 5,
+                BinOp::And => 6,
+                BinOp::Or => 7,
+            });
+            put_expr(buf, l);
+            put_expr(buf, r);
+        }
+        Expr::Cmp(op, l, r) => {
+            buf.put_u8(3);
+            buf.put_u8(match op {
+                CmpOp::Eq => 0,
+                CmpOp::Ne => 1,
+                CmpOp::Lt => 2,
+                CmpOp::Le => 3,
+                CmpOp::Gt => 4,
+                CmpOp::Ge => 5,
+            });
+            put_expr(buf, l);
+            put_expr(buf, r);
+        }
+        Expr::Neg(inner) => {
+            buf.put_u8(4);
+            put_expr(buf, inner);
+        }
+        Expr::Not(inner) => {
+            buf.put_u8(5);
+            put_expr(buf, inner);
+        }
+        Expr::If(c, t, f) => {
+            buf.put_u8(6);
+            put_expr(buf, c);
+            put_expr(buf, t);
+            put_expr(buf, f);
+        }
+    }
+}
+
+fn put_spec(buf: &mut BytesMut, spec: &TransactionSpec) {
+    match &spec.guard {
+        Some(g) => {
+            buf.put_u8(1);
+            put_expr(buf, g);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u32_le(spec.updates.len() as u32);
+    for (item, e) in &spec.updates {
+        buf.put_u64_le(item.0);
+        put_expr(buf, e);
+    }
+    buf.put_u32_le(spec.outputs.len() as u32);
+    for (name, e) in &spec.outputs {
+        put_string(buf, name);
+        put_expr(buf, e);
+    }
+}
+
+fn put_result(buf: &mut BytesMut, result: &TxnResult) {
+    match result {
+        TxnResult::Committed {
+            granted,
+            outputs,
+            was_poly,
+        } => {
+            buf.put_u8(0);
+            put_entry(buf, granted);
+            buf.put_u32_le(outputs.len() as u32);
+            for (name, e) in outputs {
+                put_string(buf, name);
+                put_entry(buf, e);
+            }
+            buf.put_u8(u8::from(*was_poly));
+        }
+        TxnResult::Aborted { reason } => {
+            buf.put_u8(1);
+            match reason {
+                AbortReason::LockConflict => buf.put_u8(0),
+                AbortReason::Timeout => buf.put_u8(1),
+                AbortReason::Eval(e) => {
+                    buf.put_u8(2);
+                    put_string(buf, e);
+                }
+                AbortReason::Rejected(report) => {
+                    buf.put_u8(3);
+                    put_string(buf, report);
+                }
+            }
+        }
+    }
+}
+
+fn put_item_entries(buf: &mut BytesMut, entries: &[(ItemId, Entry<Value>)]) {
+    buf.put_u32_le(entries.len() as u32);
+    for (item, e) in entries {
+        buf.put_u64_le(item.0);
+        put_entry(buf, e);
+    }
+}
+
+/// Encodes a protocol message (the [`Frame::Proto`] payload after `from`).
+fn put_msg(buf: &mut BytesMut, msg: &Msg) {
+    match msg {
+        Msg::Submit { req_id, spec } => {
+            buf.put_u8(0);
+            buf.put_u64_le(*req_id);
+            put_spec(buf, spec);
+        }
+        Msg::Reply { req_id, result } => {
+            buf.put_u8(1);
+            buf.put_u64_le(*req_id);
+            put_result(buf, result);
+        }
+        Msg::ReadReq { txn, ts, items } => {
+            buf.put_u8(2);
+            buf.put_u64_le(txn.raw());
+            buf.put_u64_le(*ts);
+            buf.put_u32_le(items.len() as u32);
+            for (item, mode) in items {
+                buf.put_u64_le(item.0);
+                buf.put_u8(match mode {
+                    AccessMode::Read => 0,
+                    AccessMode::Write => 1,
+                });
+            }
+        }
+        Msg::ReadResp { txn, entries } => {
+            buf.put_u8(3);
+            buf.put_u64_le(txn.raw());
+            put_item_entries(buf, entries);
+        }
+        Msg::ReadNack { txn } => {
+            buf.put_u8(4);
+            buf.put_u64_le(txn.raw());
+        }
+        Msg::Prepare { txn, writes } => {
+            buf.put_u8(5);
+            buf.put_u64_le(txn.raw());
+            put_item_entries(buf, writes);
+        }
+        Msg::Ready { txn } => {
+            buf.put_u8(6);
+            buf.put_u64_le(txn.raw());
+        }
+        Msg::PrepareNack { txn } => {
+            buf.put_u8(7);
+            buf.put_u64_le(txn.raw());
+        }
+        Msg::Decision { txn, completed } => {
+            buf.put_u8(8);
+            buf.put_u64_le(txn.raw());
+            buf.put_u8(u8::from(*completed));
+        }
+        Msg::Inquire { txn } => {
+            buf.put_u8(9);
+            buf.put_u64_le(txn.raw());
+        }
+        Msg::OutcomeNotify { txn, completed } => {
+            buf.put_u8(10);
+            buf.put_u64_le(txn.raw());
+            buf.put_u8(u8::from(*completed));
+        }
+    }
+}
+
+fn put_wire_metrics(buf: &mut BytesMut, m: &WireMetrics) {
+    buf.put_u32_le(m.counters.len() as u32);
+    for (name, v) in &m.counters {
+        put_string(buf, name);
+        buf.put_u64_le(*v);
+    }
+    buf.put_u32_le(m.histograms.len() as u32);
+    for (name, bits) in &m.histograms {
+        put_string(buf, name);
+        buf.put_u32_le(bits.len() as u32);
+        for &b in bits {
+            buf.put_u64_le(b);
+        }
+    }
+}
+
+/// Appends one whole frame (header + payload) to `out`.
+pub fn encode_frame(frame: &Frame, out: &mut BytesMut) -> Result<(), EncodeError> {
+    let mut payload = BytesMut::new();
+    match frame {
+        Frame::Hello { node, kind } => {
+            payload.put_u32_le(*node);
+            payload.put_u8(match kind {
+                PeerKind::Site => 0,
+                PeerKind::Client => 1,
+            });
+        }
+        Frame::Proto { from, msg } => {
+            payload.put_u32_le(*from);
+            put_msg(&mut payload, msg);
+        }
+        Frame::InspectReq | Frame::MetricsReq | Frame::Shutdown => {}
+        Frame::InspectResp(snap) => {
+            payload.put_u32_le(snap.site);
+            put_item_entries(&mut payload, &snap.items);
+            payload.put_u64_le(snap.poly_count);
+            payload.put_u8(u8::from(snap.quiescent));
+        }
+        Frame::MetricsResp(m) => put_wire_metrics(&mut payload, m),
+    }
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(EncodeError::TooLarge { len: payload.len() });
+    }
+    let start = out.len();
+    out.put_u32_le(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u8(frame.kind_byte());
+    out.put_u8(0);
+    out.put_u8(0);
+    out.put_u32_le(payload.len() as u32);
+    // The checksum covers the header prefix as well as the payload, so a
+    // flipped kind or length byte can never pass as a valid frame.
+    let sum = checksum(&out[start..start + HEADER_PREFIX_LEN]) ^ checksum(&payload);
+    out.put_u32_le(sum);
+    out.put_slice(&payload);
+    Ok(())
+}
+
+/// Encodes a frame into a fresh buffer (convenience over [`encode_frame`]).
+pub fn frame_bytes(frame: &Frame) -> Result<Vec<u8>, EncodeError> {
+    let mut out = BytesMut::new();
+    encode_frame(frame, &mut out)?;
+    Ok(out.to_vec())
+}
+
+// ---- decoding ---------------------------------------------------------------
+
+fn get_string(buf: &mut &[u8]) -> Result<String, DecodeError> {
+    let len = get_u32(buf)? as usize;
+    if buf.len() < len {
+        return Err(DecodeError::Malformed);
+    }
+    let (s, rest) = buf.split_at(len);
+    *buf = rest;
+    String::from_utf8(s.to_vec()).map_err(|_| DecodeError::BadUtf8)
+}
+
+fn get_value_w(buf: &mut &[u8]) -> Result<Value, DecodeError> {
+    pv_store::codec::get_value(buf).map_err(DecodeError::from)
+}
+
+fn get_entry_w(buf: &mut &[u8]) -> Result<Entry<Value>, DecodeError> {
+    get_entry(buf).map_err(DecodeError::from)
+}
+
+fn get_expr(buf: &mut &[u8], depth: u32) -> Result<Expr, DecodeError> {
+    if depth > MAX_EXPR_DEPTH {
+        return Err(DecodeError::TooDeep);
+    }
+    match get_u8(buf)? {
+        0 => Ok(Expr::Const(get_value_w(buf)?)),
+        1 => Ok(Expr::Read(ItemId(get_u64(buf)?))),
+        2 => {
+            let op = match get_u8(buf)? {
+                0 => BinOp::Add,
+                1 => BinOp::Sub,
+                2 => BinOp::Mul,
+                3 => BinOp::Div,
+                4 => BinOp::Min,
+                5 => BinOp::Max,
+                6 => BinOp::And,
+                7 => BinOp::Or,
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            let l = get_expr(buf, depth + 1)?;
+            let r = get_expr(buf, depth + 1)?;
+            Ok(Expr::Bin(op, Box::new(l), Box::new(r)))
+        }
+        3 => {
+            let op = match get_u8(buf)? {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Ne,
+                2 => CmpOp::Lt,
+                3 => CmpOp::Le,
+                4 => CmpOp::Gt,
+                5 => CmpOp::Ge,
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            let l = get_expr(buf, depth + 1)?;
+            let r = get_expr(buf, depth + 1)?;
+            Ok(Expr::Cmp(op, Box::new(l), Box::new(r)))
+        }
+        4 => Ok(Expr::Neg(Box::new(get_expr(buf, depth + 1)?))),
+        5 => Ok(Expr::Not(Box::new(get_expr(buf, depth + 1)?))),
+        6 => {
+            let c = get_expr(buf, depth + 1)?;
+            let t = get_expr(buf, depth + 1)?;
+            let f = get_expr(buf, depth + 1)?;
+            Ok(Expr::If(Box::new(c), Box::new(t), Box::new(f)))
+        }
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+fn get_spec(buf: &mut &[u8]) -> Result<TransactionSpec, DecodeError> {
+    let guard = match get_u8(buf)? {
+        0 => None,
+        1 => Some(get_expr(buf, 0)?),
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    let n_updates = get_u32(buf)? as usize;
+    let mut updates = Vec::with_capacity(n_updates.min(1024));
+    for _ in 0..n_updates {
+        let item = ItemId(get_u64(buf)?);
+        updates.push((item, get_expr(buf, 0)?));
+    }
+    let n_outputs = get_u32(buf)? as usize;
+    let mut outputs = Vec::with_capacity(n_outputs.min(1024));
+    for _ in 0..n_outputs {
+        let name = get_string(buf)?;
+        outputs.push((name, get_expr(buf, 0)?));
+    }
+    Ok(TransactionSpec {
+        guard,
+        updates,
+        outputs,
+    })
+}
+
+fn get_result(buf: &mut &[u8]) -> Result<TxnResult, DecodeError> {
+    match get_u8(buf)? {
+        0 => {
+            let granted = get_entry_w(buf)?;
+            let n = get_u32(buf)? as usize;
+            let mut outputs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let name = get_string(buf)?;
+                outputs.push((name, get_entry_w(buf)?));
+            }
+            let was_poly = get_u8(buf)? != 0;
+            Ok(TxnResult::Committed {
+                granted,
+                outputs,
+                was_poly,
+            })
+        }
+        1 => {
+            let reason = match get_u8(buf)? {
+                0 => AbortReason::LockConflict,
+                1 => AbortReason::Timeout,
+                2 => AbortReason::Eval(get_string(buf)?),
+                3 => AbortReason::Rejected(get_string(buf)?),
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            Ok(TxnResult::Aborted { reason })
+        }
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+fn get_item_entries(buf: &mut &[u8]) -> Result<Vec<(ItemId, Entry<Value>)>, DecodeError> {
+    let n = get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let item = ItemId(get_u64(buf)?);
+        out.push((item, get_entry_w(buf)?));
+    }
+    Ok(out)
+}
+
+fn get_msg(buf: &mut &[u8]) -> Result<Msg, DecodeError> {
+    match get_u8(buf)? {
+        0 => Ok(Msg::Submit {
+            req_id: get_u64(buf)?,
+            spec: get_spec(buf)?,
+        }),
+        1 => Ok(Msg::Reply {
+            req_id: get_u64(buf)?,
+            result: get_result(buf)?,
+        }),
+        2 => {
+            let txn = TxnId(get_u64(buf)?);
+            let ts = get_u64(buf)?;
+            let n = get_u32(buf)? as usize;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let item = ItemId(get_u64(buf)?);
+                let mode = match get_u8(buf)? {
+                    0 => AccessMode::Read,
+                    1 => AccessMode::Write,
+                    t => return Err(DecodeError::BadTag(t)),
+                };
+                items.push((item, mode));
+            }
+            Ok(Msg::ReadReq { txn, ts, items })
+        }
+        3 => Ok(Msg::ReadResp {
+            txn: TxnId(get_u64(buf)?),
+            entries: get_item_entries(buf)?,
+        }),
+        4 => Ok(Msg::ReadNack {
+            txn: TxnId(get_u64(buf)?),
+        }),
+        5 => Ok(Msg::Prepare {
+            txn: TxnId(get_u64(buf)?),
+            writes: get_item_entries(buf)?,
+        }),
+        6 => Ok(Msg::Ready {
+            txn: TxnId(get_u64(buf)?),
+        }),
+        7 => Ok(Msg::PrepareNack {
+            txn: TxnId(get_u64(buf)?),
+        }),
+        8 => Ok(Msg::Decision {
+            txn: TxnId(get_u64(buf)?),
+            completed: get_u8(buf)? != 0,
+        }),
+        9 => Ok(Msg::Inquire {
+            txn: TxnId(get_u64(buf)?),
+        }),
+        10 => Ok(Msg::OutcomeNotify {
+            txn: TxnId(get_u64(buf)?),
+            completed: get_u8(buf)? != 0,
+        }),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+fn get_wire_metrics(buf: &mut &[u8]) -> Result<WireMetrics, DecodeError> {
+    let n_counters = get_u32(buf)? as usize;
+    let mut counters = Vec::with_capacity(n_counters.min(1024));
+    for _ in 0..n_counters {
+        let name = get_string(buf)?;
+        counters.push((name, get_u64(buf)?));
+    }
+    let n_hist = get_u32(buf)? as usize;
+    let mut histograms = Vec::with_capacity(n_hist.min(1024));
+    for _ in 0..n_hist {
+        let name = get_string(buf)?;
+        let n = get_u32(buf)? as usize;
+        let mut bits = Vec::with_capacity(n.min(65536));
+        for _ in 0..n {
+            bits.push(get_u64(buf)?);
+        }
+        histograms.push((name, bits));
+    }
+    Ok(WireMetrics {
+        counters,
+        histograms,
+    })
+}
+
+fn decode_payload(kind: u8, mut p: &[u8]) -> Result<Frame, DecodeError> {
+    let buf = &mut p;
+    let frame = match kind {
+        0 => {
+            let node = get_u32(buf)?;
+            let kind = match get_u8(buf)? {
+                0 => PeerKind::Site,
+                1 => PeerKind::Client,
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            Frame::Hello { node, kind }
+        }
+        1 => {
+            let from = get_u32(buf)?;
+            Frame::Proto {
+                from,
+                msg: get_msg(buf)?,
+            }
+        }
+        2 => Frame::InspectReq,
+        3 => {
+            let site = get_u32(buf)?;
+            let items = get_item_entries(buf)?;
+            let poly_count = get_u64(buf)?;
+            let quiescent = get_u8(buf)? != 0;
+            Frame::InspectResp(NodeSnapshot {
+                site,
+                items,
+                poly_count,
+                quiescent,
+            })
+        }
+        4 => Frame::MetricsReq,
+        5 => Frame::MetricsResp(get_wire_metrics(buf)?),
+        6 => Frame::Shutdown,
+        k => return Err(DecodeError::BadKind(k)),
+    };
+    if !buf.is_empty() {
+        return Err(DecodeError::Malformed);
+    }
+    Ok(frame)
+}
+
+/// Tries to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(Some((frame, consumed)))` when a whole valid frame is
+/// present (`consumed` = header + payload bytes to drain), `Ok(None)` when
+/// more bytes are needed, and `Err` when the stream is unrecoverably
+/// malformed (the connection should be dropped).
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let mut h = buf;
+    let magic = get_u32(&mut h).expect("header length checked");
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = get_u8(&mut h).expect("header length checked");
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let kind = get_u8(&mut h).expect("header length checked");
+    // Reserved bytes must be zero in v1, so corruption there is caught and
+    // a future version can assign them meaning without ambiguity.
+    let reserved = (
+        get_u8(&mut h).expect("header length checked"),
+        get_u8(&mut h).expect("header length checked"),
+    );
+    if reserved != (0, 0) {
+        return Err(DecodeError::Malformed);
+    }
+    let len = get_u32(&mut h).expect("header length checked");
+    if len > MAX_FRAME_LEN {
+        return Err(DecodeError::TooLarge(len));
+    }
+    let sum = get_u32(&mut h).expect("header length checked");
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = &buf[HEADER_LEN..total];
+    if checksum(&buf[..HEADER_PREFIX_LEN]) ^ checksum(payload) != sum {
+        return Err(DecodeError::BadChecksum);
+    }
+    let frame = decode_payload(kind, payload)?;
+    Ok(Some((frame, total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_core::Entry;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = frame_bytes(&frame).unwrap();
+        let (decoded, consumed) = decode_frame(&bytes).unwrap().expect("whole frame");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn hello_and_control_frames_round_trip() {
+        roundtrip(Frame::Hello {
+            node: 7,
+            kind: PeerKind::Site,
+        });
+        roundtrip(Frame::Hello {
+            node: 42,
+            kind: PeerKind::Client,
+        });
+        roundtrip(Frame::InspectReq);
+        roundtrip(Frame::MetricsReq);
+        roundtrip(Frame::Shutdown);
+    }
+
+    #[test]
+    fn proto_frames_round_trip() {
+        let spec = TransactionSpec::new()
+            .guard(Expr::read(ItemId(0)).ge(Expr::int(40)))
+            .update(ItemId(0), Expr::read(ItemId(0)).sub(Expr::int(40)))
+            .output("granted", Expr::read(ItemId(0)).ge(Expr::int(40)));
+        roundtrip(Frame::Proto {
+            from: 3,
+            msg: Msg::Submit { req_id: 9, spec },
+        });
+        let poly = Entry::in_doubt(
+            Entry::Simple(Value::Int(60)),
+            Entry::Simple(Value::Int(100)),
+            TxnId(5),
+        );
+        roundtrip(Frame::Proto {
+            from: 0,
+            msg: Msg::Reply {
+                req_id: 9,
+                result: TxnResult::Committed {
+                    granted: Entry::Simple(Value::Bool(true)),
+                    outputs: vec![("balance".into(), poly.clone())],
+                    was_poly: true,
+                },
+            },
+        });
+        roundtrip(Frame::Proto {
+            from: 1,
+            msg: Msg::Prepare {
+                txn: TxnId(77),
+                writes: vec![(ItemId(1), poly)],
+            },
+        });
+    }
+
+    #[test]
+    fn incremental_decode_waits_for_whole_frame() {
+        let bytes = frame_bytes(&Frame::Hello {
+            node: 1,
+            kind: PeerKind::Site,
+        })
+        .unwrap();
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_frame(&bytes[..cut]).unwrap(), None, "cut at {cut}");
+        }
+        assert!(decode_frame(&bytes).unwrap().is_some());
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = frame_bytes(&Frame::Shutdown).unwrap();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode_frame(&bytes), Err(DecodeError::BadMagic(_))));
+        let mut bytes = frame_bytes(&Frame::Shutdown).unwrap();
+        bytes[4] = 99;
+        assert_eq!(decode_frame(&bytes), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let mut bytes = frame_bytes(&Frame::Hello {
+            node: 1,
+            kind: PeerKind::Site,
+        })
+        .unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert_eq!(decode_frame(&bytes), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
+    fn over_deep_expression_is_rejected_not_overflowed() {
+        // Hand-encode a Proto/Submit whose guard is Neg(Neg(...Const)))
+        // nested past the depth limit.
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(0); // from
+        payload.put_u8(0); // Submit
+        payload.put_u64_le(1); // req_id
+        payload.put_u8(1); // guard present
+        for _ in 0..(MAX_EXPR_DEPTH + 8) {
+            payload.put_u8(4); // Neg(
+        }
+        payload.put_u8(0); // Const
+        put_value(&mut payload, &Value::Int(1));
+        payload.put_u32_le(0); // updates
+        payload.put_u32_le(0); // outputs
+        let mut bytes = BytesMut::new();
+        bytes.put_u32_le(MAGIC);
+        bytes.put_u8(VERSION);
+        bytes.put_u8(1); // Proto
+        bytes.put_u8(0);
+        bytes.put_u8(0);
+        bytes.put_u32_le(payload.len() as u32);
+        bytes.put_u32_le(checksum(&bytes[..HEADER_PREFIX_LEN]) ^ checksum(&payload));
+        bytes.put_slice(&payload);
+        assert_eq!(decode_frame(&bytes), Err(DecodeError::TooDeep));
+    }
+
+    #[test]
+    fn wire_metrics_round_trip_through_registry() {
+        let mut m = Metrics::new();
+        m.inc_by("txn.committed", 17);
+        m.observe("phase.submit_decided", 1.5);
+        m.observe("phase.submit_decided", 2.5);
+        let wire = WireMetrics::from_metrics(&m);
+        roundtrip(Frame::MetricsResp(wire.clone()));
+        let back = wire.to_metrics();
+        assert_eq!(back.counter("txn.committed"), 17);
+        let h = back.histogram("phase.submit_decided").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn errors_fold_into_engine_error() {
+        let enc: EngineError = EncodeError::TooLarge { len: 99 }.into();
+        assert!(matches!(enc, EngineError::Encode(_)));
+        let dec: EngineError = DecodeError::BadChecksum.into();
+        assert!(matches!(dec, EngineError::Decode(_)));
+    }
+}

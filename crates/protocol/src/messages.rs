@@ -130,7 +130,7 @@ impl TxnResult {
 /// `Submit`/`Reply` connect clients to coordinators; `ReadReq` through
 /// `Decision` are the two-phase protocol of §3.1; `Inquire`/`OutcomeNotify`
 /// implement the failure-recovery outcome propagation of §3.3.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
     /// Client → coordinator: run this transaction.
     Submit {

@@ -345,6 +345,13 @@ impl Metrics {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// Iterates over all histograms in name order (used by exporters and by
+    /// the `pv-net` wire format, which ships raw observations so site-local
+    /// registries merge losslessly at the load generator).
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
     /// Composes a metric name carrying a Prometheus-style label, e.g.
     /// `Metrics::with_label("txn.committed", "protocol", "polyvalue")` →
     /// `txn.committed{protocol="polyvalue"}`. The exporters understand the

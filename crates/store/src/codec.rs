@@ -49,7 +49,11 @@ impl std::error::Error for CodecError {}
 
 /// FNV-1a, 32-bit: fast, dependency-free integrity check for frames. (A
 /// production log would use CRC32C; the recovery semantics are identical.)
-fn checksum(data: &[u8]) -> u32 {
+///
+/// Public because the network transport (`pv-net`) frames its wire messages
+/// with the same checksum discipline as the WAL — one integrity story for
+/// bytes at rest and bytes in flight.
+pub fn checksum(data: &[u8]) -> u32 {
     let mut hash: u32 = 0x811C_9DC5;
     for &b in data {
         hash ^= u32::from(b);
@@ -59,8 +63,16 @@ fn checksum(data: &[u8]) -> u32 {
 }
 
 // ---- value / condition / entry encoding -----------------------------------
+//
+// These primitives are public: they are the single binary vocabulary for
+// values, conditions, and entries, shared between the WAL framing here and
+// the network wire format in `pv-net::wire`. Both sides framing differently
+// (the WAL has no header; wire frames carry magic/version/kind) but agreeing
+// on payload encoding is what lets a staged write read from disk and a
+// `Prepare` read from a socket decode through the same code path.
 
-fn put_value(buf: &mut BytesMut, v: &Value) {
+/// Encodes a [`Value`] (tagged: int/bool/str).
+pub fn put_value(buf: &mut BytesMut, v: &Value) {
     match v {
         Value::Int(n) => {
             buf.put_u8(0);
@@ -78,7 +90,8 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
     }
 }
 
-fn get_value(buf: &mut &[u8]) -> Result<Value, CodecError> {
+/// Decodes a [`Value`] encoded by [`put_value`].
+pub fn get_value(buf: &mut &[u8]) -> Result<Value, CodecError> {
     let tag = get_u8(buf)?;
     match tag {
         0 => Ok(Value::Int(get_i64(buf)?)),
@@ -98,7 +111,8 @@ fn get_value(buf: &mut &[u8]) -> Result<Value, CodecError> {
     }
 }
 
-fn put_condition(buf: &mut BytesMut, c: &Condition) {
+/// Encodes a DNF [`Condition`] (products of transaction-outcome literals).
+pub fn put_condition(buf: &mut BytesMut, c: &Condition) {
     buf.put_u32_le(c.products().len() as u32);
     for p in c.products() {
         buf.put_u32_le(p.len() as u32);
@@ -109,7 +123,8 @@ fn put_condition(buf: &mut BytesMut, c: &Condition) {
     }
 }
 
-fn get_condition(buf: &mut &[u8]) -> Result<Condition, CodecError> {
+/// Decodes a [`Condition`] encoded by [`put_condition`].
+pub fn get_condition(buf: &mut &[u8]) -> Result<Condition, CodecError> {
     let n_products = get_u32(buf)? as usize;
     let mut products = Vec::with_capacity(n_products);
     for _ in 0..n_products {
@@ -130,7 +145,8 @@ fn get_condition(buf: &mut &[u8]) -> Result<Condition, CodecError> {
     Ok(Condition::from_products(products))
 }
 
-fn put_entry(buf: &mut BytesMut, e: &Entry<Value>) {
+/// Encodes an [`Entry`] — a simple value or a polyvalue with its conditions.
+pub fn put_entry(buf: &mut BytesMut, e: &Entry<Value>) {
     match e {
         Entry::Simple(v) => {
             buf.put_u8(0);
@@ -147,7 +163,9 @@ fn put_entry(buf: &mut BytesMut, e: &Entry<Value>) {
     }
 }
 
-fn get_entry(buf: &mut &[u8]) -> Result<Entry<Value>, CodecError> {
+/// Decodes an [`Entry`] encoded by [`put_entry`], re-checking the §3
+/// polyvalue invariant via [`Entry::assemble`].
+pub fn get_entry(buf: &mut &[u8]) -> Result<Entry<Value>, CodecError> {
     match get_u8(buf)? {
         0 => Ok(Entry::Simple(get_value(buf)?)),
         1 => {
@@ -168,28 +186,32 @@ fn get_entry(buf: &mut &[u8]) -> Result<Entry<Value>, CodecError> {
 
 // ---- primitive readers ------------------------------------------------------
 
-fn get_u8(buf: &mut &[u8]) -> Result<u8, CodecError> {
+/// Reads one byte, or [`CodecError::Truncated`].
+pub fn get_u8(buf: &mut &[u8]) -> Result<u8, CodecError> {
     if buf.is_empty() {
         return Err(CodecError::Truncated);
     }
     Ok(buf.get_u8())
 }
 
-fn get_u32(buf: &mut &[u8]) -> Result<u32, CodecError> {
+/// Reads a little-endian `u32`, or [`CodecError::Truncated`].
+pub fn get_u32(buf: &mut &[u8]) -> Result<u32, CodecError> {
     if buf.len() < 4 {
         return Err(CodecError::Truncated);
     }
     Ok(buf.get_u32_le())
 }
 
-fn get_u64(buf: &mut &[u8]) -> Result<u64, CodecError> {
+/// Reads a little-endian `u64`, or [`CodecError::Truncated`].
+pub fn get_u64(buf: &mut &[u8]) -> Result<u64, CodecError> {
     if buf.len() < 8 {
         return Err(CodecError::Truncated);
     }
     Ok(buf.get_u64_le())
 }
 
-fn get_i64(buf: &mut &[u8]) -> Result<i64, CodecError> {
+/// Reads a little-endian `i64`, or [`CodecError::Truncated`].
+pub fn get_i64(buf: &mut &[u8]) -> Result<i64, CodecError> {
     if buf.len() < 8 {
         return Err(CodecError::Truncated);
     }

@@ -26,11 +26,11 @@ fn main() {
         inquire_interval: SimDuration::from_millis(150),
         ..EngineConfig::with_protocol(CommitProtocol::Polyvalue)
     };
-    let cluster = LiveCluster::builder(3, Directory::Mod(3))
+    let topo = Topology::new(3, Directory::Mod(3))
         .engine(config)
         .items((0..3).map(|i| (ItemId(i), Value::Int(100))))
-        .collect_trace()
-        .start();
+        .collect_trace();
+    let cluster = LiveCluster::from_topology(topo).expect("start live cluster");
     println!("three site threads up; account i lives at site i");
 
     // A few cross-site transfers through different coordinators.

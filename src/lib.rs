@@ -22,6 +22,9 @@
 //!   the protocol machines over the simulation or live threads: 2PC with
 //!   polyvalue installation on wait-phase timeouts, plus the blocking and
 //!   relaxed baselines of §2;
+//! * [`net`] (`pv-net`) — the socket runtime: the same engine over real
+//!   TCP between real processes (`pv-node`, `pv-loadgen`), with a
+//!   versioned, checksummed wire format;
 //! * [`model`] (`pv-model`) — the §4.1 analytic model (Table 1);
 //! * [`stochsim`] (`pv-stochsim`) — the §4.2 stochastic simulation
 //!   (Table 2);
@@ -57,6 +60,7 @@ pub use pv_apps as apps;
 pub use pv_core as core;
 pub use pv_engine as engine;
 pub use pv_model as model;
+pub use pv_net as net;
 pub use pv_protocol as protocol;
 pub use pv_simnet as simnet;
 pub use pv_stochsim as stochsim;
@@ -64,9 +68,10 @@ pub use pv_store as store;
 
 pub mod prelude {
     //! The one-stop import for embedding the engine: the value and
-    //! polyvalue types, the cluster builders (simulated and live), the
-    //! protocol knobs, and the observability surface (trace events and
-    //! metric snapshots).
+    //! polyvalue types, the cluster builders (simulated, live, and
+    //! networked — all consuming the same [`Topology`]), the protocol
+    //! knobs, and the observability surface (trace events and metric
+    //! snapshots).
     //!
     //! ```
     //! use polyvalues::prelude::*;
@@ -82,9 +87,10 @@ pub mod prelude {
     pub use pv_core::{Entry, Expr, ItemId, Polyvalue, TransactionSpec, TxnId, Value};
     pub use pv_engine::{
         Client, ClientConfig, Cluster, ClusterBuilder, CommitProtocol, Directory, EngineConfig,
-        EngineError, LiveBuilder, LiveCluster, LockPolicy, RandomTransfers, Script, UniformRmw,
-        Workload,
+        EngineError, LiveBuilder, LiveCluster, LockPolicy, RandomTransfers, RuntimeConfig, Script,
+        Topology, UniformRmw, Workload,
     };
+    pub use pv_net::{NetBuilder, NetClient, NetCluster};
     pub use pv_simnet::{
         Histogram, HistogramSummary, Metrics, MetricsSnapshot, NetConfig, NodeId, SimDuration,
         SimTime, Trace, TraceEvent, TraceRecord, TraceSink,

@@ -164,10 +164,10 @@ fn storage_metrics_flow_into_the_registry() {
 #[test]
 fn live_recovery_duration_histogram_is_observed() {
     use std::time::Duration;
-    let cluster = LiveCluster::builder(2, Directory::Mod(2))
+    let topo = Topology::new(2, Directory::Mod(2))
         .engine(CommitProtocol::Polyvalue)
-        .items(vec![(ItemId(0), Value::Int(100)), (ItemId(1), Value::Int(100))])
-        .start();
+        .items(vec![(ItemId(0), Value::Int(100)), (ItemId(1), Value::Int(100))]);
+    let cluster = LiveCluster::from_topology(topo).unwrap();
     cluster.crash(0).unwrap();
     cluster.recover(0).unwrap();
     let snapshot = cluster.inspect(0, Duration::from_secs(2)).unwrap();
