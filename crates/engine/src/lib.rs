@@ -46,5 +46,5 @@ pub use ids::{coordinator_of, encode_txn};
 pub use live::{LiveBuilder, LiveCluster, SiteSnapshot};
 pub use messages::{AbortReason, AccessMode, Msg, TxnResult};
 pub use site::{site_node, Site};
-pub use topology::{RuntimeConfig, Topology};
+pub use topology::{BackoffConfig, RuntimeConfig, Topology};
 pub use workload::{RandomTransfers, Script, UniformRmw, Workload};

@@ -21,8 +21,8 @@
 
 use pv_core::{Expr, ItemId, TransactionSpec};
 use pv_engine::EngineError;
+use pv_net::backoff::Backoff;
 use pv_net::client::NetClient;
-use pv_net::node::RetryBudget;
 use pv_simnet::{Metrics, SimRng};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener};
@@ -75,7 +75,7 @@ struct Args {
     seed: u64,
     sweep: bool,
     out: Option<String>,
-    retry: RetryBudget,
+    backoff: Backoff,
 }
 
 fn parse_args() -> Args {
@@ -90,7 +90,7 @@ fn parse_args() -> Args {
         seed: 42,
         sweep: false,
         out: None,
-        retry: RetryBudget::default(),
+        backoff: Backoff::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -117,11 +117,12 @@ fn parse_args() -> Args {
             "--sweep" => args.sweep = true,
             "--out" => args.out = Some(value("--out")),
             "--attempts" => {
-                args.retry.attempts = value("--attempts").parse().unwrap_or_else(|_| usage())
+                args.backoff.attempts = value("--attempts").parse().unwrap_or_else(|_| usage())
             }
             "--delay-ms" => {
-                args.retry.delay =
-                    Duration::from_millis(value("--delay-ms").parse().unwrap_or_else(|_| usage()))
+                args.backoff.base =
+                    Duration::from_millis(value("--delay-ms").parse().unwrap_or_else(|_| usage()));
+                args.backoff.max = args.backoff.max.max(args.backoff.base);
             }
             _ => usage(),
         }
@@ -186,9 +187,9 @@ fn spawn_cluster(args: &Args, addrs: &[SocketAddr]) -> Result<Vec<ChildGuard>, E
                 &args.protocol,
                 "--fast",
                 "--attempts",
-                &args.retry.attempts.to_string(),
+                &args.backoff.attempts.to_string(),
                 "--delay-ms",
-                &args.retry.delay.as_millis().to_string(),
+                &args.backoff.base.as_millis().to_string(),
             ])
             .stdin(Stdio::null())
             .stdout(Stdio::null())
@@ -238,9 +239,9 @@ fn run_load(args: &Args, addrs: &[SocketAddr]) -> Result<RunStats, EngineError> 
         let accounts = args.accounts;
         let seed = args.seed.wrapping_add(u64::from(c) * 7919);
         let node = sites + 1 + c;
-        let retry = args.retry;
+        let backoff = args.backoff;
         handles.push(std::thread::spawn(move || -> Result<(u64, u64, Metrics), EngineError> {
-            let mut client = NetClient::connect(addr, node, retry)?;
+            let mut client = NetClient::connect(addr, node, backoff)?;
             let mut rng = SimRng::new(seed);
             let mut metrics = Metrics::new();
             let mut committed = 0u64;
@@ -280,7 +281,7 @@ fn run_load(args: &Args, addrs: &[SocketAddr]) -> Result<RunStats, EngineError> 
         control.push(NetClient::connect(
             *addr,
             sites + 1 + args.clients + s as u32,
-            args.retry,
+            args.backoff,
         )?);
     }
     let drain_limit = Instant::now() + Duration::from_secs(30);
@@ -344,7 +345,7 @@ fn run_once(args: &Args) -> Result<RunStats, EngineError> {
     let stats = run_load(args, &addrs)?;
     // Clean shutdown: every site flushes its WAL and exits 0.
     for (s, addr) in addrs.iter().enumerate() {
-        let mut c = NetClient::connect(*addr, 1_000_000 + s as u32, args.retry)?;
+        let mut c = NetClient::connect(*addr, 1_000_000 + s as u32, args.backoff)?;
         c.shutdown()?;
     }
     for mut guard in children {

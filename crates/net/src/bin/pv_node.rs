@@ -2,25 +2,33 @@
 //!
 //! ```text
 //! pv-node --site 0 --addrs 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 \
-//!         [--accounts 12] [--balance 100] [--protocol polyvalue] \
-//!         [--data-dir DIR] [--static-checks] [--fast] \
-//!         [--attempts 50] [--delay-ms 100]
+//!         [--listen HOST:PORT] [--accounts 12] [--balance 100] \
+//!         [--protocol polyvalue] [--data-dir DIR] [--static-checks] [--fast] \
+//!         [--attempts 50] [--delay-ms 100] [--max-delay-ms 1000]
 //! ```
 //!
 //! The address list defines the cluster: site `i` listens on the `i`-th
 //! address, and every process must be started with the same list and the
-//! same seeding flags (they all derive the same [`Topology`]). The process
-//! serves until a client sends a `Shutdown` frame (exit 0). Any fatal
-//! condition — a peer unreachable past the retry budget, a bind failure —
+//! same seeding flags (they all derive the same [`Topology`]). `--listen`
+//! overrides only where this process binds — the chaos harness uses it to
+//! bind sites on their real addresses while `--addrs` points every peer
+//! table at the fault-injecting proxies. The process serves until a client
+//! sends a `Shutdown` frame (exit 0). Any fatal condition — a peer
+//! unreachable past the backoff policy's attempt budget, a bind failure —
 //! prints a structured JSON error on stderr and exits non-zero instead of
 //! hanging:
 //!
 //! ```text
 //! {"error":{"kind":"unreachable","site":2,"detail":"127.0.0.1:7102 after 50 attempts: ..."}}
 //! ```
+//!
+//! Reconnect pacing is exponential: `--delay-ms` is the base delay,
+//! doubling (with jitter) toward `--max-delay-ms`, for `--attempts`
+//! consecutive failures before the peer is declared unreachable.
 
 use pv_engine::{CommitProtocol, Directory, EngineConfig, EngineError, Topology};
-use pv_net::node::{Node, NodeConfig, RetryBudget};
+use pv_net::backoff::Backoff;
+use pv_net::node::{Node, NodeConfig};
 use pv_simnet::SimDuration;
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -28,9 +36,9 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pv-node --site N --addrs HOST:PORT,... [--accounts N] [--balance V] \
-         [--protocol polyvalue|blocking2pc|relaxed] [--data-dir DIR] [--static-checks] \
-         [--fast] [--attempts N] [--delay-ms N]"
+        "usage: pv-node --site N --addrs HOST:PORT,... [--listen HOST:PORT] [--accounts N] \
+         [--balance V] [--protocol polyvalue|blocking2pc|relaxed] [--data-dir DIR] \
+         [--static-checks] [--fast] [--attempts N] [--delay-ms N] [--max-delay-ms N]"
     );
     std::process::exit(2);
 }
@@ -79,26 +87,28 @@ fn fast_config(protocol: CommitProtocol) -> EngineConfig {
 struct Args {
     site: u32,
     addrs: Vec<SocketAddr>,
+    listen: Option<SocketAddr>,
     accounts: u64,
     balance: i64,
     protocol: CommitProtocol,
     data_dir: Option<String>,
     static_checks: bool,
     fast: bool,
-    retry: RetryBudget,
+    backoff: Backoff,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         site: u32::MAX,
         addrs: Vec::new(),
+        listen: None,
         accounts: 0,
         balance: 100,
         protocol: CommitProtocol::Polyvalue,
         data_dir: None,
         static_checks: false,
         fast: false,
-        retry: RetryBudget::default(),
+        backoff: Backoff::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -126,15 +136,24 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
+            "--listen" => {
+                args.listen = Some(value("--listen").parse().unwrap_or_else(|_| usage()))
+            }
             "--data-dir" => args.data_dir = Some(value("--data-dir")),
             "--static-checks" => args.static_checks = true,
             "--fast" => args.fast = true,
             "--attempts" => {
-                args.retry.attempts = value("--attempts").parse().unwrap_or_else(|_| usage())
+                args.backoff.attempts = value("--attempts").parse().unwrap_or_else(|_| usage())
             }
             "--delay-ms" => {
-                args.retry.delay =
-                    Duration::from_millis(value("--delay-ms").parse().unwrap_or_else(|_| usage()))
+                args.backoff.base =
+                    Duration::from_millis(value("--delay-ms").parse().unwrap_or_else(|_| usage()));
+                args.backoff.max = args.backoff.max.max(args.backoff.base);
+            }
+            "--max-delay-ms" => {
+                args.backoff.max = Duration::from_millis(
+                    value("--max-delay-ms").parse().unwrap_or_else(|_| usage()),
+                )
             }
             _ => usage(),
         }
@@ -161,12 +180,12 @@ fn run(args: Args) -> Result<(), EngineError> {
     if let Some(dir) = &args.data_dir {
         topo = topo.data_dir(dir);
     }
-    let listen = args.addrs[args.site as usize];
+    let listen = args.listen.unwrap_or(args.addrs[args.site as usize]);
     let mut node = Node::bind(
         NodeConfig {
             site: args.site,
             topo,
-            retry: args.retry,
+            backoff: args.backoff,
         },
         listen,
     )?;

@@ -9,10 +9,11 @@
 //! order — which is what the load generator uses to hold N transactions in
 //! flight per connection.
 
-use crate::node::RetryBudget;
+use crate::backoff::Backoff;
 use crate::wire::{decode_frame, frame_bytes, Frame, NodeSnapshot, PeerKind};
 use pv_core::TransactionSpec;
 use pv_engine::messages::{Msg, TxnResult};
+use pv_engine::topology::BackoffConfig;
 use pv_engine::EngineError;
 use pv_simnet::Metrics;
 use std::io::{ErrorKind, Read, Write};
@@ -28,18 +29,21 @@ pub struct NetClient {
 }
 
 impl NetClient {
-    /// Dials `addr` within `retry` and registers as client node `node`.
+    /// Dials `addr` under the `backoff` policy — jittered exponential pauses
+    /// between attempts, like a site's peer links — and registers as client
+    /// node `node`.
     ///
     /// `node` must be unique across concurrently connected clients of the
     /// cluster and must not collide with a site id (use `sites + k`);
     /// replies are routed to it.
-    pub fn connect(addr: SocketAddr, node: u32, retry: RetryBudget) -> Result<Self, EngineError> {
+    pub fn connect(addr: SocketAddr, node: u32, backoff: Backoff) -> Result<Self, EngineError> {
         let mut last = String::new();
-        for attempt in 0..retry.attempts {
+        let salt = u64::from(node) ^ 0xC11E_17BA;
+        for attempt in 0..backoff.attempts {
             if attempt > 0 {
-                std::thread::sleep(retry.delay);
+                std::thread::sleep(backoff.delay(attempt, salt));
             }
-            match TcpStream::connect_timeout(&addr, retry.delay.max(Duration::from_millis(250))) {
+            match TcpStream::connect_timeout(&addr, backoff.connect_timeout()) {
                 Ok(stream) => {
                     let _ = stream.set_nodelay(true);
                     let mut client = NetClient {
@@ -59,7 +63,7 @@ impl NetClient {
         }
         Err(EngineError::Io(format!(
             "connect {addr} after {} attempts: {last}",
-            retry.attempts
+            backoff.attempts
         )))
     }
 
@@ -192,6 +196,13 @@ impl NetClient {
                 _ => continue,
             }
         }
+    }
+
+    /// Pushes a new reconnect/backoff policy to the connected site live —
+    /// its peer circuits re-pace without a restart (fire-and-forget; confirm
+    /// via the `net.backoff.reconfigured` counter in [`NetClient::metrics`]).
+    pub fn configure_backoff(&mut self, config: BackoffConfig) -> Result<(), EngineError> {
+        self.send_frame(&Frame::ConfigBackoff(config))
     }
 
     /// Asks the site process to flush its WAL and exit cleanly.

@@ -7,10 +7,15 @@
 //! harness for the `pv-node` binary's event loop: identical [`Node`] code,
 //! just hosted on threads instead of separate processes, so integration
 //! tests exercise the full wire path (codec, Hello routing, backpressure,
-//! reconnects) without process management.
+//! reconnects) without process management. With [`NetBuilder::chaos`] the
+//! site links additionally route through a fault-injecting [`ChaosNet`]
+//! proxy, which is how the partition/heal and fault-soak tests run a real
+//! TCP cluster through the §3.1/§3.3 recovery machinery.
 
+use crate::backoff::Backoff;
+use crate::chaos::ChaosNet;
 use crate::client::NetClient;
-use crate::node::{Node, NodeConfig, RetryBudget};
+use crate::node::{Node, NodeConfig};
 use crate::wire::NodeSnapshot;
 use parking_lot::Mutex;
 use pv_core::TransactionSpec;
@@ -25,29 +30,46 @@ use std::time::Duration;
 /// Configures and starts a [`NetCluster`] from a shared [`Topology`].
 pub struct NetBuilder {
     topo: Topology,
-    retry: RetryBudget,
+    backoff: Backoff,
+    chaos_seed: Option<u64>,
 }
 
 impl NetBuilder {
     /// Starts a builder over an existing cluster description — the same
     /// value `ClusterBuilder::from_topology` and `LiveCluster::from_topology`
-    /// accept.
+    /// accept. A [`Topology::backoff`] policy, when present, seeds the
+    /// builder's backoff.
     pub fn from_topology(topo: Topology) -> Self {
+        let backoff = topo
+            .backoff
+            .as_ref()
+            .map(Backoff::from_config)
+            .unwrap_or_default();
         NetBuilder {
             topo,
-            retry: RetryBudget::default(),
+            backoff,
+            chaos_seed: None,
         }
     }
 
-    /// Overrides the dial/reconnect budget (tests use
-    /// [`RetryBudget::fast_fail`]).
-    pub fn retry(mut self, retry: RetryBudget) -> Self {
-        self.retry = retry;
+    /// Overrides the dial/reconnect policy (tests use
+    /// [`Backoff::fast_fail`]).
+    pub fn backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
         self
     }
 
-    /// Binds every site on a loopback port, wires the peer tables, and
-    /// spawns one event-loop thread per site.
+    /// Routes every site→site link through a fault-injecting [`ChaosNet`]
+    /// proxy seeded with `seed`. The proxies start transparent; drive them
+    /// through [`NetCluster::chaos`].
+    pub fn chaos(mut self, seed: u64) -> Self {
+        self.chaos_seed = Some(seed);
+        self
+    }
+
+    /// Binds every site on a loopback port, wires the peer tables (through
+    /// chaos proxies when enabled), and spawns one event-loop thread per
+    /// site.
     pub fn start(self) -> Result<NetCluster, EngineError> {
         let sites = self.topo.sites;
         let mut nodes = Vec::with_capacity(sites as usize);
@@ -55,7 +77,7 @@ impl NetBuilder {
             let config = NodeConfig {
                 site: s,
                 topo: self.topo.clone(),
-                retry: self.retry,
+                backoff: self.backoff,
             };
             nodes.push(Node::bind(config, "127.0.0.1:0".parse().expect("loopback"))?);
         }
@@ -63,9 +85,17 @@ impl NetBuilder {
             .iter()
             .map(|n| n.local_addr())
             .collect::<Result<_, _>>()?;
+        let chaos = match self.chaos_seed {
+            Some(seed) => Some(ChaosNet::new(seed, &addrs)?),
+            None => None,
+        };
+        let peer_addrs = chaos
+            .as_ref()
+            .map(|c| c.proxy_addrs().to_vec())
+            .unwrap_or_else(|| addrs.clone());
         let mut handles = Vec::with_capacity(sites as usize);
         for (s, mut node) in nodes.into_iter().enumerate() {
-            node.set_peers(addrs.clone());
+            node.set_peers(peer_addrs.clone());
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("pv-net-{s}"))
@@ -76,8 +106,9 @@ impl NetBuilder {
         Ok(NetCluster {
             addrs,
             handles,
+            chaos,
             topo: self.topo,
-            retry: self.retry,
+            backoff: self.backoff,
             next_client: AtomicU32::new(sites + 1),
             control: Mutex::new(None),
         })
@@ -88,8 +119,9 @@ impl NetBuilder {
 pub struct NetCluster {
     addrs: Vec<SocketAddr>,
     handles: Vec<std::thread::JoinHandle<Result<Site, EngineError>>>,
+    chaos: Option<ChaosNet>,
     topo: Topology,
-    retry: RetryBudget,
+    backoff: Backoff,
     next_client: AtomicU32,
     /// One lazily-opened control connection per site, for
     /// submit/inspect/metrics convenience calls.
@@ -103,14 +135,21 @@ impl NetCluster {
         NetBuilder::from_topology(topo)
     }
 
-    /// Spawns a cluster with default connection budget.
+    /// Spawns a cluster with the default dial/reconnect policy.
     pub fn from_topology(topo: Topology) -> Result<Self, EngineError> {
         NetBuilder::from_topology(topo).start()
     }
 
-    /// The listen address of every site (index = site id).
+    /// The listen address of every site (index = site id). These are the
+    /// sites' real addresses even under chaos — clients bypass the proxies.
     pub fn addrs(&self) -> &[SocketAddr] {
         &self.addrs
+    }
+
+    /// The chaos proxy layer, when the cluster was started with
+    /// [`NetBuilder::chaos`].
+    pub fn chaos(&self) -> Option<&ChaosNet> {
+        self.chaos.as_ref()
     }
 
     /// Number of sites.
@@ -126,7 +165,7 @@ impl NetCluster {
             .get(site as usize)
             .ok_or(EngineError::UnknownSite(site))?;
         let node = self.next_client.fetch_add(1, Ordering::Relaxed);
-        NetClient::connect(addr, node, self.retry)
+        NetClient::connect(addr, node, self.backoff)
     }
 
     /// Runs `f` with the cluster's cached control connection to `site`.
@@ -190,6 +229,22 @@ impl NetCluster {
         Ok(merged)
     }
 
+    /// Fetches one site's metrics registry (unmerged).
+    pub fn site_metrics(&self, site: u32, deadline: Duration) -> Result<Metrics, EngineError> {
+        self.with_control(site, |c| c.metrics(deadline))
+    }
+
+    /// Pushes a new reconnect/backoff policy to every site live.
+    pub fn configure_backoff(
+        &self,
+        config: pv_engine::topology::BackoffConfig,
+    ) -> Result<(), EngineError> {
+        for s in 0..self.addrs.len() as u32 {
+            self.with_control(s, |c| c.configure_backoff(config))?;
+        }
+        Ok(())
+    }
+
     /// Sends every site a shutdown frame and joins the event-loop threads,
     /// returning the final [`Site`] states.
     pub fn shutdown(self) -> Result<Vec<Site>, EngineError> {
@@ -200,7 +255,7 @@ impl NetCluster {
                 for s in 0..self.addrs.len() as u32 {
                     let addr = self.addrs[s as usize];
                     let node = self.next_client.fetch_add(1, Ordering::Relaxed);
-                    clients.push(NetClient::connect(addr, node, self.retry)?);
+                    clients.push(NetClient::connect(addr, node, self.backoff)?);
                 }
                 *guard = Some(clients);
             }
@@ -211,6 +266,9 @@ impl NetCluster {
         let mut sites = Vec::with_capacity(self.handles.len());
         for handle in self.handles {
             sites.push(handle.join().expect("node thread panicked")?);
+        }
+        if let Some(chaos) = self.chaos {
+            chaos.shutdown();
         }
         Ok(sites)
     }

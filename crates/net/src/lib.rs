@@ -10,25 +10,36 @@
 //!   message vocabulary.
 //! * [`node`] — the site process: a non-blocking event loop (accept, read,
 //!   decode, engine callback, write-backpressure flush) with a wall-clock
-//!   timer wheel and a bounded dial/reconnect budget.
+//!   timer wheel and deadline-driven peer dialing governed by [`backoff`].
+//! * [`backoff`] — the jittered-exponential [`Backoff`] policy and the
+//!   per-peer [`Circuit`] breaker that pace every dial and reconnect.
 //! * [`client`] — a blocking client connection with pipelined submission.
 //! * [`cluster`] — [`NetCluster`]: every node's event loop hosted on an
 //!   in-process thread over real localhost TCP, consuming the same
 //!   [`pv_engine::Topology`] as the other two runtimes.
+//! * [`chaos`] — a fault-injecting TCP proxy ([`ChaosNet`]) that sits on
+//!   every site→site link and applies seeded, deterministic delay, drop,
+//!   duplication, throttling, partitions, and mid-frame cuts.
 //!
 //! The `pv-node` binary wraps [`node::Node`] for one-process-per-site
 //! deployment; `pv-loadgen` spawns or targets such a cluster and measures
-//! committed throughput and phase latencies (`BENCH_net.json`).
+//! committed throughput and phase latencies (`BENCH_net.json`); `pv-chaos`
+//! supervises real `pv-node` processes under kill/restart/partition
+//! schedules and asserts the paper's recovery invariants.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backoff;
+pub mod chaos;
 pub mod client;
 pub mod cluster;
 pub mod node;
 pub mod wire;
 
+pub use backoff::{Backoff, Circuit, CircuitState, CircuitVerdict};
+pub use chaos::{ChaosNet, LinkFaults};
 pub use client::NetClient;
 pub use cluster::{NetBuilder, NetCluster};
-pub use node::{Node, NodeConfig, RetryBudget};
+pub use node::{Node, NodeConfig};
 pub use wire::{DecodeError, EncodeError, Frame, NodeSnapshot, PeerKind, WireMetrics};

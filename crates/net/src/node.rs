@@ -9,15 +9,27 @@
 //! [`Site::drive`](pv_engine::Site), and the storage-metrics flush rides the
 //! same hooks. What this module adds is real I/O: a non-blocking
 //! `std::net` readiness loop (accept, read, decode, write-backpressure
-//! flush), a wall-clock timer wheel feeding `on_timer`, and dial/reconnect
-//! handling with a bounded retry budget — a peer that stays unreachable past
-//! the budget is a structured [`EngineError::Unreachable`], never a hang.
+//! flush), a wall-clock timer wheel feeding `on_timer`, and
+//! **deadline-driven peer dialing**: connection attempts run on detached
+//! dialer threads and report back through a channel, so the event loop keeps
+//! serving live peers and clients while an unreachable peer is being
+//! retried. Retries are governed by a per-peer [`Circuit`] breaker under a
+//! jittered-exponential [`Backoff`] policy — a peer that stays dead walks
+//! Closed → Open → HalfOpen with growing pauses (never a hot loop), and a
+//! peer that stays unreachable past the policy's attempt budget is a
+//! structured [`EngineError::Unreachable`], never a hang. Messages bound for
+//! a down peer queue (bounded) and flush on reconnect; the §3.3 inquiry
+//! protocol absorbs anything the bound drops.
 //!
 //! The loop polls with a short sleep rather than an OS readiness API: the
 //! workspace is hermetic (no `mio`/`libc`), and at cluster sizes of tens of
 //! sockets a sub-millisecond poll is indistinguishable from epoll for the
-//! paper's workloads.
+//! paper's workloads. When nothing is happening the poll tick decays
+//! exponentially (200 µs → 10 ms) toward the next timer deadline, so an
+//! idle site wakes tens of times per second instead of thousands
+//! (`net.idle_wakeups` counts them).
 
+use crate::backoff::{Backoff, Circuit, CircuitVerdict};
 use crate::wire::{
     decode_frame, encode_frame, Frame, NodeSnapshot, PeerKind, WireMetrics, MAX_FRAME_LEN,
 };
@@ -29,39 +41,20 @@ use pv_store::{DiskWal, SiteId, SiteStore};
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 
-/// How a [`Node`] dials peers: total attempts and the pause between them.
-/// The budget covers both the startup race (peers still binding) and
-/// mid-run drops; exhausting it is a fatal [`EngineError::Unreachable`].
-#[derive(Debug, Clone, Copy)]
-pub struct RetryBudget {
-    /// Maximum connection attempts per peer before giving up.
-    pub attempts: u32,
-    /// Pause between attempts.
-    pub delay: Duration,
-}
+/// Floor of the idle poll tick (and the tick used while traffic flows).
+const IDLE_MIN: Duration = Duration::from_micros(200);
 
-impl Default for RetryBudget {
-    fn default() -> Self {
-        RetryBudget {
-            attempts: 50,
-            delay: Duration::from_millis(100),
-        }
-    }
-}
+/// Ceiling the idle tick decays to while nothing is happening.
+const IDLE_MAX: Duration = Duration::from_millis(10);
 
-impl RetryBudget {
-    /// A tight budget for tests that want fast failure.
-    pub fn fast_fail() -> Self {
-        RetryBudget {
-            attempts: 3,
-            delay: Duration::from_millis(50),
-        }
-    }
-}
+/// Most protocol messages held for a down peer before the oldest drop.
+/// The §3.1 timers and §3.3 inquiries re-drive anything lost.
+const PENDING_CAP: usize = 4096;
 
 /// One pending timer in the node's wheel (earliest-due pops first).
 struct PendingTimer {
@@ -172,16 +165,55 @@ impl Conn {
     }
 }
 
+/// The dial/reconnect state of one outbound peer link.
+struct PeerLink {
+    addr: Option<SocketAddr>,
+    conn: Option<Conn>,
+    /// Channel from an in-flight dialer thread, if one is out.
+    dial: Option<mpsc::Receiver<std::io::Result<TcpStream>>>,
+    circuit: Circuit,
+    /// When the current connection was established (stability window: the
+    /// circuit only re-closes after the link survives a while, so a
+    /// flapping peer keeps walking up the backoff curve).
+    connected_at: Option<Instant>,
+    /// Messages awaiting reconnect (bounded by [`PENDING_CAP`]).
+    pending: VecDeque<Msg>,
+    /// Whether this link should be connected even without queued traffic.
+    /// Always true for peer sites: a cluster eagerly re-forms itself after
+    /// a partition heals instead of waiting for traffic.
+    want: bool,
+    ever_connected: bool,
+    last_err: String,
+}
+
+impl PeerLink {
+    fn unused(policy: Backoff, salt: u64) -> Self {
+        PeerLink {
+            addr: None,
+            conn: None,
+            dial: None,
+            circuit: Circuit::new(policy, salt),
+            connected_at: None,
+            pending: VecDeque::new(),
+            want: false,
+            ever_connected: false,
+            last_err: String::new(),
+        }
+    }
+}
+
 /// Configuration of one site process.
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
     /// Which site of the topology this process is.
     pub site: SiteId,
     /// The shared cluster description (same value the simulation and live
-    /// runtime consume).
+    /// runtime consume). When it carries a
+    /// [`BackoffConfig`](pv_engine::topology::BackoffConfig), that policy
+    /// overrides `backoff`.
     pub topo: Topology,
-    /// Dial/reconnect budget for peer connections.
-    pub retry: RetryBudget,
+    /// Dial/reconnect policy for peer connections.
+    pub backoff: Backoff,
 }
 
 /// A bound-but-not-yet-running site node.
@@ -198,8 +230,7 @@ pub struct Node {
     me: NodeId,
     sites: u32,
     listener: TcpListener,
-    peers_addrs: Vec<SocketAddr>,
-    retry: RetryBudget,
+    backoff: Backoff,
     site: Site,
     recovered: bool,
     metrics: Metrics,
@@ -209,14 +240,16 @@ pub struct Node {
     timers: BinaryHeap<PendingTimer>,
     cancelled: BTreeSet<u64>,
     epoch: Instant,
-    /// Outbound site→site connections, indexed by peer site id.
-    peer_out: Vec<Option<Conn>>,
+    /// Outbound site→site links, indexed by peer site id.
+    peers: Vec<PeerLink>,
     /// Inbound connections (slab; indices stay stable, dead slots are None).
     conns: Vec<Option<Conn>>,
     /// Reply routing: node id (from `Hello`) → inbound conn slot.
     routes: BTreeMap<u32, usize>,
     /// Messages a site sends to itself, applied in order within the loop.
     loopback: VecDeque<Msg>,
+    /// Current idle poll tick (decays toward [`IDLE_MAX`] while idle).
+    idle_tick: Duration,
 }
 
 impl Node {
@@ -225,10 +258,15 @@ impl Node {
     /// `data_dir/site-<s>` when the topology has a data dir, recovery from a
     /// non-empty image, seeded items durable before serving.
     pub fn bind(config: NodeConfig, listen: SocketAddr) -> Result<Node, EngineError> {
-        let NodeConfig { site: s, topo, retry } = config;
+        let NodeConfig { site: s, topo, backoff } = config;
         if s >= topo.sites {
             return Err(EngineError::UnknownSite(s));
         }
+        let backoff = topo
+            .backoff
+            .as_ref()
+            .map(Backoff::from_config)
+            .unwrap_or(backoff);
         let listener = TcpListener::bind(listen)
             .map_err(|e| EngineError::Io(format!("bind {listen}: {e}")))?;
         listener
@@ -253,12 +291,14 @@ impl Node {
             }
         }
         site.sync_store();
+        let peers = (0..topo.sites)
+            .map(|p| PeerLink::unused(backoff, peer_salt(s, p)))
+            .collect();
         Ok(Node {
             me: NodeId(s),
             sites: topo.sites,
             listener,
-            peers_addrs: Vec::new(),
-            retry,
+            backoff,
             site,
             recovered,
             metrics: Metrics::new(),
@@ -268,10 +308,11 @@ impl Node {
             timers: BinaryHeap::new(),
             cancelled: BTreeSet::new(),
             epoch: Instant::now(),
-            peer_out: Vec::new(),
+            peers,
             conns: Vec::new(),
             routes: BTreeMap::new(),
             loopback: VecDeque::new(),
+            idle_tick: IDLE_MIN,
         })
     }
 
@@ -283,58 +324,36 @@ impl Node {
     }
 
     /// Provides the full site address table (index = site id). Must be
-    /// called before [`Node::run`].
+    /// called before [`Node::run`]. The entry for this site itself is
+    /// ignored (self-sends use the in-process loopback queue), so the table
+    /// may point at chaos proxies while the node listens on its real
+    /// address.
     pub fn set_peers(&mut self, addrs: Vec<SocketAddr>) {
-        self.peers_addrs = addrs;
+        for (p, addr) in addrs.into_iter().enumerate() {
+            if let Some(link) = self.peers.get_mut(p) {
+                link.addr = Some(addr);
+                link.want = p as u32 != self.me.0;
+            }
+        }
+    }
+
+    /// The active dial/reconnect policy.
+    pub fn backoff(&self) -> Backoff {
+        self.backoff
+    }
+
+    /// Swaps the dial/reconnect policy live (also reachable over the wire
+    /// via the `ConfigBackoff` control frame). Connection state carries
+    /// over; only future backoff decisions change.
+    pub fn set_backoff(&mut self, policy: Backoff) {
+        self.backoff = policy;
+        for link in &mut self.peers {
+            link.circuit.set_policy(policy);
+        }
     }
 
     fn now(&self) -> SimTime {
         SimTime(self.epoch.elapsed().as_micros() as u64)
-    }
-
-    /// Dials one peer within the retry budget, sending the site `Hello`.
-    fn dial(&mut self, peer: SiteId) -> Result<Conn, EngineError> {
-        let addr = *self
-            .peers_addrs
-            .get(peer as usize)
-            .ok_or(EngineError::UnknownSite(peer))?;
-        let mut last = String::new();
-        for attempt in 0..self.retry.attempts {
-            if attempt > 0 {
-                std::thread::sleep(self.retry.delay);
-            }
-            match TcpStream::connect_timeout(&addr, self.retry.delay.max(Duration::from_millis(250)))
-            {
-                Ok(stream) => {
-                    let mut conn = Conn::new(stream)
-                        .map_err(|e| EngineError::Io(format!("configure socket: {e}")))?;
-                    conn.queue(&Frame::Hello {
-                        node: self.me.0,
-                        kind: PeerKind::Site,
-                    })?;
-                    return Ok(conn);
-                }
-                Err(e) => last = e.to_string(),
-            }
-        }
-        Err(EngineError::Unreachable {
-            site: peer,
-            detail: format!("{addr} after {} attempts: {last}", self.retry.attempts),
-        })
-    }
-
-    /// Dials every other site up front so startup failures surface as one
-    /// structured error instead of per-message drops.
-    fn connect_peers(&mut self) -> Result<(), EngineError> {
-        self.peer_out = (0..self.sites).map(|_| None).collect();
-        for peer in 0..self.sites {
-            if peer == self.me.0 {
-                continue;
-            }
-            let conn = self.dial(peer)?;
-            self.peer_out[peer as usize] = Some(conn);
-        }
-        Ok(())
     }
 
     /// Runs one engine callback and applies its effects in emission order —
@@ -374,30 +393,34 @@ impl Node {
         Ok(())
     }
 
-    /// Routes one outgoing message: loopback to self, a peer-site pipe, or a
+    /// Routes one outgoing message: loopback to self, a peer-site link, or a
     /// client connection (by the node id its `Hello` registered). A missing
     /// client route drops the message like a datagram — the protocol's
-    /// timers and inquiries already tolerate loss — but a peer site that
-    /// cannot be redialed within the budget is fatal.
+    /// timers and inquiries already tolerate loss. A message for a peer site
+    /// that is currently down queues (bounded) for delivery on reconnect;
+    /// the reconnect itself is governed by the peer's circuit breaker and
+    /// never blocks this loop.
     fn send(&mut self, to: NodeId, msg: Msg) -> Result<(), EngineError> {
         if to == self.me {
             self.loopback.push_back(msg);
             return Ok(());
         }
         if to.0 < self.sites {
-            let slot = to.0 as usize;
-            let dead = matches!(&self.peer_out[slot], Some(c) if c.dead)
-                || self.peer_out[slot].is_none();
-            if dead {
-                self.metrics.inc("net.reconnects");
-                let conn = self.dial(to.0)?;
-                self.peer_out[slot] = Some(conn);
+            let link = &mut self.peers[to.0 as usize];
+            if let Some(conn) = link.conn.as_mut() {
+                if !conn.dead {
+                    conn.queue(&Frame::Proto {
+                        from: self.me.0,
+                        msg,
+                    })?;
+                    return Ok(());
+                }
             }
-            let conn = self.peer_out[slot].as_mut().expect("just ensured");
-            conn.queue(&Frame::Proto {
-                from: self.me.0,
-                msg,
-            })?;
+            if link.pending.len() >= PENDING_CAP {
+                link.pending.pop_front();
+                self.metrics.inc("net.dropped_peer_down");
+            }
+            link.pending.push_back(msg);
             return Ok(());
         }
         if let Some(&slot) = self.routes.get(&to.0) {
@@ -423,6 +446,157 @@ impl Node {
         Ok(())
     }
 
+    /// Advances every peer link one step: reap dead connections, collect
+    /// dial results, promote links that survived the stability window, and
+    /// launch new circuit-gated dial probes. Never blocks; a peer whose
+    /// circuit exhausts its budget is a fatal structured `Unreachable`.
+    fn pump_peers(&mut self) -> Result<bool, EngineError> {
+        let mut progress = false;
+        let now = Instant::now();
+        // The circuit re-closes only once a connection has stayed up this
+        // long, so a link that flaps (accept-then-kill partitions) keeps
+        // climbing the backoff curve instead of hot-cycling at dial speed.
+        let stability = self.backoff.base.max(Duration::from_millis(250));
+        for p in 0..self.peers.len() {
+            if p as u32 == self.me.0 {
+                continue;
+            }
+            // 1. Reap a connection that died.
+            if matches!(&self.peers[p].conn, Some(c) if c.dead) {
+                let link = &mut self.peers[p];
+                link.conn = None;
+                link.connected_at = None;
+                link.last_err = "connection closed by peer".into();
+                self.metrics.inc("net.peer_conn_lost");
+                self.fail_link(p, now)?;
+                progress = true;
+            }
+            // 2. A healthy connection that outlived the stability window
+            //    re-closes the circuit (resets the failure count).
+            let link = &mut self.peers[p];
+            if let Some(t) = link.connected_at {
+                if link.circuit.failures() > 0 && now.duration_since(t) >= stability {
+                    link.circuit.on_success();
+                    self.metrics.inc("net.circuit_reclosed");
+                }
+            }
+            // 3. Collect an in-flight dial result.
+            let mut dial_result = None;
+            if let Some(rx) = &self.peers[p].dial {
+                match rx.try_recv() {
+                    Ok(r) => dial_result = Some(r),
+                    Err(mpsc::TryRecvError::Empty) => {}
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        dial_result = Some(Err(std::io::Error::other("dialer thread vanished")))
+                    }
+                }
+            }
+            match dial_result {
+                Some(Ok(stream)) => {
+                    progress = true;
+                    let link = &mut self.peers[p];
+                    link.dial = None;
+                    match Conn::new(stream) {
+                        Ok(mut conn) => {
+                            let hello = conn.queue(&Frame::Hello {
+                                node: self.me.0,
+                                kind: PeerKind::Site,
+                            });
+                            match hello {
+                                Ok(()) => {
+                                    link.connected_at = Some(now);
+                                    if link.ever_connected {
+                                        self.metrics.inc("net.reconnects");
+                                    }
+                                    link.ever_connected = true;
+                                    // First-ever success closes immediately;
+                                    // a recovering link waits out the
+                                    // stability window (step 2).
+                                    if link.circuit.failures() == 0 {
+                                        link.circuit.on_success();
+                                    }
+                                    while let Some(msg) = link.pending.pop_front() {
+                                        conn.queue(&Frame::Proto {
+                                            from: self.me.0,
+                                            msg,
+                                        })?;
+                                    }
+                                    link.conn = Some(conn);
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        Err(e) => {
+                            link.last_err = format!("configure socket: {e}");
+                            self.fail_link(p, now)?;
+                        }
+                    }
+                }
+                Some(Err(e)) => {
+                    progress = true;
+                    let link = &mut self.peers[p];
+                    link.dial = None;
+                    link.last_err = e.to_string();
+                    self.fail_link(p, now)?;
+                }
+                None => {}
+            }
+            // 4. Launch a new probe if the link should be up and the
+            //    circuit allows one.
+            let link = &mut self.peers[p];
+            let needs_conn = link.conn.is_none()
+                && link.dial.is_none()
+                && (link.want || !link.pending.is_empty());
+            if needs_conn && link.circuit.try_probe(now) {
+                let Some(addr) = link.addr else {
+                    return Err(EngineError::UnknownSite(p as SiteId));
+                };
+                let timeout = self.backoff.connect_timeout();
+                let (tx, rx) = mpsc::channel();
+                link.dial = Some(rx);
+                self.metrics.inc("net.backoff.attempts");
+                std::thread::Builder::new()
+                    .name(format!("pv-dial-{}-{p}", self.me.0))
+                    .spawn(move || {
+                        let _ = tx.send(TcpStream::connect_timeout(&addr, timeout));
+                    })
+                    .map_err(|e| EngineError::Io(format!("spawn dialer: {e}")))?;
+            }
+        }
+        Ok(progress)
+    }
+
+    /// Records a failure on peer link `p`: the circuit opens with the next
+    /// backoff delay (observable as `net.circuit_open` / `net.backoff.*`),
+    /// or, past the attempt budget, the node gives up with a structured
+    /// [`EngineError::Unreachable`].
+    fn fail_link(&mut self, p: usize, now: Instant) -> Result<(), EngineError> {
+        let link = &mut self.peers[p];
+        match link.circuit.on_failure(now) {
+            CircuitVerdict::Backoff { wait } => {
+                self.metrics.inc("net.circuit_open");
+                self.metrics
+                    .observe("net.backoff.wait_ms", wait.as_secs_f64() * 1e3);
+                Ok(())
+            }
+            CircuitVerdict::Exhausted => {
+                self.metrics.inc("net.backoff.exhausted");
+                let addr = link
+                    .addr
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|| "<unset>".into());
+                Err(EngineError::Unreachable {
+                    site: p as SiteId,
+                    detail: format!(
+                        "{addr} after {} attempts: {}",
+                        link.circuit.policy().attempts,
+                        link.last_err
+                    ),
+                })
+            }
+        }
+    }
+
     fn snapshot(&self) -> NodeSnapshot {
         NodeSnapshot {
             site: self.site.id(),
@@ -439,16 +613,20 @@ impl Node {
 
     /// Serves until a `Shutdown` frame arrives (returning the final
     /// [`Site`]) or a fatal error occurs: listener failure, or a peer site
-    /// unreachable past the retry budget.
+    /// unreachable past the backoff policy's attempt budget.
     pub fn run(mut self) -> Result<Site, EngineError> {
-        if self.peers_addrs.len() != self.sites as usize {
+        let wired = self
+            .peers
+            .iter()
+            .enumerate()
+            .filter(|(p, link)| *p as u32 != self.me.0 && link.addr.is_some())
+            .count();
+        if wired != self.sites as usize - 1 {
             return Err(EngineError::Io(format!(
-                "peer table has {} addresses for {} sites",
-                self.peers_addrs.len(),
+                "peer table has {wired} addresses for {} sites",
                 self.sites
             )));
         }
-        self.connect_peers()?;
         if self.recovered {
             self.callback(|site, ctx| site.on_recover(ctx))?;
             self.drain_loopback()?;
@@ -474,7 +652,10 @@ impl Node {
                 }
             }
 
-            // 2. Accept new connections.
+            // 2. Advance peer links (dial results, reconnect probes).
+            progress |= self.pump_peers()?;
+
+            // 3. Accept new connections.
             loop {
                 match self.listener.accept() {
                     Ok((stream, _)) => {
@@ -489,7 +670,7 @@ impl Node {
                 }
             }
 
-            // 3. Read every connection and parse complete frames. IO and
+            // 4. Read every connection and parse complete frames. IO and
             // engine work are separate passes so the engine borrows cleanly.
             let mut events: Vec<(usize, Frame)> = Vec::new();
             for (i, slot) in self.conns.iter_mut().enumerate() {
@@ -517,11 +698,13 @@ impl Node {
 
             // Also drain outbound peer sockets so EOF is noticed (peers
             // never send frames back on our dialed pipe).
-            for slot in self.peer_out.iter_mut().flatten() {
-                slot.fill();
+            for link in &mut self.peers {
+                if let Some(conn) = link.conn.as_mut() {
+                    conn.fill();
+                }
             }
 
-            // 4. Process frames through the engine.
+            // 5. Process frames through the engine.
             for (slot, frame) in events {
                 progress = true;
                 match frame {
@@ -547,14 +730,20 @@ impl Node {
                             conn.queue(&Frame::MetricsResp(wire))?;
                         }
                     }
+                    Frame::ConfigBackoff(cfg) => {
+                        self.set_backoff(Backoff::from_config(&cfg));
+                        self.metrics.inc("net.backoff.reconfigured");
+                    }
                     Frame::Shutdown => {
                         self.site.sync_store();
                         // Best-effort flush of queued replies before exit.
                         for conn in self.conns.iter_mut().flatten() {
                             conn.flush();
                         }
-                        for conn in self.peer_out.iter_mut().flatten() {
-                            conn.flush();
+                        for link in &mut self.peers {
+                            if let Some(conn) = link.conn.as_mut() {
+                                conn.flush();
+                            }
                         }
                         return Ok(self.site);
                     }
@@ -565,15 +754,17 @@ impl Node {
                 }
             }
 
-            // 5. Flush pending writes (write backpressure drain).
+            // 6. Flush pending writes (write backpressure drain).
             for conn in self.conns.iter_mut().flatten() {
                 conn.flush();
             }
-            for conn in self.peer_out.iter_mut().flatten() {
-                conn.flush();
+            for link in &mut self.peers {
+                if let Some(conn) = link.conn.as_mut() {
+                    conn.flush();
+                }
             }
 
-            // 6. Reap dead inbound connections (slots stay; routes drop).
+            // 7. Reap dead inbound connections (slots stay; routes drop).
             for (i, slot) in self.conns.iter_mut().enumerate() {
                 if matches!(slot, Some(c) if c.dead) {
                     *slot = None;
@@ -582,16 +773,24 @@ impl Node {
                 }
             }
 
-            // 7. Idle: sleep until the next timer or a short poll tick.
+            // 8. Idle: sleep with an exponentially decaying tick, clamped
+            // to the next timer deadline; any progress resets the decay.
             if !progress {
-                let tick = self
-                    .timers
-                    .peek()
-                    .map(|t| t.due.saturating_duration_since(Instant::now()))
-                    .unwrap_or(Duration::from_millis(1))
-                    .min(Duration::from_millis(1));
-                std::thread::sleep(tick.max(Duration::from_micros(200)));
+                self.metrics.inc("net.idle_wakeups");
+                let mut tick = self.idle_tick;
+                if let Some(t) = self.timers.peek() {
+                    tick = tick.min(t.due.saturating_duration_since(Instant::now()));
+                }
+                std::thread::sleep(tick.max(IDLE_MIN));
+                self.idle_tick = (self.idle_tick * 2).min(IDLE_MAX);
+            } else {
+                self.idle_tick = IDLE_MIN;
             }
         }
     }
+}
+
+/// Jitter salt of the (node, peer) directed link.
+fn peer_salt(me: SiteId, peer: u32) -> u64 {
+    (u64::from(me) << 32) ^ u64::from(peer) ^ 0x5EED_CAFE
 }

@@ -30,6 +30,7 @@ use bytes::{BufMut, BytesMut};
 use pv_core::expr::BinOp;
 use pv_core::{CmpOp, Entry, Expr, ItemId, TransactionSpec, TxnId, Value};
 use pv_engine::messages::{AbortReason, AccessMode, Msg, TxnResult};
+use pv_engine::topology::BackoffConfig;
 use pv_engine::EngineError;
 use pv_simnet::Metrics;
 use pv_store::codec::{
@@ -257,6 +258,10 @@ pub enum Frame {
     MetricsResp(WireMetrics),
     /// Control: ask the site process to flush its WAL and exit cleanly.
     Shutdown,
+    /// Control: live-reconfigure the site's reconnect/backoff policy. Takes
+    /// effect for every subsequent dial decision; in-flight connections are
+    /// untouched.
+    ConfigBackoff(BackoffConfig),
 }
 
 impl Frame {
@@ -269,6 +274,7 @@ impl Frame {
             Frame::MetricsReq => 4,
             Frame::MetricsResp(_) => 5,
             Frame::Shutdown => 6,
+            Frame::ConfigBackoff(_) => 7,
         }
     }
 }
@@ -501,6 +507,13 @@ pub fn encode_frame(frame: &Frame, out: &mut BytesMut) -> Result<(), EncodeError
             payload.put_u8(u8::from(snap.quiescent));
         }
         Frame::MetricsResp(m) => put_wire_metrics(&mut payload, m),
+        Frame::ConfigBackoff(b) => {
+            payload.put_u64_le(b.base_ms);
+            payload.put_u64_le(b.max_ms);
+            payload.put_u64_le(b.factor.to_bits());
+            payload.put_u64_le(b.jitter.to_bits());
+            payload.put_u32_le(b.attempts);
+        }
     }
     if payload.len() > MAX_FRAME_LEN as usize {
         return Err(EncodeError::TooLarge { len: payload.len() });
@@ -779,6 +792,23 @@ fn decode_payload(kind: u8, mut p: &[u8]) -> Result<Frame, DecodeError> {
         4 => Frame::MetricsReq,
         5 => Frame::MetricsResp(get_wire_metrics(buf)?),
         6 => Frame::Shutdown,
+        7 => {
+            let base_ms = get_u64(buf)?;
+            let max_ms = get_u64(buf)?;
+            let factor = f64::from_bits(get_u64(buf)?);
+            let jitter = f64::from_bits(get_u64(buf)?);
+            let attempts = get_u32(buf)?;
+            if !factor.is_finite() || !jitter.is_finite() {
+                return Err(DecodeError::Malformed);
+            }
+            Frame::ConfigBackoff(BackoffConfig {
+                base_ms,
+                max_ms,
+                factor,
+                jitter,
+                attempts,
+            })
+        }
         k => return Err(DecodeError::BadKind(k)),
     };
     if !buf.is_empty() {
@@ -858,6 +888,25 @@ mod tests {
         roundtrip(Frame::InspectReq);
         roundtrip(Frame::MetricsReq);
         roundtrip(Frame::Shutdown);
+        roundtrip(Frame::ConfigBackoff(BackoffConfig {
+            base_ms: 25,
+            max_ms: 750,
+            factor: 1.7,
+            jitter: 0.33,
+            attempts: 12,
+        }));
+    }
+
+    #[test]
+    fn non_finite_backoff_floats_are_rejected() {
+        let mut bytes = frame_bytes(&Frame::ConfigBackoff(BackoffConfig::default())).unwrap();
+        // Overwrite the factor field (payload offset 16) with NaN bits and
+        // re-checksum so only the semantic validation can object.
+        let nan = f64::NAN.to_bits().to_le_bytes();
+        bytes[HEADER_LEN + 16..HEADER_LEN + 24].copy_from_slice(&nan);
+        let sum = checksum(&bytes[..HEADER_PREFIX_LEN]) ^ checksum(&bytes[HEADER_LEN..]);
+        bytes[12..16].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode_frame(&bytes), Err(DecodeError::Malformed));
     }
 
     #[test]

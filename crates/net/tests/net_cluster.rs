@@ -4,7 +4,7 @@
 
 use pv_core::{Expr, ItemId, TransactionSpec};
 use pv_engine::{Directory, EngineConfig, EngineError, Topology};
-use pv_net::node::RetryBudget;
+use pv_net::backoff::Backoff;
 use pv_net::{NetBuilder, NetCluster};
 use pv_simnet::SimDuration;
 use std::time::{Duration, Instant};
@@ -176,14 +176,14 @@ fn static_checks_gate_client_side() {
 #[test]
 fn unreachable_peer_fails_fast_with_structured_error() {
     // A node whose peer table points at a dead port must give up within
-    // its retry budget and name the unreachable site — not hang.
+    // its backoff attempt budget and name the unreachable site — not hang.
     use pv_net::node::{Node, NodeConfig};
     let topo = bank_topology(2, 2);
     let mut node = Node::bind(
         NodeConfig {
             site: 0,
             topo,
-            retry: RetryBudget::fast_fail(),
+            backoff: Backoff::fast_fail(),
         },
         "127.0.0.1:0".parse().unwrap(),
     )
@@ -205,11 +205,11 @@ fn unreachable_peer_fails_fast_with_structured_error() {
 }
 
 #[test]
-fn net_builder_retry_override_applies() {
+fn net_builder_backoff_override_applies() {
     // fast_fail keeps the failure path quick even when the cluster itself
     // is healthy — this just exercises the builder surface.
     let cluster = NetBuilder::from_topology(bank_topology(2, 2))
-        .retry(RetryBudget::fast_fail())
+        .backoff(Backoff::fast_fail())
         .start()
         .expect("start");
     let result = cluster
