@@ -158,6 +158,11 @@ pub fn parse_trace_text(text: &str) -> Result<Vec<TraceRecord>, TraceParseError>
                 site: field(&fields, "site", line)? as u32,
                 lifetime_us: field(&fields, "lifetime_us", line)?,
             },
+            "pc_takeover" => TraceEvent::PcTakeover {
+                txn: field(&fields, "txn", line)?,
+                site: field(&fields, "site", line)? as u32,
+                ballot: field(&fields, "ballot", line)?,
+            },
             other => {
                 return Err(err(format!("unknown event label {other}")));
             }
@@ -280,10 +285,17 @@ pub fn check_trace(records: &[TraceRecord]) -> Report {
                     );
                 }
             }
+            // A Paxos Commit takeover is replay-neutral on its own: any
+            // number of sites may contend for the verdict at any time. What
+            // must hold — every Decided/OutcomeLearned the contest produces
+            // agrees — is already enforced by the PV023 outcome rules, and
+            // PV020 still applies to the votes (`prepared` events) a commit
+            // verdict rests on.
             TraceEvent::TxnSubmitted { .. }
             | TraceEvent::TxnRetried { .. }
             | TraceEvent::AltSplit { .. }
-            | TraceEvent::OutcomeForwarded { .. } => {}
+            | TraceEvent::OutcomeForwarded { .. }
+            | TraceEvent::PcTakeover { .. } => {}
         }
     }
     report
@@ -437,6 +449,49 @@ mod tests {
         )];
         let report = check_trace(&records);
         assert!(report.has_code(Code::CollapseBeforeOutcome));
+    }
+
+    #[test]
+    fn paxos_takeover_trace_is_clean() {
+        // Paxos Commit run: both sites prepare (vote), site 1 times out and
+        // takes over, the takeover decides complete, everyone learns it. No
+        // polyvalues are ever involved.
+        let records = vec![
+            rec(0, TraceEvent::TxnSubmitted { req_id: 1, coordinator: 0 }),
+            rec(1, TraceEvent::Prepared { txn: 7, site: 0 }),
+            rec(2, TraceEvent::Prepared { txn: 7, site: 1 }),
+            rec(3, TraceEvent::WaitTimedOut { txn: 7, site: 1 }),
+            rec(4, TraceEvent::PcTakeover { txn: 7, site: 1, ballot: (1 << 16) | 1 }),
+            rec(5, TraceEvent::Decided { txn: 7, completed: true }),
+            rec(6, TraceEvent::OutcomeLearned { txn: 7, site: 0, completed: true }),
+            rec(7, TraceEvent::OutcomeLearned { txn: 7, site: 1, completed: true }),
+        ];
+        let report = check_trace(&records);
+        assert!(report.is_clean(), "unexpected: {report}");
+    }
+
+    #[test]
+    fn paxos_takeover_conflicting_verdicts_flagged() {
+        // Two contenders claiming different outcomes is exactly the split
+        // brain PV023 exists for; a takeover event does not excuse it.
+        let records = vec![
+            rec(0, TraceEvent::PcTakeover { txn: 7, site: 1, ballot: (1 << 16) | 1 }),
+            rec(1, TraceEvent::Decided { txn: 7, completed: true }),
+            rec(2, TraceEvent::PcTakeover { txn: 7, site: 2, ballot: (1 << 16) | 2 }),
+            rec(3, TraceEvent::Decided { txn: 7, completed: false }),
+        ];
+        assert!(check_trace(&records).has_code(Code::OutcomeMismatch));
+    }
+
+    #[test]
+    fn pc_takeover_text_round_trip() {
+        let text = "000000 10 n1 pc_takeover txn=7 site=s1 ballot=65537\n";
+        let parsed = parse_trace_text(text).unwrap();
+        assert_eq!(
+            parsed[0].event,
+            TraceEvent::PcTakeover { txn: 7, site: 1, ballot: 65537 }
+        );
+        assert!(check_trace_text(text).unwrap().is_clean());
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub struct CrashPointConfig {
     /// Caps the points explored per site (evenly sampled); `None` explores
     /// every reachable point.
     pub max_points_per_site: Option<usize>,
+    /// The commit protocol the scenario runs under. Paxos Commit exercises a
+    /// different durability surface — per-acceptor vote/promise/accept
+    /// records — whose replay the sweep must also cover.
+    pub protocol: CommitProtocol,
 }
 
 impl Default for CrashPointConfig {
@@ -79,6 +83,7 @@ impl Default for CrashPointConfig {
             settle_secs: 90,
             recover_after: SimDuration::from_millis(700),
             max_points_per_site: None,
+            protocol: CommitProtocol::Polyvalue,
         }
     }
 }
@@ -141,7 +146,7 @@ fn build(cfg: &CrashPointConfig) -> Cluster {
     ClusterBuilder::new(cfg.sites, Directory::Mod(cfg.sites))
         .seed(cfg.seed)
         .net(NetConfig::default())
-        .engine(EngineConfig::with_protocol(CommitProtocol::Polyvalue))
+        .engine(EngineConfig::with_protocol(cfg.protocol))
         .uniform_items(cfg.accounts, cfg.initial)
         .storage(move |_| Box::new(MemStorage::with_policy(policy)))
         .client(
@@ -243,6 +248,22 @@ fn check_invariants(
     if !cluster.all_quiescent() {
         return fail("protocol state still in flight".into());
     }
+    for s in 0..cfg.sites {
+        let residual = cluster
+            .site(s as SiteId)
+            .expect("site ids in range")
+            .store()
+            .pc_txns()
+            .len();
+        if residual != 0 {
+            // Paxos Commit acceptor state must be pruned once the decision
+            // is durable everywhere; leftovers mean a vote/promise survived
+            // recovery without its transaction ever resolving.
+            return fail(format!(
+                "{residual} unresolved Paxos Commit acceptor record(s) at site {s}"
+            ));
+        }
+    }
     None
 }
 
@@ -317,6 +338,16 @@ mod tests {
         assert_eq!(report.points_per_site.len(), 2);
         let text = report.to_string();
         assert!(text.contains("violation"), "report: {text}");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn tiny_paxos_commit_exploration_is_clean() {
+        let report = explore(&CrashPointConfig {
+            protocol: CommitProtocol::PaxosCommit,
+            ..tiny()
+        });
+        assert!(report.points_explored > 0);
         assert!(report.ok(), "violations: {:?}", report.violations);
     }
 

@@ -22,6 +22,11 @@
 //!   gone after recovery (the §3.3 inquiry protocol resolved them);
 //! * **quiescence** — no site still carries protocol state.
 //!
+//! The `paxos-commit-kill` scenario replays the coordinator kill with every
+//! node running `--protocol paxos-commit` and inverts the collapse check:
+//! no polyvalue may ever appear, and at least one ballot takeover must have
+//! resolved the dead coordinator's transactions.
+//!
 //! Kill timing, restart order, and partition timing all derive from one
 //! seeded [`SimRng`], so a scenario replays the same schedule for the same
 //! seed. Each scenario prints a one-line JSON verdict; `--out` additionally
@@ -54,7 +59,7 @@ fn harness_backoff() -> Backoff {
 fn usage() -> ! {
     eprintln!(
         "usage: pv-chaos [--scenario coordinator-kill|participant-kill|partition|\
-         restart-storm|rolling-restart|all] [--seed N] [--sites N] [--out PATH]"
+         restart-storm|rolling-restart|paxos-commit-kill|all] [--seed N] [--sites N] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -143,6 +148,8 @@ fn free_addr() -> Result<SocketAddr, EngineError> {
 struct Harness {
     rng: SimRng,
     sites: u32,
+    /// The commit protocol every spawned node runs (`pv-node --protocol`).
+    protocol: &'static str,
     /// Current real (listen) address of each site; changes on restart.
     reals: Arc<Mutex<Vec<SocketAddr>>>,
     chaos: ChaosNet,
@@ -154,7 +161,12 @@ struct Harness {
 }
 
 impl Harness {
-    fn start(sites: u32, seed: u64, tag: &str) -> Result<Harness, EngineError> {
+    fn start(
+        sites: u32,
+        seed: u64,
+        tag: &str,
+        protocol: &'static str,
+    ) -> Result<Harness, EngineError> {
         let me =
             std::env::current_exe().map_err(|e| EngineError::Io(format!("current_exe: {e}")))?;
         let node_bin = me
@@ -178,6 +190,7 @@ impl Harness {
         let mut harness = Harness {
             rng: SimRng::new(seed ^ 0xC4A0_5EED),
             sites,
+            protocol,
             reals: Arc::new(Mutex::new(reals)),
             chaos,
             children: (0..sites).map(|_| None).collect(),
@@ -222,6 +235,8 @@ impl Harness {
                 &BALANCE.to_string(),
                 "--data-dir",
                 &self.data_dir.display().to_string(),
+                "--protocol",
+                self.protocol,
                 "--fast",
                 // Patient reconnects: peers stay dead for a while on purpose.
                 "--attempts",
@@ -825,7 +840,54 @@ fn rolling_restart(h: &mut Harness) -> Result<(bool, Duration), EngineError> {
     Ok((true, rolled))
 }
 
-fn run_scenario(name: &'static str, sites: u32, seed: u64, f: ScenarioFn) -> Verdict {
+/// The coordinator-kill schedule replayed under Paxos Commit: the same hard
+/// SIGKILL mid-prepare, but the stranded participants must *not* install
+/// polyvalues — their wait timeouts elect a takeover leader whose ballot
+/// closes the transaction against the surviving acceptor majority, with the
+/// coordinator still dead. The restarted coordinator then learns the
+/// outcomes from its acceptor log and the inquiry tick.
+fn paxos_commit_kill(h: &mut Harness) -> Result<(bool, Duration), EngineError> {
+    // Same 40ms/hop stretch as `coordinator_kill`: the kill lands after the
+    // participants staged and broadcast their ballot-0 votes, before every
+    // Decision went out.
+    h.chaos.set_default(LinkFaults {
+        delay: Duration::from_millis(40),
+        ..LinkFaults::default()
+    });
+    let (mut client, mut pending) = h.submit_batch(0, 8, None)?;
+    std::thread::sleep(Duration::from_millis(135 + h.rng.below(30)));
+    h.kill(0);
+    let kill_at = Instant::now();
+    let survivors: Vec<u32> = (1..h.sites).collect();
+    let poller = h.spawn_poly_poller(&survivors, Duration::from_millis(1500));
+    h.collect_replies(&mut client, &mut pending, Duration::from_millis(300));
+    let polys = poller.join().unwrap_or(false);
+    if polys {
+        return Err(EngineError::Io(
+            "paxos-commit installed a polyvalue; the protocol never should".into(),
+        ));
+    }
+    std::thread::sleep(Duration::from_millis(300 + h.rng.below(300)));
+    h.restart(0)?;
+    h.await_quiescence(Duration::from_secs(30))?;
+    // The non-blocking path must actually have run: a dead coordinator with
+    // in-flight transactions forces at least one ballot takeover somewhere.
+    let m = h.merged_metrics()?;
+    if m.counter("pc.takeovers") == 0 {
+        return Err(EngineError::Io(
+            "coordinator died mid-commit yet no site ever started a takeover".into(),
+        ));
+    }
+    Ok((false, kill_at.elapsed()))
+}
+
+fn run_scenario(
+    name: &'static str,
+    sites: u32,
+    seed: u64,
+    protocol: &'static str,
+    f: ScenarioFn,
+) -> Verdict {
     let mut verdict = Verdict {
         scenario: name,
         seed,
@@ -837,7 +899,7 @@ fn run_scenario(name: &'static str, sites: u32, seed: u64, f: ScenarioFn) -> Ver
         recover_ms: 0.0,
         detail: String::new(),
     };
-    let mut harness = match Harness::start(sites, seed, name) {
+    let mut harness = match Harness::start(sites, seed, name, protocol) {
         Ok(h) => h,
         Err(e) => {
             verdict.detail = format!("harness start failed: {e}");
@@ -865,24 +927,25 @@ fn run_scenario(name: &'static str, sites: u32, seed: u64, f: ScenarioFn) -> Ver
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let all: [(&'static str, ScenarioFn); 5] = [
-        ("coordinator-kill", coordinator_kill),
-        ("participant-kill", participant_kill),
-        ("partition", partition),
-        ("restart-storm", restart_storm),
-        ("rolling-restart", rolling_restart),
+    let all: [(&'static str, &'static str, ScenarioFn); 6] = [
+        ("coordinator-kill", "polyvalue", coordinator_kill),
+        ("participant-kill", "polyvalue", participant_kill),
+        ("partition", "polyvalue", partition),
+        ("restart-storm", "polyvalue", restart_storm),
+        ("rolling-restart", "polyvalue", rolling_restart),
+        ("paxos-commit-kill", "paxos-commit", paxos_commit_kill),
     ];
     let picked: Vec<_> = all
         .iter()
-        .filter(|(name, _)| args.scenario == "all" || args.scenario == *name)
+        .filter(|(name, _, _)| args.scenario == "all" || args.scenario == *name)
         .collect();
     if picked.is_empty() {
         eprintln!("unknown scenario: {}", args.scenario);
         usage();
     }
     let mut verdicts = Vec::new();
-    for (name, f) in picked {
-        let verdict = run_scenario(name, args.sites, args.seed, *f);
+    for (name, protocol, f) in picked {
+        let verdict = run_scenario(name, args.sites, args.seed, protocol, *f);
         println!("{}", verdict.json());
         verdicts.push(verdict);
     }

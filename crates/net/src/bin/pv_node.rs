@@ -37,7 +37,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: pv-node --site N --addrs HOST:PORT,... [--listen HOST:PORT] [--accounts N] \
-         [--balance V] [--protocol polyvalue|blocking2pc|relaxed] [--data-dir DIR] \
+         [--balance V] [--protocol polyvalue|blocking2pc|relaxed|paxos-commit] [--data-dir DIR] \
          [--static-checks] [--fast] [--attempts N] [--delay-ms N] [--max-delay-ms N]"
     );
     std::process::exit(2);
@@ -133,6 +133,7 @@ fn parse_args() -> Args {
                     "polyvalue" => CommitProtocol::Polyvalue,
                     "blocking2pc" => CommitProtocol::Blocking2pc,
                     "relaxed" => CommitProtocol::Relaxed { complete_prob: 0.5 },
+                    "paxos-commit" => CommitProtocol::PaxosCommit,
                     _ => usage(),
                 }
             }

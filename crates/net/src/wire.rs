@@ -465,6 +465,97 @@ fn put_msg(buf: &mut BytesMut, msg: &Msg) {
             buf.put_u64_le(txn.raw());
             buf.put_u8(u8::from(*completed));
         }
+        Msg::PcPrepare { txn, writes, parts } => {
+            buf.put_u8(11);
+            buf.put_u64_le(txn.raw());
+            put_item_entries(buf, writes);
+            put_sites(buf, parts);
+        }
+        Msg::PcVote {
+            txn,
+            part,
+            parts,
+            prepared,
+        } => {
+            buf.put_u8(12);
+            buf.put_u64_le(txn.raw());
+            buf.put_u32_le(*part);
+            put_sites(buf, parts);
+            buf.put_u8(u8::from(*prepared));
+        }
+        Msg::PcVoteAck {
+            txn,
+            part,
+            acceptor,
+            prepared,
+        } => {
+            buf.put_u8(13);
+            buf.put_u64_le(txn.raw());
+            buf.put_u32_le(*part);
+            buf.put_u32_le(*acceptor);
+            buf.put_u8(u8::from(*prepared));
+        }
+        Msg::PcPhase1a { txn, ballot } => {
+            buf.put_u8(14);
+            buf.put_u64_le(txn.raw());
+            buf.put_u64_le(*ballot);
+        }
+        Msg::PcPhase1b {
+            txn,
+            ballot,
+            acceptor,
+            votes,
+            parts,
+            accepted,
+        } => {
+            buf.put_u8(15);
+            buf.put_u64_le(txn.raw());
+            buf.put_u64_le(*ballot);
+            buf.put_u32_le(*acceptor);
+            buf.put_u32_le(votes.len() as u32);
+            for (site, prepared) in votes {
+                buf.put_u32_le(*site);
+                buf.put_u8(u8::from(*prepared));
+            }
+            put_sites(buf, parts);
+            match accepted {
+                Some((b, completed)) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(*b);
+                    buf.put_u8(u8::from(*completed));
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        Msg::PcPhase2a {
+            txn,
+            ballot,
+            completed,
+        } => {
+            buf.put_u8(16);
+            buf.put_u64_le(txn.raw());
+            buf.put_u64_le(*ballot);
+            buf.put_u8(u8::from(*completed));
+        }
+        Msg::PcPhase2b {
+            txn,
+            ballot,
+            acceptor,
+            completed,
+        } => {
+            buf.put_u8(17);
+            buf.put_u64_le(txn.raw());
+            buf.put_u64_le(*ballot);
+            buf.put_u32_le(*acceptor);
+            buf.put_u8(u8::from(*completed));
+        }
+    }
+}
+
+fn put_sites(buf: &mut BytesMut, sites: &[u32]) {
+    buf.put_u32_le(sites.len() as u32);
+    for s in sites {
+        buf.put_u32_le(*s);
     }
 }
 
@@ -729,8 +820,74 @@ fn get_msg(buf: &mut &[u8]) -> Result<Msg, DecodeError> {
             txn: TxnId(get_u64(buf)?),
             completed: get_u8(buf)? != 0,
         }),
+        11 => Ok(Msg::PcPrepare {
+            txn: TxnId(get_u64(buf)?),
+            writes: get_item_entries(buf)?,
+            parts: get_sites(buf)?,
+        }),
+        12 => Ok(Msg::PcVote {
+            txn: TxnId(get_u64(buf)?),
+            part: get_u32(buf)?,
+            parts: get_sites(buf)?,
+            prepared: get_u8(buf)? != 0,
+        }),
+        13 => Ok(Msg::PcVoteAck {
+            txn: TxnId(get_u64(buf)?),
+            part: get_u32(buf)?,
+            acceptor: get_u32(buf)?,
+            prepared: get_u8(buf)? != 0,
+        }),
+        14 => Ok(Msg::PcPhase1a {
+            txn: TxnId(get_u64(buf)?),
+            ballot: get_u64(buf)?,
+        }),
+        15 => {
+            let txn = TxnId(get_u64(buf)?);
+            let ballot = get_u64(buf)?;
+            let acceptor = get_u32(buf)?;
+            let n = get_u32(buf)? as usize;
+            let mut votes = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let site = get_u32(buf)?;
+                votes.push((site, get_u8(buf)? != 0));
+            }
+            let parts = get_sites(buf)?;
+            let accepted = match get_u8(buf)? {
+                0 => None,
+                1 => Some((get_u64(buf)?, get_u8(buf)? != 0)),
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            Ok(Msg::PcPhase1b {
+                txn,
+                ballot,
+                acceptor,
+                votes,
+                parts,
+                accepted,
+            })
+        }
+        16 => Ok(Msg::PcPhase2a {
+            txn: TxnId(get_u64(buf)?),
+            ballot: get_u64(buf)?,
+            completed: get_u8(buf)? != 0,
+        }),
+        17 => Ok(Msg::PcPhase2b {
+            txn: TxnId(get_u64(buf)?),
+            ballot: get_u64(buf)?,
+            acceptor: get_u32(buf)?,
+            completed: get_u8(buf)? != 0,
+        }),
         t => Err(DecodeError::BadTag(t)),
     }
+}
+
+fn get_sites(buf: &mut &[u8]) -> Result<Vec<u32>, DecodeError> {
+    let n = get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(get_u32(buf)?);
+    }
+    Ok(out)
 }
 
 fn get_wire_metrics(buf: &mut &[u8]) -> Result<WireMetrics, DecodeError> {

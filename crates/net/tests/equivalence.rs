@@ -12,7 +12,8 @@
 
 use pv_core::{Entry, Expr, ItemId, TransactionSpec, Value};
 use pv_engine::{
-    ClientConfig, ClusterBuilder, Directory, EngineConfig, LiveCluster, Script, Topology,
+    ClientConfig, ClusterBuilder, CommitProtocol, Directory, EngineConfig, LiveCluster, Script,
+    Topology,
 };
 use pv_net::NetCluster;
 use pv_simnet::{SimDuration, SimRng};
@@ -22,9 +23,10 @@ const SITES: u32 = 3;
 const ACCOUNTS: u64 = 6;
 const BALANCE: i64 = 100;
 
-fn shared_topology() -> Topology {
+fn shared_topology(protocol: CommitProtocol) -> Topology {
     Topology::new(SITES, Directory::Mod(SITES))
         .engine(EngineConfig {
+            protocol,
             read_timeout: SimDuration::from_millis(200),
             ready_timeout: SimDuration::from_millis(200),
             wait_timeout: SimDuration::from_millis(80),
@@ -74,12 +76,12 @@ fn settled_int(entry: &Entry<Value>) -> i64 {
         .expect("item settled to a simple int")
 }
 
-fn run_sim(specs: Vec<TransactionSpec>) -> Outcomes {
+fn run_sim(protocol: CommitProtocol, specs: Vec<TransactionSpec>) -> Outcomes {
     // One scripted client, widely spaced arrivals so execution is strictly
     // sequential in virtual time; no retries so each result is the fate of
     // exactly one attempt.
     let n = specs.len();
-    let mut cluster = ClusterBuilder::from_topology(shared_topology())
+    let mut cluster = ClusterBuilder::from_topology(shared_topology(protocol))
         .seed(11)
         .client(
             ClientConfig {
@@ -125,8 +127,8 @@ fn settle(mut probe: impl FnMut() -> (u64, bool)) {
     }
 }
 
-fn run_live(specs: Vec<TransactionSpec>) -> Outcomes {
-    let cluster = LiveCluster::from_topology(shared_topology()).expect("start live");
+fn run_live(protocol: CommitProtocol, specs: Vec<TransactionSpec>) -> Outcomes {
+    let cluster = LiveCluster::from_topology(shared_topology(protocol)).expect("start live");
     let deadline = Duration::from_secs(10);
     let fates = specs
         .iter()
@@ -161,8 +163,8 @@ fn run_live(specs: Vec<TransactionSpec>) -> Outcomes {
     (fates, balances)
 }
 
-fn run_net(specs: Vec<TransactionSpec>) -> Outcomes {
-    let cluster = NetCluster::from_topology(shared_topology()).expect("start net");
+fn run_net(protocol: CommitProtocol, specs: Vec<TransactionSpec>) -> Outcomes {
+    let cluster = NetCluster::from_topology(shared_topology(protocol)).expect("start net");
     let deadline = Duration::from_secs(10);
     let fates = specs
         .iter()
@@ -197,12 +199,11 @@ fn run_net(specs: Vec<TransactionSpec>) -> Outcomes {
     (fates, balances)
 }
 
-#[test]
-fn same_topology_same_outcomes_on_all_three_runtimes() {
+fn assert_equivalent(protocol: CommitProtocol) {
     let specs = workload();
-    let (sim_fates, sim_balances) = run_sim(specs.clone());
-    let (live_fates, live_balances) = run_live(specs.clone());
-    let (net_fates, net_balances) = run_net(specs);
+    let (sim_fates, sim_balances) = run_sim(protocol, specs.clone());
+    let (live_fates, live_balances) = run_live(protocol, specs.clone());
+    let (net_fates, net_balances) = run_net(protocol, specs);
 
     // The workload is interesting: at least one commit-and-grant and at
     // least one guard denial, so the fate vector actually discriminates.
@@ -226,4 +227,18 @@ fn same_topology_same_outcomes_on_all_three_runtimes() {
             "{name}: conservation of funds"
         );
     }
+}
+
+#[test]
+fn same_topology_same_outcomes_on_all_three_runtimes() {
+    assert_equivalent(CommitProtocol::Polyvalue);
+}
+
+/// The fault-free Paxos Commit fast path must route every transaction to
+/// the same fate on all three runtimes — votes, acceptor acknowledgements
+/// and the decision broadcast all cross the real TCP codec in the net
+/// cluster.
+#[test]
+fn same_topology_same_outcomes_under_paxos_commit() {
+    assert_equivalent(CommitProtocol::PaxosCommit);
 }

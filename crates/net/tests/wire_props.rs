@@ -197,14 +197,64 @@ fn gen_msg(rng: &mut SimRng, variant: u64) -> Msg {
             completed: rng.chance(0.5),
         },
         9 => Msg::Inquire { txn },
-        _ => Msg::OutcomeNotify {
+        10 => Msg::OutcomeNotify {
             txn,
+            completed: rng.chance(0.5),
+        },
+        11 => Msg::PcPrepare {
+            txn,
+            writes: gen_entries(rng, t),
+            parts: gen_sites(rng),
+        },
+        12 => Msg::PcVote {
+            txn,
+            part: rng.below(16) as u32,
+            parts: gen_sites(rng),
+            prepared: rng.chance(0.5),
+        },
+        13 => Msg::PcVoteAck {
+            txn,
+            part: rng.below(16) as u32,
+            acceptor: rng.below(16) as u32,
+            prepared: rng.chance(0.5),
+        },
+        14 => Msg::PcPhase1a {
+            txn,
+            ballot: rng.below(1 << 40),
+        },
+        15 => Msg::PcPhase1b {
+            txn,
+            ballot: rng.below(1 << 40),
+            acceptor: rng.below(16) as u32,
+            votes: (0..rng.below(4))
+                .map(|_| (rng.below(16) as u32, rng.chance(0.5)))
+                .collect(),
+            parts: gen_sites(rng),
+            accepted: if rng.chance(0.5) {
+                Some((rng.below(1 << 40), rng.chance(0.5)))
+            } else {
+                None
+            },
+        },
+        16 => Msg::PcPhase2a {
+            txn,
+            ballot: rng.below(1 << 40),
+            completed: rng.chance(0.5),
+        },
+        _ => Msg::PcPhase2b {
+            txn,
+            ballot: rng.below(1 << 40),
+            acceptor: rng.below(16) as u32,
             completed: rng.chance(0.5),
         },
     }
 }
 
-const MSG_VARIANTS: u64 = 11;
+fn gen_sites(rng: &mut SimRng) -> Vec<u32> {
+    (0..rng.below(5)).map(|_| rng.below(16) as u32).collect()
+}
+
+const MSG_VARIANTS: u64 = 18;
 
 fn gen_frame(rng: &mut SimRng) -> Frame {
     match rng.below(7) {

@@ -21,6 +21,13 @@ pub enum CommitProtocol {
         /// Probability that the unilateral decision is *complete*.
         complete_prob: f64,
     },
+    /// Gray & Lamport's Paxos Commit: every site doubles as an acceptor, a
+    /// participant's vote is a ballot-0 phase-2a message for its own Paxos
+    /// instance, and a wait-phase (or coordinator ready) timeout triggers a
+    /// higher-ballot takeover instead of installing polyvalues or blocking.
+    /// Non-blocking whenever a majority of acceptors is reachable; never
+    /// creates polyvalues.
+    PaxosCommit,
 }
 
 impl CommitProtocol {
@@ -30,6 +37,7 @@ impl CommitProtocol {
             CommitProtocol::Polyvalue => "polyvalue",
             CommitProtocol::Blocking2pc => "blocking-2pc",
             CommitProtocol::Relaxed { .. } => "relaxed",
+            CommitProtocol::PaxosCommit => "paxos-commit",
         }
     }
 }
@@ -150,6 +158,7 @@ mod tests {
             CommitProtocol::Relaxed { complete_prob: 1.0 }.label(),
             "relaxed"
         );
+        assert_eq!(CommitProtocol::PaxosCommit.label(), "paxos-commit");
     }
 
     #[test]

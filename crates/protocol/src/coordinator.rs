@@ -1,6 +1,6 @@
 //! The coordinator role: read phase → evaluate → prepare phase → decision.
 
-use crate::config::UncertainOutputPolicy;
+use crate::config::{CommitProtocol, UncertainOutputPolicy};
 use crate::machine::{site_node, Emit, SiteMachine};
 use crate::messages::{AbortReason, Msg, TxnResult};
 use crate::timer::TimerKey;
@@ -33,6 +33,10 @@ pub(crate) struct Coord {
     pub(crate) responded: BTreeSet<SiteId>,
     pub(crate) write_sites: BTreeSet<SiteId>,
     pub(crate) readies: BTreeSet<SiteId>,
+    /// Paxos Commit only: which acceptors acknowledged each participant's
+    /// prepared vote. The transaction completes when every write site's
+    /// vote holds a majority of acceptors.
+    pub(crate) acks: BTreeMap<SiteId, BTreeSet<SiteId>>,
     pub(crate) pending_result: Option<TxnResult>,
     /// When the client's submit reached this coordinator (phase metrics).
     pub(crate) submitted_at: SimTime,
@@ -133,6 +137,7 @@ impl SiteMachine {
             responded: BTreeSet::new(),
             write_sites: BTreeSet::new(),
             readies: BTreeSet::new(),
+            acks: BTreeMap::new(),
             pending_result: None,
             submitted_at: em.now,
             prepared_at: None,
@@ -249,14 +254,36 @@ impl SiteMachine {
             store.note_sent(dep, site);
             self.ensure_inquire(em);
         }
-        for (site, items) in groups {
-            em.send(
-                site_node(site),
-                Msg::Prepare {
-                    txn,
-                    writes: items,
-                },
-            );
+        if matches!(self.config.protocol, CommitProtocol::PaxosCommit) {
+            // Paxos Commit: the prepare carries the full participant set so
+            // every vote doubles as a registrar record at the acceptors.
+            let parts: Vec<SiteId> = self.coordinator.coords[&txn]
+                .write_sites
+                .iter()
+                .copied()
+                .collect();
+            for (site, items) in groups {
+                self.pc_cast(
+                    em,
+                    store,
+                    site,
+                    Msg::PcPrepare {
+                        txn,
+                        writes: items,
+                        parts: parts.clone(),
+                    },
+                );
+            }
+        } else {
+            for (site, items) in groups {
+                em.send(
+                    site_node(site),
+                    Msg::Prepare {
+                        txn,
+                        writes: items,
+                    },
+                );
+            }
         }
         em.arm(self.config.ready_timeout, TimerKey::CoordReady(txn));
     }
@@ -363,14 +390,32 @@ impl SiteMachine {
         };
         store.record_decision(txn, false);
         self.note_decided(em, txn, &coord, false);
-        for &site in coord.read_sites.union(&coord.write_sites) {
-            em.send(
-                site_node(site),
-                Msg::Decision {
-                    txn,
-                    completed: false,
-                },
-            );
+        if matches!(self.config.protocol, CommitProtocol::PaxosCommit) {
+            // Acceptors may hold votes for this transaction; the decision
+            // must reach all of them so they can prune (and answer any
+            // later takeover with the outcome).
+            self.paxos.takeovers.remove(&txn);
+            for site in 0..self.directory.sites() {
+                self.pc_cast(
+                    em,
+                    store,
+                    site,
+                    Msg::Decision {
+                        txn,
+                        completed: false,
+                    },
+                );
+            }
+        } else {
+            for &site in coord.read_sites.union(&coord.write_sites) {
+                em.send(
+                    site_node(site),
+                    Msg::Decision {
+                        txn,
+                        completed: false,
+                    },
+                );
+            }
         }
         match &reason {
             AbortReason::LockConflict => em.inc("txn.aborted.lock"),
@@ -407,7 +452,15 @@ impl SiteMachine {
             .get(&txn)
             .is_some_and(|c| c.phase == CoordPhase::Preparing)
         {
-            self.finish_abort(em, store, txn, AbortReason::Timeout);
+            if matches!(self.config.protocol, CommitProtocol::PaxosCommit) {
+                // Participants may already hold majority-acknowledged votes,
+                // so a presumed abort here could contradict a takeover's
+                // commit. Run the takeover ourselves instead; its verdict
+                // resolves our coordinator state via `pc_learn_decision`.
+                self.start_takeover(em, store, txn);
+            } else {
+                self.finish_abort(em, store, txn, AbortReason::Timeout);
+            }
         }
     }
 }

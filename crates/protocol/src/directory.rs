@@ -28,6 +28,17 @@ impl Directory {
         }
     }
 
+    /// The number of sites in the cluster this directory describes — the
+    /// Paxos Commit acceptor group (`0..sites()`). For explicit placements
+    /// this is derived from the highest site mentioned; a cluster with
+    /// trailing item-free sites should use [`Directory::Mod`].
+    pub fn sites(&self) -> u32 {
+        match self {
+            Directory::Mod(n) => *n,
+            Directory::Explicit(map) => map.values().max().map_or(0, |&s| s + 1),
+        }
+    }
+
     /// Groups items by home site, preserving the input order within a site.
     pub fn group_by_site<T, I: IntoIterator<Item = (ItemId, T)>>(
         &self,

@@ -56,12 +56,14 @@ const CLIENT: NodeId = NodeId(1_000_000);
 /// Exploration scenario and bounds.
 #[derive(Debug, Clone)]
 pub struct ExploreConfig {
-    /// Number of sites; site `s` is home to item `s` (initial balance
-    /// [`ExploreConfig::initial`]).
+    /// Number of sites. There are `max(sites, 2)` items, item `i` homed at
+    /// site `i % sites` (initial balance [`ExploreConfig::initial`]) — at
+    /// least two so single-site scenarios still transfer between distinct
+    /// items and conservation stays meaningful.
     pub sites: u32,
     /// Number of scripted transfers. Transfer `k` moves
-    /// [`ExploreConfig::amount`] from item `k % sites` to item
-    /// `(k + 1) % sites`, coordinated by site `k % sites`.
+    /// [`ExploreConfig::amount`] from item `k % items` to item
+    /// `(k + 1) % items`, coordinated by site `k % sites`.
     pub txns: u32,
     /// Per-transfer amount.
     pub amount: i64,
@@ -97,9 +99,15 @@ impl Default for ExploreConfig {
 }
 
 impl ExploreConfig {
+    /// Item count: one per site, but never fewer than two (a one-item
+    /// "transfer" would write the same item twice and mint money).
+    fn items(&self) -> u32 {
+        self.sites.max(2)
+    }
+
     fn transfer_spec(&self, k: u32) -> TransactionSpec {
-        let from = ItemId((k % self.sites) as u64);
-        let to = ItemId(((k + 1) % self.sites) as u64);
+        let from = ItemId((k % self.items()) as u64);
+        let to = ItemId(((k + 1) % self.items()) as u64);
         let amount = self.amount;
         TransactionSpec::new()
             .guard(Expr::read(from).ge(Expr::int(amount)))
@@ -187,9 +195,11 @@ impl State {
         let mut stores = Vec::new();
         for s in 0..cfg.sites {
             machines.push(SiteMachine::new(s, cfg.engine.clone(), directory.clone()));
-            let mut store = SiteStore::new();
-            store.seed_item(ItemId(s as u64), Value::Int(cfg.initial));
-            stores.push(store);
+            stores.push(SiteStore::new());
+        }
+        for item in 0..cfg.items() {
+            stores[(item % cfg.sites) as usize]
+                .seed_item(ItemId(item as u64), Value::Int(cfg.initial));
         }
         let mut in_flight = Vec::new();
         for k in 0..cfg.txns {
@@ -216,19 +226,13 @@ impl State {
         st
     }
 
-    /// Forks the state for a branch: machines and bookkeeping clone; stores
-    /// round-trip through their WAL encoding (the store is not `Clone` — its
-    /// WAL *is* its state).
+    /// Forks the state for a branch. `SiteStore::clone` snapshots into a
+    /// fresh always-durable in-memory backend, which is exactly the
+    /// explorer's storage model (crashes here lose no synced state).
     fn fork(&self) -> State {
         State {
             machines: self.machines.clone(),
-            stores: self
-                .stores
-                .iter()
-                .map(|s| {
-                    SiteStore::import_wal(&s.export_wal()).expect("own WAL export must re-import")
-                })
-                .collect(),
+            stores: self.stores.clone(),
             in_flight: self.in_flight.clone(),
             timers: self.timers.clone(),
             crashes_left: self.crashes_left,
@@ -259,7 +263,13 @@ impl State {
     /// Stable hash of the full logical state for the visited set. Machine
     /// and message state is folded in via their `Debug` rendering (streamed
     /// straight into the hasher — no intermediate strings); store state via
-    /// its WAL encoding, which *is* the store's logical content.
+    /// [`SiteStore::logical_view`] — the *replayed* tables, not the raw log
+    /// bytes, so interleavings that append independent records in different
+    /// orders collapse to one state. (Sound because every future transition,
+    /// including crash-recovery, depends only on the replay result; under
+    /// Paxos Commit, where each acceptor logs a record per vote, promise and
+    /// acceptance, hashing raw bytes multiplied the space by the number of
+    /// log-order permutations.)
     fn fingerprint(&self) -> u64 {
         struct HashWriter<'a>(&'a mut std::collections::hash_map::DefaultHasher);
         impl std::fmt::Write for HashWriter<'_> {
@@ -273,7 +283,7 @@ impl State {
             let _ = write!(HashWriter(&mut h), "{m:?}");
         }
         for s in &self.stores {
-            s.export_wal().as_ref().hash(&mut h);
+            let _ = write!(HashWriter(&mut h), "{:?}", s.logical_view());
         }
         for e in &self.in_flight {
             (e.from.0, e.to.0).hash(&mut h);
@@ -526,7 +536,7 @@ impl State {
                 }
             }
         }
-        let expected = cfg.initial * cfg.sites as i64;
+        let expected = cfg.initial * cfg.items() as i64;
         if total != expected {
             violations.push(InvariantViolation {
                 invariant: "I5",
@@ -552,6 +562,13 @@ fn kind(msg: &Msg) -> &'static str {
         Msg::Decision { .. } => "Decision",
         Msg::Inquire { .. } => "Inquire",
         Msg::OutcomeNotify { .. } => "OutcomeNotify",
+        Msg::PcPrepare { .. } => "PcPrepare",
+        Msg::PcVote { .. } => "PcVote",
+        Msg::PcVoteAck { .. } => "PcVoteAck",
+        Msg::PcPhase1a { .. } => "PcPhase1a",
+        Msg::PcPhase1b { .. } => "PcPhase1b",
+        Msg::PcPhase2a { .. } => "PcPhase2a",
+        Msg::PcPhase2b { .. } => "PcPhase2b",
     }
 }
 
@@ -666,8 +683,8 @@ mod tests {
     #[test]
     fn tiny_crash_free_exploration_is_clean() {
         // Debug builds bound the search (the full 2-site/1-txn graph has
-        // ~64k states, minutes without optimizations); release builds — and
-        // the CI `pv-explore` job — enumerate it completely.
+        // ~24k logical states, minutes without optimizations); release
+        // builds — and the CI `pv-explore` job — enumerate it completely.
         let max_states = if cfg!(debug_assertions) { 4_000 } else { usize::MAX };
         let report = Explorer::new(ExploreConfig {
             sites: 2,
@@ -687,6 +704,115 @@ mod tests {
             "violations: {:#?}",
             report.violations
         );
+    }
+
+    fn paxos_engine() -> EngineConfig {
+        EngineConfig {
+            protocol: crate::config::CommitProtocol::PaxosCommit,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn paxos_commit_crash_free_exploration_is_clean() {
+        // Unlike the polyvalue graph, the Paxos Commit 2-site/1-txn graph is
+        // not CI-enumerable: concurrent takeovers with interleaving-dependent
+        // ballots push it past 10M logical states. The sweep is therefore a
+        // bounded-depth frontier — wide enough to cover the full fast path
+        // plus takeover races — and the single-site graph (32 states) is
+        // enumerated completely as the exactness anchor.
+        let max_states = if cfg!(debug_assertions) { 2_000 } else { 50_000 };
+        let report = Explorer::new(ExploreConfig {
+            sites: 2,
+            txns: 1,
+            crashes: 0,
+            max_states,
+            engine: paxos_engine(),
+            ..ExploreConfig::default()
+        })
+        .run();
+        assert!(report.states > 10);
+        assert!(report.quiescent > 0, "some path must quiesce");
+        assert!(
+            report.violations.is_empty(),
+            "violations: {:#?}",
+            report.violations
+        );
+
+        let single = Explorer::new(ExploreConfig {
+            sites: 1,
+            txns: 1,
+            crashes: 0,
+            max_states: 10_000,
+            engine: paxos_engine(),
+            ..ExploreConfig::default()
+        })
+        .run();
+        assert!(!single.truncated, "1-site Paxos Commit must enumerate fully");
+        assert!(single.quiescent > 0);
+        assert!(
+            single.violations.is_empty(),
+            "violations: {:#?}",
+            single.violations
+        );
+    }
+
+    #[test]
+    fn paxos_commit_exploration_with_one_crash_is_clean() {
+        // Every site doubles as an acceptor, so the crash budget covers the
+        // acceptor-crash schedules the protocol's durability discipline
+        // (log+sync before every reply) exists for — including crashing an
+        // acceptor between accepting a vote and the decision, then replaying
+        // its WAL into a takeover.
+        let max_states = if cfg!(debug_assertions) { 1_500 } else { 30_000 };
+        let report = Explorer::new(ExploreConfig {
+            sites: 2,
+            txns: 1,
+            crashes: 1,
+            max_states,
+            engine: paxos_engine(),
+            ..ExploreConfig::default()
+        })
+        .run();
+        assert!(report.quiescent > 0, "some path must quiesce");
+        assert!(
+            report.violations.is_empty(),
+            "violations: {:#?}",
+            report.violations
+        );
+
+        // Exactness anchor: the single-site graph (coordinator, registrar
+        // and sole acceptor co-located) enumerates completely even with a
+        // crash budget — every WAL-replay schedule of the acceptor log is
+        // covered, none violates.
+        let single = Explorer::new(ExploreConfig {
+            sites: 1,
+            txns: 1,
+            crashes: 1,
+            max_states: 10_000,
+            engine: paxos_engine(),
+            ..ExploreConfig::default()
+        })
+        .run();
+        assert!(!single.truncated, "1-site/1-crash Paxos Commit must enumerate fully");
+        assert!(single.quiescent > 0);
+        assert!(
+            single.violations.is_empty(),
+            "violations: {:#?}",
+            single.violations
+        );
+    }
+
+    #[test]
+    fn paxos_commit_random_walks_are_clean() {
+        let explorer = Explorer::new(ExploreConfig {
+            engine: paxos_engine(),
+            ..ExploreConfig::default()
+        });
+        for seed in [7, 42, 1999] {
+            let walk = explorer.random_walk(seed, 80);
+            assert!(walk.violations.is_empty(), "violations: {:#?}", walk.violations);
+        }
     }
 
     #[test]

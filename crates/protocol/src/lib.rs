@@ -35,6 +35,7 @@ pub mod locks;
 pub mod machine;
 pub mod messages;
 pub mod participant;
+pub mod paxos;
 pub mod recovery;
 pub mod timer;
 
@@ -49,5 +50,6 @@ pub use messages::{AbortReason, AccessMode, Msg, TxnResult};
 pub use participant::{
     all_transitions, render_figure1, transition, PartAction, PartEvent, PartPhase, Participant,
 };
+pub use paxos::Paxos;
 pub use recovery::RecoveryManager;
 pub use timer::TimerKey;

@@ -34,6 +34,7 @@ use crate::directory::Directory;
 use crate::ids::encode_txn;
 use crate::messages::Msg;
 use crate::participant::Participant;
+use crate::paxos::Paxos;
 use crate::recovery::RecoveryManager;
 use crate::timer::TimerKey;
 use pv_core::TxnId;
@@ -177,6 +178,9 @@ pub struct SiteMachine {
     pub participant: Participant,
     /// §3.3 recovery state: inquiry tick and polyvalue-lifetime tracking.
     pub recovery: RecoveryManager,
+    /// Paxos Commit leader state: takeovers this site drives. Acceptor
+    /// state is durable and lives in the store.
+    pub paxos: Paxos,
 }
 
 impl SiteMachine {
@@ -189,6 +193,7 @@ impl SiteMachine {
             coordinator: Coordinator::default(),
             participant: Participant::default(),
             recovery: RecoveryManager::default(),
+            paxos: Paxos::default(),
         }
     }
 
@@ -253,6 +258,45 @@ impl SiteMachine {
                     Msg::OutcomeNotify { txn, completed } => {
                         self.on_outcome_notify(&mut em, store, txn, completed)
                     }
+                    Msg::PcPrepare { txn, writes, parts } => {
+                        self.on_pc_prepare(&mut em, store, from_site, txn, writes, parts)
+                    }
+                    Msg::PcVote {
+                        txn,
+                        part,
+                        parts,
+                        prepared,
+                    } => self.on_pc_vote(&mut em, store, from_site, txn, part, parts, prepared),
+                    Msg::PcVoteAck {
+                        txn,
+                        part,
+                        acceptor,
+                        prepared,
+                    } => self.on_pc_vote_ack(&mut em, store, txn, part, acceptor, prepared),
+                    Msg::PcPhase1a { txn, ballot } => {
+                        self.on_pc_phase1a(&mut em, store, from_site, txn, ballot)
+                    }
+                    Msg::PcPhase1b {
+                        txn,
+                        ballot,
+                        acceptor,
+                        votes,
+                        parts,
+                        accepted,
+                    } => self.on_pc_phase1b(
+                        &mut em, store, txn, ballot, acceptor, votes, parts, accepted,
+                    ),
+                    Msg::PcPhase2a {
+                        txn,
+                        ballot,
+                        completed,
+                    } => self.on_pc_phase2a(&mut em, store, from_site, txn, ballot, completed),
+                    Msg::PcPhase2b {
+                        txn,
+                        ballot,
+                        acceptor,
+                        completed,
+                    } => self.on_pc_phase2b(&mut em, store, txn, ballot, acceptor, completed),
                     Msg::Reply { .. } => {
                         debug_assert!(false, "sites do not receive replies");
                     }
@@ -284,6 +328,7 @@ impl SiteMachine {
         self.coordinator.withheld.clear();
         self.participant.read_queue.clear();
         self.recovery.poly_installed_at.clear();
+        self.paxos.takeovers.clear();
     }
 
     pub(crate) fn ensure_inquire(&mut self, em: &mut Emit<'_>) {

@@ -206,6 +206,97 @@ pub enum Msg {
         /// Its outcome.
         completed: bool,
     },
+    /// Paxos Commit, coordinator → participant: stage these writes and cast
+    /// your ballot-0 vote with the acceptors. Replaces `Prepare` under
+    /// [`CommitProtocol::PaxosCommit`](crate::CommitProtocol::PaxosCommit);
+    /// carries the full participant set so every vote registers it with the
+    /// acceptors (the registrar role — a takeover leader may only commit
+    /// once it knows which participants must all be prepared).
+    PcPrepare {
+        /// The transaction.
+        txn: TxnId,
+        /// Computed new entries for items this site holds.
+        writes: Vec<(ItemId, Entry<Value>)>,
+        /// Every write site of the transaction (sorted).
+        parts: Vec<pv_store::SiteId>,
+    },
+    /// Paxos Commit, participant → every acceptor: the ballot-0 phase-2a
+    /// message for this participant's own Paxos instance. Durably staged
+    /// before sending; an acceptor that already promised a higher ballot
+    /// rejects it silently.
+    PcVote {
+        /// The transaction.
+        txn: TxnId,
+        /// The voting participant site.
+        part: pv_store::SiteId,
+        /// The registered participant set (copied from `PcPrepare`).
+        parts: Vec<pv_store::SiteId>,
+        /// `true` = prepared, `false` = the participant votes abort.
+        prepared: bool,
+    },
+    /// Paxos Commit, acceptor → coordinator: the acceptor durably accepted
+    /// `part`'s ballot-0 vote. The coordinator announces *complete* once
+    /// every participant's instance has a majority of acceptances.
+    PcVoteAck {
+        /// The transaction.
+        txn: TxnId,
+        /// The participant whose vote was accepted.
+        part: pv_store::SiteId,
+        /// The accepting acceptor site.
+        acceptor: pv_store::SiteId,
+        /// The accepted vote value.
+        prepared: bool,
+    },
+    /// Paxos Commit, takeover leader → every acceptor: phase 1a at `ballot`.
+    /// Sent when a participant's wait phase (or the coordinator's ready
+    /// window) times out; the ballot is a fixed function of the leader's
+    /// site and storage epoch, so retries are idempotent.
+    PcPhase1a {
+        /// The stalled transaction.
+        txn: TxnId,
+        /// The leader's ballot (> 0).
+        ballot: u64,
+    },
+    /// Paxos Commit, acceptor → leader: phase 1b — a durable promise not to
+    /// accept anything below `ballot`, reporting everything this acceptor
+    /// has accepted so far for the transaction.
+    PcPhase1b {
+        /// The transaction.
+        txn: TxnId,
+        /// Echo of the promised ballot.
+        ballot: u64,
+        /// The reporting acceptor site.
+        acceptor: pv_store::SiteId,
+        /// Ballot-0 votes this acceptor accepted, as `(participant, prepared)`.
+        votes: Vec<(pv_store::SiteId, bool)>,
+        /// The registered participant set, if any vote carried it.
+        parts: Vec<pv_store::SiteId>,
+        /// The highest-ballot verdict this acceptor accepted in phase 2, as
+        /// `(ballot, completed)`.
+        accepted: Option<(u64, bool)>,
+    },
+    /// Paxos Commit, takeover leader → every acceptor: phase 2a — accept
+    /// this verdict at `ballot`.
+    PcPhase2a {
+        /// The transaction.
+        txn: TxnId,
+        /// The leader's ballot.
+        ballot: u64,
+        /// The proposed verdict (`true` = complete).
+        completed: bool,
+    },
+    /// Paxos Commit, acceptor → leader: phase 2b — the verdict was durably
+    /// accepted at `ballot`. A majority of these chooses the verdict.
+    PcPhase2b {
+        /// The transaction.
+        txn: TxnId,
+        /// Echo of the accepted ballot.
+        ballot: u64,
+        /// The accepting acceptor site.
+        acceptor: pv_store::SiteId,
+        /// Echo of the accepted verdict.
+        completed: bool,
+    },
 }
 
 #[cfg(test)]

@@ -469,6 +469,7 @@ impl SiteMachine {
         // read request it still has (e.g. the coordinator aborted on timeout
         // while the request sat in the wound-wait queue).
         self.participant.read_queue.retain(|q| q.txn != txn);
+        self.pc_learn_decision(em, store, txn, completed);
         self.learn_outcome(em, store, txn, completed);
         self.drain_read_queue(em, store);
     }
@@ -525,6 +526,13 @@ impl SiteMachine {
                 // biased coin; it answers with `Input::Coin` within the same
                 // logical step and `on_coin` finishes the unilateral action.
                 em.out.push(Output::NeedCoin { txn, complete_prob });
+            }
+            CommitProtocol::PaxosCommit => {
+                // Non-blocking by consensus instead of polyvalues: keep the
+                // locks and staging, and run a takeover over the acceptor
+                // majority to force a verdict. The inquiry tick re-drives it
+                // until the decision lands.
+                self.start_takeover(em, store, txn);
             }
         }
     }

@@ -1,6 +1,7 @@
 //! The §3.3 recovery manager: inquiries, outcome learning, and polyvalue
 //! collapse.
 
+use crate::config::CommitProtocol;
 use crate::machine::{site_node, Emit, SiteMachine};
 use crate::messages::Msg;
 use crate::participant::{Part, PartPhase};
@@ -104,6 +105,24 @@ impl SiteMachine {
         for (_, _, result) in &self.coordinator.withheld {
             targets.extend(result.deps());
         }
+        if matches!(self.config.protocol, CommitProtocol::PaxosCommit) {
+            // Stranded acceptor state (votes or promises whose decision this
+            // site never learned — e.g. it was down during the broadcast)
+            // cannot rely on the coordinator: a recovered coordinator has no
+            // memory and, under Paxos Commit, may not presume abort. Any
+            // acceptor can safely force the verdict itself, so take over
+            // rather than inquire; stalled takeovers are re-driven.
+            for txn in store.pc_txns() {
+                if store.decision_of(txn).is_none() {
+                    targets.remove(&txn);
+                    self.start_takeover(em, store, txn);
+                }
+            }
+            self.redrive_takeovers(em, store);
+            if !self.paxos.takeovers.is_empty() {
+                self.ensure_inquire(em);
+            }
+        }
         if targets.is_empty() {
             return;
         }
@@ -130,6 +149,13 @@ impl SiteMachine {
                 if self.coordinator.coords.contains_key(&txn) {
                     return; // still deciding; the asker will retry
                 }
+                if matches!(self.config.protocol, CommitProtocol::PaxosCommit) {
+                    // Presumed abort is unsound here: a takeover may commit
+                    // from the acceptors' durable votes without this
+                    // (possibly amnesiac) coordinator ever knowing. Stay
+                    // silent; the asker's own takeover forces the verdict.
+                    return;
+                }
                 // Presumed abort: no durable completion was recorded.
                 store.record_decision(txn, false);
                 false
@@ -149,6 +175,7 @@ impl SiteMachine {
         if self.participant.parts.remove(&txn).is_some() {
             self.participant.locks.release_all(txn);
         }
+        self.pc_learn_decision(em, store, txn, completed);
         self.learn_outcome(em, store, txn, completed);
         self.drain_read_queue(em, store);
     }
@@ -187,7 +214,8 @@ impl SiteMachine {
             );
             em.arm(self.config.wait_timeout, TimerKey::PartWait(txn));
         }
-        if store.has_tracked_txns() || !store.pending_txns().is_empty() {
+        if store.has_tracked_txns() || !store.pending_txns().is_empty() || !store.pc_txns().is_empty()
+        {
             self.ensure_inquire(em);
         }
     }

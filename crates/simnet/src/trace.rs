@@ -100,6 +100,16 @@ pub enum TraceEvent {
         /// Microseconds from install to collapse (the polyvalue lifetime).
         lifetime_us: u64,
     },
+    /// Paxos Commit: a site timed out on a stalled transaction and became a
+    /// takeover leader at the given ballot.
+    PcTakeover {
+        /// The stalled transaction.
+        txn: u64,
+        /// The site leading the takeover.
+        site: u32,
+        /// The takeover ballot.
+        ballot: u64,
+    },
 }
 
 impl TraceEvent {
@@ -116,6 +126,7 @@ impl TraceEvent {
             TraceEvent::OutcomeLearned { .. } => "outcome_learned",
             TraceEvent::OutcomeForwarded { .. } => "outcome_forwarded",
             TraceEvent::PolyvalueCollapsed { .. } => "polyvalue_collapsed",
+            TraceEvent::PcTakeover { .. } => "pc_takeover",
         }
     }
 }
@@ -155,6 +166,9 @@ impl fmt::Display for TraceEvent {
                     f,
                     "polyvalue_collapsed txn={txn} site=s{site} lifetime_us={lifetime_us}"
                 )
+            }
+            TraceEvent::PcTakeover { txn, site, ballot } => {
+                write!(f, "pc_takeover txn={txn} site=s{site} ballot={ballot}")
             }
         }
     }

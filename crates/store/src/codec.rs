@@ -270,6 +270,40 @@ pub fn encode_record(record: &Record, out: &mut BytesMut) {
             payload.put_u8(8);
             payload.put_u32_le(*epoch);
         }
+        Record::PaxosVote {
+            txn,
+            part,
+            parts,
+            prepared,
+        } => {
+            payload.put_u8(9);
+            payload.put_u64_le(txn.raw());
+            payload.put_u32_le(*part);
+            payload.put_u32_le(parts.len() as u32);
+            for p in parts {
+                payload.put_u32_le(*p);
+            }
+            payload.put_u8(u8::from(*prepared));
+        }
+        Record::PaxosPromise { txn, ballot } => {
+            payload.put_u8(10);
+            payload.put_u64_le(txn.raw());
+            payload.put_u64_le(*ballot);
+        }
+        Record::PaxosAccept {
+            txn,
+            ballot,
+            completed,
+        } => {
+            payload.put_u8(11);
+            payload.put_u64_le(txn.raw());
+            payload.put_u64_le(*ballot);
+            payload.put_u8(u8::from(*completed));
+        }
+        Record::PaxosForgotten { txn } => {
+            payload.put_u8(12);
+            payload.put_u64_le(txn.raw());
+        }
     }
     out.put_u32_le(payload.len() as u32);
     out.put_u32_le(checksum(&payload));
@@ -329,6 +363,33 @@ fn decode_record(data: &mut &[u8]) -> Result<Record, CodecError> {
         },
         8 => Record::Epoch {
             epoch: get_u32(&mut p)?,
+        },
+        9 => {
+            let txn = TxnId(get_u64(&mut p)?);
+            let part = get_u32(&mut p)?;
+            let n = get_u32(&mut p)? as usize;
+            let mut parts = Vec::with_capacity(n);
+            for _ in 0..n {
+                parts.push(get_u32(&mut p)?);
+            }
+            Record::PaxosVote {
+                txn,
+                part,
+                parts,
+                prepared: get_u8(&mut p)? != 0,
+            }
+        }
+        10 => Record::PaxosPromise {
+            txn: TxnId(get_u64(&mut p)?),
+            ballot: get_u64(&mut p)?,
+        },
+        11 => Record::PaxosAccept {
+            txn: TxnId(get_u64(&mut p)?),
+            ballot: get_u64(&mut p)?,
+            completed: get_u8(&mut p)? != 0,
+        },
+        12 => Record::PaxosForgotten {
+            txn: TxnId(get_u64(&mut p)?),
         },
         t => return Err(CodecError::BadTag(t)),
     };
@@ -435,6 +496,28 @@ mod tests {
                 completed: false,
             },
             Record::Epoch { epoch: 4 },
+            Record::PaxosVote {
+                txn: TxnId(11),
+                part: 1,
+                parts: vec![0, 1, 2],
+                prepared: true,
+            },
+            Record::PaxosVote {
+                txn: TxnId(11),
+                part: 2,
+                parts: vec![0, 1, 2],
+                prepared: false,
+            },
+            Record::PaxosPromise {
+                txn: TxnId(11),
+                ballot: (2u64 << 16) | 1,
+            },
+            Record::PaxosAccept {
+                txn: TxnId(11),
+                ballot: (2u64 << 16) | 1,
+                completed: false,
+            },
+            Record::PaxosForgotten { txn: TxnId(11) },
         ]
     }
 

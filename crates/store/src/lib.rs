@@ -19,7 +19,7 @@ mod wal;
 
 pub use codec::CodecError;
 pub use outcomes::{DepEntry, OutcomeTable};
-pub use site_store::{PendingTxn, SiteStore, StoreStats};
+pub use site_store::{PaxosState, PendingTxn, SiteStore, StoreStats};
 pub use storage::{
     DiskWal, FaultConfig, FaultyStorage, FsyncPolicy, MemStorage, Storage, StorageError,
     StorageStats,

@@ -25,6 +25,25 @@ pub struct PendingTxn {
     pub writes: Vec<(ItemId, Entry<Value>)>,
 }
 
+/// Durable Paxos Commit acceptor state for one transaction: the ballot-0
+/// votes this acceptor has accepted, its phase-1 promise, and the
+/// highest-ballot phase-2 verdict it has accepted. Rebuilt from
+/// `PaxosVote`/`PaxosPromise`/`PaxosAccept` records on recovery; discarded by
+/// `PaxosForgotten` once the decision is durable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PaxosState {
+    /// Highest ballot promised in phase 1 (0 = none; ballot 0 needs no
+    /// promise — it belongs to the participants themselves).
+    pub promised: u64,
+    /// Accepted ballot-0 votes, per participant.
+    pub votes: BTreeMap<SiteId, bool>,
+    /// The registered participant set (carried by every vote).
+    pub parts: Vec<SiteId>,
+    /// The highest-ballot verdict accepted in phase 2, as
+    /// `(ballot, completed)`.
+    pub accepted: Option<(u64, bool)>,
+}
+
 /// Storage and recovery activity since the last [`SiteStore::take_stats`]
 /// call — the bridge from the storage layer to the metrics registry.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -86,6 +105,7 @@ pub struct SiteStore {
     pending: BTreeMap<TxnId, PendingTxn>,
     outcomes: OutcomeTable,
     decisions: BTreeMap<TxnId, bool>,
+    paxos: BTreeMap<TxnId, PaxosState>,
     epoch: u32,
     compact_threshold: usize,
     /// Monotonic count of records ever appended; unlike the WAL length it is
@@ -116,6 +136,7 @@ impl Clone for SiteStore {
             pending: self.pending.clone(),
             outcomes: self.outcomes.clone(),
             decisions: self.decisions.clone(),
+            paxos: self.paxos.clone(),
             epoch: self.epoch,
             compact_threshold: self.compact_threshold,
             append_seq: self.append_seq,
@@ -140,6 +161,7 @@ impl SiteStore {
             pending: BTreeMap::new(),
             outcomes: OutcomeTable::new(),
             decisions: BTreeMap::new(),
+            paxos: BTreeMap::new(),
             epoch: 0,
             compact_threshold: 4096,
             append_seq: 0,
@@ -395,6 +417,84 @@ impl SiteStore {
         self.decisions.get(&txn).copied()
     }
 
+    // ---- Paxos Commit acceptor state ---------------------------------------
+    //
+    // Every mutation here is synced before returning: the protocol's safety
+    // rests on acknowledged acceptor state surviving crashes. An acceptor
+    // that replied, crashed, and forgot would let a ballot-0 vote and a
+    // higher-ballot takeover both "win" with disjoint-looking quorums.
+
+    /// Durably accepts `part`'s ballot-0 vote for `txn` (phase 2 of that
+    /// participant's own Paxos instance). Synced before returning; the
+    /// caller replies `PcVoteAck` only afterwards.
+    pub fn pc_record_vote(&mut self, txn: TxnId, part: SiteId, parts: Vec<SiteId>, prepared: bool) {
+        self.log(Record::PaxosVote {
+            txn,
+            part,
+            parts: parts.clone(),
+            prepared,
+        });
+        self.sync();
+        self.materialise_paxos_vote(txn, part, parts, prepared);
+    }
+
+    /// Durably promises ballot `ballot` for `txn`'s verdict instance. Synced
+    /// before returning; the caller replies `PcPhase1b` only afterwards.
+    pub fn pc_promise(&mut self, txn: TxnId, ballot: u64) {
+        self.log(Record::PaxosPromise { txn, ballot });
+        self.sync();
+        let st = self.paxos.entry(txn).or_default();
+        st.promised = st.promised.max(ballot);
+    }
+
+    /// Durably accepts the verdict `completed` at `ballot` for `txn` (which
+    /// implies the promise). Synced before returning; the caller replies
+    /// `PcPhase2b` only afterwards.
+    pub fn pc_accept(&mut self, txn: TxnId, ballot: u64, completed: bool) {
+        self.log(Record::PaxosAccept {
+            txn,
+            ballot,
+            completed,
+        });
+        self.sync();
+        let st = self.paxos.entry(txn).or_default();
+        st.promised = st.promised.max(ballot);
+        if st.accepted.is_none_or(|(b, _)| b <= ballot) {
+            st.accepted = Some((ballot, completed));
+        }
+    }
+
+    /// Drops the acceptor state for a decided transaction. Not synced — the
+    /// decision record preceding it is, and replaying a lost `PaxosForgotten`
+    /// merely re-creates prunable state.
+    pub fn pc_forget(&mut self, txn: TxnId) {
+        if self.paxos.remove(&txn).is_some() {
+            self.log(Record::PaxosForgotten { txn });
+        }
+    }
+
+    /// The acceptor state for `txn`, if any survives.
+    pub fn pc_state(&self, txn: TxnId) -> Option<&PaxosState> {
+        self.paxos.get(&txn)
+    }
+
+    /// Transactions with live acceptor state, in id order (bounded-state
+    /// check: quiescent clusters must have pruned them all).
+    pub fn pc_txns(&self) -> Vec<TxnId> {
+        self.paxos.keys().copied().collect()
+    }
+
+    fn materialise_paxos_vote(&mut self, txn: TxnId, part: SiteId, parts: Vec<SiteId>, prepared: bool) {
+        let st = self.paxos.entry(txn).or_default();
+        st.votes.insert(part, prepared);
+        for p in parts {
+            if !st.parts.contains(&p) {
+                st.parts.push(p);
+            }
+        }
+        st.parts.sort_unstable();
+    }
+
     // ---- crash recovery & compaction ---------------------------------------
 
     /// Simulates a crash: the storage backend applies its crash semantics
@@ -423,10 +523,18 @@ impl SiteStore {
         self.pending.clear();
         self.outcomes = OutcomeTable::new();
         self.decisions.clear();
+        self.paxos.clear();
         self.epoch = 0;
         for record in wal.iter() {
             self.replay(record.clone());
         }
+        // A durable decision makes the acceptor state for that transaction
+        // dead weight: `pc_forget` is logged un-synced (see its doc), so a
+        // crash can keep the synced decision yet lose the forget. Re-prune
+        // here — otherwise the leftover entry keeps the recovered site
+        // arming inquiry ticks for a transaction that is already settled.
+        let decisions = &self.decisions;
+        self.paxos.retain(|txn, _| !decisions.contains_key(txn));
         self.recovery.recovery_replay_records += wal.len() as u64;
         if error.is_some() {
             self.recovery.recovery_truncations += 1;
@@ -465,6 +573,30 @@ impl SiteStore {
                 self.decisions.insert(txn, completed);
             }
             Record::Epoch { epoch } => self.epoch = self.epoch.max(epoch),
+            Record::PaxosVote {
+                txn,
+                part,
+                parts,
+                prepared,
+            } => self.materialise_paxos_vote(txn, part, parts, prepared),
+            Record::PaxosPromise { txn, ballot } => {
+                let st = self.paxos.entry(txn).or_default();
+                st.promised = st.promised.max(ballot);
+            }
+            Record::PaxosAccept {
+                txn,
+                ballot,
+                completed,
+            } => {
+                let st = self.paxos.entry(txn).or_default();
+                st.promised = st.promised.max(ballot);
+                if st.accepted.is_none_or(|(b, _)| b <= ballot) {
+                    st.accepted = Some((ballot, completed));
+                }
+            }
+            Record::PaxosForgotten { txn } => {
+                self.paxos.remove(&txn);
+            }
         }
     }
 
@@ -505,6 +637,29 @@ impl SiteStore {
         for (&txn, &completed) in &self.decisions {
             records.push(Record::Decision { txn, completed });
         }
+        for (&txn, st) in &self.paxos {
+            for (&part, &prepared) in &st.votes {
+                records.push(Record::PaxosVote {
+                    txn,
+                    part,
+                    parts: st.parts.clone(),
+                    prepared,
+                });
+            }
+            if st.promised > 0 {
+                records.push(Record::PaxosPromise {
+                    txn,
+                    ballot: st.promised,
+                });
+            }
+            if let Some((ballot, completed)) = st.accepted {
+                records.push(Record::PaxosAccept {
+                    txn,
+                    ballot,
+                    completed,
+                });
+            }
+        }
         if self.epoch > 0 {
             records.push(Record::Epoch { epoch: self.epoch });
         }
@@ -517,6 +672,23 @@ impl SiteStore {
     /// Read access to the WAL mirror (tests and diagnostics).
     pub fn wal(&self) -> &Wal {
         &self.wal
+    }
+
+    /// Deterministic view of the materialised (replayed) state, for model
+    /// checkers that deduplicate states. Two stores whose logs differ only
+    /// in the order of independent records replay to the same tables and so
+    /// render identically here, while the raw log bytes would not. Excludes
+    /// the log itself, compaction bookkeeping, and stats counters — none of
+    /// which affect future protocol-visible behaviour.
+    pub fn logical_view(&self) -> impl std::fmt::Debug + '_ {
+        (
+            &self.items,
+            &self.pending,
+            &self.outcomes,
+            &self.decisions,
+            &self.paxos,
+            self.epoch,
+        )
     }
 
     /// Serialises the WAL to its binary on-disk form.
@@ -807,6 +979,67 @@ mod tests {
         s.apply_decision(TxnId(3), false);
         assert_eq!(s.get(ItemId(1)), Some(&simple(2)));
         assert!(!s.has_tracked_txns());
+    }
+
+    #[test]
+    fn paxos_state_survives_recovery_and_compaction() {
+        let mut s = SiteStore::new();
+        s.pc_record_vote(TxnId(5), 0, vec![0, 1], true);
+        s.pc_record_vote(TxnId(5), 1, vec![0, 1], false);
+        s.pc_promise(TxnId(5), (2 << 16) | 1);
+        s.pc_accept(TxnId(5), (2 << 16) | 1, false);
+        let before = s.pc_state(TxnId(5)).unwrap().clone();
+        assert!(before.votes[&0]);
+        assert!(!before.votes[&1]);
+        assert_eq!(before.parts, vec![0, 1]);
+        assert_eq!(before.promised, (2 << 16) | 1);
+        assert_eq!(before.accepted, Some(((2 << 16) | 1, false)));
+
+        s.crash_and_recover();
+        assert_eq!(s.pc_state(TxnId(5)), Some(&before));
+        s.compact();
+        s.crash_and_recover();
+        assert_eq!(s.pc_state(TxnId(5)), Some(&before));
+        assert_eq!(s.pc_txns(), vec![TxnId(5)]);
+
+        s.pc_forget(TxnId(5));
+        assert!(s.pc_state(TxnId(5)).is_none());
+        s.crash_and_recover();
+        assert!(s.pc_state(TxnId(5)).is_none());
+        assert!(s.pc_txns().is_empty());
+        // Forgetting twice is a no-op and logs nothing.
+        let len = s.wal().len();
+        s.pc_forget(TxnId(5));
+        assert_eq!(s.wal().len(), len);
+    }
+
+    #[test]
+    fn paxos_promise_and_accept_keep_maxima() {
+        let mut s = SiteStore::new();
+        s.pc_promise(TxnId(1), 100);
+        s.pc_promise(TxnId(1), 50); // stale: ignored
+        assert_eq!(s.pc_state(TxnId(1)).unwrap().promised, 100);
+        s.pc_accept(TxnId(1), 200, true);
+        let st = s.pc_state(TxnId(1)).unwrap();
+        assert_eq!(st.promised, 200);
+        assert_eq!(st.accepted, Some((200, true)));
+        s.pc_accept(TxnId(1), 150, false); // lower ballot: accepted stays
+        assert_eq!(s.pc_state(TxnId(1)).unwrap().accepted, Some((200, true)));
+    }
+
+    #[test]
+    fn paxos_vote_is_synced_under_lax_policy() {
+        // Like staging: an acknowledged vote must survive a crash even when
+        // the background fsync policy would not have flushed it yet.
+        let mut s = SiteStore::with_storage(Box::new(MemStorage::with_policy(
+            FsyncPolicy::EveryN(10_000),
+        )));
+        s.pc_record_vote(TxnId(5), 1, vec![0, 1], true);
+        s.pc_promise(TxnId(6), 7);
+        s.pc_accept(TxnId(6), 7, true);
+        s.crash_and_recover();
+        assert!(s.pc_state(TxnId(5)).unwrap().votes[&1]);
+        assert_eq!(s.pc_state(TxnId(6)).unwrap().accepted, Some((7, true)));
     }
 
     // ---- storage-backend integration ----------------------------------------

@@ -68,6 +68,45 @@ pub enum Record {
         /// The new epoch number.
         epoch: u32,
     },
+    /// Paxos Commit: this site, as acceptor, accepted `part`'s ballot-0 vote
+    /// for `txn`. Durable *before* the acknowledgement is sent — the
+    /// quorum-intersection argument needs every acknowledged vote to survive
+    /// the acceptor's crash.
+    PaxosVote {
+        /// The transaction being committed.
+        txn: TxnId,
+        /// The participant whose vote this is.
+        part: SiteId,
+        /// The registered participant set the vote carried.
+        parts: Vec<SiteId>,
+        /// The vote value (`true` = prepared).
+        prepared: bool,
+    },
+    /// Paxos Commit: this site, as acceptor, promised ballot `ballot` for
+    /// `txn`'s verdict instance and will reject anything lower. Durable
+    /// before the phase-1b reply.
+    PaxosPromise {
+        /// The transaction.
+        txn: TxnId,
+        /// The promised ballot.
+        ballot: u64,
+    },
+    /// Paxos Commit: this site, as acceptor, accepted the verdict `completed`
+    /// at `ballot` (phase 2). Durable before the phase-2b reply.
+    PaxosAccept {
+        /// The transaction.
+        txn: TxnId,
+        /// The ballot the verdict was accepted at.
+        ballot: u64,
+        /// The accepted verdict.
+        completed: bool,
+    },
+    /// Paxos Commit: the decision for `txn` is durable, so the acceptor
+    /// state above is no longer needed and compaction may drop it.
+    PaxosForgotten {
+        /// The decided transaction.
+        txn: TxnId,
+    },
 }
 
 impl fmt::Display for Record {
@@ -97,6 +136,30 @@ impl fmt::Display for Record {
                 )
             }
             Record::Epoch { epoch } => write!(f, "epoch {epoch}"),
+            Record::PaxosVote {
+                txn,
+                part,
+                parts,
+                prepared,
+            } => write!(
+                f,
+                "paxos vote {txn} part=s{part} parts={} {}",
+                parts.len(),
+                if *prepared { "prepared" } else { "abort" }
+            ),
+            Record::PaxosPromise { txn, ballot } => {
+                write!(f, "paxos promise {txn} ballot={ballot}")
+            }
+            Record::PaxosAccept {
+                txn,
+                ballot,
+                completed,
+            } => write!(
+                f,
+                "paxos accept {txn} ballot={ballot} = {}",
+                if *completed { "complete" } else { "abort" }
+            ),
+            Record::PaxosForgotten { txn } => write!(f, "paxos {txn} forgotten"),
         }
     }
 }
@@ -247,5 +310,50 @@ mod tests {
             "dep T1 forgotten"
         );
         assert_eq!(Record::Epoch { epoch: 3 }.to_string(), "epoch 3");
+    }
+
+    #[test]
+    fn paxos_record_display() {
+        assert_eq!(
+            Record::PaxosVote {
+                txn: TxnId(5),
+                part: 1,
+                parts: vec![0, 1],
+                prepared: true,
+            }
+            .to_string(),
+            "paxos vote T5 part=s1 parts=2 prepared"
+        );
+        assert_eq!(
+            Record::PaxosVote {
+                txn: TxnId(5),
+                part: 0,
+                parts: vec![0],
+                prepared: false,
+            }
+            .to_string(),
+            "paxos vote T5 part=s0 parts=1 abort"
+        );
+        assert_eq!(
+            Record::PaxosPromise {
+                txn: TxnId(5),
+                ballot: 65538,
+            }
+            .to_string(),
+            "paxos promise T5 ballot=65538"
+        );
+        assert_eq!(
+            Record::PaxosAccept {
+                txn: TxnId(5),
+                ballot: 65538,
+                completed: true,
+            }
+            .to_string(),
+            "paxos accept T5 ballot=65538 = complete"
+        );
+        assert_eq!(
+            Record::PaxosForgotten { txn: TxnId(5) }.to_string(),
+            "paxos T5 forgotten"
+        );
     }
 }

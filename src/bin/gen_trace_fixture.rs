@@ -9,12 +9,17 @@
 //!   the first `prepared` record is moved after the commit decision, a
 //!   transition the protocol can never make. `pv-lint trace` must flag it
 //!   as PV020.
+//! * `results/trace_paxos_commit.txt` — the same transfer under Paxos
+//!   Commit with the decision broadcast cut by a partition: the stranded
+//!   participant's wait timeout triggers a ballot takeover (`pc_takeover`)
+//!   that re-learns the commit from the acceptors after the heal. No
+//!   polyvalue is ever installed; `pv-lint trace` must find it clean.
 //!
 //! Run from the repository root: `cargo run --bin gen-trace-fixture`.
 
 use polyvalues::prelude::*;
 
-fn traced_in_doubt_run(seed: u64) -> Cluster {
+fn traced_partitioned_run(seed: u64, protocol: CommitProtocol) -> Cluster {
     let transfer = TransactionSpec::new()
         .guard(Expr::read(ItemId(0)).ge(Expr::int(30)))
         .update(ItemId(0), Expr::read(ItemId(0)).sub(Expr::int(30)))
@@ -22,7 +27,7 @@ fn traced_in_doubt_run(seed: u64) -> Cluster {
     let mut cluster = ClusterBuilder::new(2, Directory::Mod(2))
         .seed(seed)
         .net(NetConfig::default())
-        .engine(CommitProtocol::Polyvalue)
+        .engine(protocol)
         .item(0u64, 100i64)
         .item(1u64, 100i64)
         .collect_trace()
@@ -72,7 +77,7 @@ fn corrupt_decide_before_prepare(records: &[TraceRecord]) -> String {
 }
 
 fn main() {
-    let cluster = traced_in_doubt_run(42);
+    let cluster = traced_partitioned_run(42, CommitProtocol::Polyvalue);
     let records = cluster.trace().records().to_vec();
     assert!(
         records
@@ -88,8 +93,27 @@ fn main() {
         corrupt_decide_before_prepare(&records),
     )
     .expect("write corrupted fixture");
+
+    let paxos = traced_partitioned_run(42, CommitProtocol::PaxosCommit);
+    let paxos_records = paxos.trace().records();
+    assert!(
+        paxos_records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::PcTakeover { .. })),
+        "the cut decision broadcast must have triggered a ballot takeover"
+    );
+    assert!(
+        !paxos_records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::PolyvalueInstalled { .. })),
+        "Paxos Commit never installs polyvalues"
+    );
+    std::fs::write("results/trace_paxos_commit.txt", paxos.trace().to_text())
+        .expect("write paxos fixture");
     println!(
-        "wrote results/trace_in_doubt.txt ({} records) and results/trace_decide_before_prepare.txt",
-        records.len()
+        "wrote results/trace_in_doubt.txt ({} records), results/trace_decide_before_prepare.txt \
+         and results/trace_paxos_commit.txt ({} records)",
+        records.len(),
+        paxos_records.len()
     );
 }

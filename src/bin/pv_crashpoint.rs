@@ -17,6 +17,7 @@
 //! invariant violation was found, and 2 on usage errors.
 
 use polyvalues::engine::crashpoint::{explore, CrashPointConfig};
+use polyvalues::protocol::CommitProtocol;
 use polyvalues::store::FsyncPolicy;
 use std::process::ExitCode;
 
@@ -29,6 +30,8 @@ options:
   --transfers <n>     scripted transfers (default 20)
   --policy <p>        fsync policy: per-append | per-decision | every-<n> | all
                       (default: all = per-decision and every-8)
+  --protocol <p>      commit protocol: polyvalue | blocking-2pc | paxos-commit
+                      (default: polyvalue)
   --max-points <n>    cap crash points per site, evenly sampled (default: all)
   -h, --help          this message
 ";
@@ -85,6 +88,15 @@ fn main() -> ExitCode {
             "--max-points" => match take("--max-points").and_then(|v| v.parse().ok()) {
                 Some(v) => cfg.max_points_per_site = Some(v),
                 None => return ExitCode::from(2),
+            },
+            "--protocol" => match take("--protocol").map(String::as_str) {
+                Some("polyvalue") => cfg.protocol = CommitProtocol::Polyvalue,
+                Some("blocking-2pc") => cfg.protocol = CommitProtocol::Blocking2pc,
+                Some("paxos-commit") => cfg.protocol = CommitProtocol::PaxosCommit,
+                _ => {
+                    eprintln!("pv-crashpoint: bad --protocol\n{USAGE}");
+                    return ExitCode::from(2);
+                }
             },
             "--policy" => match take("--policy").and_then(|v| parse_policy(v)) {
                 Some(p) => policies = p,

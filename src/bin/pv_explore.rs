@@ -7,16 +7,20 @@
 //! `pv_protocol::explore` for the semantics.
 //!
 //! ```text
-//! pv-explore [--sites N] [--txns N] [--crashes N] [--amount N]
-//!            [--initial N] [--depth N] [--max-states N]
+//! pv-explore [--protocol NAME] [--sites N] [--txns N] [--crashes N]
+//!            [--amount N] [--initial N] [--depth N] [--max-states N]
 //!            [--allow-truncation] [--summary FILE]
 //! ```
+//!
+//! `--protocol` selects the commit protocol under test: `polyvalue`
+//! (default), `blocking-2pc`, `relaxed`, or `paxos-commit`.
 //!
 //! Exit status: 0 on a clean, complete enumeration; 1 on invariant
 //! violations; 2 if a bound truncated the search (unless
 //! `--allow-truncation`).
 
 use polyvalues::protocol::explore::{ExploreConfig, Explorer};
+use polyvalues::protocol::CommitProtocol;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -32,6 +36,18 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|| die(&format!("{arg} needs a numeric value")))
         };
         match arg.as_str() {
+            "--protocol" => {
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| die("--protocol needs a value"));
+                cfg.engine.protocol = match name.as_str() {
+                    "polyvalue" => CommitProtocol::Polyvalue,
+                    "blocking-2pc" => CommitProtocol::Blocking2pc,
+                    "relaxed" => CommitProtocol::Relaxed { complete_prob: 0.5 },
+                    "paxos-commit" => CommitProtocol::PaxosCommit,
+                    other => die(&format!("unknown protocol: {other}")),
+                };
+            }
             "--sites" => cfg.sites = num(&mut args) as u32,
             "--txns" => cfg.txns = num(&mut args) as u32,
             "--crashes" => cfg.crashes = num(&mut args) as u32,
@@ -43,9 +59,9 @@ fn main() -> ExitCode {
             "--summary" => summary_path = args.next(),
             "--help" | "-h" => {
                 println!(
-                    "usage: pv-explore [--sites N] [--txns N] [--crashes N] [--amount N] \
-                     [--initial N] [--depth N] [--max-states N] [--allow-truncation] \
-                     [--summary FILE]"
+                    "usage: pv-explore [--protocol NAME] [--sites N] [--txns N] [--crashes N] \
+                     [--amount N] [--initial N] [--depth N] [--max-states N] \
+                     [--allow-truncation] [--summary FILE]"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -22,6 +22,21 @@ fn healthy_fixture_parses_and_is_clean() {
 }
 
 #[test]
+fn paxos_commit_fixture_parses_and_is_clean() {
+    let text = fixture("trace_paxos_commit.txt");
+    let records = parse_trace_text(&text).expect("fixture parses");
+    assert!(!records.is_empty());
+    // The fixture exercises the non-blocking path: the stranded participant
+    // takes over the verdict instance instead of installing polyvalues, and
+    // learns the outcome from the acceptors after the heal.
+    assert!(text.contains("pc_takeover"));
+    assert!(text.contains("outcome_learned"));
+    assert!(!text.contains("polyvalue_installed"));
+    let report = check_trace_text(&text).unwrap();
+    assert!(report.is_clean(), "unexpected findings:\n{report}");
+}
+
+#[test]
 fn corrupted_fixture_is_flagged_as_decide_before_prepare() {
     let report = check_trace_text(&fixture("trace_decide_before_prepare.txt")).unwrap();
     assert!(report.has_code(Code::DecideBeforePrepare));
