@@ -158,6 +158,11 @@ pub fn parse_trace_text(text: &str) -> Result<Vec<TraceRecord>, TraceParseError>
                 site: field(&fields, "site", line)? as u32,
                 lifetime_us: field(&fields, "lifetime_us", line)?,
             },
+            "snapshot_read" => TraceEvent::SnapshotRead {
+                site: field(&fields, "site", line)? as u32,
+                snapshot: field(&fields, "snapshot", line)?,
+                items: field(&fields, "items", line)? as u32,
+            },
             "pc_takeover" => TraceEvent::PcTakeover {
                 txn: field(&fields, "txn", line)?,
                 site: field(&fields, "site", line)? as u32,
@@ -291,10 +296,13 @@ pub fn check_trace(records: &[TraceRecord]) -> Report {
             // agrees — is already enforced by the PV023 outcome rules, and
             // PV020 still applies to the votes (`prepared` events) a commit
             // verdict rests on.
+            // A snapshot read never takes locks or messages other sites, so
+            // it cannot create protocol obligations: replay-neutral.
             TraceEvent::TxnSubmitted { .. }
             | TraceEvent::TxnRetried { .. }
             | TraceEvent::AltSplit { .. }
             | TraceEvent::OutcomeForwarded { .. }
+            | TraceEvent::SnapshotRead { .. }
             | TraceEvent::PcTakeover { .. } => {}
         }
     }
@@ -491,6 +499,18 @@ mod tests {
             parsed[0].event,
             TraceEvent::PcTakeover { txn: 7, site: 1, ballot: 65537 }
         );
+        assert!(check_trace_text(text).unwrap().is_clean());
+    }
+
+    #[test]
+    fn snapshot_read_text_round_trip() {
+        let text = "000000 10 n2 snapshot_read site=s2 snapshot=41 items=3\n";
+        let parsed = parse_trace_text(text).unwrap();
+        assert_eq!(
+            parsed[0].event,
+            TraceEvent::SnapshotRead { site: 2, snapshot: 41, items: 3 }
+        );
+        // Reads are replay-neutral: a bare snapshot read is a clean trace.
         assert!(check_trace_text(text).unwrap().is_clean());
     }
 

@@ -1,0 +1,306 @@
+//! `readpath` — snapshot reads versus locked reads on the live runtime.
+//!
+//! The motivating workload for coordination-free snapshot reads is the
+//! read-heavy authorization check: most operations only *look* at hot
+//! items while a trickle of transfers keeps mutating them. A locked
+//! read-only transaction must win the same lock-table race as the writers
+//! — under contention it conflicts, queues, or aborts and retries. A
+//! snapshot read pins an MVCC sequence number and scans a consistent
+//! view without touching the lock table or emitting a single protocol
+//! message, so writer traffic cannot slow it down.
+//!
+//! The suite runs a 90/10 hot-item mix (90% reads of a two-item hot set,
+//! 10% transfers over the same items) twice on a two-site
+//! [`NetCluster`](pv_net::NetCluster) — real event-loop threads, real
+//! localhost TCP, wall-clock time — while a background contender thread
+//! (its own client connection) streams transfers over the hot items to
+//! keep their locks busy:
+//!
+//!   * `locked_mix_90_10`   — reads issued as read-only transactions
+//!     through the full commit protocol (lock table, evaluation, reply),
+//!     retried on conflict like a real client.
+//!   * `snapshot_mix_90_10` — the same mix with reads served by
+//!     [`NetCluster::snapshot_read`](pv_net::NetCluster) over the wire.
+//!
+//! Results go to `BENCH_store.json` (repo root; `target/bench-smoke/` with
+//! `--test`). The binary always gates on the acceptance ratio: the
+//! snapshot mix must beat the locked mix by at least 1.5× or it exits
+//! non-zero.
+//!
+//! Modes mirror `hotpath`: default re-measures against the committed
+//! baselines, `--record-baseline` rewrites them, `--test` is the CI smoke
+//! run (reduced op count, JSON to `target/bench-smoke/`).
+
+use pv_core::{Expr, ItemId, TransactionSpec};
+use pv_engine::{Directory, EngineConfig, Topology};
+use pv_net::NetCluster;
+use pv_simnet::SimDuration;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The two hot items, one homed at each site under `Directory::Mod(2)`.
+const HOT: [u64; 2] = [0, 1];
+const ITEMS: u64 = 8;
+const INITIAL: i64 = 1_000_000;
+/// Acceptance bar: snapshot mix throughput ÷ locked mix throughput.
+const REQUIRED_SPEEDUP: f64 = 1.5;
+
+struct BenchResult {
+    name: &'static str,
+    description: &'static str,
+    unit: &'static str,
+    value: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let record_baseline = args.iter().any(|a| a == "--record-baseline");
+    let root = repo_root();
+    let out_dir = if test_mode {
+        let d = root.join("target/bench-smoke");
+        std::fs::create_dir_all(&d).expect("create bench-smoke dir");
+        d
+    } else {
+        root.clone()
+    };
+    let ops = if test_mode { 200 } else { 1_000 };
+
+    println!(
+        "readpath: mode = {}, {} ops per mix",
+        if test_mode {
+            "smoke (--test)"
+        } else if record_baseline {
+            "record-baseline"
+        } else {
+            "measure vs baseline"
+        },
+        ops
+    );
+
+    let locked = run_mix(ReadMode::Locked, ops);
+    let snapshot = run_mix(ReadMode::Snapshot, ops);
+    let speedup = snapshot / locked;
+    println!("  locked_mix_90_10:   {locked:.0} ops/sec");
+    println!("  snapshot_mix_90_10: {snapshot:.0} ops/sec");
+    println!("  snapshot over locked: {speedup:.2}x (required >= {REQUIRED_SPEEDUP}x)");
+
+    let results = vec![
+        BenchResult {
+            name: "locked_mix_90_10",
+            description: "90/10 hot-item mix, reads as locked read-only transactions under writer contention (ops/sec)",
+            unit: "ops/sec",
+            value: locked,
+        },
+        BenchResult {
+            name: "snapshot_mix_90_10",
+            description: "90/10 hot-item mix, reads as coordination-free MVCC snapshot reads under writer contention (ops/sec)",
+            unit: "ops/sec",
+            value: snapshot,
+        },
+        BenchResult {
+            name: "snapshot_over_locked",
+            description: "snapshot mix throughput over locked mix throughput (gate: >= 1.5)",
+            unit: "ratio",
+            value: speedup,
+        },
+    ];
+    write_suite(
+        &out_dir.join("BENCH_store.json"),
+        &root.join("BENCH_store.json"),
+        "pv-store read path: snapshot vs locked reads (socket cluster)",
+        &results,
+        record_baseline,
+    );
+
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "snapshot reads must beat locked reads by >= {REQUIRED_SPEEDUP}x, got {speedup:.2}x"
+    );
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ReadMode {
+    Locked,
+    Snapshot,
+}
+
+fn transfer(from: u64, to: u64, amt: i64) -> TransactionSpec {
+    let (f, t) = (ItemId(from), ItemId(to));
+    TransactionSpec::new()
+        .guard(Expr::read(f).ge(Expr::int(amt)))
+        .update(f, Expr::read(f).sub(Expr::int(amt)))
+        .update(t, Expr::read(t).add(Expr::int(amt)))
+}
+
+fn balance_query(item: u64) -> TransactionSpec {
+    TransactionSpec::new().output("balance", Expr::read(ItemId(item)))
+}
+
+/// Short protocol timeouts keep conflicted attempts quick so the locked
+/// mix measures retry pressure, not timeout stalls.
+fn topology() -> Topology {
+    let engine = EngineConfig {
+        read_timeout: SimDuration::from_millis(200),
+        ready_timeout: SimDuration::from_millis(200),
+        wait_timeout: SimDuration::from_millis(50),
+        read_lease: SimDuration::from_millis(500),
+        inquire_interval: SimDuration::from_millis(100),
+        ..EngineConfig::default()
+    };
+    Topology::new(2, Directory::Mod(2))
+        .engine(engine)
+        .uniform_items(ITEMS, INITIAL)
+}
+
+/// Runs one 90/10 mix of `ops` operations and returns ops/sec. A
+/// background contender thread (its own client connection, so replies
+/// never cross wires) streams hot-item transfers for the whole
+/// measurement so the hot locks are busy in both modes.
+fn run_mix(mode: ReadMode, ops: u64) -> f64 {
+    let cluster = Arc::new(NetCluster::from_topology(topology()).expect("start net cluster"));
+    let deadline = Duration::from_secs(10);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let contender = {
+        let mut client = cluster.client(0).expect("contender connection");
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut k = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let (a, b) = (HOT[(k % 2) as usize], HOT[((k + 1) % 2) as usize]);
+                // Conflicted or timed-out transfers are part of the load.
+                let _ = client.submit(&transfer(a, b, 1), Duration::from_secs(2));
+                k += 1;
+            }
+        })
+    };
+
+    let start = Instant::now();
+    for k in 0..ops {
+        if k % 10 == 9 {
+            // The 10%: a transfer over the hot pair from the main client.
+            let (a, b) = (HOT[(k % 2) as usize], HOT[((k + 1) % 2) as usize]);
+            let _ = cluster.submit(1, &transfer(a, b, 1), deadline);
+            continue;
+        }
+        // The 90%: read one hot item at its home site.
+        let item = HOT[(k % 2) as usize];
+        let site = (item % 2) as u32;
+        match mode {
+            ReadMode::Snapshot => {
+                let (_, entries) = cluster
+                    .snapshot_read(site, &[ItemId(item)], deadline)
+                    .expect("snapshot read");
+                assert_eq!(entries.len(), 1, "hot item missing from snapshot");
+            }
+            ReadMode::Locked => {
+                // A real client retries conflicted reads; cap the retries so
+                // a pathological schedule cannot wedge the bench.
+                let mut done = false;
+                for _ in 0..20 {
+                    match cluster.submit(site, &balance_query(item), deadline) {
+                        Ok(r) if r.is_committed() => {
+                            done = true;
+                            break;
+                        }
+                        _ => continue,
+                    }
+                }
+                let _ = done; // an exhausted retry budget still consumed time
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    stop.store(true, Ordering::Relaxed);
+    contender.join().expect("contender thread");
+    if mode == ReadMode::Snapshot {
+        let snapshot_reads = cluster
+            .metrics(deadline)
+            .expect("metrics")
+            .counter("store.snapshot_reads");
+        assert!(snapshot_reads > 0, "snapshot mix never hit the MVCC path");
+    }
+    Arc::try_unwrap(cluster)
+        .ok()
+        .expect("all clones joined")
+        .shutdown()
+        .expect("clean shutdown");
+    ops as f64 / elapsed
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+/// Writes the suite JSON, merging the committed `baseline` column unless
+/// `record_baseline` is set (same format as the `hotpath` suites).
+fn write_suite(
+    out_path: &Path,
+    baseline_path: &Path,
+    suite: &str,
+    results: &[BenchResult],
+    record_baseline: bool,
+) {
+    let committed = std::fs::read_to_string(baseline_path).unwrap_or_default();
+    let baselines = parse_baselines(&committed);
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!("  \"suite\": \"{suite}\",\n"));
+    body.push_str("  \"invocation\": \"cargo run --release -p pv-bench --bin readpath\",\n");
+    body.push_str("  \"benches\": [\n");
+    for (idx, r) in results.iter().enumerate() {
+        let baseline = if record_baseline {
+            r.value
+        } else {
+            baselines
+                .iter()
+                .find(|(n, _)| n == r.name)
+                .map(|(_, b)| *b)
+                .unwrap_or(r.value)
+        };
+        let speedup = if r.value > 0.0 { baseline / r.value } else { 1.0 };
+        body.push_str("    {\n");
+        body.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        body.push_str(&format!("      \"description\": \"{}\",\n", r.description));
+        body.push_str(&format!("      \"unit\": \"{}\",\n", r.unit));
+        body.push_str(&format!("      \"baseline\": {baseline:.2},\n"));
+        body.push_str(&format!("      \"current\": {:.2},\n", r.value));
+        body.push_str(&format!("      \"speedup\": {speedup:.3}\n"));
+        body.push_str(if idx + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(out_path, body).expect("write bench json");
+    println!("wrote {}", out_path.display());
+}
+
+/// Extracts `(name, baseline)` pairs from a previously written suite file.
+fn parse_baselines(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(i) = rest.find("\"name\": \"") {
+        rest = &rest[i + 9..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        let Some(j) = rest.find("\"baseline\": ") else { break };
+        rest = &rest[j + 12..];
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}

@@ -203,9 +203,15 @@ impl ClusterBuilder {
             let store = match (&self.storage, &topo.data_dir) {
                 (Some(factory), _) => SiteStore::with_storage(factory(s as SiteId)),
                 (None, Some(dir)) => {
-                    let wal = DiskWal::open(dir.join(format!("site-{s}")), topo.fsync_policy)
+                    let site_dir = dir.join(format!("site-{s}"));
+                    let wal = DiskWal::open(&site_dir, topo.fsync_policy)
                         .expect("open site WAL directory");
-                    SiteStore::open(Box::new(wal))
+                    let mut store = SiteStore::open(Box::new(wal));
+                    // Mirror keyspace runs beside the WAL. The mirror is
+                    // derived state (the WAL stays authoritative), so it is
+                    // attached after recovery replays the log.
+                    store.attach_keyspace_dir(&site_dir);
+                    store
                 }
                 (None, None) => SiteStore::new(),
             };
@@ -322,8 +328,27 @@ impl Cluster {
         self.site(site)?
             .store()
             .get(item)
-            .cloned()
             .ok_or(EngineError::MissingItem(item))
+    }
+
+    /// Serves a coordination-free read-only transaction at site `s`: the
+    /// site pins an MVCC snapshot, reads `items` (all its items when the
+    /// list is empty) at that sequence number, and returns
+    /// `(snapshot, entries)`. No lock-table traffic and no protocol
+    /// messages; the trace records a `snapshot_read` event and the
+    /// `store.snapshot_reads` counter advances.
+    pub fn snapshot_read(
+        &mut self,
+        s: SiteId,
+        items: &[ItemId],
+    ) -> Result<pv_store::SnapshotView, EngineError> {
+        if s >= self.sites {
+            return Err(EngineError::UnknownSite(s));
+        }
+        Ok(self.world.call(site_node(s), |node, ctx| match node {
+            Node::Site(site) => site.snapshot_read(ctx, items),
+            Node::Client(_) => unreachable!("site ids map to site nodes"),
+        }))
     }
 
     /// Whether every site is fully quiescent: no in-flight protocol state,

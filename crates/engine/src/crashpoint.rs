@@ -68,6 +68,13 @@ pub struct CrashPointConfig {
     /// different durability surface — per-acceptor vote/promise/accept
     /// records — whose replay the sweep must also cover.
     pub protocol: CommitProtocol,
+    /// Keyspace memtable flush threshold (entries per partition). The
+    /// default is deliberately tiny so the scenario forces frequent
+    /// memtable flushes, making the LSM coordinate space dense.
+    pub memtable_threshold: usize,
+    /// Keyspace run count that triggers a size-tiered compaction. Tiny by
+    /// default so the sweep reaches compaction-in-flight crash points.
+    pub run_threshold: usize,
 }
 
 impl Default for CrashPointConfig {
@@ -84,6 +91,32 @@ impl Default for CrashPointConfig {
             recover_after: SimDuration::from_millis(700),
             max_points_per_site: None,
             protocol: CommitProtocol::Polyvalue,
+            memtable_threshold: 2,
+            run_threshold: 2,
+        }
+    }
+}
+
+/// One crash coordinate: a point in a site's stable-storage activity where
+/// a crash can be injected reproducibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CrashCoord {
+    /// "The first moment the site has appended `k` WAL records"
+    /// ([`pv_store::SiteStore::append_seq`]).
+    Append(u64),
+    /// "The first moment the site's keyspace has completed `k` LSM
+    /// operations" — memtable flushes and size-tiered compactions
+    /// ([`pv_store::SiteStore::lsm_op_seq`]). Crashing here strikes just
+    /// after a flush or compaction rewired the partition's runs, the
+    /// window where a non-derived store would be most fragile.
+    LsmOp(u64),
+}
+
+impl fmt::Display for CrashCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashCoord::Append(k) => write!(f, "append {k}"),
+            CrashCoord::LsmOp(k) => write!(f, "lsm_op {k}"),
         }
     }
 }
@@ -93,25 +126,27 @@ impl Default for CrashPointConfig {
 pub struct Violation {
     /// The crashed site.
     pub site: SiteId,
-    /// The append count the crash was injected at.
-    pub point: u64,
+    /// The crash coordinate the crash was injected at.
+    pub point: CrashCoord,
     /// What went wrong.
     pub what: String,
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "site {} @ append {}: {}", self.site, self.point, self.what)
+        write!(f, "site {} @ {}: {}", self.site, self.point, self.what)
     }
 }
 
 /// The outcome of an exploration.
 #[derive(Debug, Clone)]
 pub struct CrashPointReport {
-    /// Total crash points explored across all sites.
+    /// Total crash points explored across all sites (both coordinate kinds).
     pub points_explored: usize,
-    /// Points explored per site.
+    /// WAL append points explored per site.
     pub points_per_site: Vec<usize>,
+    /// LSM flush/compaction points explored per site.
+    pub lsm_points_per_site: Vec<usize>,
     /// Every invariant violation found (empty on a clean pass).
     pub violations: Vec<Violation>,
 }
@@ -127,9 +162,14 @@ impl fmt::Display for CrashPointReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} crash points ({}), {} violation(s)",
+            "{} crash points (append {}, lsm {}), {} violation(s)",
             self.points_explored,
             self.points_per_site
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
+            self.lsm_points_per_site
                 .iter()
                 .map(|n| n.to_string())
                 .collect::<Vec<_>>()
@@ -143,10 +183,15 @@ impl fmt::Display for CrashPointReport {
 /// storage, one client issuing random guarded transfers.
 fn build(cfg: &CrashPointConfig) -> Cluster {
     let policy = cfg.policy;
+    let engine = EngineConfig {
+        memtable_threshold: cfg.memtable_threshold,
+        run_threshold: cfg.run_threshold,
+        ..EngineConfig::with_protocol(cfg.protocol)
+    };
     ClusterBuilder::new(cfg.sites, Directory::Mod(cfg.sites))
         .seed(cfg.seed)
         .net(NetConfig::default())
-        .engine(EngineConfig::with_protocol(cfg.protocol))
+        .engine(engine)
         .uniform_items(cfg.accounts, cfg.initial)
         .storage(move |_| Box::new(MemStorage::with_policy(policy)))
         .client(
@@ -167,18 +212,30 @@ fn build(cfg: &CrashPointConfig) -> Cluster {
 /// append several records at once; a crash can only strike between
 /// callbacks, so these are exactly the reachable crash states.)
 pub fn enumerate_points(cfg: &CrashPointConfig) -> Vec<BTreeSet<u64>> {
+    enumerate_by(cfg, |store| store.append_seq())
+}
+
+/// Like [`enumerate_points`], but over the keyspace's LSM operation counter:
+/// every flush/compaction count each site reaches at a callback boundary.
+/// Crashing at these coordinates strikes right after a memtable flush or a
+/// size-tiered compaction completed — recovery must rebuild the keyspace
+/// from the WAL regardless of what the run set looked like.
+pub fn enumerate_lsm_points(cfg: &CrashPointConfig) -> Vec<BTreeSet<u64>> {
+    enumerate_by(cfg, |store| store.lsm_op_seq())
+}
+
+fn enumerate_by(
+    cfg: &CrashPointConfig,
+    seq: impl Fn(&pv_store::SiteStore) -> u64,
+) -> Vec<BTreeSet<u64>> {
     let mut cluster = build(cfg);
     let mut points: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); cfg.sites as usize];
     let horizon = SimTime::from_secs(cfg.settle_secs);
     let sample = |cluster: &Cluster, points: &mut Vec<BTreeSet<u64>>| {
         for s in 0..cfg.sites {
-            let seq = cluster
-                .site(s as SiteId)
-                .expect("site ids in range")
-                .store()
-                .append_seq();
-            if seq > 0 {
-                points[s as usize].insert(seq);
+            let n = seq(cluster.site(s as SiteId).expect("site ids in range").store());
+            if n > 0 {
+                points[s as usize].insert(n);
             }
         }
     };
@@ -189,16 +246,16 @@ pub fn enumerate_points(cfg: &CrashPointConfig) -> Vec<BTreeSet<u64>> {
     points
 }
 
-/// Replays the scenario, crashes `site` the first time its append count
-/// reaches `point`, recovers it, settles, and checks invariants.
-fn crash_at(cfg: &CrashPointConfig, site: SiteId, point: u64) -> Option<Violation> {
+/// Replays the scenario, crashes `site` the first time it reaches the crash
+/// coordinate `point`, recovers it, settles, and checks invariants.
+fn crash_at(cfg: &CrashPointConfig, site: SiteId, point: CrashCoord) -> Option<Violation> {
     let mut cluster = build(cfg);
     let reached = |c: &Cluster| {
-        c.site(site)
-            .expect("site ids in range")
-            .store()
-            .append_seq()
-            >= point
+        let store = c.site(site).expect("site ids in range").store();
+        match point {
+            CrashCoord::Append(k) => store.append_seq() >= k,
+            CrashCoord::LsmOp(k) => store.lsm_op_seq() >= k,
+        }
     };
     while !reached(&cluster) {
         if !cluster.world.step() {
@@ -230,7 +287,7 @@ fn check_invariants(
     cluster: &Cluster,
     cfg: &CrashPointConfig,
     site: SiteId,
-    point: u64,
+    point: CrashCoord,
 ) -> Option<Violation> {
     let expected = cfg.accounts as i64 * cfg.initial;
     let fail = |what: String| Some(Violation { site, point, what });
@@ -270,29 +327,34 @@ fn check_invariants(
 /// Explores every enumerated crash point (or an even sample capped by
 /// `max_points_per_site`) and reports all violations found.
 pub fn explore(cfg: &CrashPointConfig) -> CrashPointReport {
-    let points = enumerate_points(cfg);
     let mut violations = Vec::new();
-    let mut points_per_site = Vec::with_capacity(points.len());
     let mut points_explored = 0;
-    for (s, set) in points.iter().enumerate() {
-        let all: Vec<u64> = set.iter().copied().collect();
-        let chosen: Vec<u64> = match cfg.max_points_per_site {
-            Some(cap) if all.len() > cap && cap > 0 => {
-                (0..cap).map(|i| all[i * all.len() / cap]).collect()
-            }
-            _ => all,
-        };
-        points_per_site.push(chosen.len());
-        for &point in &chosen {
-            points_explored += 1;
-            if let Some(v) = crash_at(cfg, s as SiteId, point) {
-                violations.push(v);
+    let mut sweep = |points: &[BTreeSet<u64>], coord: fn(u64) -> CrashCoord| {
+        let mut per_site = Vec::with_capacity(points.len());
+        for (s, set) in points.iter().enumerate() {
+            let all: Vec<u64> = set.iter().copied().collect();
+            let chosen: Vec<u64> = match cfg.max_points_per_site {
+                Some(cap) if all.len() > cap && cap > 0 => {
+                    (0..cap).map(|i| all[i * all.len() / cap]).collect()
+                }
+                _ => all,
+            };
+            per_site.push(chosen.len());
+            for &point in &chosen {
+                points_explored += 1;
+                if let Some(v) = crash_at(cfg, s as SiteId, coord(point)) {
+                    violations.push(v);
+                }
             }
         }
-    }
+        per_site
+    };
+    let points_per_site = sweep(&enumerate_points(cfg), CrashCoord::Append);
+    let lsm_points_per_site = sweep(&enumerate_lsm_points(cfg), CrashCoord::LsmOp);
     CrashPointReport {
         points_explored,
         points_per_site,
+        lsm_points_per_site,
         violations,
     }
 }
@@ -336,9 +398,21 @@ mod tests {
         let report = explore(&tiny());
         assert!(report.points_explored > 0);
         assert_eq!(report.points_per_site.len(), 2);
+        assert_eq!(report.lsm_points_per_site.len(), 2);
         let text = report.to_string();
         assert!(text.contains("violation"), "report: {text}");
         assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn tiny_thresholds_reach_lsm_crash_points() {
+        // The default thresholds are small enough that even the tiny
+        // scenario flushes memtables, giving the LSM sweep a real space.
+        let points = enumerate_lsm_points(&tiny());
+        assert!(
+            points.iter().any(|set| !set.is_empty()),
+            "no site ever flushed or compacted: {points:?}"
+        );
     }
 
     #[test]
@@ -355,9 +429,15 @@ mod tests {
     fn violation_display_names_the_coordinates() {
         let v = Violation {
             site: 1,
-            point: 42,
+            point: CrashCoord::Append(42),
             what: "example".into(),
         };
         assert_eq!(v.to_string(), "site 1 @ append 42: example");
+        let v = Violation {
+            site: 0,
+            point: CrashCoord::LsmOp(3),
+            what: "example".into(),
+        };
+        assert_eq!(v.to_string(), "site 0 @ lsm_op 3: example");
     }
 }

@@ -60,6 +60,14 @@ enum Envelope {
     Recover,
     /// Reply with a state snapshot.
     Inspect(Sender<SiteSnapshot>),
+    /// Serve a coordination-free MVCC snapshot read and reply on the
+    /// channel with `(snapshot, entries)`.
+    SnapshotRead {
+        /// Items to read; empty = every item the site holds.
+        items: Vec<ItemId>,
+        /// Where the `(snapshot, entries)` answer goes.
+        reply: Sender<pv_store::SnapshotView>,
+    },
     /// Shut the thread down.
     Stop,
 }
@@ -265,6 +273,14 @@ impl SiteThread {
                         quiescent: self.site.is_quiescent(),
                     };
                     let _ = reply.send(snapshot);
+                }
+                Ok(Envelope::SnapshotRead { items, reply }) => {
+                    // A crashed site drops the request; the caller times out.
+                    if self.up {
+                        let mut out = None;
+                        self.callback(|site, ctx| out = Some(site.snapshot_read(ctx, &items)));
+                        let _ = reply.send(out.expect("callback ran"));
+                    }
                 }
                 Ok(Envelope::Stop) => {
                     self.site.sync_store();
@@ -493,7 +509,11 @@ impl LiveCluster {
                     let wal = DiskWal::open(&path, fsync_policy).map_err(|e| {
                         EngineError::Io(format!("open WAL at {}: {e}", path.display()))
                     })?;
-                    SiteStore::open(Box::new(wal))
+                    let mut store = SiteStore::open(Box::new(wal));
+                    // Mirror keyspace runs beside the WAL (derived state;
+                    // the WAL stays the authoritative log).
+                    store.attach_keyspace_dir(&path);
+                    store
                 }
                 None => SiteStore::new(),
             };
@@ -645,6 +665,29 @@ impl LiveCluster {
         let (tx, rx) = channel::bounded(1);
         self.sender(site)?
             .send(Envelope::Inspect(tx))
+            .map_err(|_| EngineError::Disconnected)?;
+        rx.recv_timeout(deadline).map_err(|e| match e {
+            RecvTimeoutError::Timeout => EngineError::Timeout,
+            RecvTimeoutError::Disconnected => EngineError::Disconnected,
+        })
+    }
+
+    /// Serves a coordination-free read-only transaction at `site`: the site
+    /// thread pins an MVCC snapshot, reads `items` (all its items when the
+    /// list is empty), and answers `(snapshot, entries)` without touching
+    /// its lock table or sending any protocol message.
+    pub fn snapshot_read(
+        &self,
+        site: SiteId,
+        items: &[ItemId],
+        deadline: Duration,
+    ) -> Result<pv_store::SnapshotView, EngineError> {
+        let (tx, rx) = channel::bounded(1);
+        self.sender(site)?
+            .send(Envelope::SnapshotRead {
+                items: items.to_vec(),
+                reply: tx,
+            })
             .map_err(|_| EngineError::Disconnected)?;
         rx.recv_timeout(deadline).map_err(|e| match e {
             RecvTimeoutError::Timeout => EngineError::Timeout,
@@ -1029,6 +1072,42 @@ mod tests {
         let s0 = cluster.inspect(0, Duration::from_secs(1)).unwrap();
         assert_eq!(s0.items[0].1, Entry::Simple(Value::Int(70)));
         assert_eq!(live_total(&cluster), 200, "conservation after restart");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn live_snapshot_read_is_coordination_free() {
+        let cluster = LiveCluster::from_topology(two_site_topo().collect_trace()).unwrap();
+        let result = cluster
+            .submit(0, &transfer(0, 1, 30), Duration::from_secs(5))
+            .unwrap();
+        assert!(result.is_committed());
+        let before = cluster.metrics();
+        let (snap, entries) = cluster
+            .snapshot_read(0, &[ItemId(0)], Duration::from_secs(5))
+            .unwrap();
+        assert!(snap > 0);
+        assert_eq!(entries, vec![(ItemId(0), Entry::Simple(Value::Int(70)))]);
+        // Empty item list = full site scan.
+        let (_, all) = cluster
+            .snapshot_read(1, &[], Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(all, vec![(ItemId(1), Entry::Simple(Value::Int(130)))]);
+        let after = cluster.metrics();
+        assert_eq!(after.counter("store.snapshot_reads"), 2);
+        // Coordination-free: no lock-table traffic, no new transactions or
+        // protocol phases between the two captures.
+        for c in [
+            "lock.conflicts",
+            "lock.queued",
+            "lock.wounds",
+            "txn.submitted",
+            "inquire.sent",
+            "outcome.forwarded",
+        ] {
+            assert_eq!(before.counter(c), after.counter(c), "{c} moved");
+        }
+        assert!(cluster.trace_text().contains("snapshot_read site=s0"));
         cluster.shutdown();
     }
 

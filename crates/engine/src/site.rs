@@ -52,7 +52,9 @@ impl Site {
         directory: Directory,
         store: SiteStore,
     ) -> Self {
-        let store = store.with_compact_threshold(config.compact_threshold);
+        let store = store
+            .with_compact_threshold(config.compact_threshold)
+            .with_lsm_thresholds(config.memtable_threshold, config.run_threshold);
         Site {
             machine: SiteMachine::new(id, config, directory),
             store,
@@ -174,11 +176,45 @@ impl Site {
             .inc_by("recovery.replay_records", stats.recovery_replay_records);
         ctx.metrics()
             .inc_by("recovery.truncations", stats.recovery_truncations);
+        ctx.metrics().inc_by("store.flushes", stats.lsm_flushes);
+        ctx.metrics().inc_by("store.compactions", stats.lsm_compactions);
+        ctx.metrics().inc_by("store.gc_dropped", stats.lsm_gc_dropped);
+        ctx.metrics().inc_by("store.runs_written", stats.lsm_runs_written);
+        ctx.metrics().inc_by("store.snapshot_reads", stats.snapshot_reads);
+        let now = ctx.now();
+        ctx.metrics()
+            .gauge("store.memtable_bytes", now, self.store.lsm_memtable_bytes() as f64);
+        ctx.metrics().gauge("store.runs", now, self.store.lsm_runs() as f64);
+        ctx.metrics()
+            .gauge("store.mvcc_versions", now, self.store.mvcc_versions() as f64);
+        ctx.metrics()
+            .gauge("store.snapshot_age", now, self.store.snapshot_age() as f64);
         if self.wall_clock_metrics {
             for d in stats.recovery_durations {
                 ctx.metrics().observe("recovery.duration", d);
             }
         }
+    }
+
+    /// Serves a coordination-free read-only transaction directly against
+    /// the store: acquires a snapshot sequence number, reads `items` (all
+    /// items when empty) at that point in time, and returns
+    /// `(snapshot, entries)`. Emits the snapshot-read trace event and the
+    /// `store.snapshot_reads` counter; touches no lock table and sends no
+    /// protocol messages.
+    pub fn snapshot_read(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        items: &[pv_core::ItemId],
+    ) -> (u64, Vec<(pv_core::ItemId, pv_core::Entry<pv_core::Value>)>) {
+        let (snap, entries) = self.store.snapshot_read(items);
+        ctx.trace(pv_simnet::TraceEvent::SnapshotRead {
+            site: self.machine.id(),
+            snapshot: snap,
+            items: entries.len() as u32,
+        });
+        self.flush_storage_metrics(ctx);
+        (snap, entries)
     }
 }
 
@@ -248,10 +284,7 @@ mod tests {
         let mut s = site();
         s.seed_item(ItemId(0), Value::Int(5));
         assert_eq!(s.id(), 0);
-        assert_eq!(
-            s.store().get(ItemId(0)),
-            Some(&Entry::Simple(Value::Int(5)))
-        );
+        assert_eq!(s.store().get(ItemId(0)), Some(Entry::Simple(Value::Int(5))));
         assert_eq!(s.poly_count(), 0);
         assert!(s.is_quiescent());
     }

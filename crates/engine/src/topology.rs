@@ -188,6 +188,27 @@ impl Topology {
         self
     }
 
+    /// Sets the WAL length (in records) above which a site compacts its log
+    /// into a snapshot after applying a decision.
+    pub fn compact_threshold(mut self, records: usize) -> Self {
+        self.engine.compact_threshold = records;
+        self
+    }
+
+    /// Sets the number of versions a keyspace partition's memtable holds
+    /// before it flushes into a sorted run.
+    pub fn memtable_threshold(mut self, versions: usize) -> Self {
+        self.engine.memtable_threshold = versions;
+        self
+    }
+
+    /// Sets the number of sorted runs a keyspace partition accumulates
+    /// before a size-tiered compaction merges them.
+    pub fn run_threshold(mut self, runs: usize) -> Self {
+        self.engine.run_threshold = runs;
+        self
+    }
+
     /// Buffers a full protocol trace in whichever runtime consumes this
     /// topology. Simulation traces are byte-identical per seed; live and
     /// net traces carry wall-clock timestamps.
@@ -226,6 +247,17 @@ mod tests {
         assert_eq!(topo.fsync_policy, FsyncPolicy::PerAppend);
         assert!(topo.collect_trace);
         assert_eq!(topo.seeded_int_total(), 65);
+    }
+
+    #[test]
+    fn storage_threshold_setters_reach_the_engine_config() {
+        let topo = Topology::new(1, Directory::Mod(1))
+            .compact_threshold(64)
+            .memtable_threshold(8)
+            .run_threshold(3);
+        assert_eq!(topo.engine.compact_threshold, 64);
+        assert_eq!(topo.engine.memtable_threshold, 8);
+        assert_eq!(topo.engine.run_threshold, 3);
     }
 
     #[test]

@@ -166,6 +166,45 @@ impl NetClient {
         }
     }
 
+    /// Serves a coordination-free read-only transaction at the connected
+    /// site: the site pins an MVCC snapshot, reads `items` (all its items
+    /// when the list is empty), and answers `(snapshot, entries)` without
+    /// touching its lock table or sending any site-to-site message.
+    pub fn snapshot_read(
+        &mut self,
+        items: &[pv_core::ItemId],
+        deadline: Duration,
+    ) -> Result<pv_store::SnapshotView, EngineError> {
+        let want = self.next_req;
+        self.next_req += 1;
+        self.send_frame(&Frame::Proto {
+            from: self.node,
+            msg: Msg::SnapshotRead {
+                req_id: want,
+                items: items.to_vec(),
+            },
+        })?;
+        let limit = Instant::now() + deadline;
+        loop {
+            let remaining = limit.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(EngineError::Timeout);
+            }
+            match self.recv_frame(remaining)? {
+                Frame::Proto {
+                    msg:
+                        Msg::SnapshotReadReply {
+                            req_id,
+                            snapshot,
+                            entries,
+                        },
+                    ..
+                } if req_id == want => return Ok((snapshot, entries)),
+                _ => continue,
+            }
+        }
+    }
+
     /// Snapshots the connected site's state.
     pub fn inspect(&mut self, deadline: Duration) -> Result<NodeSnapshot, EngineError> {
         self.send_frame(&Frame::InspectReq)?;

@@ -210,6 +210,19 @@ impl NetCluster {
         self.with_control(site, |c| c.inspect(deadline))
     }
 
+    /// Serves a coordination-free read-only transaction at `site`: the site
+    /// pins an MVCC snapshot, reads `items` (all its items when the list is
+    /// empty), and answers `(snapshot, entries)` without touching its lock
+    /// table or sending any site-to-site message.
+    pub fn snapshot_read(
+        &self,
+        site: u32,
+        items: &[pv_core::ItemId],
+        deadline: Duration,
+    ) -> Result<pv_store::SnapshotView, EngineError> {
+        self.with_control(site, |c| c.snapshot_read(items, deadline))
+    }
+
     /// Total polyvalued items across sites.
     pub fn total_poly_count(&self, deadline: Duration) -> Result<u64, EngineError> {
         let mut total = 0;

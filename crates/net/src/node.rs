@@ -278,7 +278,11 @@ impl Node {
                 let wal = DiskWal::open(&path, topo.fsync_policy).map_err(|e| {
                     EngineError::Io(format!("open WAL at {}: {e}", path.display()))
                 })?;
-                SiteStore::open(Box::new(wal))
+                let mut store = SiteStore::open(Box::new(wal));
+                // Mirror keyspace runs beside the WAL (derived state; the
+                // WAL stays the authoritative log).
+                store.attach_keyspace_dir(&path);
+                store
             }
             None => SiteStore::new(),
         };

@@ -549,6 +549,24 @@ fn put_msg(buf: &mut BytesMut, msg: &Msg) {
             buf.put_u32_le(*acceptor);
             buf.put_u8(u8::from(*completed));
         }
+        Msg::SnapshotRead { req_id, items } => {
+            buf.put_u8(18);
+            buf.put_u64_le(*req_id);
+            buf.put_u32_le(items.len() as u32);
+            for item in items {
+                buf.put_u64_le(item.0);
+            }
+        }
+        Msg::SnapshotReadReply {
+            req_id,
+            snapshot,
+            entries,
+        } => {
+            buf.put_u8(19);
+            buf.put_u64_le(*req_id);
+            buf.put_u64_le(*snapshot);
+            put_item_entries(buf, entries);
+        }
     }
 }
 
@@ -877,6 +895,20 @@ fn get_msg(buf: &mut &[u8]) -> Result<Msg, DecodeError> {
             acceptor: get_u32(buf)?,
             completed: get_u8(buf)? != 0,
         }),
+        18 => {
+            let req_id = get_u64(buf)?;
+            let n = get_u32(buf)? as usize;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                items.push(ItemId(get_u64(buf)?));
+            }
+            Ok(Msg::SnapshotRead { req_id, items })
+        }
+        19 => Ok(Msg::SnapshotReadReply {
+            req_id: get_u64(buf)?,
+            snapshot: get_u64(buf)?,
+            entries: get_item_entries(buf)?,
+        }),
         t => Err(DecodeError::BadTag(t)),
     }
 }
@@ -1097,6 +1129,43 @@ mod tests {
             msg: Msg::Prepare {
                 txn: TxnId(77),
                 writes: vec![(ItemId(1), poly)],
+            },
+        });
+    }
+
+    #[test]
+    fn snapshot_read_frames_round_trip() {
+        roundtrip(Frame::Proto {
+            from: 9,
+            msg: Msg::SnapshotRead {
+                req_id: 4,
+                items: vec![ItemId(0), ItemId(3)],
+            },
+        });
+        // An empty item list (full scan) must survive the wire too.
+        roundtrip(Frame::Proto {
+            from: 9,
+            msg: Msg::SnapshotRead {
+                req_id: 5,
+                items: vec![],
+            },
+        });
+        roundtrip(Frame::Proto {
+            from: 0,
+            msg: Msg::SnapshotReadReply {
+                req_id: 4,
+                snapshot: 12,
+                entries: vec![
+                    (ItemId(0), Entry::Simple(Value::Int(60))),
+                    (
+                        ItemId(3),
+                        Entry::in_doubt(
+                            Entry::Simple(Value::Int(1)),
+                            Entry::Simple(Value::Int(2)),
+                            TxnId(8),
+                        ),
+                    ),
+                ],
             },
         });
     }

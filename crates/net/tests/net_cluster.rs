@@ -160,6 +160,48 @@ fn pipelined_submissions_all_reply() {
 }
 
 #[test]
+fn snapshot_reads_over_tcp_are_coordination_free() {
+    let cluster = NetCluster::from_topology(bank_topology(2, 4)).expect("start");
+    let deadline = Duration::from_secs(10);
+    assert!(cluster
+        .submit(0, &transfer(0, 1, 30), deadline)
+        .expect("submit")
+        .is_committed());
+    drain(&cluster);
+
+    let before = cluster.metrics(deadline).expect("metrics");
+    // Named items read at one snapshot sequence number.
+    let (snap, entries) = cluster
+        .snapshot_read(0, &[ItemId(0), ItemId(2)], deadline)
+        .expect("snapshot read");
+    assert!(snap > 0);
+    assert_eq!(entries.len(), 2);
+    for (item, entry) in &entries {
+        let n = entry.as_simple().and_then(|v| v.as_int()).expect("settled");
+        match item.0 {
+            0 => assert_eq!(n, 70),
+            2 => assert_eq!(n, 100),
+            other => panic!("unexpected item {other}"),
+        }
+    }
+    // Empty list = full scan of the site's items.
+    let (_, all) = cluster.snapshot_read(1, &[], deadline).expect("full scan");
+    assert_eq!(all.len(), 2, "site 1 is home to items 1 and 3");
+
+    let after = cluster.metrics(deadline).expect("metrics");
+    assert_eq!(
+        after.counter("store.snapshot_reads") - before.counter("store.snapshot_reads"),
+        2
+    );
+    // Coordination-free: no lock-table traffic, no transactions or
+    // protocol phases between the captures.
+    for c in ["lock.conflicts", "lock.queued", "txn.submitted", "inquire.sent"] {
+        assert_eq!(before.counter(c), after.counter(c), "{c} moved");
+    }
+    cluster.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn static_checks_gate_client_side() {
     let topo = bank_topology(2, 2).static_checks();
     let cluster = NetCluster::from_topology(topo).expect("start");

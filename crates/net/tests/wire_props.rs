@@ -241,11 +241,20 @@ fn gen_msg(rng: &mut SimRng, variant: u64) -> Msg {
             ballot: rng.below(1 << 40),
             completed: rng.chance(0.5),
         },
-        _ => Msg::PcPhase2b {
+        17 => Msg::PcPhase2b {
             txn,
             ballot: rng.below(1 << 40),
             acceptor: rng.below(16) as u32,
             completed: rng.chance(0.5),
+        },
+        18 => Msg::SnapshotRead {
+            req_id: rng.below(1 << 40),
+            items: (0..rng.below(6)).map(ItemId).collect(),
+        },
+        _ => Msg::SnapshotReadReply {
+            req_id: rng.below(1 << 40),
+            snapshot: rng.below(1 << 50),
+            entries: gen_entries(rng, t),
         },
     }
 }
@@ -254,7 +263,7 @@ fn gen_sites(rng: &mut SimRng) -> Vec<u32> {
     (0..rng.below(5)).map(|_| rng.below(16) as u32).collect()
 }
 
-const MSG_VARIANTS: u64 = 18;
+const MSG_VARIANTS: u64 = 20;
 
 fn gen_frame(rng: &mut SimRng) -> Frame {
     match rng.below(7) {

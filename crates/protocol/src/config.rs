@@ -108,6 +108,12 @@ pub struct EngineConfig {
     /// WAL length (in records) above which a site compacts its log into a
     /// snapshot after applying a decision.
     pub compact_threshold: usize,
+    /// Versions a keyspace partition's memtable holds before it flushes
+    /// into a sorted run (entry-counted for seed determinism).
+    pub memtable_threshold: usize,
+    /// Sorted runs a keyspace partition accumulates before a size-tiered
+    /// compaction merges them (dropping versions no live snapshot can see).
+    pub run_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -124,6 +130,8 @@ impl Default for EngineConfig {
             lock_policy: LockPolicy::NoWait,
             static_checks: false,
             compact_threshold: 4096,
+            memtable_threshold: 512,
+            run_threshold: 4,
         }
     }
 }

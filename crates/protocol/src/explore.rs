@@ -569,6 +569,8 @@ fn kind(msg: &Msg) -> &'static str {
         Msg::PcPhase1b { .. } => "PcPhase1b",
         Msg::PcPhase2a { .. } => "PcPhase2a",
         Msg::PcPhase2b { .. } => "PcPhase2b",
+        Msg::SnapshotRead { .. } => "SnapshotRead",
+        Msg::SnapshotReadReply { .. } => "SnapshotReadReply",
     }
 }
 

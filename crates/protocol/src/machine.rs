@@ -297,7 +297,10 @@ impl SiteMachine {
                         acceptor,
                         completed,
                     } => self.on_pc_phase2b(&mut em, store, txn, ballot, acceptor, completed),
-                    Msg::Reply { .. } => {
+                    Msg::SnapshotRead { req_id, items } => {
+                        self.on_snapshot_read(&mut em, store, from, req_id, items)
+                    }
+                    Msg::Reply { .. } | Msg::SnapshotReadReply { .. } => {
                         debug_assert!(false, "sites do not receive replies");
                     }
                 }
@@ -336,6 +339,36 @@ impl SiteMachine {
             self.recovery.inquire_armed = true;
             em.arm(self.config.inquire_interval, TimerKey::Inquire);
         }
+    }
+
+    /// Serves a coordination-free read-only transaction: a snapshot sequence
+    /// number is acquired from the store's MVCC keyspace, every requested
+    /// item read at that single point in time, and the view returned to the
+    /// requester. No lock-table state is touched, nothing is staged, and no
+    /// site-to-site protocol message is emitted — the reply to the client is
+    /// the only send.
+    fn on_snapshot_read(
+        &mut self,
+        em: &mut Emit<'_>,
+        store: &mut SiteStore,
+        from: NodeId,
+        req_id: u64,
+        items: Vec<pv_core::ItemId>,
+    ) {
+        let (snapshot, entries) = store.snapshot_read(&items);
+        em.trace(TraceEvent::SnapshotRead {
+            site: self.id,
+            snapshot,
+            items: entries.len() as u32,
+        });
+        em.send(
+            from,
+            Msg::SnapshotReadReply {
+                req_id,
+                snapshot,
+                entries,
+            },
+        );
     }
 }
 

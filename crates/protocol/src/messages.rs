@@ -297,6 +297,25 @@ pub enum Msg {
         /// Echo of the accepted verdict.
         completed: bool,
     },
+    /// Client → site: coordination-free read-only transaction. The site
+    /// acquires a snapshot sequence number from its MVCC keyspace and reads
+    /// every requested item (all of its items when the list is empty) at
+    /// that single point in time — no lock table, no staging, no 2PC.
+    SnapshotRead {
+        /// Client-chosen request identifier, echoed in the reply.
+        req_id: u64,
+        /// The items to read; empty = scan every item the site holds.
+        items: Vec<ItemId>,
+    },
+    /// Site → client: the snapshot read's consistent point-in-time view.
+    SnapshotReadReply {
+        /// Echo of the request id.
+        req_id: u64,
+        /// The snapshot sequence number the view was taken at.
+        snapshot: u64,
+        /// The entries visible at that snapshot, in item order.
+        entries: Vec<(ItemId, Entry<Value>)>,
+    },
 }
 
 #[cfg(test)]

@@ -100,6 +100,16 @@ pub enum TraceEvent {
         /// Microseconds from install to collapse (the polyvalue lifetime).
         lifetime_us: u64,
     },
+    /// A coordination-free read-only transaction served from an MVCC
+    /// snapshot: no locks taken, no protocol messages between sites.
+    SnapshotRead {
+        /// The serving site.
+        site: u32,
+        /// The pinned snapshot sequence number the read observed.
+        snapshot: u64,
+        /// Number of entries returned.
+        items: u32,
+    },
     /// Paxos Commit: a site timed out on a stalled transaction and became a
     /// takeover leader at the given ballot.
     PcTakeover {
@@ -126,6 +136,7 @@ impl TraceEvent {
             TraceEvent::OutcomeLearned { .. } => "outcome_learned",
             TraceEvent::OutcomeForwarded { .. } => "outcome_forwarded",
             TraceEvent::PolyvalueCollapsed { .. } => "polyvalue_collapsed",
+            TraceEvent::SnapshotRead { .. } => "snapshot_read",
             TraceEvent::PcTakeover { .. } => "pc_takeover",
         }
     }
@@ -166,6 +177,9 @@ impl fmt::Display for TraceEvent {
                     f,
                     "polyvalue_collapsed txn={txn} site=s{site} lifetime_us={lifetime_us}"
                 )
+            }
+            TraceEvent::SnapshotRead { site, snapshot, items } => {
+                write!(f, "snapshot_read site=s{site} snapshot={snapshot} items={items}")
             }
             TraceEvent::PcTakeover { txn, site, ballot } => {
                 write!(f, "pc_takeover txn={txn} site=s{site} ballot={ballot}")

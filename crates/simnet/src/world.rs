@@ -180,6 +180,19 @@ impl<A: Actor> World<A> {
         &mut self.actors[node.0 as usize]
     }
 
+    /// Runs a caller-supplied callback on `node`'s actor with a full effect
+    /// context and returns its result. Sends, timers, traces, and metrics
+    /// the callback emits apply exactly as they would from a delivery, so
+    /// drivers can expose actor operations (e.g. direct snapshot reads)
+    /// without inventing a message round-trip. Consumes the same per-node
+    /// RNG fork a delivery would: two same-seed runs making the same calls
+    /// at the same points remain byte-identical.
+    pub fn call<R>(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Ctx<A::Msg>) -> R) -> R {
+        let mut out = None;
+        self.run_callback(node, |actor, ctx| out = Some(f(actor, ctx)));
+        out.expect("callback ran")
+    }
+
     /// The run's metrics registry.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 pub mod codec;
+pub mod lsm;
 mod outcomes;
 mod site_store;
 pub mod storage;
@@ -18,8 +19,9 @@ mod table;
 mod wal;
 
 pub use codec::CodecError;
+pub use lsm::{Keyspace, KeyspaceConfig, KeyspaceStats, SeqNo, SnapshotTracker, Version};
 pub use outcomes::{DepEntry, OutcomeTable};
-pub use site_store::{PaxosState, PendingTxn, SiteStore, StoreStats};
+pub use site_store::{PaxosState, PendingTxn, SiteStore, SnapshotView, StoreStats};
 pub use storage::{
     DiskWal, FaultConfig, FaultyStorage, FsyncPolicy, MemStorage, Storage, StorageError,
     StorageStats,

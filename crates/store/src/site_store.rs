@@ -8,13 +8,17 @@
 //! rebuilds it by replaying whatever image survived the crash, which is
 //! exactly what the engine's sites do when the failure injector crashes them.
 
+use crate::lsm::{Keyspace, KeyspaceStats, SeqNo};
 use crate::outcomes::{DepEntry, OutcomeTable};
 use crate::storage::{MemStorage, Storage, StorageStats};
-use crate::table::ItemTable;
 use crate::wal::{Record, SiteId, Wal};
 use pv_core::expr::ReadSource;
 use pv_core::{Entry, ItemId, TxnId, Value};
 use std::collections::BTreeMap;
+
+/// What a snapshot read returns: the pinned sequence number and the
+/// `(item, entry)` pairs observed at exactly that point in time.
+pub type SnapshotView = (SeqNo, Vec<(ItemId, Entry<Value>)>);
 
 /// A transaction staged in the wait phase: values computed, outcome unknown.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +68,16 @@ pub struct StoreStats {
     pub recovery_truncations: u64,
     /// Wall-clock duration of each recovery, in seconds.
     pub recovery_durations: Vec<f64>,
+    /// Keyspace memtable flushes (each produced a sorted run).
+    pub lsm_flushes: u64,
+    /// Keyspace size-tiered compactions.
+    pub lsm_compactions: u64,
+    /// Versions garbage-collected by keyspace compactions.
+    pub lsm_gc_dropped: u64,
+    /// Run files written to the keyspace's disk mirror.
+    pub lsm_runs_written: u64,
+    /// Snapshot read transactions served.
+    pub snapshot_reads: u64,
 }
 
 impl StoreStats {
@@ -92,7 +106,7 @@ impl StoreStats {
 /// assert_eq!(store.poly_count(), 1);
 /// // Learning the outcome collapses the polyvalue.
 /// store.apply_decision(TxnId(7), true);
-/// assert_eq!(store.get(ItemId(1)), Some(&Entry::Simple(Value::Int(90))));
+/// assert_eq!(store.get(ItemId(1)), Some(Entry::Simple(Value::Int(90))));
 /// assert_eq!(store.poly_count(), 0);
 /// ```
 #[derive(Debug)]
@@ -101,7 +115,9 @@ pub struct SiteStore {
     /// In-memory mirror of the appended records (may run ahead of what the
     /// backend has made durable; recovery re-reads the backend).
     wal: Wal,
-    items: ItemTable,
+    /// The materialised table: a partitioned LSM keyspace of MVCC version
+    /// chains, derived state rebuilt from the WAL on every recovery.
+    keyspace: Keyspace,
     pending: BTreeMap<TxnId, PendingTxn>,
     outcomes: OutcomeTable,
     decisions: BTreeMap<TxnId, bool>,
@@ -113,6 +129,10 @@ pub struct SiteStore {
     append_seq: u64,
     /// Storage counters at the last [`SiteStore::take_stats`] drain.
     drained: StorageStats,
+    /// Keyspace counters at the last [`SiteStore::take_stats`] drain.
+    drained_lsm: KeyspaceStats,
+    /// Snapshot reads served since the last drain.
+    snapshot_reads: u64,
     /// Recovery activity since the last drain.
     recovery: StoreStats,
 }
@@ -129,10 +149,13 @@ impl Clone for SiteStore {
     /// fault state.
     fn clone(&self) -> Self {
         let image = crate::codec::encode_wal(&self.wal);
+        let mut keyspace = self.keyspace.clone();
+        // A clone must never mirror runs into the original's directory.
+        keyspace.detach_dir();
         SiteStore {
             storage: Box::new(MemStorage::from_image(image.to_vec())),
             wal: self.wal.clone(),
-            items: self.items.clone(),
+            keyspace,
             pending: self.pending.clone(),
             outcomes: self.outcomes.clone(),
             decisions: self.decisions.clone(),
@@ -141,6 +164,8 @@ impl Clone for SiteStore {
             compact_threshold: self.compact_threshold,
             append_seq: self.append_seq,
             drained: StorageStats::default(),
+            drained_lsm: KeyspaceStats::default(),
+            snapshot_reads: 0,
             recovery: StoreStats::default(),
         }
     }
@@ -157,7 +182,7 @@ impl SiteStore {
         SiteStore {
             storage,
             wal: Wal::new(),
-            items: ItemTable::default(),
+            keyspace: Keyspace::default(),
             pending: BTreeMap::new(),
             outcomes: OutcomeTable::new(),
             decisions: BTreeMap::new(),
@@ -166,6 +191,8 @@ impl SiteStore {
             compact_threshold: 4096,
             append_seq: 0,
             drained: StorageStats::default(),
+            drained_lsm: KeyspaceStats::default(),
+            snapshot_reads: 0,
             recovery: StoreStats::default(),
         }
     }
@@ -183,6 +210,20 @@ impl SiteStore {
     pub fn with_compact_threshold(mut self, threshold: usize) -> Self {
         self.compact_threshold = threshold;
         self
+    }
+
+    /// Sets the keyspace's memtable flush threshold (entries per partition
+    /// memtable) and run-compaction threshold (runs per partition).
+    pub fn with_lsm_thresholds(mut self, memtable_max_entries: usize, run_threshold: usize) -> Self {
+        self.keyspace.set_thresholds(memtable_max_entries, run_threshold);
+        self
+    }
+
+    /// Attaches a disk mirror directory for keyspace run files (wiping any
+    /// stale runs a previous incarnation left — the keyspace is derived
+    /// state, rebuilt from the WAL, so old run files must never be read).
+    pub fn attach_keyspace_dir(&mut self, dir: &std::path::Path) {
+        self.keyspace.set_dir(dir);
     }
 
     /// Appends a record to stable storage and mirrors it in memory.
@@ -214,13 +255,20 @@ impl SiteStore {
     /// Drains storage and recovery activity since the last call.
     pub fn take_stats(&mut self) -> StoreStats {
         let now = self.storage.stats();
+        let lsm = self.keyspace.stats();
         let mut out = std::mem::take(&mut self.recovery);
         out.wal_bytes = now.bytes_appended - self.drained.bytes_appended;
         out.wal_appends = now.appends - self.drained.appends;
         out.wal_syncs = now.syncs - self.drained.syncs;
         out.wal_segments = now.segments_created - self.drained.segments_created;
         out.wal_compactions = now.compactions - self.drained.compactions;
+        out.lsm_flushes = lsm.flushes - self.drained_lsm.flushes;
+        out.lsm_compactions = lsm.compactions - self.drained_lsm.compactions;
+        out.lsm_gc_dropped = lsm.gc_dropped - self.drained_lsm.gc_dropped;
+        out.lsm_runs_written = lsm.runs_written - self.drained_lsm.runs_written;
+        out.snapshot_reads = std::mem::take(&mut self.snapshot_reads);
         self.drained = now;
+        self.drained_lsm = lsm;
         out
     }
 
@@ -242,30 +290,113 @@ impl SiteStore {
         self.materialise_set(item, entry);
     }
 
-    /// The current entry of `item`.
-    pub fn get(&self, item: ItemId) -> Option<&Entry<Value>> {
-        self.items.get(item)
+    /// The current (newest-version) entry of `item`.
+    pub fn get(&self, item: ItemId) -> Option<Entry<Value>> {
+        self.keyspace.latest(item).cloned()
     }
 
     /// Whether this site holds `item`.
     pub fn contains(&self, item: ItemId) -> bool {
-        self.items.contains(item)
+        self.keyspace.contains(item)
     }
 
     /// Number of items held.
     pub fn item_count(&self) -> usize {
-        self.items.len()
+        self.keyspace.len()
     }
 
     /// Number of items currently holding polyvalues (the paper's `P(t)`
     /// restricted to this site).
     pub fn poly_count(&self) -> usize {
-        self.items.poly_count()
+        self.keyspace.poly_count()
     }
 
-    /// Iterates over `(item, entry)` pairs in item order.
-    pub fn iter_items(&self) -> impl Iterator<Item = (ItemId, &Entry<Value>)> {
-        self.items.iter()
+    /// Iterates over `(item, entry)` pairs in item order, yielding the
+    /// newest version of each item.
+    pub fn iter_items(&self) -> impl Iterator<Item = (ItemId, Entry<Value>)> + '_ {
+        self.keyspace.iter_latest().map(|(i, e)| (i, e.clone()))
+    }
+
+    // ---- MVCC snapshots ----------------------------------------------------
+
+    /// The entry of `item` visible at snapshot `snap` (the newest version
+    /// with sequence number at or below it).
+    pub fn get_at(&self, item: ItemId, snap: SeqNo) -> Option<Entry<Value>> {
+        self.keyspace.get_at(item, snap).cloned()
+    }
+
+    /// The sequence number of the most recent versioned write.
+    pub fn current_seq(&self) -> SeqNo {
+        self.keyspace.current_seq()
+    }
+
+    /// Pins the current sequence number for a read-only transaction;
+    /// compaction will not GC any version the pin can see. Pair with
+    /// [`SiteStore::snapshot_release`].
+    pub fn snapshot_acquire(&mut self) -> SeqNo {
+        self.keyspace.snapshot_acquire()
+    }
+
+    /// Releases one pin on `snap`.
+    pub fn snapshot_release(&mut self, snap: SeqNo) {
+        self.keyspace.snapshot_release(snap);
+    }
+
+    /// Serves a coordination-free read-only transaction: acquires a
+    /// snapshot, reads every requested item (all of them if `items` is
+    /// empty) at that single point in time, releases the pin, and returns
+    /// `(snapshot, entries)`. Touches no lock table, stages nothing, and
+    /// appends nothing to the WAL.
+    pub fn snapshot_read(&mut self, items: &[ItemId]) -> SnapshotView {
+        let snap = self.keyspace.snapshot_acquire();
+        let entries = if items.is_empty() {
+            self.keyspace
+                .iter_latest()
+                .map(|(i, _)| i)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .filter_map(|i| self.keyspace.get_at(i, snap).cloned().map(|e| (i, e)))
+                .collect()
+        } else {
+            items
+                .iter()
+                .filter_map(|&i| self.keyspace.get_at(i, snap).cloned().map(|e| (i, e)))
+                .collect()
+        };
+        self.keyspace.snapshot_release(snap);
+        self.snapshot_reads += 1;
+        (snap, entries)
+    }
+
+    /// Total MVCC versions held across memtables and runs.
+    pub fn mvcc_versions(&self) -> usize {
+        self.keyspace.version_count()
+    }
+
+    /// Sorted runs currently held across all keyspace partitions.
+    pub fn lsm_runs(&self) -> usize {
+        self.keyspace.run_count()
+    }
+
+    /// Approximate codec-encoded bytes held in keyspace memtables.
+    pub fn lsm_memtable_bytes(&self) -> u64 {
+        self.keyspace.memtable_bytes()
+    }
+
+    /// How many writes the oldest live snapshot lags the present by.
+    pub fn snapshot_age(&self) -> u64 {
+        self.keyspace.snapshot_age()
+    }
+
+    /// The keyspace's flush/compaction operation counter — the LSM
+    /// crash-point coordinate, analogous to [`SiteStore::append_seq`].
+    pub fn lsm_op_seq(&self) -> u64 {
+        self.keyspace.op_seq()
+    }
+
+    /// The keyspace's activity counters (lifetime totals, not deltas).
+    pub fn keyspace_stats(&self) -> KeyspaceStats {
+        self.keyspace.stats()
     }
 
     // ---- wait-phase staging (§3.1) ----------------------------------------
@@ -312,8 +443,8 @@ impl SiteStore {
         let mut installed = Vec::with_capacity(p.writes.len());
         for (item, new) in p.writes {
             let old = self
-                .items
-                .get(item)
+                .keyspace
+                .latest(item)
                 .expect("staged writes target existing items")
                 .clone();
             let entry = Entry::in_doubt(new, old, txn);
@@ -346,7 +477,7 @@ impl SiteStore {
         };
         self.log(Record::DepForgotten { txn });
         for &item in &dep.items {
-            let Some(entry) = self.items.get(item) else {
+            let Some(entry) = self.keyspace.latest(item) else {
                 continue;
             };
             if entry.deps().contains(&txn) {
@@ -519,7 +650,7 @@ impl SiteStore {
                 .truncate(consumed as u64)
                 .expect("stable storage truncate failed");
         }
-        self.items.clear();
+        self.keyspace.clear();
         self.pending.clear();
         self.outcomes = OutcomeTable::new();
         self.decisions.clear();
@@ -613,7 +744,7 @@ impl SiteStore {
     /// Unconditionally rewrites the WAL as a snapshot of the current state.
     pub fn compact(&mut self) {
         let mut records = Vec::new();
-        for (item, entry) in self.items.iter() {
+        for (item, entry) in self.keyspace.iter_latest() {
             records.push(Record::SetItem {
                 item,
                 entry: entry.clone(),
@@ -681,8 +812,17 @@ impl SiteStore {
     /// the log itself, compaction bookkeeping, and stats counters — none of
     /// which affect future protocol-visible behaviour.
     pub fn logical_view(&self) -> impl std::fmt::Debug + '_ {
+        // Render only the *latest* visible entry per item, never sequence
+        // numbers or the physical memtable/run layout: different record
+        // interleavings assign different SeqNos yet materialise identical
+        // latest-entry maps, and deduplication must treat them as equal.
+        let items: BTreeMap<ItemId, Entry<Value>> = self
+            .keyspace
+            .iter_latest()
+            .map(|(i, e)| (i, e.clone()))
+            .collect();
         (
-            &self.items,
+            items,
             &self.pending,
             &self.outcomes,
             &self.decisions,
@@ -722,13 +862,13 @@ impl SiteStore {
         for txn in entry.deps() {
             self.outcomes.note_item(txn, item);
         }
-        self.items.set(item, entry);
+        self.keyspace.put(item, entry);
     }
 }
 
 impl ReadSource for SiteStore {
     fn read_entry(&self, item: ItemId) -> Option<Entry<Value>> {
-        self.items.get(item).cloned()
+        self.keyspace.latest(item).cloned()
     }
 }
 
@@ -750,7 +890,7 @@ mod tests {
     #[test]
     fn seed_and_get() {
         let s = store_with_item(1, 100);
-        assert_eq!(s.get(ItemId(1)), Some(&simple(100)));
+        assert_eq!(s.get(ItemId(1)), Some(simple(100)));
         assert!(s.contains(ItemId(1)));
         assert_eq!(s.item_count(), 1);
         assert_eq!(s.poly_count(), 0);
@@ -765,7 +905,7 @@ mod tests {
         assert!(s.pending(TxnId(5)).is_some());
         assert_eq!(s.pending_txns(), vec![TxnId(5)]);
         s.apply_decision(TxnId(5), true);
-        assert_eq!(s.get(ItemId(1)), Some(&simple(90)));
+        assert_eq!(s.get(ItemId(1)), Some(simple(90)));
         assert!(s.pending(TxnId(5)).is_none());
     }
 
@@ -774,7 +914,7 @@ mod tests {
         let mut s = store_with_item(1, 100);
         s.stage(TxnId(5), 2, vec![(ItemId(1), simple(90))]);
         s.apply_decision(TxnId(5), false);
-        assert_eq!(s.get(ItemId(1)), Some(&simple(100)));
+        assert_eq!(s.get(ItemId(1)), Some(simple(100)));
         assert!(s.pending(TxnId(5)).is_none());
     }
 
@@ -789,7 +929,7 @@ mod tests {
         assert_eq!(s.tracked_txns(), vec![TxnId(5)]);
         // Late decision reduces the polyvalue through the same path.
         s.apply_decision(TxnId(5), true);
-        assert_eq!(s.get(ItemId(1)), Some(&simple(90)));
+        assert_eq!(s.get(ItemId(1)), Some(simple(90)));
         assert_eq!(s.poly_count(), 0);
         assert!(!s.has_tracked_txns());
     }
@@ -800,7 +940,7 @@ mod tests {
         s.stage(TxnId(5), 2, vec![(ItemId(1), simple(90))]);
         s.install_in_doubt(TxnId(5));
         s.apply_decision(TxnId(5), false);
-        assert_eq!(s.get(ItemId(1)), Some(&simple(100)));
+        assert_eq!(s.get(ItemId(1)), Some(simple(100)));
         assert_eq!(s.poly_count(), 0);
     }
 
@@ -838,7 +978,7 @@ mod tests {
         assert!(s.dep_entry(TxnId(5)).is_none());
         // Learning the outcome now changes nothing.
         s.apply_decision(TxnId(5), true);
-        assert_eq!(s.get(ItemId(1)), Some(&simple(55)));
+        assert_eq!(s.get(ItemId(1)), Some(simple(55)));
     }
 
     #[test]
@@ -890,7 +1030,7 @@ mod tests {
         assert!(s.maybe_compact());
         assert_eq!(s.wal().len(), 1);
         s.crash_and_recover();
-        assert_eq!(s.get(ItemId(1)), Some(&simple(19)));
+        assert_eq!(s.get(ItemId(1)), Some(simple(19)));
         // Below threshold → no compaction.
         assert!(!s.maybe_compact());
     }
@@ -977,7 +1117,7 @@ mod tests {
         s.apply_decision(TxnId(5), true);
         assert_eq!(s.tracked_txns(), vec![TxnId(3)]);
         s.apply_decision(TxnId(3), false);
-        assert_eq!(s.get(ItemId(1)), Some(&simple(2)));
+        assert_eq!(s.get(ItemId(1)), Some(simple(2)));
         assert!(!s.has_tracked_txns());
     }
 
@@ -1082,7 +1222,7 @@ mod tests {
         s.sync();
         s.set_entry(ItemId(1), simple(55)); // background: not synced
         s.crash_and_recover();
-        assert_eq!(s.get(ItemId(1)), Some(&simple(100)));
+        assert_eq!(s.get(ItemId(1)), Some(simple(100)));
     }
 
     #[test]
@@ -1114,7 +1254,7 @@ mod tests {
                     .map(simple)
                     .chain(std::iter::once(simple(100)))
                     .collect();
-                assert!(legal.contains(entry), "unexpected survivor {entry:?}");
+                assert!(legal.contains(&entry), "unexpected survivor {entry:?}");
             }
         }
     }

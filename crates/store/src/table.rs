@@ -23,7 +23,11 @@ impl ItemTable {
         self.entries.insert(item, entry);
         match (was_poly, is_poly) {
             (false, true) => self.poly_count += 1,
-            (true, false) => self.poly_count -= 1,
+            // Saturate rather than underflow: a collapse racing a recovery
+            // replay can observe a poly entry the counter never accounted
+            // for, and the count must degrade to "stale" instead of
+            // panicking mid-replay.
+            (true, false) => self.poly_count = self.poly_count.saturating_sub(1),
             _ => {}
         }
     }
@@ -114,6 +118,18 @@ mod tests {
         t.set(ItemId(1), simple(1));
         let keys: Vec<u64> = t.iter().map(|(k, _)| k.0).collect();
         assert_eq!(keys, vec![1, 3]);
+    }
+
+    #[test]
+    fn poly_collapse_with_stale_counter_saturates() {
+        // Regression: a recovery replay can materialise a poly entry while
+        // the counter was rebuilt from scratch (counter = 0). Collapsing
+        // that entry must saturate at zero, not underflow-panic.
+        let mut t = ItemTable::new();
+        t.set(ItemId(1), poly(1, 2, 7));
+        t.poly_count = 0; // simulate the stale-counter race
+        t.set(ItemId(1), simple(9)); // collapse: previously panicked in debug
+        assert_eq!(t.poly_count(), 0);
     }
 
     #[test]
